@@ -1,0 +1,62 @@
+// Command bench regenerates the paper's evaluation: every table
+// (1-6) and figure (1-6) plus the repository's ablations, printed as
+// aligned text tables.
+//
+// Usage:
+//
+//	bench [-scale 0.05] [-partitions 20] [-runs 1] [-exp t1,f3,...]
+//	      [-odbc-mbps 100] [-odbc-timescale 0] [-seed 2007]
+//
+// -scale 1 runs the paper's full row counts (n up to 1.6M); the
+// default 0.05 finishes in minutes on a laptop. -exp selects specific
+// experiments; the default runs everything in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/odbcsim"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "fraction of the paper's row counts (1 = full size)")
+	partitions := flag.Int("partitions", 20, "engine parallelism (the paper's Teradata had 20 threads)")
+	runs := flag.Int("runs", 1, "repetitions averaged per measurement (the paper used 5)")
+	exp := flag.String("exp", "", "comma-separated experiment ids (t1..t6, f1..f6, a1, a2); empty runs all")
+	odbcMbps := flag.Float64("odbc-mbps", 100, "modeled ODBC LAN bandwidth in megabits/s")
+	odbcRow := flag.Int("odbc-row-overhead", 512, "modeled per-row ODBC framing overhead in bytes")
+	timescale := flag.Float64("odbc-timescale", 0, "fraction of modeled ODBC delay actually slept (0 = report only)")
+	seed := flag.Int64("seed", 2007, "workload seed")
+	dir := flag.String("dir", "", "table directory (default: a temp dir per experiment)")
+	flag.Parse()
+
+	cfg := harness.Config{
+		Scale:      *scale,
+		Partitions: *partitions,
+		Runs:       *runs,
+		Dir:        *dir,
+		Seed:       *seed,
+		Out:        os.Stdout,
+		ODBC: odbcsim.Config{
+			BytesPerSec:         *odbcMbps * 1e6 / 8,
+			PerRowOverheadBytes: *odbcRow,
+			TimeScale:           *timescale,
+		},
+	}
+	var ids []string
+	if *exp != "" {
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	fmt.Printf("statsudf bench: scale=%g partitions=%d runs=%d seed=%d\n",
+		*scale, *partitions, *runs, *seed)
+	if err := harness.RunAll(cfg, ids); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

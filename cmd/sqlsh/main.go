@@ -1,0 +1,192 @@
+// Command sqlsh is an interactive SQL shell for the embedded engine,
+// with the paper's UDFs (nlq_list, nlq_str, nlq_block, linearregscore,
+// fascore, kdistance, clusterscore) pre-registered.
+//
+// Usage:
+//
+//	sqlsh [-dir data/] [-partitions 20] [-c "SELECT ..."] [file.sql]
+//
+// Statements end with ';'. Shell commands: \d lists tables, \d NAME
+// shows a schema, \q quits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/engine/exec"
+	"repro/internal/engine/sqltypes"
+
+	statsudf "repro"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (empty = in-memory)")
+	partitions := flag.Int("partitions", 20, "table partitions")
+	command := flag.String("c", "", "execute this statement and exit")
+	flag.Parse()
+
+	db, err := statsudf.Open(statsudf.Options{Dir: *dir, Partitions: *partitions})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlsh:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	if *command != "" {
+		if err := runStatement(db, *command, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "sqlsh:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sqlsh:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := runScript(db, f, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "sqlsh:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	repl(db, os.Stdin, os.Stdout)
+}
+
+func repl(db *statsudf.DB, in io.Reader, out io.Writer) {
+	fmt.Fprintln(out, "statsudf sql shell — statements end with ';', \\d lists tables, \\q quits")
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Fprint(out, "sql> ")
+		} else {
+			fmt.Fprint(out, "...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if quit := shellCommand(db, trimmed, out); quit {
+				return
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := pending.String()
+			pending.Reset()
+			if err := runStatement(db, stmt, out); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			}
+		}
+		prompt()
+	}
+}
+
+func shellCommand(db *statsudf.DB, cmd string, out io.Writer) (quit bool) {
+	switch {
+	case cmd == "\\q":
+		return true
+	case cmd == "\\d":
+		names := db.Engine().TableNames()
+		sort.Strings(names)
+		for _, n := range names {
+			t, err := db.Engine().Table(n)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(out, "%s  (%d rows)\n", n, t.NumRows())
+		}
+		views := db.Engine().ViewNames()
+		sort.Strings(views)
+		for _, n := range views {
+			fmt.Fprintf(out, "%s  (view)\n", n)
+		}
+	case strings.HasPrefix(cmd, "\\d "):
+		name := strings.TrimSpace(cmd[3:])
+		t, err := db.Engine().Table(name)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		fmt.Fprintf(out, "%s %s, %d rows in %d partitions\n",
+			t.Name(), t.Schema(), t.NumRows(), t.Partitions())
+	default:
+		fmt.Fprintln(out, "unknown command; try \\d or \\q")
+	}
+	return false
+}
+
+func runScript(db *statsudf.DB, r io.Reader, out io.Writer) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	res, err := db.ExecScript(string(data))
+	if err != nil {
+		return err
+	}
+	printResult(out, res)
+	return nil
+}
+
+func runStatement(db *statsudf.DB, sql string, out io.Writer) error {
+	res, err := db.Exec(sql)
+	if err != nil {
+		return err
+	}
+	printResult(out, res)
+	return nil
+}
+
+func printResult(out io.Writer, res *exec.Result) {
+	if res == nil {
+		return
+	}
+	if res.Schema == nil {
+		if res.Affected > 0 {
+			fmt.Fprintf(out, "%d row(s) affected\n", res.Affected)
+		} else {
+			fmt.Fprintln(out, "ok")
+		}
+		return
+	}
+	names := res.Schema.Names()
+	fmt.Fprintln(out, strings.Join(names, " | "))
+	fmt.Fprintln(out, strings.Repeat("-", len(strings.Join(names, " | "))))
+	const maxPrint = 200
+	for i, row := range res.Rows {
+		if i == maxPrint {
+			fmt.Fprintf(out, "... (%d more rows)\n", len(res.Rows)-maxPrint)
+			break
+		}
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = renderValue(v)
+		}
+		fmt.Fprintln(out, strings.Join(cells, " | "))
+	}
+	fmt.Fprintf(out, "(%d rows)\n", len(res.Rows))
+}
+
+func renderValue(v sqltypes.Value) string {
+	s := v.String()
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}

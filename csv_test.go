@@ -1,0 +1,116 @@
+package statsudf
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestImportCSVWithHeader(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	in := "id,amount,label\n1,2.5,apple\n2,3.25,pear\n3,,fig\n"
+	n, err := d.ImportCSV("items", strings.NewReader(in), true)
+	if err != nil || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	res, err := d.Exec("SELECT id, amount, label FROM items ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if res.Rows[0][2].Str() != "apple" || res.Rows[1][1].MustFloat() != 3.25 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if !res.Rows[2][1].IsNull() {
+		t.Fatalf("empty field should be NULL: %v", res.Rows[2])
+	}
+	// Schema types were inferred.
+	tab, _ := d.Engine().Table("items")
+	s := tab.Schema()
+	if s.Columns[0].Type.String() != "BIGINT" || s.Columns[1].Type.String() != "DOUBLE" || s.Columns[2].Type.String() != "VARCHAR" {
+		t.Fatalf("schema = %v", s)
+	}
+}
+
+func TestImportCSVNoHeader(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	n, err := d.ImportCSV("t", strings.NewReader("1.5,2\n2.5,3\n"), false)
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	res, err := d.Exec("SELECT sum(c1), sum(c2) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].MustFloat() != 4 || res.Rows[0][1].MustFloat() != 5 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestImportCSVReplacesExisting(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	if _, err := d.ImportCSV("t", strings.NewReader("1\n2\n3\n"), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ImportCSV("t", strings.NewReader("9\n"), false); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := d.Exec("SELECT count(*) FROM t")
+	if v, _ := res.Value(); v.Int() != 1 {
+		t.Fatalf("count = %v", v)
+	}
+}
+
+func TestImportCSVErrors(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	cases := map[string]struct {
+		in     string
+		header bool
+	}{
+		"empty":             {"", false},
+		"header only":       {"a,b\n", true},
+		"ragged row":        {"1,2\n3\n", false},
+		"bigint then real":  {"1\n2.5\n", false},
+		"double then text":  {"1.5\nabc\n", false},
+		"duplicate headers": {"a,a\n1,2\n", true},
+	}
+	for name, c := range cases {
+		if _, err := d.ImportCSV("bad", strings.NewReader(c.in), c.header); err == nil {
+			t.Errorf("%s: must fail", name)
+		}
+	}
+}
+
+func TestImportCSVThenModel(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	var b strings.Builder
+	b.WriteString("i,X1,X2\n")
+	for i := 0; i < 200; i++ {
+		x := float64(i)
+		b.WriteString(strings.Join([]string{
+			itoa(i), ftoa(x), ftoa(2*x + 1),
+		}, ","))
+		b.WriteByte('\n')
+	}
+	if _, err := d.ImportCSV("X", strings.NewReader(b.String()), true); err != nil {
+		t.Fatal(err)
+	}
+	m, err := d.Correlation("X", []string{"X1", "X2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) < 0.999 {
+		t.Fatalf("rho = %g", m.At(0, 1))
+	}
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

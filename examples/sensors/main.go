@@ -1,0 +1,157 @@
+// Sensor-array dimensionality reduction with PCA — including the
+// paper's high-dimensional blocked computation (Table 6).
+//
+// A simulated plant has 96 sensors driven by only 4 latent physical
+// processes plus noise. 96 dimensions exceed the 64-dimension limit a
+// single aggregate-UDF heap segment allows (the 64 KB constraint), so
+// the summary matrices are computed with MULTIPLE nlq_block UDF calls
+// in one synchronized table scan, assembled into the full Q, and PCA
+// then recovers the latent structure: ~4 components capture almost
+// all variance. Finally the 96-wide readings are scored down to 4
+// coordinates per row, in one scan, with the fascore scalar UDF.
+//
+//	go run ./examples/sensors
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	statsudf "repro"
+)
+
+const (
+	nReadings = 20000
+	nSensors  = 96 // > statsudf.MaxD: forces the blocked path
+	nLatent   = 4
+)
+
+func main() {
+	if nSensors <= statsudf.MaxD {
+		log.Fatal("example misconfigured: nSensors must exceed MaxD to exercise the blocked path")
+	}
+	db, err := statsudf.Open(statsudf.Options{Partitions: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	loadReadings(db)
+
+	// One synchronized scan computes all Q blocks (the blocked UDF
+	// calls are generated and reassembled automatically for d > MaxD).
+	cols := statsudf.DimColumns(nSensors)
+	sum, err := db.Summary("SENSORS", cols, statsudf.SummaryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("blocked summary over d=%d sensors: n=%.0f (one synchronized scan)\n", sum.D, sum.N)
+
+	pca, err := statsudf.BuildPCAFrom(sum, 8, statsudf.CorrelationBasis)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("eigenvalue spectrum (top 8):")
+	var cum float64
+	for j, ev := range pca.Eigen {
+		cum += ev
+		fmt.Printf("  λ%-2d = %7.2f   cumulative %5.1f%%\n", j+1, ev, 100*cum/pca.Total)
+	}
+	fmt.Printf("→ %d latent processes drive the plant; 4 components capture %.1f%%\n",
+		nLatent, 100*cumulativeShare(pca.Eigen[:nLatent], pca.Total))
+
+	// Reduce to 4 coordinates and store + score in-engine.
+	pca4, err := statsudf.BuildPCAFrom(sum, nLatent, statsudf.CorrelationBasis)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.StorePCA("MU", "LAMBDA", pca4); err != nil {
+		log.Fatal(err)
+	}
+	scored, err := db.ScorePCA("SENSORS", "i", cols, "MU", "LAMBDA", "REDUCED", nLatent)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reduced %d readings from %d to %d dimensions in one scan\n", scored, nSensors, nLatent)
+
+	res, err := db.Exec("SELECT min(p1), max(p1), avg(p1) FROM REDUCED")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first principal coordinate: min=%s max=%s avg=%s\n",
+		res.Rows[0][0], res.Rows[0][1], res.Rows[0][2])
+}
+
+func cumulativeShare(eigen []float64, total float64) float64 {
+	var s float64
+	for _, v := range eigen {
+		s += v
+	}
+	return s / total
+}
+
+// loadReadings simulates the sensor array: each sensor is a random
+// mixture of nLatent hidden signals plus measurement noise.
+func loadReadings(db *statsudf.DB) {
+	var cols []string
+	cols = append(cols, "i BIGINT")
+	for _, c := range statsudf.DimColumns(nSensors) {
+		cols = append(cols, c+" DOUBLE")
+	}
+	create := "CREATE TABLE SENSORS (" + join(cols, ", ") + ")"
+	if _, err := db.Exec(create); err != nil {
+		log.Fatal(err)
+	}
+	tab, err := db.Engine().Table("SENSORS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2024))
+	// Random loading of each sensor onto the latent processes.
+	loadings := make([][]float64, nSensors)
+	for s := range loadings {
+		loadings[s] = make([]float64, nLatent)
+		for l := range loadings[s] {
+			loadings[s][l] = rng.NormFloat64()
+		}
+	}
+	bl, err := tab.NewBulkLoader()
+	if err != nil {
+		log.Fatal(err)
+	}
+	row := make(statsudf.Row, nSensors+1)
+	latent := make([]float64, nLatent)
+	for i := 0; i < nReadings; i++ {
+		for l := range latent {
+			latent[l] = rng.NormFloat64() * 10
+		}
+		row[0] = statsudf.NewBigInt(int64(i))
+		for s := 0; s < nSensors; s++ {
+			v := 0.0
+			for l := 0; l < nLatent; l++ {
+				v += loadings[s][l] * latent[l]
+			}
+			row[s+1] = statsudf.NewDouble(v + rng.NormFloat64()*0.5)
+		}
+		if err := bl.Add(row); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := bl.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d readings from %d sensors (%d latent processes + noise)\n",
+		nReadings, nSensors, nLatent)
+}
+
+func join(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}

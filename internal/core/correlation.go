@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// CorrelationModel holds the d×d Pearson correlation matrix. The paper
+// notes it is not itself a predictive model — scoring does not apply —
+// but it is the input to PCA and a diagnostic for regression.
+type CorrelationModel struct {
+	D   int
+	N   float64
+	Rho *matrix.Dense
+}
+
+// BuildCorrelation derives the correlation model from summaries.
+func BuildCorrelation(s *NLQ) (*CorrelationModel, error) {
+	rho, err := s.Correlation()
+	if err != nil {
+		return nil, err
+	}
+	return &CorrelationModel{D: s.D, N: s.N, Rho: rho}, nil
+}
+
+// At returns ρab.
+func (m *CorrelationModel) At(a, b int) float64 { return m.Rho.At(a, b) }
+
+// StrongestPairs returns the top-k dimension pairs by |ρ| (a < b),
+// a convenience for the analyst-facing tools.
+func (m *CorrelationModel) StrongestPairs(k int) []CorrPair {
+	var pairs []CorrPair
+	for a := 0; a < m.D; a++ {
+		for b := a + 1; b < m.D; b++ {
+			pairs = append(pairs, CorrPair{A: a, B: b, Rho: m.Rho.At(a, b)})
+		}
+	}
+	// Selection sort of the top k is fine at d² scale.
+	if k > len(pairs) {
+		k = len(pairs)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(pairs); j++ {
+			if abs(pairs[j].Rho) > abs(pairs[best].Rho) {
+				best = j
+			}
+		}
+		pairs[i], pairs[best] = pairs[best], pairs[i]
+	}
+	return pairs[:k]
+}
+
+// CorrPair is one correlated dimension pair.
+type CorrPair struct {
+	A, B int
+	Rho  float64
+}
+
+// String renders the pair for reports.
+func (p CorrPair) String() string {
+	return fmt.Sprintf("X%d~X%d: %.4f", p.A+1, p.B+1, p.Rho)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

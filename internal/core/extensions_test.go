@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRemoveInvertsUpdate(t *testing.T) {
+	// Property: adding then removing a suffix of points restores the
+	// summaries of the prefix (up to float round-off).
+	f := func(seed int64, cut uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randPoints(rng, 60, 3)
+		split := int(cut) % len(pts)
+		for _, mt := range []MatrixType{Diagonal, Triangular, Full} {
+			all := MustNLQ(3, mt)
+			prefix := MustNLQ(3, mt)
+			for i, x := range pts {
+				all.Update(x)
+				if i < split {
+					prefix.Update(x)
+				}
+			}
+			for i := len(pts) - 1; i >= split; i-- {
+				if err := all.Remove(pts[i]); err != nil {
+					return false
+				}
+			}
+			if all.N != prefix.N {
+				return false
+			}
+			for a := 0; a < 3; a++ {
+				if math.Abs(all.L[a]-prefix.L[a]) > 1e-6 {
+					return false
+				}
+				for b := 0; b < 3; b++ {
+					if math.Abs(all.QAt(a, b)-prefix.QAt(a, b)) > 1e-4 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveValidation(t *testing.T) {
+	s := MustNLQ(2, Full)
+	if err := s.Remove([]float64{1, 2}); err == nil {
+		t.Fatal("remove from empty must fail")
+	}
+	s.Update([]float64{1, 2})
+	if err := s.Remove([]float64{1}); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+}
+
+func TestSlidingWindowModel(t *testing.T) {
+	// A sliding-window correlation stays correct as the window moves.
+	rng := rand.New(rand.NewSource(31))
+	const window = 200
+	stream := make([][]float64, 600)
+	for i := range stream {
+		x := rng.NormFloat64()
+		stream[i] = []float64{x, 3 * x, rng.NormFloat64()}
+	}
+	s := MustNLQ(3, Triangular)
+	for i, x := range stream {
+		s.Update(x)
+		if i >= window {
+			if err := s.Remove(stream[i-window]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if s.N != window {
+		t.Fatalf("window n = %g", s.N)
+	}
+	rho, err := s.Correlation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho.At(0, 1) < 0.999 {
+		t.Fatalf("windowed rho = %g", rho.At(0, 1))
+	}
+}
+
+func TestTStatsAndPValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	// X1 strongly predictive, X2 pure noise.
+	pts := make([][]float64, 3000)
+	for i := range pts {
+		x1 := rng.NormFloat64() * 5
+		x2 := rng.NormFloat64() * 5
+		y := 2*x1 + rng.NormFloat64()
+		pts[i] = []float64{x1, x2, y}
+	}
+	src := SliceSource(pts)
+	s, _ := ComputeNLQ(src, Triangular)
+	m, err := BuildLinReg(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TStats(); err == nil {
+		t.Fatal("TStats before FitStatistics must fail")
+	}
+	if err := m.FitStatistics(src, s); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := m.TStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := m.PValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// β1 (X1) is massively significant; β2 (X2) is not.
+	if math.Abs(ts[1]) < 20 {
+		t.Fatalf("t(X1) = %g, expected large", ts[1])
+	}
+	if ps[1] > 1e-6 {
+		t.Fatalf("p(X1) = %g, expected ~0", ps[1])
+	}
+	if math.Abs(ts[2]) > 4 {
+		t.Fatalf("t(X2) = %g, expected small", ts[2])
+	}
+	if ps[2] < 0.001 {
+		t.Fatalf("p(X2) = %g, expected non-significant", ps[2])
+	}
+	for _, p := range ps {
+		if p < 0 || p > 1 {
+			t.Fatalf("p out of range: %v", ps)
+		}
+	}
+}
+
+func TestStdNormalCDF(t *testing.T) {
+	cases := map[float64]float64{
+		0:     0.5,
+		1.96:  0.975,
+		-1.96: 0.025,
+		4:     0.99997,
+	}
+	for x, want := range cases {
+		if got := stdNormalCDF(x); math.Abs(got-want) > 1e-3 {
+			t.Errorf("Φ(%g) = %g, want %g", x, got, want)
+		}
+	}
+}

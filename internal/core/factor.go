@@ -1,0 +1,191 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// FactorModel is maximum-likelihood factor analysis: the data's
+// covariance is modeled as V ≈ Λ·Λᵀ + Ψ with Λ the d×k factor loading
+// matrix and Ψ a diagonal matrix of per-dimension unique variances.
+// The paper (§3.1) fits it with the EM algorithm of the linear
+// Gaussian model family [Roweis & Ghahramani 1999]; like PCA, EM needs
+// only the covariance matrix derived from n, L and Q, never X itself.
+type FactorModel struct {
+	D, K      int
+	Lambda    *matrix.Dense // d×k loadings
+	Psi       []float64     // d unique variances
+	Mu        []float64
+	LogLik    float64 // final per-point expected log-likelihood proxy
+	Iters     int
+	Converged bool
+}
+
+// FactorOptions tune the EM fit.
+type FactorOptions struct {
+	MaxIters int     // default 200
+	Tol      float64 // relative change in Λ/Ψ to declare convergence; default 1e-6
+}
+
+// BuildFactorAnalysis fits a k-factor model by EM on the covariance
+// matrix derived from the summaries.
+func BuildFactorAnalysis(s *NLQ, k int, opts FactorOptions) (*FactorModel, error) {
+	if k < 1 || k >= s.D {
+		return nil, fmt.Errorf("core: factor analysis needs 1 ≤ k < d, got k=%d d=%d", k, s.D)
+	}
+	if s.N < 2 {
+		return nil, errors.New("core: factor analysis requires n ≥ 2")
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 200
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-6
+	}
+	v, err := s.Covariance()
+	if err != nil {
+		return nil, err
+	}
+	mu, err := s.Mean()
+	if err != nil {
+		return nil, err
+	}
+	d := s.D
+
+	// Initialize Λ from the top-k principal directions scaled by
+	// eigenvalue mass, Ψ from the residual variances.
+	eig, err := matrix.SymEigen(v)
+	if err != nil {
+		return nil, err
+	}
+	lambda := matrix.New(d, k)
+	for j := 0; j < k; j++ {
+		scale := math.Sqrt(math.Max(eig.Values[j], 1e-8))
+		for i := 0; i < d; i++ {
+			lambda.Set(i, j, eig.Vectors.At(i, j)*scale)
+		}
+	}
+	psi := make([]float64, d)
+	for i := 0; i < d; i++ {
+		res := v.At(i, i)
+		for j := 0; j < k; j++ {
+			res -= lambda.At(i, j) * lambda.At(i, j)
+		}
+		psi[i] = math.Max(res, 1e-6)
+	}
+
+	m := &FactorModel{D: d, K: k, Mu: mu}
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		// E step (in covariance form): with the current (Λ, Ψ),
+		//   G = (I + ΛᵀΨ⁻¹Λ)⁻¹        (k×k posterior covariance)
+		//   B = GΛᵀΨ⁻¹                (k×d posterior projection)
+		// expected moments over the data reduce to:
+		//   E[z xᵀ]  = B V             (k×d)
+		//   E[z zᵀ]  = G + B V Bᵀ      (k×k)
+		psiInvLambda := matrix.New(d, k)
+		for i := 0; i < d; i++ {
+			for j := 0; j < k; j++ {
+				psiInvLambda.Set(i, j, lambda.At(i, j)/psi[i])
+			}
+		}
+		g := matrix.Identity(k).Plus(lambda.Transpose().Mul(psiInvLambda))
+		gInv, err := g.Inverse()
+		if err != nil {
+			return nil, fmt.Errorf("core: EM E-step singular: %w", err)
+		}
+		b := gInv.Mul(psiInvLambda.Transpose())  // k×d
+		ezx := b.Mul(v)                          // k×d
+		ezz := gInv.Plus(ezx.Mul(b.Transpose())) // k×k
+
+		// M step: Λ' = (E[x zᵀ])(E[z zᵀ])⁻¹; Ψ' = diag(V − Λ' E[z xᵀ]).
+		ezzInv, err := ezz.Inverse()
+		if err != nil {
+			return nil, fmt.Errorf("core: EM M-step singular: %w", err)
+		}
+		newLambda := ezx.Transpose().Mul(ezzInv) // d×k
+		newPsi := make([]float64, d)
+		lamEzx := newLambda.Mul(ezx) // d×d
+		for i := 0; i < d; i++ {
+			newPsi[i] = math.Max(v.At(i, i)-lamEzx.At(i, i), 1e-8)
+		}
+
+		// Convergence on parameter movement.
+		delta := newLambda.MaxAbsDiff(lambda)
+		for i := range psi {
+			if ch := math.Abs(newPsi[i] - psi[i]); ch > delta {
+				delta = ch
+			}
+		}
+		lambda, psi = newLambda, newPsi
+		m.Iters = iter + 1
+		if delta < opts.Tol {
+			m.Converged = true
+			break
+		}
+	}
+	m.Lambda = lambda
+	m.Psi = psi
+	m.LogLik = factorLogLik(v, lambda, psi)
+	return m, nil
+}
+
+// factorLogLik computes −½(log|ΛΛᵀ+Ψ| + tr((ΛΛᵀ+Ψ)⁻¹V)) up to
+// constants — the per-point expected log-likelihood used to monitor
+// fit quality.
+func factorLogLik(v, lambda *matrix.Dense, psi []float64) float64 {
+	d := len(psi)
+	c := lambda.Mul(lambda.Transpose())
+	for i := 0; i < d; i++ {
+		c.Add(i, i, psi[i])
+	}
+	inv, err := c.Inverse()
+	if err != nil {
+		return math.Inf(-1)
+	}
+	det := c.Det()
+	if det <= 0 {
+		return math.Inf(-1)
+	}
+	tr := 0.0
+	prod := inv.Mul(v)
+	for i := 0; i < d; i++ {
+		tr += prod.At(i, i)
+	}
+	return -0.5 * (math.Log(det) + tr)
+}
+
+// ImpliedCovariance returns Λ·Λᵀ + Ψ, the model's covariance estimate.
+func (m *FactorModel) ImpliedCovariance() *matrix.Dense {
+	c := m.Lambda.Mul(m.Lambda.Transpose())
+	for i := 0; i < m.D; i++ {
+		c.Add(i, i, m.Psi[i])
+	}
+	return c
+}
+
+// Score computes the posterior factor means E[z|x] = GΛᵀΨ⁻¹(x−µ) for
+// one point — factor-analytic dimensionality reduction.
+func (m *FactorModel) Score(x []float64) ([]float64, error) {
+	if len(x) != m.D {
+		return nil, fmt.Errorf("core: point has %d dims, model expects %d", len(x), m.D)
+	}
+	psiInvLambda := matrix.New(m.D, m.K)
+	for i := 0; i < m.D; i++ {
+		for j := 0; j < m.K; j++ {
+			psiInvLambda.Set(i, j, m.Lambda.At(i, j)/m.Psi[i])
+		}
+	}
+	g := matrix.Identity(m.K).Plus(m.Lambda.Transpose().Mul(psiInvLambda))
+	gInv, err := g.Inverse()
+	if err != nil {
+		return nil, err
+	}
+	centered := make([]float64, m.D)
+	for i, v := range x {
+		centered[i] = v - m.Mu[i]
+	}
+	return gInv.Mul(psiInvLambda.Transpose()).MulVec(centered), nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// LinRegModel is the general linear regression Y = β₀ + βᵀx fit by
+// least squares on the augmented summaries Q′ = Z·Zᵀ with Z = (X, Y)
+// (§3.1-3.2 of the paper): β = (XXᵀ)⁻¹(XYᵀ), where the constant
+// dimension X₀ = 1 contributes n and L entries, so the whole normal
+// system assembles from one NLQ over (x₁..x_d, y).
+type LinRegModel struct {
+	D      int       // number of predictor dimensions
+	N      float64   // training rows
+	Beta   []float64 // d+1 coefficients; Beta[0] is the intercept β₀
+	R2     float64   // coefficient of determination (needs second pass)
+	SSE    float64   // Σ(yᵢ−ŷᵢ)², from the second pass
+	VarB   []float64 // diagonal of var(β), from the second pass
+	HasFit bool      // whether the second-pass statistics are filled in
+}
+
+// BuildLinReg solves the normal equations from an NLQ computed over
+// the augmented points zᵢ = (x₁..x_d, y) — the last dimension is the
+// dependent variable. Only n, L and Q are consulted; X is not needed.
+func BuildLinReg(s *NLQ) (*LinRegModel, error) {
+	if s.Type == Diagonal {
+		return nil, errors.New("core: regression requires a triangular or full Q")
+	}
+	d := s.D - 1 // predictors
+	if d < 1 {
+		return nil, errors.New("core: regression needs at least one predictor and Y")
+	}
+	if s.N <= float64(d+1) {
+		return nil, fmt.Errorf("core: regression needs n > d+1 (n=%g, d=%d)", s.N, d)
+	}
+	// Assemble A = [ [n, Lxᵀ], [Lx, Qxx] ]  ((d+1)×(d+1))
+	// and b = [ Σy, Qxy ]ᵀ.
+	a := matrix.New(d+1, d+1)
+	a.Set(0, 0, s.N)
+	for i := 0; i < d; i++ {
+		a.Set(0, i+1, s.L[i])
+		a.Set(i+1, 0, s.L[i])
+		for j := 0; j < d; j++ {
+			a.Set(i+1, j+1, s.QAt(i, j))
+		}
+	}
+	b := make([]float64, d+1)
+	b[0] = s.L[d] // Σy
+	for i := 0; i < d; i++ {
+		b[i+1] = s.QAt(i, d) // Σ xᵢ·y
+	}
+	beta, err := a.SolveVec(b)
+	if err != nil {
+		return nil, fmt.Errorf("core: normal equations are singular (collinear dimensions?): %w", err)
+	}
+	return &LinRegModel{D: d, N: s.N, Beta: beta}, nil
+}
+
+// Predict returns ŷ = β₀ + βᵀx.
+func (m *LinRegModel) Predict(x []float64) (float64, error) {
+	if len(x) != m.D {
+		return 0, fmt.Errorf("core: point has %d dims, model expects %d", len(x), m.D)
+	}
+	y := m.Beta[0]
+	for i, v := range x {
+		y += m.Beta[i+1] * v
+	}
+	return y, nil
+}
+
+// FitStatistics performs the second scan the paper requires for
+// var(β): Ŷ cannot be derived before β exists, so X is read once more
+// to accumulate Σ(yᵢ−ŷᵢ)² (and total sum of squares for R²). src must
+// stream the same augmented (x..., y) points used to build the model.
+// An accompanying augmented NLQ supplies Σy and Σy² so R² needs no
+// extra pass.
+func (m *LinRegModel) FitStatistics(src Source, s *NLQ) error {
+	if src.Dims() != m.D+1 {
+		return fmt.Errorf("core: source has %d dims, want %d", src.Dims(), m.D+1)
+	}
+	var sse float64
+	err := src.Scan(func(z []float64) error {
+		yhat, err := m.Predict(z[:m.D])
+		if err != nil {
+			return err
+		}
+		r := z[m.D] - yhat
+		sse += r * r
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	m.SSE = sse
+	// SST = Σy² − (Σy)²/n from the summaries.
+	sy := s.L[m.D]
+	syy := s.QAt(m.D, m.D)
+	sst := syy - sy*sy/s.N
+	if sst > 0 {
+		m.R2 = 1 - sse/sst
+	} else {
+		m.R2 = 0
+	}
+	// var(β) = (XXᵀ)⁻¹·SSE/(n−d−1); we report its diagonal.
+	a := matrix.New(m.D+1, m.D+1)
+	a.Set(0, 0, s.N)
+	for i := 0; i < m.D; i++ {
+		a.Set(0, i+1, s.L[i])
+		a.Set(i+1, 0, s.L[i])
+		for j := 0; j < m.D; j++ {
+			a.Set(i+1, j+1, s.QAt(i, j))
+		}
+	}
+	inv, err := a.Inverse()
+	if err != nil {
+		return fmt.Errorf("core: var(beta): %w", err)
+	}
+	dof := s.N - float64(m.D) - 1
+	if dof <= 0 {
+		return errors.New("core: var(beta) needs n > d+1")
+	}
+	sigma2 := sse / dof
+	m.VarB = make([]float64, m.D+1)
+	for i := range m.VarB {
+		m.VarB[i] = inv.At(i, i) * sigma2
+	}
+	m.HasFit = true
+	return nil
+}
+
+// StdErrors returns the coefficient standard errors √var(βᵢ); valid
+// after FitStatistics.
+func (m *LinRegModel) StdErrors() ([]float64, error) {
+	if !m.HasFit {
+		return nil, errors.New("core: call FitStatistics first")
+	}
+	out := make([]float64, len(m.VarB))
+	for i, v := range m.VarB {
+		out[i] = math.Sqrt(v)
+	}
+	return out, nil
+}
+
+// TStats returns the coefficient t-statistics βᵢ/se(βᵢ); valid after
+// FitStatistics. Coefficients with |t| ≳ 2 are significant at roughly
+// the 5% level for the large n this system targets.
+func (m *LinRegModel) TStats() ([]float64, error) {
+	se, err := m.StdErrors()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(se))
+	for i, s := range se {
+		if s == 0 {
+			out[i] = math.Inf(1)
+			if m.Beta[i] < 0 {
+				out[i] = math.Inf(-1)
+			}
+			continue
+		}
+		out[i] = m.Beta[i] / s
+	}
+	return out, nil
+}
+
+// PValues returns two-sided normal-approximation p-values for each
+// coefficient (the degrees of freedom are n−d−1, which at database
+// scale make the t distribution indistinguishable from the normal).
+func (m *LinRegModel) PValues() ([]float64, error) {
+	ts, err := m.TStats()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		out[i] = 2 * (1 - stdNormalCDF(math.Abs(t)))
+	}
+	return out, nil
+}
+
+// stdNormalCDF is Φ(x) via the error function.
+func stdNormalCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}

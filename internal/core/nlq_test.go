@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randPoints(rng *rand.Rand, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		x := make([]float64, d)
+		for a := range x {
+			x[a] = rng.NormFloat64()*10 + 50
+		}
+		pts[i] = x
+	}
+	return pts
+}
+
+func TestNewNLQValidation(t *testing.T) {
+	if _, err := NewNLQ(0, Full); err == nil {
+		t.Fatal("d=0 must be rejected")
+	}
+	s, err := NewNLQ(3, Triangular)
+	if err != nil || s.D != 3 {
+		t.Fatalf("%v %v", s, err)
+	}
+}
+
+func TestUpdateBasics(t *testing.T) {
+	s := MustNLQ(2, Full)
+	if err := s.Update([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update([]float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 2 {
+		t.Fatalf("N = %g", s.N)
+	}
+	if s.L[0] != 4 || s.L[1] != 6 {
+		t.Fatalf("L = %v", s.L)
+	}
+	// Q = [[1+9, 2+12], [2+12, 4+16]]
+	if s.QAt(0, 0) != 10 || s.QAt(0, 1) != 14 || s.QAt(1, 1) != 20 {
+		t.Fatalf("Q = %v", s.Q)
+	}
+	if s.Min[0] != 1 || s.Max[1] != 4 {
+		t.Fatalf("min/max = %v %v", s.Min, s.Max)
+	}
+	if err := s.Update([]float64{1}); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+}
+
+func TestTriangularMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randPoints(rng, 100, 5)
+	full := MustNLQ(5, Full)
+	tri := MustNLQ(5, Triangular)
+	for _, x := range pts {
+		full.Update(x)
+		tri.Update(x)
+	}
+	for a := 0; a < 5; a++ {
+		for b := 0; b < 5; b++ {
+			if math.Abs(full.QAt(a, b)-tri.QAt(a, b)) > 1e-9 {
+				t.Fatalf("Q[%d][%d]: full=%g tri=%g", a, b, full.QAt(a, b), tri.QAt(a, b))
+			}
+		}
+	}
+}
+
+func TestDiagonalOnlyDiagonal(t *testing.T) {
+	s := MustNLQ(3, Diagonal)
+	s.Update([]float64{1, 2, 3})
+	if s.QAt(0, 0) != 1 || s.QAt(1, 1) != 4 || s.QAt(2, 2) != 9 {
+		t.Fatalf("diag = %v", s.Q)
+	}
+	if s.QAt(0, 1) != 0 {
+		t.Fatalf("off-diagonal should be 0, got %g", s.QAt(0, 1))
+	}
+}
+
+func TestMergeEqualsSequential(t *testing.T) {
+	// Property: splitting a stream across P partial NLQs and merging
+	// yields the same summaries as one sequential accumulation — the
+	// correctness contract of the parallel aggregate UDF (phase 3).
+	f := func(seed int64, parts uint8) bool {
+		p := int(parts%8) + 2
+		rng := rand.New(rand.NewSource(seed))
+		pts := randPoints(rng, 200, 4)
+		seq := MustNLQ(4, Triangular)
+		partials := make([]*NLQ, p)
+		for i := range partials {
+			partials[i] = MustNLQ(4, Triangular)
+		}
+		for i, x := range pts {
+			seq.Update(x)
+			partials[i%p].Update(x)
+		}
+		merged := partials[0]
+		for _, s := range partials[1:] {
+			if err := merged.Merge(s); err != nil {
+				return false
+			}
+		}
+		if merged.N != seq.N {
+			return false
+		}
+		for a := 0; a < 4; a++ {
+			if math.Abs(merged.L[a]-seq.L[a]) > 1e-6 {
+				return false
+			}
+			if merged.Min[a] != seq.Min[a] || merged.Max[a] != seq.Max[a] {
+				return false
+			}
+			for b := 0; b <= a; b++ {
+				if math.Abs(merged.QAt(a, b)-seq.QAt(a, b)) > 1e-5 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeTypeMismatch(t *testing.T) {
+	a := MustNLQ(3, Full)
+	if err := a.Merge(MustNLQ(3, Diagonal)); err == nil {
+		t.Fatal("type mismatch must fail")
+	}
+	if err := a.Merge(MustNLQ(4, Full)); err == nil {
+		t.Fatal("dims mismatch must fail")
+	}
+}
+
+func TestMeanAndReset(t *testing.T) {
+	s := MustNLQ(2, Diagonal)
+	if _, err := s.Mean(); err == nil {
+		t.Fatal("mean of empty must fail")
+	}
+	s.Update([]float64{2, 4})
+	s.Update([]float64{4, 8})
+	mu, err := s.Mean()
+	if err != nil || mu[0] != 3 || mu[1] != 6 {
+		t.Fatalf("mu = %v, %v", mu, err)
+	}
+	s.Reset()
+	if s.N != 0 || s.L[0] != 0 || s.Q[0] != 0 || !math.IsInf(s.Min[0], 1) {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := MustNLQ(2, Full)
+	s.Update([]float64{1, 1})
+	c := s.Clone()
+	c.Update([]float64{5, 5})
+	if s.N != 1 || c.N != 2 {
+		t.Fatalf("clone aliases: %g %g", s.N, c.N)
+	}
+}
+
+func TestHeapBytesWithinSegment(t *testing.T) {
+	// MaxD must respect the 64 KB segment; MaxD+32 must not.
+	if b := MustNLQ(MaxD, Full).HeapBytes(); b > 64*1024 {
+		t.Fatalf("MaxD state takes %d bytes", b)
+	}
+	if b := MustNLQ(MaxD+32, Full).HeapBytes(); b <= 64*1024 {
+		t.Fatalf("MaxD+32 state fits in %d bytes; MaxD is too small", b)
+	}
+}
+
+func TestMatrixTypeParse(t *testing.T) {
+	for s, want := range map[string]MatrixType{
+		"diag": Diagonal, "diagonal": Diagonal,
+		"triang": Triangular, "triangular": Triangular,
+		"full": Full,
+	} {
+		got, err := ParseMatrixType(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMatrixType(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseMatrixType("sparse"); err == nil {
+		t.Error("unknown type must fail")
+	}
+	if Diagonal.String() != "diag" || Triangular.String() != "triang" || Full.String() != "full" {
+		t.Error("String() names changed")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, mt := range []MatrixType{Diagonal, Triangular, Full} {
+		s := MustNLQ(4, mt)
+		for _, x := range randPoints(rng, 50, 4) {
+			s.Update(x)
+		}
+		got, err := Unpack(s.Pack())
+		if err != nil {
+			t.Fatalf("%v: %v", mt, err)
+		}
+		if got.N != s.N || got.D != s.D || got.Type != s.Type {
+			t.Fatalf("%v: header mismatch", mt)
+		}
+		for a := 0; a < 4; a++ {
+			if got.L[a] != s.L[a] || got.Min[a] != s.Min[a] || got.Max[a] != s.Max[a] {
+				t.Fatalf("%v: vector mismatch", mt)
+			}
+			for b := 0; b < 4; b++ {
+				if got.QAt(a, b) != s.QAt(a, b) {
+					t.Fatalf("%v: Q[%d][%d] %g != %g", mt, a, b, got.QAt(a, b), s.QAt(a, b))
+				}
+			}
+		}
+	}
+}
+
+func TestUnpackErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1;2;3",
+		"x;full;1;1;1;1;1",
+		"2;nope;0;0|0;0|0|0;0|0;0|0",
+		"2;full;0;0|0;0|0|0;0|0;0|0",   // wrong Q arity
+		"2;diag;0;0|0;0|0|0;0|0;0|0",   // wrong diag arity
+		"2;triang;0;0|0;0|0;0|0;0|0",   // wrong tri arity (needs 3)
+		"2;full;z;0|0;0|0|0|0;0|0;0|0", // bad n
+	}
+	for _, s := range bad {
+		if _, err := Unpack(s); err == nil {
+			t.Errorf("Unpack(%q) must fail", s)
+		}
+	}
+}
+
+func TestComputeNLQFromSource(t *testing.T) {
+	src := SliceSource{{1, 2}, {3, 4}, {5, 6}}
+	s, err := ComputeNLQ(src, Triangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || s.L[0] != 9 || s.L[1] != 12 {
+		t.Fatalf("%+v", s)
+	}
+	bad := SliceSource{{1, 2}, {3}}
+	if _, err := ComputeNLQ(bad, Full); err == nil {
+		t.Fatal("ragged source must fail")
+	}
+}

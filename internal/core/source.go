@@ -1,0 +1,54 @@
+package core
+
+import "fmt"
+
+// Source is a re-scannable stream of d-dimensional points. Model
+// builders that need more than the summary matrices (K-means
+// assignment passes, the var(β) second scan of linear regression)
+// consume a Source; the engine bridges tables to this interface and
+// tests use SliceSource.
+type Source interface {
+	// Dims returns the point dimensionality d.
+	Dims() int
+	// Scan streams every point. The slice passed to fn may be reused;
+	// fn must copy to retain.
+	Scan(fn func(x []float64) error) error
+}
+
+// SliceSource adapts an in-memory [][]float64 to Source.
+type SliceSource [][]float64
+
+// Dims implements Source.
+func (s SliceSource) Dims() int {
+	if len(s) == 0 {
+		return 0
+	}
+	return len(s[0])
+}
+
+// Scan implements Source.
+func (s SliceSource) Scan(fn func(x []float64) error) error {
+	for i, x := range s {
+		if len(x) != s.Dims() {
+			return fmt.Errorf("core: point %d has %d dims, want %d", i, len(x), s.Dims())
+		}
+		if err := fn(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ComputeNLQ runs the one-scan summary computation over a source; it
+// is the reference the SQL and UDF paths are validated against.
+func ComputeNLQ(src Source, mt MatrixType) (*NLQ, error) {
+	d := src.Dims()
+	s, err := NewNLQ(d, mt)
+	if err != nil {
+		return nil, err
+	}
+	if err := src.Scan(s.Update); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,179 @@
+package db
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine/sqltypes"
+)
+
+// TestRandomizedAggregateConsistency cross-checks the engine's
+// grouped-aggregate results against a straightforward in-memory
+// reference over randomized data — a property test for the whole
+// parse→plan→parallel-scan→merge pipeline.
+func TestRandomizedAggregateConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := Open(Options{Partitions: 1 + rng.Intn(6)})
+		mustExec(t, d, "CREATE TABLE t (g BIGINT, a DOUBLE)")
+		n := 30 + rng.Intn(200)
+		groups := 1 + rng.Intn(5)
+		type agg struct {
+			count    int
+			sum      float64
+			min, max float64
+		}
+		ref := make(map[int64]*agg)
+		tab, err := d.Table("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		bl, err := tab.NewBulkLoader()
+		if err != nil {
+			t.Fatal(err)
+		}
+		threshold := rng.NormFloat64() * 10
+		for i := 0; i < n; i++ {
+			g := int64(rng.Intn(groups))
+			a := rng.NormFloat64() * 20
+			if err := bl.Add(row(g, a, "")); err != nil {
+				t.Fatal(err)
+			}
+			if a > threshold {
+				r, ok := ref[g]
+				if !ok {
+					r = &agg{min: math.Inf(1), max: math.Inf(-1)}
+					ref[g] = r
+				}
+				r.count++
+				r.sum += a
+				r.min = math.Min(r.min, a)
+				r.max = math.Max(r.max, a)
+			}
+		}
+		if err := bl.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sql := fmt.Sprintf(
+			"SELECT g, count(*), sum(a), min(a), max(a) FROM t WHERE a > %g GROUP BY g", threshold)
+		res, err := d.Exec(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != len(ref) {
+			return false
+		}
+		for _, r := range res.Rows {
+			want, ok := ref[r[0].Int()]
+			if !ok {
+				return false
+			}
+			if r[1].Int() != int64(want.count) {
+				return false
+			}
+			sum, _ := r[2].Float()
+			mn, _ := r[3].Float()
+			mx, _ := r[4].Float()
+			scale := math.Max(1, math.Abs(want.sum))
+			if math.Abs(sum-want.sum) > 1e-9*scale || mn != want.min || mx != want.max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func row(g int64, a float64, _ string) sqltypes.Row {
+	return sqltypes.Row{sqltypes.NewBigInt(g), sqltypes.NewDouble(a)}
+}
+
+func TestCorruptPartitionSurfacesThroughQuery(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(Options{Dir: dir, Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, d, "CREATE TABLE t (a DOUBLE)")
+	mustExec(t, d, "INSERT INTO t VALUES (1), (2), (3), (4)")
+	// Corrupt one partition file directly on disk.
+	path := filepath.Join(dir, "t.p000.dat")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err = d.Exec("SELECT sum(a) FROM t")
+	if err == nil || !strings.Contains(err.Error(), "bad value tag") {
+		t.Fatalf("corruption must surface: %v", err)
+	}
+	// Scalar path too.
+	if _, err := d.Exec("SELECT a FROM t"); err == nil {
+		t.Fatal("projection over corrupt partition must fail")
+	}
+}
+
+func TestRuntimeErrorInsideAggregationPropagates(t *testing.T) {
+	d := openTest(t)
+	mustExec(t, d, "CREATE TABLE t (a DOUBLE, b DOUBLE)")
+	mustExec(t, d, "INSERT INTO t VALUES (1, 1), (2, 0)")
+	if _, err := d.Exec("SELECT sum(a / b) FROM t"); err == nil {
+		t.Fatal("division by zero inside an aggregate must fail the query")
+	}
+	if _, err := d.Exec("SELECT a / b FROM t"); err == nil {
+		t.Fatal("division by zero in projection must fail the query")
+	}
+}
+
+func TestConcurrentQueriesAndInserts(t *testing.T) {
+	d := Open(Options{Partitions: 4})
+	mustExec(t, d, "CREATE TABLE t (a DOUBLE)")
+	mustExec(t, d, "INSERT INTO t VALUES (1)")
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := d.Exec("INSERT INTO t VALUES (1)"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := d.Exec("SELECT count(*), sum(a) FROM t"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res, err := d.Exec("SELECT count(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Value(); v.Int() != 101 {
+		t.Fatalf("count = %v", v)
+	}
+}

@@ -1,0 +1,264 @@
+// Package db is the embedded database facade: it owns the catalog,
+// the function registries and statement dispatch. It plays the role of
+// the Teradata DBMS in the reproduction — the thing TWM connects to,
+// creates UDFs in, and sends generated SQL to.
+package db
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/engine/exec"
+	"repro/internal/engine/expr"
+	"repro/internal/engine/sqlparser"
+	"repro/internal/engine/sqltypes"
+	"repro/internal/engine/storage"
+	"repro/internal/engine/udf"
+)
+
+// Options configure a database instance.
+type Options struct {
+	// Dir is the directory for table partition files. Empty means all
+	// tables are in-memory (tests); non-empty matches the paper's
+	// uncached on-disk scans.
+	Dir string
+	// Partitions is the per-table partition count; it models the
+	// parallel Teradata threads (the paper used 20). Zero selects
+	// storage.DefaultPartitions.
+	Partitions int
+}
+
+// DB is an embedded database instance.
+type DB struct {
+	opts   Options
+	funcs  *expr.Registry
+	aggs   *udf.Registry
+	mu     sync.RWMutex
+	tables map[string]*storage.Table
+	views  map[string]*sqlparser.Select
+}
+
+// Open creates a fresh database over an empty (or memory-only)
+// location. It never reads an existing catalog; use OpenDir to
+// reattach a directory a previous process populated.
+func Open(opts Options) *DB {
+	if opts.Partitions <= 0 {
+		opts.Partitions = storage.DefaultPartitions
+	}
+	return &DB{
+		opts:   opts,
+		funcs:  expr.NewRegistry(),
+		aggs:   udf.NewRegistry(),
+		tables: make(map[string]*storage.Table),
+		views:  make(map[string]*sqlparser.Select),
+	}
+}
+
+// OpenDir creates a database over a directory, reattaching any tables
+// recorded in its catalog file by a previous process.
+func OpenDir(opts Options) (*DB, error) {
+	d := Open(opts)
+	if err := d.loadCatalog(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Partitions returns the configured per-table partition count.
+func (d *DB) Partitions() int { return d.opts.Partitions }
+
+// Scalars exposes the scalar function registry, where scalar UDFs are
+// installed (the engine equivalent of CREATE FUNCTION).
+func (d *DB) Scalars() *expr.Registry { return d.funcs }
+
+// Aggregates exposes the aggregate UDF registry.
+func (d *DB) Aggregates() *udf.Registry { return d.aggs }
+
+// Table implements exec.Catalog.
+func (d *DB) Table(name string) (*storage.Table, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("db: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// HasTable reports whether the table exists.
+func (d *DB) HasTable(name string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.tables[strings.ToLower(name)]
+	return ok
+}
+
+// TableNames returns all table names (lower-cased), for the shell.
+func (d *DB) TableNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.tables))
+	for k := range d.tables {
+		out = append(out, k)
+	}
+	return out
+}
+
+// CreateTable creates a table from a schema directly (bypassing SQL);
+// bulk loaders and generators use this.
+func (d *DB) CreateTable(name string, schema *sqltypes.Schema) (*storage.Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, exists := d.tables[key]; exists {
+		return nil, fmt.Errorf("db: table %q already exists", name)
+	}
+	t, err := storage.NewTable(key, schema, d.opts.Dir, d.opts.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	d.tables[key] = t
+	if err := d.saveCatalog(); err != nil {
+		delete(d.tables, key)
+		return nil, err
+	}
+	return t, nil
+}
+
+// DropTable removes a table and its files.
+func (d *DB) DropTable(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := strings.ToLower(name)
+	t, ok := d.tables[key]
+	if !ok {
+		return fmt.Errorf("db: table %q does not exist", name)
+	}
+	delete(d.tables, key)
+	if err := d.saveCatalog(); err != nil {
+		return err
+	}
+	return t.Drop()
+}
+
+func (d *DB) env() *exec.Env {
+	return &exec.Env{Catalog: d, Funcs: d.funcs, Aggs: d.aggs}
+}
+
+// Exec parses and runs one SQL statement.
+func (d *DB) Exec(sql string) (*exec.Result, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return d.Run(stmt)
+}
+
+// ExecScript runs a semicolon-separated statement sequence, returning
+// the last result.
+func (d *DB) ExecScript(sql string) (*exec.Result, error) {
+	stmts, err := sqlparser.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	var res *exec.Result
+	for _, s := range stmts {
+		if res, err = d.Run(s); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Run executes a parsed statement.
+func (d *DB) Run(stmt sqlparser.Statement) (*exec.Result, error) {
+	switch st := stmt.(type) {
+	case *sqlparser.Select:
+		return d.runSelectWithViews(st)
+	case *sqlparser.Insert:
+		if st.Query != nil {
+			expanded, err := d.expandViews(st.Query, 0)
+			if err != nil {
+				return nil, err
+			}
+			clone := *st
+			clone.Query = expanded
+			return exec.Insert(&clone, d.env())
+		}
+		return exec.Insert(st, d.env())
+	case *sqlparser.CreateTable:
+		return d.runCreate(st)
+	case *sqlparser.DropTable:
+		return d.runDrop(st)
+	case *sqlparser.CreateView:
+		if err := d.CreateView(st.Name, st.Query); err != nil {
+			return nil, err
+		}
+		return &exec.Result{}, nil
+	case *sqlparser.DropView:
+		if st.IfExists && !d.HasView(st.Name) {
+			return &exec.Result{}, nil
+		}
+		if err := d.DropView(st.Name); err != nil {
+			return nil, err
+		}
+		return &exec.Result{}, nil
+	default:
+		return nil, fmt.Errorf("db: unsupported statement %T", stmt)
+	}
+}
+
+// QueryStream parses a SELECT and streams its rows to sink; used for
+// scoring large data sets without materializing them.
+func (d *DB) QueryStream(sql string, sink exec.RowSink) (*sqltypes.Schema, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparser.Select)
+	if !ok {
+		return nil, fmt.Errorf("db: QueryStream requires a SELECT")
+	}
+	expanded, err := d.expandViews(sel, 0)
+	if err != nil {
+		return nil, err
+	}
+	return exec.SelectStream(expanded, d.env(), sink)
+}
+
+func (d *DB) runCreate(st *sqlparser.CreateTable) (*exec.Result, error) {
+	if st.IfNotExists && d.HasTable(st.Name) {
+		return &exec.Result{}, nil
+	}
+	cols := make([]sqltypes.Column, len(st.Columns))
+	for i, c := range st.Columns {
+		t, err := sqltypes.ParseType(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = sqltypes.Column{Name: c.Name, Type: t}
+	}
+	schema, err := sqltypes.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.CreateTable(st.Name, schema); err != nil {
+		return nil, err
+	}
+	return &exec.Result{}, nil
+}
+
+func (d *DB) runDrop(st *sqlparser.DropTable) (*exec.Result, error) {
+	if st.IfExists && !d.HasTable(st.Name) {
+		return &exec.Result{}, nil
+	}
+	if err := d.DropTable(st.Name); err != nil {
+		return nil, err
+	}
+	return &exec.Result{}, nil
+}
+
+// Close drops nothing but exists for symmetry with database APIs;
+// on-disk tables persist until dropped.
+func (d *DB) Close() error { return nil }

@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/engine/expr"
+	"repro/internal/engine/sqlparser"
+	"repro/internal/engine/sqltypes"
+)
+
+// Insert executes INSERT..VALUES or INSERT..SELECT.
+func Insert(ins *sqlparser.Insert, env *Env) (*Result, error) {
+	t, err := env.Catalog.Table(ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.Schema()
+
+	// Map the statement's column list (or the full schema) to table
+	// ordinals; unnamed columns receive NULL.
+	var colIdx []int
+	if len(ins.Columns) == 0 {
+		colIdx = make([]int, schema.Len())
+		for i := range colIdx {
+			colIdx[i] = i
+		}
+	} else {
+		colIdx = make([]int, len(ins.Columns))
+		for i, name := range ins.Columns {
+			idx := schema.Index(name)
+			if idx < 0 {
+				return nil, fmt.Errorf("exec: table %q has no column %q", ins.Table, name)
+			}
+			colIdx[i] = idx
+		}
+	}
+
+	buildRow := func(vals sqltypes.Row) (sqltypes.Row, error) {
+		if len(vals) != len(colIdx) {
+			return nil, fmt.Errorf("exec: INSERT expects %d values, got %d", len(colIdx), len(vals))
+		}
+		row := make(sqltypes.Row, schema.Len())
+		for i, idx := range colIdx {
+			row[idx] = vals[i]
+		}
+		return row, nil
+	}
+
+	if ins.Query == nil {
+		rows := make([]sqltypes.Row, 0, len(ins.Rows))
+		vals := make(sqltypes.Row, len(colIdx))
+		for _, exprRow := range ins.Rows {
+			if len(exprRow) != len(colIdx) {
+				return nil, fmt.Errorf("exec: INSERT expects %d values, got %d", len(colIdx), len(exprRow))
+			}
+			for i, e := range exprRow {
+				ev, err := expr.Compile(e, nil, env.Funcs)
+				if err != nil {
+					return nil, err
+				}
+				v, err := ev.Eval(nil)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			row, err := buildRow(vals)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		if err := t.Insert(rows...); err != nil {
+			return nil, err
+		}
+		return &Result{Affected: int64(len(rows))}, nil
+	}
+
+	// INSERT .. SELECT: stream the subquery into the table.
+	var mu sync.Mutex
+	var count int64
+	var batch []sqltypes.Row
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := t.Insert(batch...); err != nil {
+			return err
+		}
+		count += int64(len(batch))
+		batch = batch[:0]
+		return nil
+	}
+	sink := func(r sqltypes.Row) error {
+		row, err := buildRow(r)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		batch = append(batch, row)
+		if len(batch) >= 1024 {
+			return flush()
+		}
+		return nil
+	}
+	if _, err := SelectStream(ins.Query, env, sink); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: count}, nil
+}

@@ -1,0 +1,452 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/engine/expr"
+	"repro/internal/engine/sqlparser"
+	"repro/internal/engine/sqltypes"
+	"repro/internal/engine/udf"
+)
+
+// Env bundles the registries a query executes against.
+type Env struct {
+	Catalog Catalog
+	Funcs   *expr.Registry // scalar functions and scalar UDFs
+	Aggs    *udf.Registry  // standard aggregates and aggregate UDFs
+}
+
+// Select runs a SELECT and materializes the result, applying ORDER BY
+// and LIMIT. ORDER BY keys that are not output columns are computed as
+// hidden trailing columns and stripped after sorting.
+func Select(sel *sqlparser.Select, env *Env) (*Result, error) {
+	run := sel
+	hidden := 0
+	if len(sel.OrderBy) > 0 {
+		outNames := outputNames(sel)
+		var extra []sqlparser.SelectItem
+		for _, o := range sel.OrderBy {
+			if orderKeyInOutput(o.Expr, outNames) {
+				continue
+			}
+			extra = append(extra, sqlparser.SelectItem{
+				Expr:  o.Expr,
+				Alias: fmt.Sprintf("$order%d", len(extra)),
+			})
+		}
+		if len(extra) > 0 {
+			clone := *sel
+			clone.Items = append(append([]sqlparser.SelectItem{}, sel.Items...), extra...)
+			run = &clone
+			hidden = len(extra)
+		}
+	}
+	schema, rows, err := runSelect(run, env, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(sel.OrderBy) > 0 {
+		// Rewrite hidden keys to their synthetic aliases for sorting.
+		order := make([]sqlparser.OrderItem, len(sel.OrderBy))
+		outNames := outputNames(sel)
+		next := 0
+		for i, o := range sel.OrderBy {
+			order[i] = o
+			if !orderKeyInOutput(o.Expr, outNames) {
+				order[i].Expr = &sqlparser.ColumnRef{Name: fmt.Sprintf("$order%d", next)}
+				next++
+			}
+		}
+		if err := sortRows(order, schema, rows, env); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Limit != nil && int64(len(rows)) > *sel.Limit {
+		rows = rows[:*sel.Limit]
+	}
+	if hidden > 0 {
+		keep := schema.Len() - hidden
+		schema = &sqltypes.Schema{Columns: schema.Columns[:keep]}
+		for i, r := range rows {
+			rows[i] = r[:keep]
+		}
+	}
+	return &Result{Schema: schema, Rows: rows}, nil
+}
+
+// outputNames collects the visible output column names of a select.
+func outputNames(sel *sqlparser.Select) map[string]bool {
+	out := make(map[string]bool)
+	for i, item := range sel.Items {
+		if item.Star {
+			continue // star outputs resolve by name at sort time anyway
+		}
+		out[strings.ToLower(itemName(item, i))] = true
+	}
+	return out
+}
+
+// orderKeyInOutput reports whether an ORDER BY key can be evaluated
+// against the output schema directly: an ordinal, an output name, or an
+// expression whose column references are all output columns.
+func orderKeyInOutput(e sqlparser.Expr, outNames map[string]bool) bool {
+	if lit, ok := e.(*sqlparser.NumberLit); ok && lit.IsInt {
+		return true
+	}
+	ok := true
+	walkRefs(e, func(cr *sqlparser.ColumnRef) {
+		if cr.Table != "" || !outNames[strings.ToLower(cr.Name)] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// SelectStream runs a SELECT, streaming rows to sink (concurrently).
+// ORDER BY and LIMIT are rejected in streaming mode.
+func SelectStream(sel *sqlparser.Select, env *Env, sink RowSink) (*sqltypes.Schema, error) {
+	if len(sel.OrderBy) > 0 || sel.Limit != nil {
+		return nil, fmt.Errorf("exec: ORDER BY/LIMIT not supported in streaming mode")
+	}
+	schema, _, err := runSelect(sel, env, sink)
+	return schema, err
+}
+
+// runSelect plans and executes; when sink is nil rows are materialized
+// and returned, otherwise they stream to sink.
+func runSelect(sel *sqlparser.Select, env *Env, sink RowSink) (*sqltypes.Schema, []sqltypes.Row, error) {
+	var col *collector
+	if sink == nil {
+		col = &collector{}
+		sink = col.sink
+	}
+	emitRows := func() []sqltypes.Row {
+		if col == nil {
+			return nil
+		}
+		return col.rows
+	}
+
+	// Table-less SELECT of constants.
+	if len(sel.From) == 0 {
+		schema, err := constSelect(sel, env, sink)
+		return schema, emitRows(), err
+	}
+
+	b, err := bindFrom(sel.From, env.Catalog)
+	if err != nil {
+		return nil, nil, err
+	}
+	items, err := expandStars(sel.Items, b)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	aggNames := env.Aggs.Names()
+	isAgg := len(sel.GroupBy) > 0
+	for _, item := range items {
+		if expr.ContainsAggregate(item.Expr, aggNames) {
+			isAgg = true
+		}
+	}
+	if sel.Having != nil && !isAgg {
+		return nil, nil, fmt.Errorf("exec: HAVING requires GROUP BY or aggregates")
+	}
+
+	if isAgg {
+		schema, err := runAggregate(sel, items, b, env, sink)
+		return schema, emitRows(), err
+	}
+	schema, err := runProjection(sel, items, b, env, sink)
+	return schema, emitRows(), err
+}
+
+// constSelect evaluates a FROM-less select list once.
+func constSelect(sel *sqlparser.Select, env *Env, sink RowSink) (*sqltypes.Schema, error) {
+	if len(sel.GroupBy) > 0 || sel.Where != nil {
+		return nil, fmt.Errorf("exec: WHERE/GROUP BY require a FROM clause")
+	}
+	cols := make([]sqltypes.Column, len(sel.Items))
+	row := make(sqltypes.Row, len(sel.Items))
+	for i, item := range sel.Items {
+		if item.Star {
+			return nil, fmt.Errorf("exec: * requires a FROM clause")
+		}
+		ev, err := expr.Compile(item.Expr, nil, env.Funcs)
+		if err != nil {
+			return nil, err
+		}
+		v, err := ev.Eval(nil)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+		cols[i] = sqltypes.Column{Name: itemName(item, i), Type: v.Type()}
+	}
+	return &sqltypes.Schema{Columns: cols}, sink(row)
+}
+
+// joinTail materializes the cross product of all FROM tables after the
+// first, pushing down the WHERE conjuncts that reference a single tail
+// table so selective filters (the scoring queries' `l1.j = 1 AND ...`)
+// apply before the product is formed — the aliased k-way cross joins of
+// §3.5 stay k rows wide instead of exploding combinatorially. It
+// returns the tail rows and the residual WHERE that still has to run
+// per joined row. A sanity cap catches genuinely large-large joins.
+const maxJoinTailRows = 1 << 20
+
+func joinTail(b *binding, where sqlparser.Expr, funcs *expr.Registry) ([]sqltypes.Row, sqlparser.Expr, error) {
+	conjuncts := splitConjuncts(where)
+	used := make([]bool, len(conjuncts))
+
+	tail := []sqltypes.Row{{}}
+	for ti := 1; ti < len(b.tables); ti++ {
+		bt := b.tables[ti]
+		// Compile the conjuncts that only touch this table.
+		var filters []expr.Evaluator
+		for ci, c := range conjuncts {
+			if used[ci] || !refsOnlyTable(c, b, ti) {
+				continue
+			}
+			ev, err := expr.Compile(c, tableResolver(b, ti), funcs)
+			if err != nil {
+				return nil, nil, err
+			}
+			filters = append(filters, ev)
+			used[ci] = true
+		}
+		var trows []sqltypes.Row
+		err := bt.table.Scan(func(r sqltypes.Row) error {
+			for _, f := range filters {
+				keep, err := f.Eval(r)
+				if err != nil {
+					return err
+				}
+				if keep.IsNull() || !keep.Bool() {
+					return nil
+				}
+			}
+			trows = append(trows, r.Clone())
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(tail)*len(trows) > maxJoinTailRows {
+			return nil, nil, fmt.Errorf("exec: cross-join tail exceeds %d rows; joins expect small model tables after the first table", maxJoinTailRows)
+		}
+		next := make([]sqltypes.Row, 0, len(tail)*len(trows))
+		for _, t := range tail {
+			for _, r := range trows {
+				combined := make(sqltypes.Row, 0, len(t)+len(r))
+				combined = append(combined, t...)
+				combined = append(combined, r...)
+				next = append(next, combined)
+			}
+		}
+		tail = next
+	}
+	// Rebuild the residual predicate from the unconsumed conjuncts.
+	var residual sqlparser.Expr
+	for ci, c := range conjuncts {
+		if used[ci] {
+			continue
+		}
+		if residual == nil {
+			residual = c
+		} else {
+			residual = &sqlparser.BinaryExpr{Op: "AND", L: residual, R: c}
+		}
+	}
+	return tail, residual, nil
+}
+
+// splitConjuncts flattens a predicate's top-level AND tree.
+func splitConjuncts(e sqlparser.Expr) []sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	if be, ok := e.(*sqlparser.BinaryExpr); ok && be.Op == "AND" {
+		return append(splitConjuncts(be.L), splitConjuncts(be.R)...)
+	}
+	return []sqlparser.Expr{e}
+}
+
+// refsOnlyTable reports whether every column reference in e resolves
+// into FROM entry ti (and there is at least one reference — constant
+// predicates stay in the residual).
+func refsOnlyTable(e sqlparser.Expr, b *binding, ti int) bool {
+	bt := b.tables[ti]
+	lo, hi := bt.offset, bt.offset+bt.table.Schema().Len()
+	any, all := false, true
+	walkRefs(e, func(cr *sqlparser.ColumnRef) {
+		any = true
+		idx, err := b.resolve(cr.Table, cr.Name)
+		if err != nil || idx < lo || idx >= hi {
+			all = false
+		}
+	})
+	return any && all
+}
+
+// tableResolver resolves columns relative to one FROM entry's own rows.
+func tableResolver(b *binding, ti int) expr.Resolver {
+	bt := b.tables[ti]
+	lo, hi := bt.offset, bt.offset+bt.table.Schema().Len()
+	return func(table, column string) (int, error) {
+		idx, err := b.resolve(table, column)
+		if err != nil {
+			return 0, err
+		}
+		if idx < lo || idx >= hi {
+			return 0, fmt.Errorf("exec: internal: column %s.%s escapes pushed-down table", table, column)
+		}
+		return idx - lo, nil
+	}
+}
+
+// runProjection executes a scalar (non-aggregate) SELECT: scan the
+// first table in parallel, cross-join the tail, filter, project.
+func runProjection(sel *sqlparser.Select, items []sqlparser.SelectItem, b *binding, env *Env, sink RowSink) (*sqltypes.Schema, error) {
+	tail, residual, err := joinTail(b, sel.Where, env.Funcs)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]sqltypes.Column, len(items))
+	for i, item := range items {
+		cols[i] = sqltypes.Column{Name: itemName(item, i), Type: sqltypes.TypeDouble}
+	}
+	// Infer output types from a compile-time pass on column refs.
+	for i, item := range items {
+		if cr, ok := item.Expr.(*sqlparser.ColumnRef); ok {
+			if idx, err := b.resolve(cr.Table, cr.Name); err == nil {
+				cols[i].Type = flatColumnType(b, idx)
+			}
+		}
+	}
+	schema := &sqltypes.Schema{Columns: cols}
+
+	first := b.tables[0].table
+	err = runParallel(first.Partitions(), func(p int) error {
+		// Per-partition compiled evaluators (evaluators carry buffers).
+		evals := make([]expr.Evaluator, len(items))
+		for i, item := range items {
+			ev, err := expr.Compile(item.Expr, b.resolve, env.Funcs)
+			if err != nil {
+				return err
+			}
+			evals[i] = ev
+		}
+		var where expr.Evaluator
+		if residual != nil {
+			w, err := expr.Compile(residual, b.resolve, env.Funcs)
+			if err != nil {
+				return err
+			}
+			where = w
+		}
+		flat := make(sqltypes.Row, b.width)
+		out := make(sqltypes.Row, len(items))
+		return first.ScanPartition(p, func(r sqltypes.Row) error {
+			for _, t := range tail {
+				copy(flat, r)
+				copy(flat[len(r):], t)
+				if where != nil {
+					keep, err := where.Eval(flat)
+					if err != nil {
+						return err
+					}
+					if keep.IsNull() || !keep.Bool() {
+						continue
+					}
+				}
+				for i, ev := range evals {
+					v, err := ev.Eval(flat)
+					if err != nil {
+						return err
+					}
+					out[i] = v
+				}
+				if err := sink(out); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	return schema, err
+}
+
+func flatColumnType(b *binding, idx int) sqltypes.Type {
+	for _, bt := range b.tables {
+		n := bt.table.Schema().Len()
+		if idx >= bt.offset && idx < bt.offset+n {
+			return bt.table.Schema().Columns[idx-bt.offset].Type
+		}
+	}
+	return sqltypes.TypeDouble
+}
+
+// sortRows applies ORDER BY over the materialized output. Keys may be
+// output column names/aliases, 1-based ordinals, or expressions over
+// the output schema.
+func sortRows(order []sqlparser.OrderItem, schema *sqltypes.Schema, rows []sqltypes.Row, env *Env) error {
+	type key struct {
+		ev   expr.Evaluator
+		desc bool
+	}
+	resolve := func(table, col string) (int, error) {
+		if idx := schema.Index(col); idx >= 0 {
+			return idx, nil
+		}
+		return 0, fmt.Errorf("exec: ORDER BY column %q is not in the output", col)
+	}
+	keys := make([]key, len(order))
+	for i, o := range order {
+		if lit, ok := o.Expr.(*sqlparser.NumberLit); ok && lit.IsInt {
+			ord := int(lit.Int)
+			if ord < 1 || ord > schema.Len() {
+				return fmt.Errorf("exec: ORDER BY ordinal %d out of range", ord)
+			}
+			keys[i] = key{ev: ordinalEval(ord - 1), desc: o.Desc}
+			continue
+		}
+		ev, err := expr.Compile(o.Expr, resolve, env.Funcs)
+		if err != nil {
+			return err
+		}
+		keys[i] = key{ev: ev, desc: o.Desc}
+	}
+	var sortErr error
+	sort.SliceStable(rows, func(a, c int) bool {
+		for _, k := range keys {
+			va, err := k.ev.Eval(rows[a])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			vc, err := k.ev.Eval(rows[c])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			cmp := sqltypes.Compare(va, vc)
+			if k.desc {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return sortErr
+}
+
+type ordinalEval int
+
+func (o ordinalEval) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	return row[int(o)], nil
+}

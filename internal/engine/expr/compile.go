@@ -1,0 +1,241 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine/sqlparser"
+	"repro/internal/engine/sqltypes"
+)
+
+// Resolver maps a (possibly qualified) column reference to an ordinal
+// in the flattened input row. The executor supplies one per plan node.
+type Resolver func(table, column string) (int, error)
+
+// Evaluator is a compiled expression: it produces one value per input
+// row. Implementations form a tree that the engine walks per row — the
+// interpreted evaluation the paper contrasts with compiled UDFs.
+type Evaluator interface {
+	Eval(row sqltypes.Row) (sqltypes.Value, error)
+}
+
+// Compile turns a parsed expression into an evaluator. Column
+// references are resolved through resolve; scalar function calls are
+// looked up in funcs. Aggregate function calls must have been replaced
+// by the executor before compilation — encountering one here is an
+// error.
+func Compile(e sqlparser.Expr, resolve Resolver, funcs *Registry) (Evaluator, error) {
+	c := &compiler{resolve: resolve, funcs: funcs}
+	return c.compile(e)
+}
+
+type compiler struct {
+	resolve Resolver
+	funcs   *Registry
+}
+
+func (c *compiler) compile(e sqlparser.Expr) (Evaluator, error) {
+	switch e := e.(type) {
+	case *sqlparser.NumberLit:
+		if e.IsInt {
+			return constEval{sqltypes.NewBigInt(e.Int)}, nil
+		}
+		return constEval{sqltypes.NewDouble(e.Float)}, nil
+	case *sqlparser.StringLit:
+		return constEval{sqltypes.NewVarChar(e.Val)}, nil
+	case *sqlparser.NullLit:
+		return constEval{sqltypes.Null}, nil
+	case *sqlparser.BoolLit:
+		return constEval{sqltypes.NewBool(e.Val)}, nil
+	case *sqlparser.ColumnRef:
+		if c.resolve == nil {
+			return nil, fmt.Errorf("expr: column %s not allowed here", e)
+		}
+		idx, err := c.resolve(e.Table, e.Name)
+		if err != nil {
+			return nil, err
+		}
+		return colEval{idx: idx, name: e.String()}, nil
+	case *sqlparser.UnaryExpr:
+		x, err := c.compile(e.X)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "-":
+			return negEval{x}, nil
+		case "NOT":
+			return notEval{x}, nil
+		}
+		return nil, fmt.Errorf("expr: unknown unary operator %q", e.Op)
+	case *sqlparser.BinaryExpr:
+		l, err := c.compile(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compile(e.R)
+		if err != nil {
+			return nil, err
+		}
+		return newBinaryEval(e.Op, l, r)
+	case *sqlparser.FuncCall:
+		return c.compileFunc(e)
+	case *sqlparser.CaseExpr:
+		return c.compileCase(e)
+	case *sqlparser.IsNullExpr:
+		x, err := c.compile(e.X)
+		if err != nil {
+			return nil, err
+		}
+		return isNullEval{x: x, negate: e.Negate}, nil
+	case *sqlparser.CastExpr:
+		x, err := c.compile(e.X)
+		if err != nil {
+			return nil, err
+		}
+		t, err := sqltypes.ParseType(e.Type)
+		if err != nil {
+			return nil, err
+		}
+		return castEval{x: x, t: t}, nil
+	case *sqlparser.BetweenExpr:
+		x, err := c.compile(e.X)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := c.compile(e.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := c.compile(e.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return betweenEval{x: x, lo: lo, hi: hi, negate: e.Negate}, nil
+	case *sqlparser.InExpr:
+		x, err := c.compile(e.X)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]Evaluator, len(e.List))
+		for i, item := range e.List {
+			ev, err := c.compile(item)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = ev
+		}
+		return inEval{x: x, list: list, negate: e.Negate}, nil
+	default:
+		return nil, fmt.Errorf("expr: unsupported expression %T", e)
+	}
+}
+
+// AggregateNames are the built-in SQL aggregates the executor
+// recognizes; aggregate UDFs extend this set via the udf registry.
+var AggregateNames = map[string]bool{
+	"sum": true, "count": true, "avg": true, "min": true, "max": true,
+}
+
+func (c *compiler) compileFunc(e *sqlparser.FuncCall) (Evaluator, error) {
+	name := strings.ToLower(e.Name)
+	if AggregateNames[name] {
+		return nil, fmt.Errorf("expr: aggregate %s() not allowed in this context", name)
+	}
+	def, ok := c.funcs.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("expr: unknown function %q", e.Name)
+	}
+	if e.Star {
+		return nil, fmt.Errorf("expr: %s(*) is not valid", e.Name)
+	}
+	if len(e.Args) < def.MinArgs || (def.MaxArgs >= 0 && len(e.Args) > def.MaxArgs) {
+		return nil, fmt.Errorf("expr: %s expects %d..%d arguments, got %d", def.Name, def.MinArgs, def.MaxArgs, len(e.Args))
+	}
+	args := make([]Evaluator, len(e.Args))
+	for i, a := range e.Args {
+		ev, err := c.compile(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = ev
+	}
+	return &funcEval{def: def, args: args}, nil
+}
+
+func (c *compiler) compileCase(e *sqlparser.CaseExpr) (Evaluator, error) {
+	ce := &caseEval{}
+	for _, w := range e.Whens {
+		cond, err := c.compile(w.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := c.compile(w.Then)
+		if err != nil {
+			return nil, err
+		}
+		ce.whens = append(ce.whens, caseWhen{cond, then})
+	}
+	if e.Else != nil {
+		els, err := c.compile(e.Else)
+		if err != nil {
+			return nil, err
+		}
+		ce.els = els
+	}
+	return ce, nil
+}
+
+// ContainsAggregate reports whether the expression tree contains an
+// aggregate function call (built-in or from the extra set, typically
+// aggregate UDF names).
+func ContainsAggregate(e sqlparser.Expr, extra map[string]bool) bool {
+	found := false
+	walk(e, func(x sqlparser.Expr) {
+		if fc, ok := x.(*sqlparser.FuncCall); ok {
+			name := strings.ToLower(fc.Name)
+			if AggregateNames[name] || (extra != nil && extra[name]) {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// walk visits every node of the expression tree.
+func walk(e sqlparser.Expr, fn func(sqlparser.Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch e := e.(type) {
+	case *sqlparser.UnaryExpr:
+		walk(e.X, fn)
+	case *sqlparser.BinaryExpr:
+		walk(e.L, fn)
+		walk(e.R, fn)
+	case *sqlparser.FuncCall:
+		for _, a := range e.Args {
+			walk(a, fn)
+		}
+	case *sqlparser.CaseExpr:
+		for _, w := range e.Whens {
+			walk(w.Cond, fn)
+			walk(w.Then, fn)
+		}
+		walk(e.Else, fn)
+	case *sqlparser.IsNullExpr:
+		walk(e.X, fn)
+	case *sqlparser.CastExpr:
+		walk(e.X, fn)
+	case *sqlparser.BetweenExpr:
+		walk(e.X, fn)
+		walk(e.Lo, fn)
+		walk(e.Hi, fn)
+	case *sqlparser.InExpr:
+		walk(e.X, fn)
+		for _, x := range e.List {
+			walk(x, fn)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/engine/sqltypes"
+)
+
+// constEval yields a constant.
+type constEval struct{ v sqltypes.Value }
+
+func (e constEval) Eval(sqltypes.Row) (sqltypes.Value, error) { return e.v, nil }
+
+// colEval yields the idx-th column of the input row.
+type colEval struct {
+	idx  int
+	name string
+}
+
+func (e colEval) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	if e.idx < 0 || e.idx >= len(row) {
+		return sqltypes.Null, fmt.Errorf("expr: column %s (ordinal %d) out of row of width %d", e.name, e.idx, len(row))
+	}
+	return row[e.idx], nil
+}
+
+// negEval is unary minus.
+type negEval struct{ x Evaluator }
+
+func (e negEval) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	v, err := e.x.Eval(row)
+	if err != nil || v.IsNull() {
+		return sqltypes.Null, err
+	}
+	if v.Type() == sqltypes.TypeBigInt {
+		return sqltypes.NewBigInt(-v.Int()), nil
+	}
+	f, ok := v.Float()
+	if !ok {
+		return sqltypes.Null, fmt.Errorf("expr: cannot negate %v", v)
+	}
+	return sqltypes.NewDouble(-f), nil
+}
+
+// notEval is three-valued logical NOT.
+type notEval struct{ x Evaluator }
+
+func (e notEval) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	v, err := e.x.Eval(row)
+	if err != nil || v.IsNull() {
+		return sqltypes.Null, err
+	}
+	return sqltypes.NewBool(!v.Bool()), nil
+}
+
+// binary operators ---------------------------------------------------
+
+type binOp int
+
+const (
+	opAdd binOp = iota
+	opSub
+	opMul
+	opDiv
+	opMod
+	opConcat
+	opEq
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+	opAnd
+	opOr
+)
+
+var binOps = map[string]binOp{
+	"+": opAdd, "-": opSub, "*": opMul, "/": opDiv, "%": opMod,
+	"||": opConcat, "=": opEq, "<>": opNe, "<": opLt, "<=": opLe,
+	">": opGt, ">=": opGe, "AND": opAnd, "OR": opOr,
+}
+
+type binaryEval struct {
+	op   binOp
+	l, r Evaluator
+}
+
+func newBinaryEval(op string, l, r Evaluator) (Evaluator, error) {
+	o, ok := binOps[op]
+	if !ok {
+		return nil, fmt.Errorf("expr: unknown operator %q", op)
+	}
+	return &binaryEval{op: o, l: l, r: r}, nil
+}
+
+func (e *binaryEval) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	// AND/OR need three-valued short-circuit handling before NULL checks.
+	if e.op == opAnd || e.op == opOr {
+		return e.evalLogic(row)
+	}
+	l, err := e.l.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	r, err := e.r.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return sqltypes.Null, nil
+	}
+	switch e.op {
+	case opConcat:
+		return sqltypes.NewVarChar(l.Str() + r.Str()), nil
+	case opEq, opNe, opLt, opLe, opGt, opGe:
+		cmp := sqltypes.Compare(l, r)
+		switch e.op {
+		case opEq:
+			return sqltypes.NewBool(cmp == 0), nil
+		case opNe:
+			return sqltypes.NewBool(cmp != 0), nil
+		case opLt:
+			return sqltypes.NewBool(cmp < 0), nil
+		case opLe:
+			return sqltypes.NewBool(cmp <= 0), nil
+		case opGt:
+			return sqltypes.NewBool(cmp > 0), nil
+		default:
+			return sqltypes.NewBool(cmp >= 0), nil
+		}
+	}
+	return evalArith(e.op, l, r)
+}
+
+func (e *binaryEval) evalLogic(row sqltypes.Row) (sqltypes.Value, error) {
+	l, err := e.l.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	// Short-circuit: FALSE AND x = FALSE; TRUE OR x = TRUE.
+	if !l.IsNull() {
+		if e.op == opAnd && !l.Bool() {
+			return sqltypes.NewBool(false), nil
+		}
+		if e.op == opOr && l.Bool() {
+			return sqltypes.NewBool(true), nil
+		}
+	}
+	r, err := e.r.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if e.op == opAnd {
+		switch {
+		case !r.IsNull() && !r.Bool():
+			return sqltypes.NewBool(false), nil
+		case l.IsNull() || r.IsNull():
+			return sqltypes.Null, nil
+		default:
+			return sqltypes.NewBool(true), nil
+		}
+	}
+	switch {
+	case !r.IsNull() && r.Bool():
+		return sqltypes.NewBool(true), nil
+	case l.IsNull() || r.IsNull():
+		return sqltypes.Null, nil
+	default:
+		return sqltypes.NewBool(false), nil
+	}
+}
+
+// evalArith implements + - * / % with SQL numeric typing: two BIGINTs
+// stay integral (with integer division), anything else is DOUBLE.
+func evalArith(op binOp, l, r sqltypes.Value) (sqltypes.Value, error) {
+	bothInt := l.Type() == sqltypes.TypeBigInt && r.Type() == sqltypes.TypeBigInt
+	if bothInt {
+		a, b := l.Int(), r.Int()
+		switch op {
+		case opAdd:
+			return sqltypes.NewBigInt(a + b), nil
+		case opSub:
+			return sqltypes.NewBigInt(a - b), nil
+		case opMul:
+			return sqltypes.NewBigInt(a * b), nil
+		case opDiv:
+			if b == 0 {
+				return sqltypes.Null, fmt.Errorf("expr: division by zero")
+			}
+			return sqltypes.NewBigInt(a / b), nil
+		case opMod:
+			if b == 0 {
+				return sqltypes.Null, fmt.Errorf("expr: division by zero")
+			}
+			return sqltypes.NewBigInt(a % b), nil
+		}
+	}
+	a, aok := l.Float()
+	b, bok := r.Float()
+	if !aok || !bok {
+		return sqltypes.Null, fmt.Errorf("expr: non-numeric operands %v, %v", l, r)
+	}
+	switch op {
+	case opAdd:
+		return sqltypes.NewDouble(a + b), nil
+	case opSub:
+		return sqltypes.NewDouble(a - b), nil
+	case opMul:
+		return sqltypes.NewDouble(a * b), nil
+	case opDiv:
+		if b == 0 {
+			return sqltypes.Null, fmt.Errorf("expr: division by zero")
+		}
+		return sqltypes.NewDouble(a / b), nil
+	case opMod:
+		if b == 0 {
+			return sqltypes.Null, fmt.Errorf("expr: division by zero")
+		}
+		ai, bi := int64(a), int64(b)
+		if float64(ai) == a && float64(bi) == b {
+			return sqltypes.NewBigInt(ai % bi), nil
+		}
+		return sqltypes.NewDouble(a - b*float64(int64(a/b))), nil
+	}
+	return sqltypes.Null, fmt.Errorf("expr: bad arithmetic op %d", op)
+}
+
+// funcEval invokes a scalar function.
+type funcEval struct {
+	def  *FuncDef
+	args []Evaluator
+	buf  []sqltypes.Value
+}
+
+func (e *funcEval) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	if cap(e.buf) < len(e.args) {
+		e.buf = make([]sqltypes.Value, len(e.args))
+	}
+	vals := e.buf[:len(e.args)]
+	for i, a := range e.args {
+		v, err := a.Eval(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		vals[i] = v
+	}
+	return e.def.Fn(vals)
+}
+
+// caseEval is a searched CASE.
+type caseWhen struct{ cond, then Evaluator }
+
+type caseEval struct {
+	whens []caseWhen
+	els   Evaluator
+}
+
+func (e *caseEval) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	for _, w := range e.whens {
+		c, err := w.cond.Eval(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if !c.IsNull() && c.Bool() {
+			return w.then.Eval(row)
+		}
+	}
+	if e.els != nil {
+		return e.els.Eval(row)
+	}
+	return sqltypes.Null, nil
+}
+
+// isNullEval is IS [NOT] NULL.
+type isNullEval struct {
+	x      Evaluator
+	negate bool
+}
+
+func (e isNullEval) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	v, err := e.x.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	return sqltypes.NewBool(v.IsNull() != e.negate), nil
+}
+
+// castEval is CAST(x AS t).
+type castEval struct {
+	x Evaluator
+	t sqltypes.Type
+}
+
+func (e castEval) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	v, err := e.x.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	return sqltypes.Coerce(v, e.t)
+}
+
+// betweenEval is x [NOT] BETWEEN lo AND hi.
+type betweenEval struct {
+	x, lo, hi Evaluator
+	negate    bool
+}
+
+func (e betweenEval) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	x, err := e.x.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	lo, err := e.lo.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	hi, err := e.hi.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if x.IsNull() || lo.IsNull() || hi.IsNull() {
+		return sqltypes.Null, nil
+	}
+	in := sqltypes.Compare(x, lo) >= 0 && sqltypes.Compare(x, hi) <= 0
+	return sqltypes.NewBool(in != e.negate), nil
+}
+
+// inEval is x [NOT] IN (list).
+type inEval struct {
+	x      Evaluator
+	list   []Evaluator
+	negate bool
+}
+
+func (e inEval) Eval(row sqltypes.Row) (sqltypes.Value, error) {
+	x, err := e.x.Eval(row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if x.IsNull() {
+		return sqltypes.Null, nil
+	}
+	sawNull := false
+	for _, item := range e.list {
+		v, err := item.Eval(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if v.IsNull() {
+			sawNull = true
+			continue
+		}
+		if sqltypes.Compare(x, v) == 0 {
+			return sqltypes.NewBool(!e.negate), nil
+		}
+	}
+	if sawNull {
+		return sqltypes.Null, nil
+	}
+	return sqltypes.NewBool(e.negate), nil
+}

@@ -1,0 +1,373 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/engine/sqlparser"
+	"repro/internal/engine/sqltypes"
+)
+
+// evalStr compiles and evaluates a standalone expression against an
+// optional row with columns a, b, c, s.
+func evalStr(t *testing.T, src string, row sqltypes.Row) (sqltypes.Value, error) {
+	t.Helper()
+	ast, err := sqlparser.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	resolve := func(table, col string) (int, error) {
+		switch strings.ToLower(col) {
+		case "a":
+			return 0, nil
+		case "b":
+			return 1, nil
+		case "c":
+			return 2, nil
+		case "s":
+			return 3, nil
+		}
+		return 0, fmt.Errorf("no column %q", col)
+	}
+	ev, err := Compile(ast, resolve, NewRegistry())
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	return ev.Eval(row)
+}
+
+func mustEval(t *testing.T, src string, row sqltypes.Row) sqltypes.Value {
+	t.Helper()
+	v, err := evalStr(t, src, row)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func stdRow() sqltypes.Row {
+	return sqltypes.Row{
+		sqltypes.NewDouble(2.5),   // a
+		sqltypes.NewBigInt(10),    // b
+		sqltypes.Null,             // c
+		sqltypes.NewVarChar("hi"), // s
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := map[string]float64{
+		"1 + 2 * 3":       7,
+		"(1 + 2) * 3":     9,
+		"10 / 4":          2, // integer division
+		"10.0 / 4":        2.5,
+		"7 % 3":           1,
+		"-a":              -2.5,
+		"a * b":           25,
+		"2 * a + b":       15,
+		"power(2, 10)":    1024,
+		"sqrt(16)":        4,
+		"abs(-3.5)":       3.5,
+		"mod(7, 3)":       1,
+		"floor(2.7)":      2,
+		"ceil(2.1)":       3,
+		"round(2.345, 2)": 2.35,
+		"least(3, 1, 2)":  1,
+		"greatest(3,1,2)": 3,
+		"sign(-9)":        -1,
+	}
+	row := stdRow()
+	for src, want := range cases {
+		v := mustEval(t, src, row)
+		got, ok := v.Float()
+		if !ok || math.Abs(got-want) > 1e-12 {
+			t.Errorf("%q = %v, want %g", src, v, want)
+		}
+	}
+}
+
+func TestIntegerTyping(t *testing.T) {
+	if v := mustEval(t, "1 + 2", nil); v.Type() != sqltypes.TypeBigInt {
+		t.Errorf("int+int should stay BIGINT, got %v", v.Type())
+	}
+	if v := mustEval(t, "1 + 2.0", nil); v.Type() != sqltypes.TypeDouble {
+		t.Errorf("int+double should be DOUBLE, got %v", v.Type())
+	}
+	if v := mustEval(t, "b % 3", stdRow()); v.Int() != 1 {
+		t.Errorf("b %% 3 = %v", v)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	for _, src := range []string{"1 / 0", "1.5 / 0", "7 % 0"} {
+		if _, err := evalStr(t, src, nil); err == nil {
+			t.Errorf("%q must error", src)
+		}
+	}
+}
+
+func TestNullPropagation(t *testing.T) {
+	row := stdRow()
+	for _, src := range []string{
+		"c + 1", "c * 2", "-c", "sqrt(c)", "c = 1", "c < 1", "a + c",
+		"c BETWEEN 1 AND 2", "NOT c",
+	} {
+		if v := mustEval(t, src, row); !v.IsNull() {
+			t.Errorf("%q = %v, want NULL", src, v)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	row := stdRow()
+	cases := map[string]any{
+		"c = 1 AND 1 = 2": false, // NULL AND FALSE = FALSE
+		"c = 1 AND 1 = 1": nil,   // NULL AND TRUE = NULL
+		"c = 1 OR 1 = 1":  true,  // NULL OR TRUE = TRUE
+		"c = 1 OR 1 = 2":  nil,   // NULL OR FALSE = NULL
+		"1 = 1 AND 2 = 2": true,
+		"1 = 2 OR 2 = 3":  false,
+	}
+	for src, want := range cases {
+		v := mustEval(t, src, row)
+		switch w := want.(type) {
+		case bool:
+			if v.IsNull() || v.Bool() != w {
+				t.Errorf("%q = %v, want %v", src, v, w)
+			}
+		case nil:
+			if !v.IsNull() {
+				t.Errorf("%q = %v, want NULL", src, v)
+			}
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	row := stdRow()
+	truths := []string{
+		"a = 2.5", "a <> 2", "a < 3", "a <= 2.5", "b > 9", "b >= 10",
+		"s = 'hi'", "'abc' < 'abd'", "a BETWEEN 2 AND 3", "b IN (1, 10)",
+		"b NOT IN (1, 2)", "c IS NULL", "a IS NOT NULL",
+		"s LIKE 'h%'", "s LIKE '__'", "NOT s LIKE 'z%'",
+	}
+	for _, src := range truths {
+		if v := mustEval(t, src, row); v.IsNull() || !v.Bool() {
+			t.Errorf("%q = %v, want TRUE", src, v)
+		}
+	}
+}
+
+func TestInWithNullSemantics(t *testing.T) {
+	row := stdRow()
+	// 5 IN (1, NULL) → NULL; 10 IN (10, NULL) → TRUE.
+	if v := mustEval(t, "5 IN (1, c)", row); !v.IsNull() {
+		t.Errorf("IN with NULL non-match should be NULL, got %v", v)
+	}
+	if v := mustEval(t, "b IN (10, c)", row); v.IsNull() || !v.Bool() {
+		t.Errorf("IN with match should be TRUE, got %v", v)
+	}
+}
+
+func TestCase(t *testing.T) {
+	row := stdRow()
+	v := mustEval(t, "CASE WHEN a > 2 THEN 'big' WHEN a > 1 THEN 'mid' ELSE 'small' END", row)
+	if v.Str() != "big" {
+		t.Errorf("case = %v", v)
+	}
+	v = mustEval(t, "CASE WHEN a > 99 THEN 1 END", row)
+	if !v.IsNull() {
+		t.Errorf("case without else = %v, want NULL", v)
+	}
+	// The paper's binary-flag idiom: CASE WHEN cond THEN 1 ELSE 0 END.
+	v = mustEval(t, "CASE WHEN s = 'hi' THEN 1 ELSE 0 END", row)
+	if v.Int() != 1 {
+		t.Errorf("flag = %v", v)
+	}
+}
+
+func TestCast(t *testing.T) {
+	if v := mustEval(t, "CAST(3.9 AS INT)", nil); v.Int() != 3 {
+		t.Errorf("cast = %v", v)
+	}
+	if v := mustEval(t, "CAST('2.5' AS DOUBLE)", nil); v.MustFloat() != 2.5 {
+		t.Errorf("cast = %v", v)
+	}
+	if v := mustEval(t, "CAST(42 AS VARCHAR)", nil); v.Str() != "42" {
+		t.Errorf("cast = %v", v)
+	}
+}
+
+func TestStringFuncs(t *testing.T) {
+	cases := map[string]string{
+		"lower('ABC')":        "abc",
+		"upper('abc')":        "ABC",
+		"trim('  x ')":        "x",
+		"substr('hello', 2)":  "ello",
+		"substr('hello',2,3)": "ell",
+		"'a' || 'b' || 'c'":   "abc",
+	}
+	for src, want := range cases {
+		if v := mustEval(t, src, nil); v.Str() != want {
+			t.Errorf("%q = %v, want %q", src, v, want)
+		}
+	}
+	if v := mustEval(t, "length('abcd')", nil); v.Int() != 4 {
+		t.Errorf("length = %v", v)
+	}
+}
+
+func TestCoalesceNullif(t *testing.T) {
+	row := stdRow()
+	if v := mustEval(t, "coalesce(c, c, 7)", row); v.Int() != 7 {
+		t.Errorf("coalesce = %v", v)
+	}
+	if v := mustEval(t, "nullif(1, 1)", nil); !v.IsNull() {
+		t.Errorf("nullif equal = %v", v)
+	}
+	if v := mustEval(t, "nullif(1, 2)", nil); v.Int() != 1 {
+		t.Errorf("nullif distinct = %v", v)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, src := range []string{
+		"nosuchfunc(1)",
+		"sqrt()",
+		"sqrt(1, 2)",
+		"nosuchcol + 1",
+		"sum(a)", // aggregate not allowed in scalar context
+	} {
+		if _, err := evalStr(t, src, stdRow()); err == nil {
+			t.Errorf("%q must fail to compile", src)
+		}
+	}
+}
+
+func TestRegistryCustomFunc(t *testing.T) {
+	reg := NewRegistry()
+	err := reg.Register(FuncDef{Name: "Twice", MinArgs: 1, MaxArgs: 1,
+		Fn: func(args []sqltypes.Value) (sqltypes.Value, error) {
+			f, _ := args[0].Float()
+			return sqltypes.NewDouble(2 * f), nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ast, _ := sqlparser.ParseExpr("twice(21)")
+	ev, err := Compile(ast, nil, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ev.Eval(nil)
+	if err != nil || v.MustFloat() != 42 {
+		t.Fatalf("twice(21) = %v, %v", v, err)
+	}
+	if err := reg.Register(FuncDef{}); err == nil {
+		t.Fatal("empty definition must be rejected")
+	}
+	if _, ok := reg.Lookup("TWICE"); !ok {
+		t.Fatal("lookup must be case-insensitive")
+	}
+}
+
+func TestMoreNumericBuiltins(t *testing.T) {
+	cases := map[string]float64{
+		"exp(0)":        1,
+		"ln(1)":         0,
+		"log(100)":      2,
+		"atan2(0, 1)":   0,
+		"round(2.5)":    3,
+		"ceiling(1.2)":  2,
+		"mod(10.5, 3)":  1.5,
+		"sign(0)":       0,
+		"greatest(1)":   1,
+		"least(5)":      5,
+		"abs(2 - 5)":    3,
+		"power(9, 0.5)": 3,
+	}
+	for src, want := range cases {
+		v := mustEval(t, src, nil)
+		got, ok := v.Float()
+		if !ok || math.Abs(got-want) > 1e-12 {
+			t.Errorf("%q = %v, want %g", src, v, want)
+		}
+	}
+}
+
+func TestStringConcatWithNumbers(t *testing.T) {
+	if v := mustEval(t, "'v=' || 42", nil); v.Str() != "v=42" {
+		t.Errorf("concat = %v", v)
+	}
+	if v := mustEval(t, "CAST(1.5 AS VARCHAR) || '|' || CAST(2 AS VARCHAR)", nil); v.Str() != "1.5|2" {
+		t.Errorf("packed = %v", v)
+	}
+}
+
+func TestBetweenBoundaries(t *testing.T) {
+	for src, want := range map[string]bool{
+		"1 BETWEEN 1 AND 2":     true,
+		"2 BETWEEN 1 AND 2":     true,
+		"0.99 BETWEEN 1 AND 2":  false,
+		"3 NOT BETWEEN 1 AND 2": true,
+	} {
+		if v := mustEval(t, src, nil); v.Bool() != want {
+			t.Errorf("%q = %v", src, v)
+		}
+	}
+}
+
+func TestLikeEdgeCases(t *testing.T) {
+	for src, want := range map[string]bool{
+		"'hello' LIKE 'h%'":    true,
+		"'hello' LIKE '%LLO'":  true, // case-insensitive like Teradata's default
+		"'hello' LIKE 'h_llo'": true,
+		"'hello' LIKE 'x%'":    false,
+		"'a.b' LIKE 'a.b'":     true, // dot is literal, not regex
+		"'axb' LIKE 'a.b'":     false,
+	} {
+		v := mustEval(t, src, nil)
+		if v.Bool() != want {
+			t.Errorf("%q = %v, want %v", src, v, want)
+		}
+	}
+}
+
+func TestSubstrEdgeCases(t *testing.T) {
+	for src, want := range map[string]string{
+		"substr('hello', 0)":     "hello",
+		"substr('hello', 99)":    "",
+		"substr('hello', 2, 99)": "ello",
+		"substr('hello', 2, 0)":  "",
+	} {
+		if v := mustEval(t, src, nil); v.Str() != want {
+			t.Errorf("%q = %q, want %q", src, v.Str(), want)
+		}
+	}
+}
+
+func TestContainsAggregate(t *testing.T) {
+	cases := map[string]bool{
+		"sum(a)":                          true,
+		"1 + count(*)":                    true,
+		"sqrt(sum(a * a))":                true,
+		"a + b":                           false,
+		"CASE WHEN a > 0 THEN 1 END":      false,
+		"CASE WHEN max(a) > 0 THEN 1 END": true,
+	}
+	for src, want := range cases {
+		ast, err := sqlparser.ParseExpr(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ContainsAggregate(ast, nil); got != want {
+			t.Errorf("ContainsAggregate(%q) = %v", src, got)
+		}
+	}
+	// Aggregate UDF names via the extra set.
+	ast, _ := sqlparser.ParseExpr("nlq_list(a, b)")
+	if !ContainsAggregate(ast, map[string]bool{"nlq_list": true}) {
+		t.Error("extra aggregate names not recognized")
+	}
+}

@@ -1,0 +1,268 @@
+// Package expr compiles parsed SQL expressions into evaluator trees and
+// interprets them row by row. The interpretation is intentional: the
+// paper's central performance asymmetry is that "SQL arithmetic
+// expressions are interpreted at run-time, whereas UDF arithmetic
+// expressions are compiled", and this package is the interpreted side.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+
+	"repro/internal/engine/sqltypes"
+)
+
+// ScalarFunc is the implementation of a scalar SQL function. Args may
+// contain NULLs; most numeric builtins propagate NULL.
+type ScalarFunc func(args []sqltypes.Value) (sqltypes.Value, error)
+
+// FuncDef describes a scalar function: its arity bounds and body.
+// MaxArgs < 0 means variadic.
+type FuncDef struct {
+	Name    string
+	MinArgs int
+	MaxArgs int
+	Fn      ScalarFunc
+}
+
+// Registry holds scalar functions by lower-cased name. Scalar UDFs are
+// registered here at run time, exactly as Teradata UDFs become callable
+// in any SELECT once created.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*FuncDef
+}
+
+// NewRegistry returns a registry pre-loaded with the built-in scalar
+// functions.
+func NewRegistry() *Registry {
+	r := &Registry{m: make(map[string]*FuncDef)}
+	for _, f := range builtins() {
+		f := f
+		r.m[f.Name] = &f
+	}
+	return r
+}
+
+// Register adds a scalar function. Re-registering a name replaces it.
+func (r *Registry) Register(def FuncDef) error {
+	if def.Name == "" || def.Fn == nil {
+		return fmt.Errorf("expr: invalid function definition")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := strings.ToLower(def.Name)
+	def.Name = name
+	r.m[name] = &def
+	return nil
+}
+
+// Lookup finds a function by name (case-insensitive).
+func (r *Registry) Lookup(name string) (*FuncDef, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.m[strings.ToLower(name)]
+	return f, ok
+}
+
+// Names returns the sorted list of registered function names; used by
+// the shell's help output.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.m))
+	for k := range r.m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// numeric1 adapts a float64 function into a NULL-propagating scalar.
+func numeric1(name string, f func(float64) float64) FuncDef {
+	return FuncDef{Name: name, MinArgs: 1, MaxArgs: 1, Fn: func(args []sqltypes.Value) (sqltypes.Value, error) {
+		if args[0].IsNull() {
+			return sqltypes.Null, nil
+		}
+		x, ok := args[0].Float()
+		if !ok {
+			return sqltypes.Null, fmt.Errorf("expr: %s: non-numeric argument %v", name, args[0])
+		}
+		return sqltypes.NewDouble(f(x)), nil
+	}}
+}
+
+func numeric2(name string, f func(a, b float64) float64) FuncDef {
+	return FuncDef{Name: name, MinArgs: 2, MaxArgs: 2, Fn: func(args []sqltypes.Value) (sqltypes.Value, error) {
+		if args[0].IsNull() || args[1].IsNull() {
+			return sqltypes.Null, nil
+		}
+		a, aok := args[0].Float()
+		b, bok := args[1].Float()
+		if !aok || !bok {
+			return sqltypes.Null, fmt.Errorf("expr: %s: non-numeric arguments", name)
+		}
+		return sqltypes.NewDouble(f(a, b)), nil
+	}}
+}
+
+func builtins() []FuncDef {
+	return []FuncDef{
+		numeric1("sqrt", math.Sqrt),
+		numeric1("abs", math.Abs),
+		numeric1("exp", math.Exp),
+		numeric1("ln", math.Log),
+		numeric1("log", math.Log10),
+		numeric1("floor", math.Floor),
+		numeric1("ceil", math.Ceil),
+		numeric1("ceiling", math.Ceil),
+		numeric1("sign", func(x float64) float64 {
+			switch {
+			case x > 0:
+				return 1
+			case x < 0:
+				return -1
+			default:
+				return 0
+			}
+		}),
+		numeric2("power", math.Pow),
+		numeric2("pow", math.Pow),
+		numeric2("mod", math.Mod),
+		numeric2("atan2", math.Atan2),
+		{Name: "round", MinArgs: 1, MaxArgs: 2, Fn: fnRound},
+		{Name: "coalesce", MinArgs: 1, MaxArgs: -1, Fn: fnCoalesce},
+		{Name: "nullif", MinArgs: 2, MaxArgs: 2, Fn: fnNullIf},
+		{Name: "least", MinArgs: 1, MaxArgs: -1, Fn: fnLeast},
+		{Name: "greatest", MinArgs: 1, MaxArgs: -1, Fn: fnGreatest},
+		{Name: "lower", MinArgs: 1, MaxArgs: 1, Fn: fnLower},
+		{Name: "upper", MinArgs: 1, MaxArgs: 1, Fn: fnUpper},
+		{Name: "length", MinArgs: 1, MaxArgs: 1, Fn: fnLength},
+		{Name: "substr", MinArgs: 2, MaxArgs: 3, Fn: fnSubstr},
+		{Name: "trim", MinArgs: 1, MaxArgs: 1, Fn: fnTrim},
+		{Name: "like", MinArgs: 2, MaxArgs: 2, Fn: fnLike},
+	}
+}
+
+func fnRound(args []sqltypes.Value) (sqltypes.Value, error) {
+	if args[0].IsNull() {
+		return sqltypes.Null, nil
+	}
+	x, ok := args[0].Float()
+	if !ok {
+		return sqltypes.Null, fmt.Errorf("expr: round: non-numeric argument")
+	}
+	places := 0.0
+	if len(args) == 2 && !args[1].IsNull() {
+		places, _ = args[1].Float()
+	}
+	scale := math.Pow(10, places)
+	return sqltypes.NewDouble(math.Round(x*scale) / scale), nil
+}
+
+func fnCoalesce(args []sqltypes.Value) (sqltypes.Value, error) {
+	for _, a := range args {
+		if !a.IsNull() {
+			return a, nil
+		}
+	}
+	return sqltypes.Null, nil
+}
+
+func fnNullIf(args []sqltypes.Value) (sqltypes.Value, error) {
+	if !args[0].IsNull() && !args[1].IsNull() && sqltypes.Equal(args[0], args[1]) {
+		return sqltypes.Null, nil
+	}
+	return args[0], nil
+}
+
+func fnLeast(args []sqltypes.Value) (sqltypes.Value, error) {
+	best := sqltypes.Null
+	for _, a := range args {
+		if a.IsNull() {
+			return sqltypes.Null, nil
+		}
+		if best.IsNull() || sqltypes.Compare(a, best) < 0 {
+			best = a
+		}
+	}
+	return best, nil
+}
+
+func fnGreatest(args []sqltypes.Value) (sqltypes.Value, error) {
+	best := sqltypes.Null
+	for _, a := range args {
+		if a.IsNull() {
+			return sqltypes.Null, nil
+		}
+		if best.IsNull() || sqltypes.Compare(a, best) > 0 {
+			best = a
+		}
+	}
+	return best, nil
+}
+
+func fnLower(args []sqltypes.Value) (sqltypes.Value, error) {
+	if args[0].IsNull() {
+		return sqltypes.Null, nil
+	}
+	return sqltypes.NewVarChar(strings.ToLower(args[0].Str())), nil
+}
+
+func fnUpper(args []sqltypes.Value) (sqltypes.Value, error) {
+	if args[0].IsNull() {
+		return sqltypes.Null, nil
+	}
+	return sqltypes.NewVarChar(strings.ToUpper(args[0].Str())), nil
+}
+
+func fnLength(args []sqltypes.Value) (sqltypes.Value, error) {
+	if args[0].IsNull() {
+		return sqltypes.Null, nil
+	}
+	return sqltypes.NewBigInt(int64(len(args[0].Str()))), nil
+}
+
+func fnTrim(args []sqltypes.Value) (sqltypes.Value, error) {
+	if args[0].IsNull() {
+		return sqltypes.Null, nil
+	}
+	return sqltypes.NewVarChar(strings.TrimSpace(args[0].Str())), nil
+}
+
+func fnSubstr(args []sqltypes.Value) (sqltypes.Value, error) {
+	if args[0].IsNull() || args[1].IsNull() {
+		return sqltypes.Null, nil
+	}
+	s := args[0].Str()
+	start := int(args[1].Int()) - 1 // SQL is 1-based
+	if start < 0 {
+		start = 0
+	}
+	if start > len(s) {
+		return sqltypes.NewVarChar(""), nil
+	}
+	end := len(s)
+	if len(args) == 3 && !args[2].IsNull() {
+		if n := int(args[2].Int()); start+n < end {
+			end = start + n
+		}
+	}
+	return sqltypes.NewVarChar(s[start:end]), nil
+}
+
+func fnLike(args []sqltypes.Value) (sqltypes.Value, error) {
+	if args[0].IsNull() || args[1].IsNull() {
+		return sqltypes.Null, nil
+	}
+	pat := regexp.QuoteMeta(args[1].Str())
+	pat = strings.ReplaceAll(pat, "%", ".*")
+	pat = strings.ReplaceAll(pat, "_", ".")
+	re, err := regexp.Compile("(?is)^" + pat + "$")
+	if err != nil {
+		return sqltypes.Null, fmt.Errorf("expr: like: bad pattern %q", args[1].Str())
+	}
+	return sqltypes.NewBool(re.MatchString(args[0].Str())), nil
+}

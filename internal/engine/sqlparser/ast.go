@@ -1,0 +1,362 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ isStatement() }
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type string // raw type name; resolved by the catalog
+}
+
+// CreateTable is `CREATE TABLE [IF NOT EXISTS] name (col type, ...)`.
+type CreateTable struct {
+	Name        string
+	Columns     []ColumnDef
+	IfNotExists bool
+}
+
+// DropTable is `DROP TABLE [IF EXISTS] name`.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// CreateView is `CREATE VIEW name AS SELECT ...`. Views are expanded
+// (inlined) into referencing queries at plan time.
+type CreateView struct {
+	Name  string
+	Query *Select
+}
+
+// DropView is `DROP VIEW [IF EXISTS] name`.
+type DropView struct {
+	Name     string
+	IfExists bool
+}
+
+// Insert is `INSERT INTO name [(cols)] VALUES (...),(...)` or
+// `INSERT INTO name [(cols)] SELECT ...`.
+type Insert struct {
+	Table   string
+	Columns []string // optional explicit column list
+	Rows    [][]Expr // literal rows, when Query == nil
+	Query   *Select  // INSERT .. SELECT, when non-nil
+}
+
+// Select is a SELECT statement (also used as a subquery in INSERT).
+type Select struct {
+	Items   []SelectItem
+	From    []TableRef // empty means a table-less SELECT of constants
+	Where   Expr
+	GroupBy []Expr
+	Having  Expr // post-aggregation filter; requires GROUP BY or aggregates
+	OrderBy []OrderItem
+	Limit   *int64
+}
+
+// SelectItem is one projection: an expression with an optional alias,
+// or `*` / `t.*`.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+	// StarTable qualifies a star item (`t.*`); empty for a bare `*`.
+	StarTable string
+}
+
+// TableRef names a table in FROM with an optional alias. Consecutive
+// refs are cross-joined (the paper's scoring queries cross-join the
+// data set with small model tables).
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// RefName returns the name the table is addressable by in the query.
+func (t TableRef) RefName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// String renders the SELECT back to parseable SQL; view definitions
+// are persisted in this form.
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, item := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case item.Star && item.StarTable != "":
+			b.WriteString(item.StarTable + ".*")
+		case item.Star:
+			b.WriteString("*")
+		default:
+			b.WriteString(item.Expr.String())
+			if item.Alias != "" {
+				b.WriteString(" AS " + item.Alias)
+			}
+		}
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, ref := range s.From {
+			if i > 0 {
+				b.WriteString(" CROSS JOIN ")
+			}
+			b.WriteString(ref.Name)
+			if ref.Alias != "" {
+				b.WriteString(" AS " + ref.Alias)
+			}
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		fmt.Fprintf(&b, " LIMIT %d", *s.Limit)
+	}
+	return b.String()
+}
+
+func (*CreateTable) isStatement() {}
+func (*DropTable) isStatement()   {}
+func (*CreateView) isStatement()  {}
+func (*DropView) isStatement()    {}
+func (*Insert) isStatement()      {}
+func (*Select) isStatement()      {}
+
+// Expr is any SQL expression node.
+type Expr interface {
+	isExpr()
+	String() string
+}
+
+// NumberLit is a numeric literal. Integers retain exactness.
+type NumberLit struct {
+	IsInt bool
+	Int   int64
+	Float float64
+}
+
+// StringLit is a quoted string literal.
+type StringLit struct{ Val string }
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ Val bool }
+
+// ColumnRef references a column, optionally table-qualified.
+type ColumnRef struct{ Table, Name string }
+
+// BinaryExpr applies a binary operator: arithmetic (+ - * / %),
+// comparison (= <> < <= > >=), logic (AND OR) or concatenation (||).
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr applies unary minus or NOT.
+type UnaryExpr struct {
+	Op string // "-" or "NOT"
+	X  Expr
+}
+
+// FuncCall invokes a built-in or user-defined function. Star marks
+// count(*). Distinct marks count(DISTINCT e).
+type FuncCall struct {
+	Name     string
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+// CaseExpr is a searched CASE expression.
+type CaseExpr struct {
+	Whens []When
+	Else  Expr // may be nil (NULL)
+}
+
+// When is one WHEN..THEN arm of a CASE.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// IsNullExpr is `x IS [NOT] NULL`.
+type IsNullExpr struct {
+	X      Expr
+	Negate bool
+}
+
+// CastExpr is `CAST(x AS type)`.
+type CastExpr struct {
+	X    Expr
+	Type string
+}
+
+// BetweenExpr is `x [NOT] BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Negate    bool
+}
+
+// InExpr is `x [NOT] IN (e1, e2, ...)`.
+type InExpr struct {
+	X      Expr
+	List   []Expr
+	Negate bool
+}
+
+func (*NumberLit) isExpr()   {}
+func (*StringLit) isExpr()   {}
+func (*NullLit) isExpr()     {}
+func (*BoolLit) isExpr()     {}
+func (*ColumnRef) isExpr()   {}
+func (*BinaryExpr) isExpr()  {}
+func (*UnaryExpr) isExpr()   {}
+func (*FuncCall) isExpr()    {}
+func (*CaseExpr) isExpr()    {}
+func (*IsNullExpr) isExpr()  {}
+func (*CastExpr) isExpr()    {}
+func (*BetweenExpr) isExpr() {}
+func (*InExpr) isExpr()      {}
+
+func (e *NumberLit) String() string {
+	if e.IsInt {
+		return strconv.FormatInt(e.Int, 10)
+	}
+	return strconv.FormatFloat(e.Float, 'g', -1, 64)
+}
+
+func (e *StringLit) String() string {
+	return "'" + strings.ReplaceAll(e.Val, "'", "''") + "'"
+}
+
+func (*NullLit) String() string { return "NULL" }
+
+func (e *BoolLit) String() string {
+	if e.Val {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+func (e *ColumnRef) String() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Name
+	}
+	return e.Name
+}
+
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+
+func (e *UnaryExpr) String() string {
+	if e.Op == "NOT" {
+		return fmt.Sprintf("(NOT %s)", e.X)
+	}
+	return fmt.Sprintf("(%s%s)", e.Op, e.X)
+}
+
+func (e *FuncCall) String() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	prefix := ""
+	if e.Distinct {
+		prefix = "DISTINCT "
+	}
+	return e.Name + "(" + prefix + strings.Join(args, ", ") + ")"
+}
+
+func (e *CaseExpr) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range e.Whens {
+		fmt.Fprintf(&b, " WHEN %s THEN %s", w.Cond, w.Then)
+	}
+	if e.Else != nil {
+		fmt.Fprintf(&b, " ELSE %s", e.Else)
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+func (e *IsNullExpr) String() string {
+	if e.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", e.X)
+	}
+	return fmt.Sprintf("(%s IS NULL)", e.X)
+}
+
+func (e *CastExpr) String() string {
+	return fmt.Sprintf("CAST(%s AS %s)", e.X, e.Type)
+}
+
+func (e *BetweenExpr) String() string {
+	not := ""
+	if e.Negate {
+		not = "NOT "
+	}
+	return fmt.Sprintf("(%s %sBETWEEN %s AND %s)", e.X, not, e.Lo, e.Hi)
+}
+
+func (e *InExpr) String() string {
+	items := make([]string, len(e.List))
+	for i, x := range e.List {
+		items[i] = x.String()
+	}
+	not := ""
+	if e.Negate {
+		not = "NOT "
+	}
+	return fmt.Sprintf("(%s %sIN (%s))", e.X, not, strings.Join(items, ", "))
+}

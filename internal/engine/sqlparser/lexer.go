@@ -1,0 +1,189 @@
+// Package sqlparser implements the lexer, AST and recursive-descent
+// parser for the engine's SQL subset: CREATE/DROP TABLE, INSERT (values
+// and INSERT..SELECT), and SELECT with expressions, function calls
+// (including UDFs), CASE, CROSS JOIN, WHERE, GROUP BY, ORDER BY and
+// LIMIT. This is the surface the paper's generated queries use.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+// token is one lexical token with its source position (1-based).
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; idents keep original case
+	pos  int
+}
+
+// keywords recognized by the lexer. Anything else alphabetic is an
+// identifier (so UDF names never need quoting).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "NULL": true, "IS": true, "CASE": true, "WHEN": true,
+	"THEN": true, "ELSE": true, "END": true, "CREATE": true, "DROP": true,
+	"TABLE": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"CROSS": true, "JOIN": true, "ASC": true, "DESC": true, "IF": true,
+	"EXISTS": true, "TRUE": true, "FALSE": true, "DISTINCT": true,
+	"BETWEEN": true, "IN": true, "CAST": true, "VIEW": true, "LIKE": true,
+	"HAVING": true,
+}
+
+// lexer scans SQL text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src. It returns a parse error with position on any
+// malformed token.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos + 1})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.pos++
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start + 1})
+			} else {
+				l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start + 1})
+			}
+		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start + 1})
+			return nil
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start + 1})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' { // escaped ''
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start + 1})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlparser: unterminated string literal at position %d", start+1)
+}
+
+func (l *lexer) lexSymbol() error {
+	start := l.pos
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<>", "<=", ">=", "!=", "||":
+		l.pos += 2
+		l.toks = append(l.toks, token{kind: tokSymbol, text: two, pos: start + 1})
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '*', '+', '-', '/', '%', '<', '>', '=', '.', ';':
+		l.pos++
+		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start + 1})
+		return nil
+	}
+	return fmt.Errorf("sqlparser: unexpected character %q at position %d", c, start+1)
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }

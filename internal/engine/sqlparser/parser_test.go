@@ -1,0 +1,356 @@
+package sqlparser
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) Statement {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return st
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st := mustParse(t, "CREATE TABLE X (i BIGINT, X1 DOUBLE, name VARCHAR)").(*CreateTable)
+	if st.Name != "X" || len(st.Columns) != 3 {
+		t.Fatalf("%+v", st)
+	}
+	if st.Columns[1].Name != "X1" || st.Columns[1].Type != "DOUBLE" {
+		t.Fatalf("%+v", st.Columns)
+	}
+	st2 := mustParse(t, "create table if not exists t (a int)").(*CreateTable)
+	if !st2.IfNotExists {
+		t.Fatal("IF NOT EXISTS not parsed")
+	}
+}
+
+func TestParseDropTable(t *testing.T) {
+	st := mustParse(t, "DROP TABLE foo").(*DropTable)
+	if st.Name != "foo" || st.IfExists {
+		t.Fatalf("%+v", st)
+	}
+	st2 := mustParse(t, "DROP TABLE IF EXISTS foo;").(*DropTable)
+	if !st2.IfExists {
+		t.Fatal("IF EXISTS not parsed")
+	}
+}
+
+func TestParseInsertValues(t *testing.T) {
+	st := mustParse(t, "INSERT INTO t (a, b) VALUES (1, 'x'), (2.5, NULL)").(*Insert)
+	if st.Table != "t" || len(st.Columns) != 2 || len(st.Rows) != 2 {
+		t.Fatalf("%+v", st)
+	}
+	if lit, ok := st.Rows[0][0].(*NumberLit); !ok || !lit.IsInt || lit.Int != 1 {
+		t.Fatalf("first value: %#v", st.Rows[0][0])
+	}
+	if _, ok := st.Rows[1][1].(*NullLit); !ok {
+		t.Fatalf("NULL value: %#v", st.Rows[1][1])
+	}
+}
+
+func TestParseInsertSelect(t *testing.T) {
+	st := mustParse(t, "INSERT INTO t SELECT a, b FROM u WHERE a > 0").(*Insert)
+	if st.Query == nil || len(st.Query.Items) != 2 {
+		t.Fatalf("%+v", st)
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	sql := `SELECT j, sum(X1) AS s1, count(*) c
+	        FROM X CROSS JOIN C alias1, D AS alias2
+	        WHERE X1 > 1.5 AND j IS NOT NULL
+	        GROUP BY j ORDER BY s1 DESC, j LIMIT 10`
+	st := mustParse(t, sql).(*Select)
+	if len(st.Items) != 3 {
+		t.Fatalf("items: %d", len(st.Items))
+	}
+	if st.Items[1].Alias != "s1" || st.Items[2].Alias != "c" {
+		t.Fatalf("aliases: %+v", st.Items)
+	}
+	if len(st.From) != 3 || st.From[1].RefName() != "alias1" || st.From[2].RefName() != "alias2" {
+		t.Fatalf("from: %+v", st.From)
+	}
+	if st.Where == nil || len(st.GroupBy) != 1 || len(st.OrderBy) != 2 {
+		t.Fatalf("clauses: %+v", st)
+	}
+	if !st.OrderBy[0].Desc || st.OrderBy[1].Desc {
+		t.Fatalf("order: %+v", st.OrderBy)
+	}
+	if st.Limit == nil || *st.Limit != 10 {
+		t.Fatalf("limit: %v", st.Limit)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t").(*Select)
+	if !st.Items[0].Star || st.Items[0].StarTable != "" {
+		t.Fatalf("%+v", st.Items[0])
+	}
+	st2 := mustParse(t, "SELECT t.*, u.a FROM t, u").(*Select)
+	if !st2.Items[0].Star || st2.Items[0].StarTable != "t" {
+		t.Fatalf("%+v", st2.Items[0])
+	}
+}
+
+func TestParseCountStarAndDistinct(t *testing.T) {
+	st := mustParse(t, "SELECT count(*), count(DISTINCT a) FROM t").(*Select)
+	fc := st.Items[0].Expr.(*FuncCall)
+	if fc.Name != "count" || !fc.Star {
+		t.Fatalf("%+v", fc)
+	}
+	fc2 := st.Items[1].Expr.(*FuncCall)
+	if !fc2.Distinct || len(fc2.Args) != 1 {
+		t.Fatalf("%+v", fc2)
+	}
+}
+
+func TestExprPrecedence(t *testing.T) {
+	cases := map[string]string{
+		"1 + 2 * 3":                "(1 + (2 * 3))",
+		"(1 + 2) * 3":              "((1 + 2) * 3)",
+		"a = 1 OR b = 2 AND c = 3": "((a = 1) OR ((b = 2) AND (c = 3)))",
+		"NOT a = 1":                "(NOT (a = 1))",
+		"-a * b":                   "((-a) * b)",
+		"a - -b":                   "(a - (-b))",
+		"a <> b":                   "(a <> b)",
+		"a != b":                   "(a <> b)",
+		"x % 16":                   "(x % 16)",
+	}
+	for in, want := range cases {
+		e, err := ParseExpr(in)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", in, err)
+			continue
+		}
+		if got := e.String(); got != want {
+			t.Errorf("ParseExpr(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	e, err := ParseExpr("CASE WHEN a > 0 THEN 1 WHEN a < 0 THEN -1 ELSE 0 END")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce := e.(*CaseExpr)
+	if len(ce.Whens) != 2 || ce.Else == nil {
+		t.Fatalf("%+v", ce)
+	}
+	if _, err := ParseExpr("CASE ELSE 1 END"); err == nil {
+		t.Fatal("CASE without WHEN must fail")
+	}
+}
+
+func TestParseCast(t *testing.T) {
+	e, err := ParseExpr("CAST(a AS DOUBLE)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.(*CastExpr)
+	if c.Type != "DOUBLE" {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestParseBetweenInLike(t *testing.T) {
+	e, _ := ParseExpr("a BETWEEN 1 AND 5")
+	if b := e.(*BetweenExpr); b.Negate {
+		t.Fatal("unexpected negate")
+	}
+	e, _ = ParseExpr("a NOT BETWEEN 1 AND 5")
+	if b := e.(*BetweenExpr); !b.Negate {
+		t.Fatal("missing negate")
+	}
+	e, _ = ParseExpr("a IN (1, 2, 3)")
+	if in := e.(*InExpr); len(in.List) != 3 {
+		t.Fatalf("%+v", in)
+	}
+	e, _ = ParseExpr("a NOT IN (1)")
+	if in := e.(*InExpr); !in.Negate {
+		t.Fatal("missing negate")
+	}
+	e, _ = ParseExpr("s LIKE 'x%'")
+	if fc := e.(*FuncCall); fc.Name != "like" {
+		t.Fatalf("%+v", fc)
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	e, _ := ParseExpr("a IS NULL")
+	if is := e.(*IsNullExpr); is.Negate {
+		t.Fatal("unexpected negate")
+	}
+	e, _ = ParseExpr("a IS NOT NULL")
+	if is := e.(*IsNullExpr); !is.Negate {
+		t.Fatal("missing negate")
+	}
+}
+
+func TestParseQualifiedColumns(t *testing.T) {
+	e, _ := ParseExpr("t.X1 * u.X2")
+	be := e.(*BinaryExpr)
+	l := be.L.(*ColumnRef)
+	if l.Table != "t" || l.Name != "X1" {
+		t.Fatalf("%+v", l)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	e, err := ParseExpr("'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.(*StringLit); s.Val != "it's" {
+		t.Fatalf("%q", s.Val)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	st := mustParse(t, "SELECT 1 /* Q */, 2 -- trailing\n FROM t").(*Select)
+	if len(st.Items) != 2 {
+		t.Fatalf("%+v", st.Items)
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := ParseScript("CREATE TABLE t (a INT); INSERT INTO t VALUES (1);; SELECT a FROM t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("got %d statements", len(stmts))
+	}
+}
+
+func TestParseWideSelect(t *testing.T) {
+	// The paper's "long" 1+d+d² query must parse; build one at d=16.
+	var b strings.Builder
+	b.WriteString("SELECT sum(1.0)")
+	for a := 1; a <= 16; a++ {
+		b.WriteString(", sum(X")
+		b.WriteString(itoa(a))
+		b.WriteString(")")
+	}
+	for a := 1; a <= 16; a++ {
+		for c := 1; c <= a; c++ {
+			b.WriteString(", sum(X")
+			b.WriteString(itoa(a))
+			b.WriteString("*X")
+			b.WriteString(itoa(c))
+			b.WriteString(")")
+		}
+	}
+	b.WriteString(" FROM X")
+	st := mustParse(t, b.String()).(*Select)
+	want := 1 + 16 + 16*17/2
+	if len(st.Items) != want {
+		t.Fatalf("items = %d, want %d", len(st.Items), want)
+	}
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+func TestParseCreateDropView(t *testing.T) {
+	st := mustParse(t, "CREATE VIEW v AS SELECT a AS x, b + 1 AS y FROM t WHERE a > 0").(*CreateView)
+	if st.Name != "v" || len(st.Query.Items) != 2 || st.Query.Where == nil {
+		t.Fatalf("%+v", st)
+	}
+	dv := mustParse(t, "DROP VIEW IF EXISTS v").(*DropView)
+	if dv.Name != "v" || !dv.IfExists {
+		t.Fatalf("%+v", dv)
+	}
+	if _, err := Parse("CREATE VIEW v AS INSERT INTO t VALUES (1)"); err == nil {
+		t.Fatal("non-SELECT view body must fail")
+	}
+}
+
+func TestParseHaving(t *testing.T) {
+	st := mustParse(t, "SELECT g, sum(a) FROM t GROUP BY g HAVING sum(a) > 10 ORDER BY g").(*Select)
+	if st.Having == nil || st.Having.String() != "(sum(a) > 10)" {
+		t.Fatalf("having = %v", st.Having)
+	}
+	if len(st.OrderBy) != 1 {
+		t.Fatalf("order by lost after having: %+v", st)
+	}
+}
+
+func TestSelectStringRoundTrip(t *testing.T) {
+	// Select.String output must re-parse to an equivalent statement
+	// (catalog view persistence depends on this).
+	queries := []string{
+		"SELECT a AS x, (b + 1) AS y FROM t WHERE (a > 0)",
+		"SELECT g, sum(a) AS s FROM t GROUP BY g HAVING (sum(a) > 10) ORDER BY g DESC LIMIT 5",
+		"SELECT t.a AS a, u.b AS b FROM t CROSS JOIN u AS alias WHERE (t.a = alias.b)",
+		"SELECT * FROM t",
+		"SELECT CASE WHEN (a > 0) THEN 1 ELSE 0 END AS flag FROM t",
+	}
+	for _, q := range queries {
+		st1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		s1 := st1.(*Select).String()
+		st2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", s1, err)
+		}
+		if s2 := st2.(*Select).String(); s1 != s2 {
+			t.Fatalf("unstable rendering:\n%s\n%s", s1, s2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC 1",
+		"SELECT",
+		"SELECT 1 FROM",
+		"CREATE TABLE",
+		"CREATE TABLE t",
+		"INSERT INTO t",
+		"SELECT 1 EXTRA GARBAGE (",
+		"SELECT 'unterminated",
+		"SELECT 1 LIMIT x",
+		"SELECT @",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// Expr.String output must re-parse to the same string (stability).
+	exprs := []string{
+		"((a + b) * 2)",
+		"CASE WHEN (a > 0) THEN 1 ELSE (-1) END",
+		"sum((X1 * X2))",
+		"(t.a IS NULL)",
+		"CAST(a AS DOUBLE)",
+		"(a BETWEEN 1 AND 2)",
+		"(a IN (1, 2))",
+	}
+	for _, s := range exprs {
+		e, err := ParseExpr(s)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", s, err)
+			continue
+		}
+		e2, err := ParseExpr(e.String())
+		if err != nil {
+			t.Errorf("re-parse of %q → %q: %v", s, e.String(), err)
+			continue
+		}
+		if e.String() != e2.String() {
+			t.Errorf("unstable: %q vs %q", e.String(), e2.String())
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package sqlparser
+
+// CopyExpr returns a deep copy of an expression tree. Literals are
+// immutable and shared; every structural node is duplicated, so the
+// copy can be rewritten without aliasing the original (view expansion
+// relies on this).
+func CopyExpr(e Expr) Expr {
+	return SubstituteColumns(e, nil)
+}
+
+// SubstituteColumns rebuilds the expression tree, replacing each
+// column reference for which sub returns (replacement, true). A nil
+// sub performs a pure deep copy. Replacement expressions are inserted
+// as-is (the caller ensures they are themselves fresh copies).
+func SubstituteColumns(e Expr, sub func(*ColumnRef) (Expr, bool)) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *NumberLit, *StringLit, *NullLit, *BoolLit:
+		return e
+	case *ColumnRef:
+		if sub != nil {
+			if repl, ok := sub(e); ok {
+				return repl
+			}
+		}
+		cp := *e
+		return &cp
+	case *UnaryExpr:
+		return &UnaryExpr{Op: e.Op, X: SubstituteColumns(e.X, sub)}
+	case *BinaryExpr:
+		return &BinaryExpr{Op: e.Op, L: SubstituteColumns(e.L, sub), R: SubstituteColumns(e.R, sub)}
+	case *FuncCall:
+		out := &FuncCall{Name: e.Name, Star: e.Star, Distinct: e.Distinct}
+		if e.Args != nil {
+			out.Args = make([]Expr, len(e.Args))
+			for i, a := range e.Args {
+				out.Args[i] = SubstituteColumns(a, sub)
+			}
+		}
+		return out
+	case *CaseExpr:
+		out := &CaseExpr{}
+		for _, w := range e.Whens {
+			out.Whens = append(out.Whens, When{
+				Cond: SubstituteColumns(w.Cond, sub),
+				Then: SubstituteColumns(w.Then, sub),
+			})
+		}
+		out.Else = SubstituteColumns(e.Else, sub)
+		return out
+	case *IsNullExpr:
+		return &IsNullExpr{X: SubstituteColumns(e.X, sub), Negate: e.Negate}
+	case *CastExpr:
+		return &CastExpr{X: SubstituteColumns(e.X, sub), Type: e.Type}
+	case *BetweenExpr:
+		return &BetweenExpr{
+			X:      SubstituteColumns(e.X, sub),
+			Lo:     SubstituteColumns(e.Lo, sub),
+			Hi:     SubstituteColumns(e.Hi, sub),
+			Negate: e.Negate,
+		}
+	case *InExpr:
+		out := &InExpr{X: SubstituteColumns(e.X, sub), Negate: e.Negate}
+		out.List = make([]Expr, len(e.List))
+		for i, x := range e.List {
+			out.List[i] = SubstituteColumns(x, sub)
+		}
+		return out
+	default:
+		// Unknown node types pass through unchanged; the executor will
+		// reject them if they are not evaluable.
+		return e
+	}
+}
+
+// WalkColumns visits every column reference in the expression.
+func WalkColumns(e Expr, fn func(*ColumnRef)) {
+	SubstituteColumns(e, func(cr *ColumnRef) (Expr, bool) {
+		fn(cr)
+		return nil, false
+	})
+}

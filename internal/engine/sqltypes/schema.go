@@ -1,0 +1,108 @@
+package sqltypes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one column of a relation.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns. Column names are compared
+// case-insensitively, as in SQL.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from columns, rejecting duplicate names.
+func NewSchema(cols ...Column) (*Schema, error) {
+	seen := make(map[string]struct{}, len(cols))
+	for _, c := range cols {
+		key := strings.ToLower(c.Name)
+		if key == "" {
+			return nil, fmt.Errorf("sqltypes: empty column name")
+		}
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("sqltypes: duplicate column %q", c.Name)
+		}
+		seen[key] = struct{}{}
+	}
+	return &Schema{Columns: cols}, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and
+// generated schemas whose validity is guaranteed by construction.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// Index returns the ordinal of the named column, or -1.
+func (s *Schema) Index(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	names := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// String renders the schema as "(a DOUBLE, b BIGINT)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Row is one tuple of values, positionally matching a schema.
+type Row []Value
+
+// Clone returns a copy of the row that shares no storage with r.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Floats extracts the row as a float64 slice. Columns that are NULL or
+// non-numeric are reported via the returned error; dst is reused when
+// it has sufficient capacity.
+func (r Row) Floats(dst []float64) ([]float64, error) {
+	if cap(dst) < len(r) {
+		dst = make([]float64, len(r))
+	}
+	dst = dst[:len(r)]
+	for i, v := range r {
+		f, ok := v.Float()
+		if !ok {
+			return nil, fmt.Errorf("sqltypes: column %d is %v, not numeric", i, v)
+		}
+		dst[i] = f
+	}
+	return dst, nil
+}

@@ -1,0 +1,181 @@
+package sqltypes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	d := NewDouble(3.5)
+	if d.Type() != TypeDouble || d.MustFloat() != 3.5 {
+		t.Fatalf("double round trip: %v", d)
+	}
+	i := NewBigInt(-42)
+	if i.Type() != TypeBigInt || i.Int() != -42 {
+		t.Fatalf("bigint round trip: %v", i)
+	}
+	if f, ok := i.Float(); !ok || f != -42 {
+		t.Fatalf("bigint widen: %v %v", f, ok)
+	}
+	s := NewVarChar("hello")
+	if s.Type() != TypeVarChar || s.Str() != "hello" {
+		t.Fatalf("varchar round trip: %v", s)
+	}
+	if !Null.IsNull() || Null.Type() != TypeNull {
+		t.Fatalf("zero value must be NULL")
+	}
+	b := NewBool(true)
+	if !b.Bool() || NewBool(false).Bool() {
+		t.Fatalf("bool round trip")
+	}
+}
+
+func TestBigIntPreservesFullRange(t *testing.T) {
+	for _, want := range []int64{0, 1, -1, math.MaxInt64, math.MinInt64, 1 << 52, (1 << 53) + 1} {
+		if got := NewBigInt(want).Int(); got != want {
+			t.Errorf("NewBigInt(%d).Int() = %d", want, got)
+		}
+	}
+}
+
+func TestBigIntRoundTripProperty(t *testing.T) {
+	f := func(i int64) bool { return NewBigInt(i).Int() == i }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarCharNumericParsing(t *testing.T) {
+	if f, ok := NewVarChar(" 2.25 ").Float(); !ok || f != 2.25 {
+		t.Fatalf("string float parse: %v %v", f, ok)
+	}
+	if _, ok := NewVarChar("abc").Float(); ok {
+		t.Fatalf("non-numeric string must not parse")
+	}
+	if _, ok := Null.Float(); ok {
+		t.Fatalf("NULL must not be numeric")
+	}
+}
+
+func TestCompareOrderingProperties(t *testing.T) {
+	// NULLs sort first and equal each other.
+	if Compare(Null, Null) != 0 {
+		t.Fatal("NULL vs NULL")
+	}
+	if Compare(Null, NewDouble(-1e300)) != -1 {
+		t.Fatal("NULL must sort before any number")
+	}
+	if Compare(NewDouble(1), NewBigInt(1)) != 0 {
+		t.Fatal("cross-type numeric equality")
+	}
+	if Compare(NewVarChar("a"), NewVarChar("b")) != -1 {
+		t.Fatal("string ordering")
+	}
+	// Antisymmetry property over doubles.
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return Compare(NewDouble(a), NewDouble(b)) == -Compare(NewDouble(b), NewDouble(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	cases := []struct {
+		in   Value
+		to   Type
+		want Value
+		ok   bool
+	}{
+		{NewDouble(3.9), TypeBigInt, NewBigInt(3), true},
+		{NewBigInt(7), TypeDouble, NewDouble(7), true},
+		{NewVarChar("12"), TypeBigInt, NewBigInt(12), true},
+		{NewVarChar("3.5"), TypeBigInt, NewBigInt(3), true},
+		{NewVarChar("1.5"), TypeDouble, NewDouble(1.5), true},
+		{NewBigInt(5), TypeVarChar, NewVarChar("5"), true},
+		{Null, TypeDouble, Null, true},
+		{NewVarChar("xyz"), TypeDouble, Null, false},
+	}
+	for _, c := range cases {
+		got, err := Coerce(c.in, c.to)
+		if c.ok != (err == nil) {
+			t.Errorf("Coerce(%v,%v) err=%v, want ok=%v", c.in, c.to, err, c.ok)
+			continue
+		}
+		if err == nil && !Equal(got, c.want) {
+			t.Errorf("Coerce(%v,%v) = %v, want %v", c.in, c.to, got, c.want)
+		}
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for name, want := range map[string]Type{
+		"double": TypeDouble, "FLOAT": TypeDouble, "real": TypeDouble,
+		"bigint": TypeBigInt, "INT": TypeBigInt, "integer": TypeBigInt,
+		"varchar": TypeVarChar, "TEXT": TypeVarChar,
+	} {
+		got, err := ParseType(name)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseType("blob"); err == nil {
+		t.Error("ParseType(blob) should fail")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	for _, c := range []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewDouble(2.5), "2.5"},
+		{NewBigInt(-3), "-3"},
+		{NewVarChar("x"), "x"},
+		{NewBool(true), "TRUE"},
+	} {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s := MustSchema(Column{"i", TypeBigInt}, Column{"X1", TypeDouble})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Index("x1") != 1 || s.Index("I") != 0 || s.Index("nope") != -1 {
+		t.Fatalf("Index lookups wrong: %d %d %d", s.Index("x1"), s.Index("I"), s.Index("nope"))
+	}
+	if got := s.String(); got != "(i BIGINT, X1 DOUBLE)" {
+		t.Fatalf("String = %q", got)
+	}
+	if _, err := NewSchema(Column{"a", TypeDouble}, Column{"A", TypeDouble}); err == nil {
+		t.Fatal("duplicate column names must be rejected")
+	}
+	if _, err := NewSchema(Column{"", TypeDouble}); err == nil {
+		t.Fatal("empty column name must be rejected")
+	}
+}
+
+func TestRowHelpers(t *testing.T) {
+	r := Row{NewDouble(1), NewBigInt(2)}
+	c := r.Clone()
+	c[0] = NewDouble(9)
+	if r[0].MustFloat() != 1 {
+		t.Fatal("Clone must not alias")
+	}
+	fs, err := r.Floats(nil)
+	if err != nil || fs[0] != 1 || fs[1] != 2 {
+		t.Fatalf("Floats = %v, %v", fs, err)
+	}
+	if _, err := (Row{Null}).Floats(nil); err == nil {
+		t.Fatal("Floats must reject NULL")
+	}
+}

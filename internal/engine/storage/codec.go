@@ -1,0 +1,111 @@
+// Package storage implements the engine's table storage: horizontally
+// partitioned tables whose partitions live either in on-disk files
+// (re-read on every scan, like the paper's uncached table scans) or in
+// memory (for model tables and tests).
+//
+// The partition count models Teradata's parallel processing threads:
+// the paper's system had 20, each owning 1/20th of X; scans here run
+// one goroutine per partition at the executor level.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/engine/sqltypes"
+)
+
+// Row codec: every value is a 1-byte type tag followed by its payload.
+// DOUBLE and BIGINT are 8 bytes little-endian; VARCHAR is a u32 length
+// plus bytes; NULL has no payload. A row is the concatenation of its
+// column values — the schema supplies arity, so no row header is needed.
+const (
+	tagNull    byte = 0
+	tagDouble  byte = 1
+	tagBigInt  byte = 2
+	tagVarChar byte = 3
+)
+
+// encodeRow appends the binary encoding of row to buf and returns it.
+func encodeRow(buf []byte, row sqltypes.Row) ([]byte, error) {
+	for _, v := range row {
+		switch v.Type() {
+		case sqltypes.TypeNull:
+			buf = append(buf, tagNull)
+		case sqltypes.TypeDouble:
+			f, _ := v.Float()
+			buf = append(buf, tagDouble)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		case sqltypes.TypeBigInt:
+			buf = append(buf, tagBigInt)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Int()))
+		case sqltypes.TypeVarChar:
+			s := v.Str()
+			buf = append(buf, tagVarChar)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+			buf = append(buf, s...)
+		default:
+			return nil, fmt.Errorf("storage: cannot encode value of type %v", v.Type())
+		}
+	}
+	return buf, nil
+}
+
+// rowReader decodes consecutive rows of fixed arity from a byte stream.
+type rowReader struct {
+	r     *bufio.Reader
+	arity int
+	buf   [8]byte
+}
+
+func newRowReader(r io.Reader, arity int) *rowReader {
+	return &rowReader{r: bufio.NewReaderSize(r, 1<<16), arity: arity}
+}
+
+// next decodes one row into dst (reused across calls when it has
+// capacity). It returns io.EOF cleanly at end of stream.
+func (rr *rowReader) next(dst sqltypes.Row) (sqltypes.Row, error) {
+	if cap(dst) < rr.arity {
+		dst = make(sqltypes.Row, rr.arity)
+	}
+	dst = dst[:rr.arity]
+	for i := 0; i < rr.arity; i++ {
+		tag, err := rr.r.ReadByte()
+		if err != nil {
+			if err == io.EOF && i == 0 {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("storage: truncated row: %w", err)
+		}
+		switch tag {
+		case tagNull:
+			dst[i] = sqltypes.Null
+		case tagDouble:
+			if _, err := io.ReadFull(rr.r, rr.buf[:8]); err != nil {
+				return nil, fmt.Errorf("storage: truncated double: %w", err)
+			}
+			dst[i] = sqltypes.NewDouble(math.Float64frombits(binary.LittleEndian.Uint64(rr.buf[:8])))
+		case tagBigInt:
+			if _, err := io.ReadFull(rr.r, rr.buf[:8]); err != nil {
+				return nil, fmt.Errorf("storage: truncated bigint: %w", err)
+			}
+			dst[i] = sqltypes.NewBigInt(int64(binary.LittleEndian.Uint64(rr.buf[:8])))
+		case tagVarChar:
+			if _, err := io.ReadFull(rr.r, rr.buf[:4]); err != nil {
+				return nil, fmt.Errorf("storage: truncated varchar length: %w", err)
+			}
+			n := binary.LittleEndian.Uint32(rr.buf[:4])
+			s := make([]byte, n)
+			if _, err := io.ReadFull(rr.r, s); err != nil {
+				return nil, fmt.Errorf("storage: truncated varchar: %w", err)
+			}
+			dst[i] = sqltypes.NewVarChar(string(s))
+		default:
+			return nil, fmt.Errorf("storage: bad value tag %d", tag)
+		}
+	}
+	return dst, nil
+}

@@ -1,0 +1,386 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/engine/sqltypes"
+)
+
+// DefaultPartitions models the paper's 20 parallel Teradata threads.
+const DefaultPartitions = 20
+
+// Table is a horizontally partitioned relation. Rows are distributed
+// round-robin across partitions (the paper: "data sets were
+// horizontally partitioned evenly among threads").
+type Table struct {
+	name   string
+	schema *sqltypes.Schema
+	dir    string // "" means in-memory
+
+	mu    sync.RWMutex
+	parts []partition
+	rows  int64
+}
+
+type partition struct {
+	path string         // on-disk file, when dir != ""
+	mem  []sqltypes.Row // in-memory rows otherwise
+	rows int64
+}
+
+// NewTable creates an empty table with the given partition count. If
+// dir is non-empty the partitions are files under dir and every scan
+// re-reads them from the filesystem; otherwise rows are kept in memory.
+func NewTable(name string, schema *sqltypes.Schema, dir string, partitions int) (*Table, error) {
+	if partitions < 1 {
+		return nil, fmt.Errorf("storage: table %q needs at least 1 partition", name)
+	}
+	if schema == nil || schema.Len() == 0 {
+		return nil, fmt.Errorf("storage: table %q needs a non-empty schema", name)
+	}
+	t := &Table{name: name, schema: schema, dir: dir, parts: make([]partition, partitions)}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("storage: %w", err)
+		}
+		for i := range t.parts {
+			path := filepath.Join(dir, fmt.Sprintf("%s.p%03d.dat", name, i))
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				return nil, fmt.Errorf("storage: %w", err)
+			}
+			t.parts[i].path = path
+		}
+	}
+	return t, nil
+}
+
+// OpenTable attaches to a table whose partition files already exist
+// under dir (created by a previous process). Row counts are rebuilt by
+// scanning the partitions once.
+func OpenTable(name string, schema *sqltypes.Schema, dir string, partitions int) (*Table, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("storage: OpenTable requires a directory")
+	}
+	if partitions < 1 {
+		return nil, fmt.Errorf("storage: table %q needs at least 1 partition", name)
+	}
+	if schema == nil || schema.Len() == 0 {
+		return nil, fmt.Errorf("storage: table %q needs a non-empty schema", name)
+	}
+	t := &Table{name: name, schema: schema, dir: dir, parts: make([]partition, partitions)}
+	for i := range t.parts {
+		path := filepath.Join(dir, fmt.Sprintf("%s.p%03d.dat", name, i))
+		if _, err := os.Stat(path); err != nil {
+			return nil, fmt.Errorf("storage: table %q partition missing: %w", name, err)
+		}
+		t.parts[i].path = path
+	}
+	for p := range t.parts {
+		var count int64
+		if err := t.ScanPartition(p, func(sqltypes.Row) error { count++; return nil }); err != nil {
+			return nil, fmt.Errorf("storage: attaching table %q: %w", name, err)
+		}
+		t.parts[p].rows = count
+		t.rows += count
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *sqltypes.Schema { return t.schema }
+
+// Partitions returns the partition count.
+func (t *Table) Partitions() int { return len(t.parts) }
+
+// NumRows returns the current row count.
+func (t *Table) NumRows() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// OnDisk reports whether partitions live in files.
+func (t *Table) OnDisk() bool { return t.dir != "" }
+
+// validate checks a row against the schema, coercing numeric widths.
+func (t *Table) validate(row sqltypes.Row) (sqltypes.Row, error) {
+	if len(row) != t.schema.Len() {
+		return nil, fmt.Errorf("storage: table %q expects %d columns, got %d", t.name, t.schema.Len(), len(row))
+	}
+	out := row.Clone()
+	for i, col := range t.schema.Columns {
+		if out[i].IsNull() {
+			continue
+		}
+		v, err := sqltypes.Coerce(out[i], col.Type)
+		if err != nil {
+			return nil, fmt.Errorf("storage: table %q column %q: %w", t.name, col.Name, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Insert appends rows, distributing them round-robin over partitions.
+// It is safe for concurrent use.
+func (t *Table) Insert(rows ...sqltypes.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	checked := make([]sqltypes.Row, len(rows))
+	for i, r := range rows {
+		v, err := t.validate(r)
+		if err != nil {
+			return err
+		}
+		checked[i] = v
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dir == "" {
+		for i, r := range checked {
+			p := int((t.rows + int64(i)) % int64(len(t.parts)))
+			t.parts[p].mem = append(t.parts[p].mem, r)
+			t.parts[p].rows++
+		}
+		t.rows += int64(len(checked))
+		return nil
+	}
+	// Group per partition, then append each file once.
+	groups := make([][]sqltypes.Row, len(t.parts))
+	for i, r := range checked {
+		p := int((t.rows + int64(i)) % int64(len(t.parts)))
+		groups[p] = append(groups[p], r)
+	}
+	for p, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		if err := t.appendFile(p, g); err != nil {
+			return err
+		}
+	}
+	t.rows += int64(len(checked))
+	return nil
+}
+
+func (t *Table) appendFile(p int, rows []sqltypes.Row) error {
+	f, err := os.OpenFile(t.parts[p].path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	var buf []byte
+	for _, r := range rows {
+		buf, err = encodeRow(buf[:0], r)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := w.Write(buf); err != nil {
+			f.Close()
+			return fmt.Errorf("storage: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	t.parts[p].rows += int64(len(rows))
+	return f.Close()
+}
+
+// BulkLoader streams large row sets into a table with one open file per
+// partition; used by the synthetic data generator and CSV import.
+type BulkLoader struct {
+	t       *Table
+	files   []*bufio.Writer
+	closers []io.Closer
+	buf     []byte
+	next    int64
+	loaded  int64
+}
+
+// NewBulkLoader opens a loader. The caller must Close it; rows become
+// visible to scans only after Close.
+func (t *Table) NewBulkLoader() (*BulkLoader, error) {
+	bl := &BulkLoader{t: t}
+	if t.dir != "" {
+		bl.files = make([]*bufio.Writer, len(t.parts))
+		bl.closers = make([]io.Closer, len(t.parts))
+		for i := range t.parts {
+			f, err := os.OpenFile(t.parts[i].path, os.O_APPEND|os.O_WRONLY, 0o644)
+			if err != nil {
+				bl.abort()
+				return nil, fmt.Errorf("storage: %w", err)
+			}
+			bl.files[i] = bufio.NewWriterSize(f, 1<<18)
+			bl.closers[i] = f
+		}
+	}
+	t.mu.Lock() // held until Close; bulk load is exclusive
+	bl.next = t.rows
+	return bl, nil
+}
+
+// Add appends one row to the load.
+func (bl *BulkLoader) Add(row sqltypes.Row) error {
+	r, err := bl.t.validate(row)
+	if err != nil {
+		return err
+	}
+	p := int(bl.next % int64(len(bl.t.parts)))
+	bl.next++
+	bl.loaded++
+	if bl.t.dir == "" {
+		bl.t.parts[p].mem = append(bl.t.parts[p].mem, r)
+		bl.t.parts[p].rows++
+		return nil
+	}
+	bl.buf, err = encodeRow(bl.buf[:0], r)
+	if err != nil {
+		return err
+	}
+	if _, err := bl.files[p].Write(bl.buf); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	bl.t.parts[p].rows++
+	return nil
+}
+
+// Close flushes and publishes the loaded rows.
+func (bl *BulkLoader) Close() error {
+	defer bl.t.mu.Unlock()
+	bl.t.rows += bl.loaded
+	return bl.abort()
+}
+
+func (bl *BulkLoader) abort() error {
+	var first error
+	for i, w := range bl.files {
+		if w != nil {
+			if err := w.Flush(); err != nil && first == nil {
+				first = fmt.Errorf("storage: %w", err)
+			}
+		}
+		if bl.closers[i] != nil {
+			if err := bl.closers[i].Close(); err != nil && first == nil {
+				first = fmt.Errorf("storage: %w", err)
+			}
+		}
+	}
+	return first
+}
+
+// ScanPartition iterates the rows of partition p, invoking fn for each.
+// The row passed to fn is reused between calls; fn must clone it to
+// retain it. On-disk partitions are opened and read from the filesystem
+// on every call — the engine never caches table data, matching the
+// paper's measurement methodology.
+func (t *Table) ScanPartition(p int, fn func(sqltypes.Row) error) error {
+	if p < 0 || p >= len(t.parts) {
+		return fmt.Errorf("storage: partition %d out of range 0..%d", p, len(t.parts)-1)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.dir == "" {
+		for _, r := range t.parts[p].mem {
+			if err := fn(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	f, err := os.Open(t.parts[p].path)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	rr := newRowReader(f, t.schema.Len())
+	var row sqltypes.Row
+	for {
+		row, err = rr.next(row)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+}
+
+// Scan iterates all partitions sequentially. Parallel scans are driven
+// by the executor calling ScanPartition from multiple goroutines.
+func (t *Table) Scan(fn func(sqltypes.Row) error) error {
+	for p := 0; p < len(t.parts); p++ {
+		if err := t.ScanPartition(p, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Truncate removes all rows.
+func (t *Table) Truncate() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.parts {
+		t.parts[i].mem = nil
+		t.parts[i].rows = 0
+		if t.dir != "" {
+			if err := os.WriteFile(t.parts[i].path, nil, 0o644); err != nil {
+				return fmt.Errorf("storage: %w", err)
+			}
+		}
+	}
+	t.rows = 0
+	return nil
+}
+
+// Drop removes the table's on-disk files.
+func (t *Table) Drop() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dir == "" {
+		t.parts = make([]partition, len(t.parts))
+		t.rows = 0
+		return nil
+	}
+	var first error
+	for i := range t.parts {
+		if err := os.Remove(t.parts[i].path); err != nil && !os.IsNotExist(err) && first == nil {
+			first = fmt.Errorf("storage: %w", err)
+		}
+	}
+	return first
+}
+
+// SizeBytes returns the total on-disk size (0 for in-memory tables);
+// the ODBC export simulator uses this to model transfer volume.
+func (t *Table) SizeBytes() (int64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.dir == "" {
+		return 0, nil
+	}
+	var total int64
+	for i := range t.parts {
+		st, err := os.Stat(t.parts[i].path)
+		if err != nil {
+			return 0, fmt.Errorf("storage: %w", err)
+		}
+		total += st.Size()
+	}
+	return total, nil
+}

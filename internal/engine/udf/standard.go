@@ -1,0 +1,129 @@
+package udf
+
+import (
+	"fmt"
+
+	"repro/internal/engine/sqltypes"
+)
+
+// standardAggregates returns the built-in SQL aggregates implemented on
+// the same 4-phase protocol as aggregate UDFs, so the parallel executor
+// treats both identically.
+func standardAggregates() []Aggregate {
+	return []Aggregate{
+		simpleAgg{name: "sum"},
+		simpleAgg{name: "count"},
+		simpleAgg{name: "avg"},
+		simpleAgg{name: "min"},
+		simpleAgg{name: "max"},
+	}
+}
+
+// simpleState covers all five standard aggregates: a running sum and
+// count plus min/max trackers.
+type simpleState struct {
+	sum      float64
+	count    int64
+	min, max sqltypes.Value
+	seen     bool
+}
+
+type simpleAgg struct{ name string }
+
+func (a simpleAgg) Name() string { return a.name }
+
+func (a simpleAgg) CheckArgs(n int) error {
+	// count(*) arrives with zero args; everything else takes one.
+	if a.name == "count" && n == 0 {
+		return nil
+	}
+	if n != 1 {
+		return fmt.Errorf("udf: %s expects 1 argument, got %d", a.name, n)
+	}
+	return nil
+}
+
+func (a simpleAgg) Init(h *Heap) (State, error) {
+	if err := h.Alloc(64); err != nil { // state struct footprint
+		return nil, err
+	}
+	return &simpleState{}, nil
+}
+
+func (a simpleAgg) Accumulate(s State, args []sqltypes.Value) error {
+	st := s.(*simpleState)
+	if len(args) == 0 { // count(*)
+		st.count++
+		return nil
+	}
+	v := args[0]
+	if v.IsNull() {
+		return nil // SQL aggregates ignore NULLs
+	}
+	st.count++
+	if f, ok := v.Float(); ok {
+		st.sum += f
+	} else if a.name == "sum" || a.name == "avg" {
+		return fmt.Errorf("udf: %s: non-numeric argument %v", a.name, v)
+	}
+	if !st.seen {
+		st.min, st.max = v, v
+		st.seen = true
+		return nil
+	}
+	if sqltypes.Compare(v, st.min) < 0 {
+		st.min = v
+	}
+	if sqltypes.Compare(v, st.max) > 0 {
+		st.max = v
+	}
+	return nil
+}
+
+func (a simpleAgg) Merge(dst, src State) error {
+	d, s := dst.(*simpleState), src.(*simpleState)
+	d.sum += s.sum
+	d.count += s.count
+	if s.seen {
+		if !d.seen {
+			d.min, d.max, d.seen = s.min, s.max, true
+		} else {
+			if sqltypes.Compare(s.min, d.min) < 0 {
+				d.min = s.min
+			}
+			if sqltypes.Compare(s.max, d.max) > 0 {
+				d.max = s.max
+			}
+		}
+	}
+	return nil
+}
+
+func (a simpleAgg) Finalize(s State) (sqltypes.Value, error) {
+	st := s.(*simpleState)
+	switch a.name {
+	case "count":
+		return sqltypes.NewBigInt(st.count), nil
+	case "sum":
+		if st.count == 0 {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewDouble(st.sum), nil
+	case "avg":
+		if st.count == 0 {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewDouble(st.sum / float64(st.count)), nil
+	case "min":
+		if !st.seen {
+			return sqltypes.Null, nil
+		}
+		return st.min, nil
+	case "max":
+		if !st.seen {
+			return sqltypes.Null, nil
+		}
+		return st.max, nil
+	}
+	return sqltypes.Null, fmt.Errorf("udf: unknown standard aggregate %q", a.name)
+}

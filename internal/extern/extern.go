@@ -1,0 +1,186 @@
+// Package extern is the paper's "C++ program on a workstation"
+// comparator: a single-threaded analyzer that parses an exported text
+// file and computes n, L, Q (and the downstream models) entirely
+// outside the DBMS. It is deliberately not parallel — the paper's
+// workstation had one CPU against the database server's 20 threads,
+// and that asymmetry is part of the result being reproduced.
+package extern
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Options configure the analyzer.
+type Options struct {
+	// SkipLeadingID drops the first CSV field (the point id i, which
+	// is "not used for statistical purposes", §2.1).
+	SkipLeadingID bool
+	// MatrixType selects the Q computed. Default Triangular.
+	MatrixType core.MatrixType
+}
+
+// ComputeNLQ scans a CSV stream once, keeping L and Q in main memory
+// at all times, exactly as the paper's optimized C++ implementation.
+func ComputeNLQ(r io.Reader, d int, opts Options) (*core.NLQ, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("extern: invalid dimensionality %d", d)
+	}
+	s, err := core.NewNLQ(d, opts.MatrixType)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(r, 1<<16)
+	x := make([]float64, d)
+	lineNo := 0
+	for {
+		line, err := br.ReadString('\n')
+		if len(line) == 0 && err == io.EOF {
+			return s, nil
+		}
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("extern: %w", err)
+		}
+		lineNo++
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			if err == io.EOF {
+				return s, nil
+			}
+			continue
+		}
+		if perr := parseLine(line, x, opts.SkipLeadingID); perr != nil {
+			return nil, fmt.Errorf("extern: line %d: %w", lineNo, perr)
+		}
+		if uerr := s.Update(x); uerr != nil {
+			return nil, uerr
+		}
+		if err == io.EOF {
+			return s, nil
+		}
+	}
+}
+
+// parseLine splits a CSV record and parses d floats into x.
+func parseLine(line string, x []float64, skipID bool) error {
+	field := 0
+	want := len(x)
+	start := 0
+	idx := 0
+	for i := 0; i <= len(line); i++ {
+		if i < len(line) && line[i] != ',' {
+			continue
+		}
+		raw := line[start:i]
+		start = i + 1
+		if skipID && field == 0 {
+			field++
+			continue
+		}
+		if idx >= want {
+			return fmt.Errorf("too many fields (want %d values)", want)
+		}
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return fmt.Errorf("bad float %q", raw)
+		}
+		x[idx] = f
+		idx++
+		field++
+	}
+	if idx != want {
+		return fmt.Errorf("got %d values, want %d", idx, want)
+	}
+	return nil
+}
+
+// AnalyzeFile is ComputeNLQ over a file on the workstation's disk.
+func AnalyzeFile(path string, d int, opts Options) (*core.NLQ, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("extern: %w", err)
+	}
+	defer f.Close()
+	return ComputeNLQ(f, d, opts)
+}
+
+// Models bundles everything the external tool builds from one pass:
+// the paper's Table 1 workloads (correlation, PCA, linear regression)
+// all derive from the same summaries.
+type Models struct {
+	NLQ         *core.NLQ
+	Correlation *core.CorrelationModel
+	PCA         *core.PCAModel
+}
+
+// BuildModels runs the full external pipeline on an exported file:
+// one scan for n, L, Q, then the model math in memory.
+func BuildModels(path string, d, pcaK int, opts Options) (*Models, error) {
+	if opts.MatrixType == core.Diagonal {
+		return nil, fmt.Errorf("extern: model building needs a triangular or full Q")
+	}
+	nlq, err := AnalyzeFile(path, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	corr, err := core.BuildCorrelation(nlq)
+	if err != nil {
+		return nil, err
+	}
+	pca, err := core.BuildPCA(nlq, pcaK, core.CorrelationBasis)
+	if err != nil {
+		return nil, err
+	}
+	return &Models{NLQ: nlq, Correlation: corr, PCA: pca}, nil
+}
+
+// ScoreRegressionCSV applies a regression model to an exported file,
+// writing "i,yhat" lines — the external scoring comparator.
+func ScoreRegressionCSV(r io.Reader, w io.Writer, m *core.LinRegModel) (int64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	x := make([]float64, m.D)
+	var rows int64
+	lineNo := 0
+	for {
+		line, err := br.ReadString('\n')
+		if len(line) == 0 && err == io.EOF {
+			break
+		}
+		if err != nil && err != io.EOF {
+			return rows, fmt.Errorf("extern: %w", err)
+		}
+		lineNo++
+		trimmed := strings.TrimRight(line, "\r\n")
+		if trimmed == "" {
+			if err == io.EOF {
+				break
+			}
+			continue
+		}
+		// Leading id field retained for the output join key.
+		comma := strings.IndexByte(trimmed, ',')
+		if comma < 0 {
+			return rows, fmt.Errorf("extern: line %d: missing id field", lineNo)
+		}
+		if perr := parseLine(trimmed[comma+1:], x, false); perr != nil {
+			return rows, fmt.Errorf("extern: line %d: %w", lineNo, perr)
+		}
+		yhat, perr := m.Predict(x)
+		if perr != nil {
+			return rows, perr
+		}
+		fmt.Fprintf(bw, "%s,%s\n", trimmed[:comma], strconv.FormatFloat(yhat, 'g', 17, 64))
+		rows++
+		if err == io.EOF {
+			break
+		}
+	}
+	return rows, bw.Flush()
+}

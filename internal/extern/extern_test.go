@@ -1,0 +1,126 @@
+package extern
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func TestComputeNLQMatchesDirect(t *testing.T) {
+	cfg := synth.Config{N: 500, D: 4, Seed: 21}
+	var buf bytes.Buffer
+	if _, err := synth.WriteCSV(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ComputeNLQ(&buf, 4, Options{SkipLeadingID: true, MatrixType: core.Triangular})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, _ := synth.Points(cfg)
+	want := core.MustNLQ(4, core.Triangular)
+	for _, x := range pts {
+		want.Update(x)
+	}
+	if got.N != want.N {
+		t.Fatalf("n = %g, want %g", got.N, want.N)
+	}
+	for a := 0; a < 4; a++ {
+		if math.Abs(got.L[a]-want.L[a]) > 1e-6 {
+			t.Fatalf("L[%d] mismatch", a)
+		}
+		for b := 0; b <= a; b++ {
+			if math.Abs(got.QAt(a, b)-want.QAt(a, b)) > 1e-4 {
+				t.Fatalf("Q[%d][%d] = %g want %g", a, b, got.QAt(a, b), want.QAt(a, b))
+			}
+		}
+	}
+}
+
+func TestComputeNLQWithoutID(t *testing.T) {
+	in := "1,2\n3,4\n"
+	s, err := ComputeNLQ(strings.NewReader(in), 2, Options{MatrixType: core.Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 2 || s.L[0] != 4 || s.L[1] != 6 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestComputeNLQErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"bad float", "1,abc\n"},
+		{"too few fields", "1\n"},
+		{"too many fields", "1,2,3\n"},
+	}
+	for _, c := range cases {
+		if _, err := ComputeNLQ(strings.NewReader(c.in), 2, Options{}); err == nil {
+			t.Errorf("%s: must fail", c.name)
+		}
+	}
+	if _, err := ComputeNLQ(strings.NewReader(""), 0, Options{}); err == nil {
+		t.Error("d=0 must fail")
+	}
+	// Empty input: valid, empty summaries.
+	s, err := ComputeNLQ(strings.NewReader(""), 2, Options{})
+	if err != nil || s.N != 0 {
+		t.Errorf("empty input: %v %v", s, err)
+	}
+	// No trailing newline on last row still parses.
+	s, err = ComputeNLQ(strings.NewReader("1,2\n3,4"), 2, Options{})
+	if err != nil || s.N != 2 {
+		t.Errorf("missing trailing newline: %v %v", s, err)
+	}
+}
+
+func TestAnalyzeFileAndBuildModels(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := synth.WriteCSV(f, synth.Config{N: 800, D: 5, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	m, err := BuildModels(path, 5, 2, Options{SkipLeadingID: true, MatrixType: core.Triangular})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NLQ.N != 800 || m.Correlation.D != 5 || m.PCA.K != 2 {
+		t.Fatalf("models = %+v", m)
+	}
+	if _, err := BuildModels(path, 5, 2, Options{MatrixType: core.Diagonal}); err == nil {
+		t.Fatal("diagonal model building must fail")
+	}
+	if _, err := AnalyzeFile(filepath.Join(dir, "nope.csv"), 2, Options{}); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestScoreRegressionCSV(t *testing.T) {
+	m := &core.LinRegModel{D: 2, Beta: []float64{10, 2, -1}}
+	in := "7,1,2\n8,3,4\n"
+	var out bytes.Buffer
+	rows, err := ScoreRegressionCSV(strings.NewReader(in), &out, m)
+	if err != nil || rows != 2 {
+		t.Fatalf("rows=%d err=%v", rows, err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// ŷ(1,2) = 10+2−2 = 10; ŷ(3,4) = 10+6−4 = 12.
+	if lines[0] != "7,10" || lines[1] != "8,12" {
+		t.Fatalf("lines = %v", lines)
+	}
+	if _, err := ScoreRegressionCSV(strings.NewReader("noid\n"), &out, m); err == nil {
+		t.Fatal("missing id field must fail")
+	}
+}

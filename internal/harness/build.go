@@ -1,0 +1,473 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine/db"
+	"repro/internal/extern"
+	"repro/internal/nlqudf"
+	"repro/internal/odbcsim"
+	"repro/internal/sqlgen"
+)
+
+// runSQLNLQ executes the long SQL query and decodes the result row
+// into an NLQ (the client-side step TWM performs before the model
+// math).
+func runSQLNLQ(d *db.DB, dims int, mt core.MatrixType) (*core.NLQ, error) {
+	res, err := d.Exec(sqlgen.NLQQuery("X", sqlgen.Dims(dims), mt))
+	if err != nil {
+		return nil, err
+	}
+	row := res.Rows[0]
+	s := core.MustNLQ(dims, mt)
+	s.N = row[0].MustFloat()
+	for a := 0; a < dims; a++ {
+		if !row[1+a].IsNull() {
+			s.L[a] = row[1+a].MustFloat()
+		}
+	}
+	for a := 0; a < dims; a++ {
+		for c := 0; c < dims; c++ {
+			v := row[1+dims+a*dims+c]
+			if v.IsNull() {
+				continue
+			}
+			switch mt {
+			case core.Diagonal:
+				if a == c {
+					s.Q[a*dims+c] = v.MustFloat()
+				}
+			case core.Triangular:
+				if c <= a {
+					s.Q[a*dims+c] = v.MustFloat()
+				}
+			case core.Full:
+				s.Q[a*dims+c] = v.MustFloat()
+			}
+		}
+	}
+	return s, nil
+}
+
+// runUDFNLQ executes the aggregate UDF and unpacks its string result.
+func runUDFNLQ(d *db.DB, dims int, mt core.MatrixType, style sqlgen.PassStyle) (*core.NLQ, error) {
+	res, err := d.Exec(sqlgen.NLQUDFQuery("X", sqlgen.Dims(dims), mt, style))
+	if err != nil {
+		return nil, err
+	}
+	v, err := res.Value()
+	if err != nil {
+		return nil, err
+	}
+	return core.Unpack(v.Str())
+}
+
+// exportX exports table X to a file through the ODBC simulator,
+// returning the path and the export statistics.
+func exportX(d *db.DB, cfg Config, dir string) (string, odbcsim.Stats, error) {
+	t, err := d.Table("X")
+	if err != nil {
+		return "", odbcsim.Stats{}, err
+	}
+	path := filepath.Join(dir, "export.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", odbcsim.Stats{}, err
+	}
+	st, err := odbcsim.Export(t, f, cfg.ODBC)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return path, st, err
+}
+
+// buildAllModels performs the client-side model math of Table 1 from
+// the summaries: correlation, PCA (k=16 capped at d) and linear
+// regression treating the last dimension as Y.
+func buildAllModels(s *core.NLQ) error {
+	if _, err := core.BuildCorrelation(s); err != nil {
+		return err
+	}
+	k := 16
+	if k > s.D-1 {
+		k = s.D - 1
+	}
+	if _, err := core.BuildPCA(s, k, core.CorrelationBasis); err != nil {
+		return err
+	}
+	_, err := core.BuildLinReg(s)
+	return err
+}
+
+// runTable1 reproduces Table 1: total time (summaries + model math) at
+// d=32 for n = 100k..1600k, comparing C++ (on a pre-exported file,
+// export excluded as in the paper), SQL and the aggregate UDF. The
+// correlation and regression columns measure the shared n,L,Q pass
+// plus each model's own math.
+func runTable1(cfg Config) ([]*Table, error) {
+	const dims = 32
+	d, cleanup, err := newDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	exportDir, err := os.MkdirTemp("", "statsudf-export-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(exportDir)
+
+	t := &Table{
+		ID:    "t1",
+		Title: fmt.Sprintf("Total time to build models at d=%d (secs)", dims),
+		Header: []string{"n x1000(scaled)", "corr C++", "corr SQL", "corr UDF",
+			"pca/linreg C++", "pca/linreg SQL", "pca/linreg UDF"},
+		Note: "C++ runs single-threaded on a pre-exported file (export time excluded, as in the paper); SQL/UDF run in the 20-way parallel engine.",
+	}
+	for _, nk := range []int{100, 200, 400, 800, 1600} {
+		n := cfg.rows(nk)
+		if err := loadX(d, cfg, n, dims); err != nil {
+			return nil, err
+		}
+		// Pre-export without throttling: Table 1 excludes export time.
+		plainODBC := cfg
+		plainODBC.ODBC.TimeScale = 0
+		path, _, err := exportX(d, plainODBC, exportDir)
+		if err != nil {
+			return nil, err
+		}
+
+		type cell struct {
+			corr, full time.Duration
+		}
+		var cpp, sql, udf cell
+		// C++: single-threaded scan of the file + model math.
+		cpp.corr, err = timeIt(cfg, func() error {
+			s, err := extern.ComputeNLQ(mustOpen(path), dims, extern.Options{SkipLeadingID: true, MatrixType: core.Triangular})
+			if err != nil {
+				return err
+			}
+			_, err = core.BuildCorrelation(s)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		cpp.full, err = timeIt(cfg, func() error {
+			s, err := extern.ComputeNLQ(mustOpen(path), dims, extern.Options{SkipLeadingID: true, MatrixType: core.Triangular})
+			if err != nil {
+				return err
+			}
+			return buildAllModels(s)
+		})
+		if err != nil {
+			return nil, err
+		}
+		// SQL: long query + model math.
+		sql.corr, err = timeIt(cfg, func() error {
+			s, err := runSQLNLQ(d, dims, core.Triangular)
+			if err != nil {
+				return err
+			}
+			_, err = core.BuildCorrelation(s)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		sql.full, err = timeIt(cfg, func() error {
+			s, err := runSQLNLQ(d, dims, core.Triangular)
+			if err != nil {
+				return err
+			}
+			return buildAllModels(s)
+		})
+		if err != nil {
+			return nil, err
+		}
+		// UDF: aggregate UDF + model math.
+		udf.corr, err = timeIt(cfg, func() error {
+			s, err := runUDFNLQ(d, dims, core.Triangular, sqlgen.ListStyle)
+			if err != nil {
+				return err
+			}
+			_, err = core.BuildCorrelation(s)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		udf.full, err = timeIt(cfg, func() error {
+			s, err := runUDFNLQ(d, dims, core.Triangular, sqlgen.ListStyle)
+			if err != nil {
+				return err
+			}
+			return buildAllModels(s)
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d (%d rows)", nk, n),
+			secs(cpp.corr), secs(sql.corr), secs(udf.corr),
+			secs(cpp.full), secs(sql.full), secs(udf.full),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// mustOpen re-opens the exported file per run; the external analyzer
+// re-reads its input from disk each time, like the table scans.
+func mustOpen(path string) *os.File {
+	f, err := os.Open(path)
+	if err != nil {
+		panic(err) // file was created moments ago by the same process
+	}
+	return f
+}
+
+// runTable2 reproduces Table 2: time for n,L,Q at n ∈ {100k,200k} and
+// d ∈ {8..64} for C++/SQL/UDF, plus the modeled ODBC export time.
+func runTable2(cfg Config) ([]*Table, error) {
+	d, cleanup, err := newDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	exportDir, err := os.MkdirTemp("", "statsudf-export-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(exportDir)
+
+	t := &Table{
+		ID:     "t2",
+		Title:  "Time to compute n, L, Q and time to export X with ODBC (secs)",
+		Header: []string{"n x1000(scaled)", "d", "C++", "SQL", "UDF", "ODBC(modeled)"},
+		Note:   "ODBC column is the modeled 100 Mbps channel time for the full export (the paper's dominant cost); the other columns are measured.",
+	}
+	for _, nk := range []int{100, 200} {
+		for _, dims := range []int{8, 16, 32, 64} {
+			n := cfg.rows(nk)
+			if err := loadX(d, cfg, n, dims); err != nil {
+				return nil, err
+			}
+			path, odbcStats, err := exportX(d, cfg, exportDir)
+			if err != nil {
+				return nil, err
+			}
+			cppT, err := timeIt(cfg, func() error {
+				f := mustOpen(path)
+				defer f.Close()
+				_, err := extern.ComputeNLQ(f, dims, extern.Options{SkipLeadingID: true, MatrixType: core.Triangular})
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			sqlT, err := timeIt(cfg, func() error {
+				_, err := runSQLNLQ(d, dims, core.Triangular)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			udfT, err := timeIt(cfg, func() error {
+				_, err := runUDFNLQ(d, dims, core.Triangular, sqlgen.ListStyle)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d (%d rows)", nk, n), itoa(dims),
+				secs(cppT), secs(sqlT), secs(udfT),
+				secs(odbcStats.Modeled),
+			})
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// runTable3 reproduces Table 3: model construction time when n, L, Q
+// are already available — independent of n, growing only with d.
+func runTable3(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:     "t3",
+		Title:  "Time to build models from n, L, Q (secs); independent of n",
+		Header: []string{"d", "linear correlation", "linear regression", "PCA", "clustering"},
+		Note:   "clustering column is the C/R/W finalization from k=16 per-cluster summaries; all model math runs on d×d matrices only.",
+	}
+	for _, dims := range []int{4, 8, 16, 32, 64} {
+		// Build the summaries once from a small representative sample —
+		// the point of the experiment is that model math never touches X.
+		d, cleanup, err := newDB(cfg)
+		if err != nil {
+			return nil, err
+		}
+		n := cfg.rows(100)
+		if n < 4*dims {
+			n = 4 * dims // regression needs n > d+1 even at tiny scales
+		}
+		if err := loadX(d, cfg, n, dims); err != nil {
+			cleanup()
+			return nil, err
+		}
+		s, err := runUDFNLQ(d, dims, core.Triangular, sqlgen.ListStyle)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		// Per-cluster summaries for the clustering column.
+		groups, err := runGroupedNLQ(d, dims, 16)
+		cleanup()
+		if err != nil {
+			return nil, err
+		}
+
+		corrT, err := timeIt(cfg, func() error {
+			_, err := core.BuildCorrelation(s)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		regT, err := timeIt(cfg, func() error {
+			_, err := core.BuildLinReg(s)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		k := 16
+		if k > dims-1 {
+			k = dims - 1
+		}
+		pcaT, err := timeIt(cfg, func() error {
+			_, err := core.BuildPCA(s, k, core.CorrelationBasis)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		clusT, err := timeIt(cfg, func() error {
+			return finalizeClusters(groups, dims)
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(dims), secs(corrT), secs(regT), secs(pcaT), secs(clusT),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// runGroupedNLQ computes k per-group diagonal summaries with the
+// GROUP BY UDF query.
+func runGroupedNLQ(d *db.DB, dims, k int) ([]*core.NLQ, error) {
+	sql := sqlgen.NLQUDFGroupQuery("X", sqlgen.Dims(dims), core.Diagonal, sqlgen.ListStyle, fmt.Sprintf("i %% %d", k))
+	res, err := d.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*core.NLQ, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		s, err := core.Unpack(row[1].Str())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// finalizeClusters computes C, R, W from per-cluster summaries — the
+// paper's clustering "model build" step once n, L, Q are available.
+func finalizeClusters(groups []*core.NLQ, dims int) error {
+	var n float64
+	for _, g := range groups {
+		n += g.N
+	}
+	if n == 0 {
+		return fmt.Errorf("harness: no cluster members")
+	}
+	for _, g := range groups {
+		if g.N == 0 {
+			continue
+		}
+		if _, err := g.Mean(); err != nil {
+			return err
+		}
+		if _, err := g.Variances(); err != nil {
+			return err
+		}
+		_ = g.N / n // weight
+	}
+	return nil
+}
+
+// runTable6 reproduces Table 6: d ≥ 64 via blocked UDF calls in one
+// synchronized scan; total time is proportional to the number of calls.
+func runTable6(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:     "t6",
+		Title:  "Time growth for high d via blocked UDF calls (secs)",
+		Header: []string{"n x1000(scaled)", "d", "# of UDF calls", "total time"},
+		Note:   "lower-triangle block plan: (b²+b)/2 calls for b = d/64 (the paper reports the full-grid count b²); one synchronized scan computes all blocks.",
+	}
+	for _, dims := range []int{64, 128, 256, 512, 1024} {
+		d, cleanup, err := newDB(cfg)
+		if err != nil {
+			return nil, err
+		}
+		n := cfg.rows(100)
+		// Very wide tables get expensive quickly; scale rows down
+		// further for d > 256 to keep default runs responsive while
+		// preserving the calls-vs-time proportionality.
+		if dims > 256 {
+			n /= 4
+			if n < 20 {
+				n = 20
+			}
+		}
+		if err := loadX(d, cfg, n, dims); err != nil {
+			cleanup()
+			return nil, err
+		}
+		plan, err := core.PlanBlocks(dims, core.MaxD)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		sql := sqlgen.NLQBlockQuery("X", sqlgen.Dims(dims), plan)
+		elapsed, err := timeIt(cfg, func() error {
+			res, err := d.Exec(sql)
+			if err != nil {
+				return err
+			}
+			parts := make([]*core.BlockResult, plan.Calls())
+			for i, v := range res.Rows[0] {
+				_, r, err := nlqudf.UnpackBlock(v.Str())
+				if err != nil {
+					return err
+				}
+				parts[i] = r
+			}
+			_, err = plan.Assemble(parts)
+			return err
+		})
+		cleanup()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("100 (%d rows)", n), itoa(dims), itoa(plan.Calls()), secs(elapsed),
+		})
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,234 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§4). Each experiment builds its workload with the synth
+// generator, runs the competing implementations — the long SQL query,
+// the aggregate/scalar UDFs, and the external single-threaded analyzer
+// on ODBC-exported files — and prints the same rows/series the paper
+// reports, with measured seconds in place of the paper's.
+//
+// Absolute times differ from the 2007 hardware by orders of magnitude;
+// the reproduction targets the shapes: who wins, by what factor, and
+// where the crossovers fall. The Scale knob shrinks the row counts
+// proportionally (Scale=1 is the paper's full size).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/engine/db"
+	"repro/internal/nlqudf"
+	"repro/internal/odbcsim"
+	"repro/internal/score"
+	"repro/internal/synth"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Scale multiplies the paper's row counts (1.0 = full size,
+	// 0.01 = 1% for CI). Default 0.05.
+	Scale float64
+	// Partitions is the engine's parallelism; the paper's system had
+	// 20 threads. Default 20.
+	Partitions int
+	// Dir holds the on-disk tables and export files. Empty uses a
+	// temporary directory (removed afterwards).
+	Dir string
+	// ODBC models the export channel for the external comparator.
+	ODBC odbcsim.Config
+	// Runs averages each measurement over this many repetitions
+	// (the paper used five). Default 1.
+	Runs int
+	// Out receives the rendered tables. Default os.Stdout.
+	Out io.Writer
+	// Seed makes workloads reproducible. Default 2007.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.05
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 20
+	}
+	if c.Runs <= 0 {
+		c.Runs = 1
+	}
+	if c.Out == nil {
+		c.Out = os.Stdout
+	}
+	if c.Seed == 0 {
+		c.Seed = 2007
+	}
+	return c
+}
+
+// rows scales one of the paper's "n × 1000" sizes.
+func (c Config) rows(nThousand int) int {
+	n := int(float64(nThousand) * 1000 * c.Scale)
+	if n < 20 {
+		n = 20
+	}
+	return n
+}
+
+// Table is one rendered result table.
+type Table struct {
+	ID     string // experiment id, e.g. "t1", "f3"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Note   string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s: %s ==\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	printRow(tw, t.Header)
+	for _, r := range t.Rows {
+		printRow(tw, r)
+	}
+	tw.Flush()
+	if t.Note != "" {
+		fmt.Fprintf(w, "note: %s\n", t.Note)
+	}
+}
+
+func printRow(w io.Writer, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(w, "\t")
+		}
+		fmt.Fprint(w, c)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment regenerates one paper table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) ([]*Table, error)
+}
+
+// All returns the experiments in paper order, followed by the
+// repository's extra ablations.
+func All() []Experiment {
+	return []Experiment{
+		{"t1", "Total time to build models at d=32 (Table 1)", runTable1},
+		{"t2", "Time for n,L,Q with aggregate UDF vs C++/SQL + ODBC export (Table 2)", runTable2},
+		{"t3", "Time to build models given n,L,Q; independent of n (Table 3)", runTable3},
+		{"t4", "Time to score X at d=32, k=16 (Table 4)", runTable4},
+		{"t5", "GROUP BY aggregate UDF varying groups k at d=32 (Table 5)", runTable5},
+		{"t6", "Time growth for high d via blocked UDF calls (Table 6)", runTable6},
+		{"f1", "SQL vs aggregate UDF varying n (Figure 1)", runFigure1},
+		{"f2", "SQL vs aggregate UDF varying d (Figure 2)", runFigure2},
+		{"f3", "UDF parameter passing style: string vs list (Figure 3)", runFigure3},
+		{"f4", "Aggregate UDF matrix optimization: diag/triang/full (Figure 4)", runFigure4},
+		{"f5", "Aggregate UDF time varying n and d (Figure 5)", runFigure5},
+		{"f6", "Scalar UDF scoring time varying n (Figure 6)", runFigure6},
+		{"a1", "Ablation: partial-aggregation parallelism (partitions 1/4/20)", runAblatePartitions},
+		{"a2", "Ablation: one long SQL query vs per-cell statements (§3.4)", runAblateSQLStyle},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes the requested experiment ids (nil = all) and prints
+// each table as it completes.
+func RunAll(cfg Config, ids []string) error {
+	cfg = cfg.withDefaults()
+	exps := All()
+	if len(ids) > 0 {
+		var sel []Experiment
+		for _, id := range ids {
+			e, ok := ByID(id)
+			if !ok {
+				known := make([]string, 0, len(exps))
+				for _, x := range exps {
+					known = append(known, x.ID)
+				}
+				sort.Strings(known)
+				return fmt.Errorf("harness: unknown experiment %q (known: %v)", id, known)
+			}
+			sel = append(sel, e)
+		}
+		exps = sel
+	}
+	for _, e := range exps {
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("harness: %s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			t.Fprint(cfg.Out)
+		}
+		fmt.Fprintf(cfg.Out, "[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// newDB opens an on-disk database with the paper's parallelism and the
+// UDFs installed; the caller must call the returned cleanup.
+func newDB(cfg Config) (*db.DB, func(), error) {
+	dir := cfg.Dir
+	cleanup := func() {}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "statsudf-bench-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		dir = tmp
+		cleanup = func() { os.RemoveAll(tmp) }
+	}
+	d := db.Open(db.Options{Dir: dir, Partitions: cfg.Partitions})
+	if err := nlqudf.Register(d); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	if err := score.Register(d); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return d, cleanup, nil
+}
+
+// loadX loads the standard mixture workload into table X.
+func loadX(d *db.DB, cfg Config, n, dims int) error {
+	return synth.LoadTable(d, "X", synth.Config{N: n, D: dims, Seed: cfg.Seed})
+}
+
+// timeIt measures fn averaged over cfg.Runs repetitions.
+func timeIt(cfg Config, fn func() error) (time.Duration, error) {
+	var total time.Duration
+	for r := 0; r < cfg.Runs; r++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		total += time.Since(start)
+	}
+	return total / time.Duration(cfg.Runs), nil
+}
+
+// secs renders a duration in seconds the way the paper's tables do,
+// with enough precision for modern-hardware magnitudes.
+func secs(d time.Duration) string {
+	return fmt.Sprintf("%.4f", d.Seconds())
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

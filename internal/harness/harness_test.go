@@ -1,0 +1,266 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	return Config{Scale: 0.0005, Partitions: 4, Runs: 1, Out: &bytes.Buffer{}}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 0.05 || c.Partitions != 20 || c.Runs != 1 || c.Out == nil || c.Seed == 0 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if n := c.rows(100); n != 5000 {
+		t.Fatalf("rows(100) = %d", n)
+	}
+	small := Config{Scale: 1e-9}.withDefaults()
+	if small.Scale != 1e-9 {
+		t.Fatal("explicit scale overridden")
+	}
+	if n := small.rows(100); n != 20 {
+		t.Fatalf("row floor = %d", n)
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2", "f3", "f4", "f5", "f6", "a1", "a2"} {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+	if _, ok := ByID("zz"); ok {
+		t.Error("unknown id matched")
+	}
+}
+
+func TestRunAllRejectsUnknown(t *testing.T) {
+	if err := RunAll(tiny(), []string{"nope"}); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}
+
+// parseCell reads a seconds cell back as a float.
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", s, err)
+	}
+	return f
+}
+
+func checkTable(t *testing.T, tb *Table, wantRows int) {
+	t.Helper()
+	if len(tb.Rows) != wantRows {
+		t.Fatalf("%s: %d rows, want %d", tb.ID, len(tb.Rows), wantRows)
+	}
+	for _, r := range tb.Rows {
+		if len(r) != len(tb.Header) {
+			t.Fatalf("%s: row width %d vs header %d", tb.ID, len(r), len(tb.Header))
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tabs, err := runTable1(tiny().withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tabs[0], 5)
+	// All timing cells parse as positive floats.
+	for _, r := range tabs[0].Rows {
+		for _, c := range r[1:] {
+			if v := parseCell(t, c); v < 0 {
+				t.Fatalf("negative time %q", c)
+			}
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tabs, err := runTable2(tiny().withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tabs[0], 8)
+	// ODBC modeled time must dominate the single-threaded compute on
+	// the same rows (the paper's headline gap). Both scale with the
+	// data volume, so the assertion holds even at the tiny test scale,
+	// where the UDF column is dominated by fixed engine overhead.
+	for _, r := range tabs[0].Rows {
+		cpp := parseCell(t, r[2])
+		odbc := parseCell(t, r[5])
+		if odbc <= cpp {
+			t.Fatalf("ODBC %g not above C++ compute %g in row %v", odbc, cpp, r)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	tabs, err := runTable3(tiny().withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tabs[0], 5)
+}
+
+func TestTable4(t *testing.T) {
+	tabs, err := runTable4(tiny().withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tabs[0], 12) // 4 sizes × 3 techniques
+}
+
+func TestTable5(t *testing.T) {
+	tabs, err := runTable5(tiny().withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tabs[0], 12) // 2 sizes × 6 group counts
+}
+
+func TestTable6(t *testing.T) {
+	cfg := tiny().withDefaults()
+	tabs, err := runTable6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tabs[0], 5)
+	// Call counts follow the lower-triangle plan.
+	wantCalls := []string{"1", "3", "10", "36", "136"}
+	for i, r := range tabs[0].Rows {
+		if r[2] != wantCalls[i] {
+			t.Fatalf("row %d calls = %s, want %s", i, r[2], wantCalls[i])
+		}
+	}
+}
+
+func TestFigure1And2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many measurements")
+	}
+	tabs, err := runFigure1(tiny().withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tabs[0], 5)
+	tabs, err = runFigure2(tiny().withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tabs[0], 5)
+}
+
+func TestFigure4And5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many measurements")
+	}
+	tabs, err := runFigure4(tiny().withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 {
+		t.Fatalf("%d tables", len(tabs))
+	}
+	checkTable(t, tabs[0], 5)
+	checkTable(t, tabs[1], 5)
+	tabs, err = runFigure5(tiny().withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tabs[0], 5)
+	checkTable(t, tabs[1], 5)
+}
+
+func TestFigure3(t *testing.T) {
+	tabs, err := runFigure3(tiny().withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 {
+		t.Fatalf("%d tables", len(tabs))
+	}
+	checkTable(t, tabs[0], 5)
+	checkTable(t, tabs[1], 5)
+}
+
+func TestFigure6(t *testing.T) {
+	tabs, err := runFigure6(tiny().withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tabs[0], 5)
+}
+
+func TestAblations(t *testing.T) {
+	tabs, err := runAblatePartitions(tiny().withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tabs[0], 2)
+	tabs, err = runAblateSQLStyle(tiny().withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tabs[0], 3)
+	// Statement counts: 1 + d + d(d+1)/2.
+	if tabs[0].Rows[0][3] != "15" || tabs[0].Rows[2][3] != "153" {
+		t.Fatalf("statement counts: %v", tabs[0].Rows)
+	}
+}
+
+func TestRunAllSingleAndPrint(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny()
+	cfg.Out = &buf
+	if err := RunAll(cfg, []string{"t3"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== t3:") || !strings.Contains(out, "[t3 completed in") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestTableSourceScan(t *testing.T) {
+	cfg := tiny().withDefaults()
+	d, cleanup, err := newDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	if err := loadX(d, cfg, 50, 3); err != nil {
+		t.Fatal(err)
+	}
+	src, err := newTableSource(d, "X", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Dims() != 3 {
+		t.Fatalf("dims = %d", src.Dims())
+	}
+	var count int
+	if err := src.Scan(func(x []float64) error {
+		if len(x) != 3 {
+			t.Fatalf("point width %d", len(x))
+		}
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 50 {
+		t.Fatalf("scanned %d", count)
+	}
+	if _, err := newTableSource(d, "missing", 3); err == nil {
+		t.Fatal("missing table must fail")
+	}
+}

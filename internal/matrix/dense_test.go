@@ -1,0 +1,229 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBasicAccessors(t *testing.T) {
+	m := New(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 2)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 7 {
+		t.Fatalf("At/Set/Add broken: %v", m)
+	}
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape %d×%d", m.Rows(), m.Cols())
+	}
+	r := m.Row(1)
+	if r[2] != 7 {
+		t.Fatalf("Row = %v", r)
+	}
+	c := m.Col(2)
+	if c[1] != 7 || c[0] != 0 {
+		t.Fatalf("Col = %v", c)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range access")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestFromSliceAndClone(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if got := Identity(2).Mul(m); got.MaxAbsDiff(m) != 0 {
+		t.Fatalf("I·m != m:\n%v", got)
+	}
+	if got := m.Mul(Identity(3)); got.MaxAbsDiff(m) != 0 {
+		t.Fatalf("m·I != m:\n%v", got)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{5, 6, 7, 8})
+	want := FromSlice(2, 2, []float64{19, 22, 43, 50})
+	if got := a.Mul(b); got.MaxAbsDiff(want) > 1e-12 {
+		t.Fatalf("got\n%v want\n%v", got, want)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, 3+rng.Intn(4), 2+rng.Intn(5))
+		return m.Transpose().Transpose().MaxAbsDiff(m) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomMatrix(rng, 4, 3)
+	x := []float64{1, -2, 0.5}
+	got := m.MulVec(x)
+	want := m.Mul(FromSlice(3, 1, x))
+	for i, v := range got {
+		if !almostEqual(v, want.At(i, 0), 1e-12) {
+			t.Fatalf("MulVec[%d]=%g want %g", i, v, want.At(i, 0))
+		}
+	}
+}
+
+func TestPlusMinusScale(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{4, 3, 2, 1})
+	if got := a.Plus(b); got.At(0, 0) != 5 || got.At(1, 1) != 5 {
+		t.Fatalf("Plus:\n%v", got)
+	}
+	if got := a.Minus(a); got.MaxAbsDiff(New(2, 2)) != 0 {
+		t.Fatalf("a-a != 0")
+	}
+	if got := a.Scale(2); got.At(1, 0) != 6 {
+		t.Fatalf("Scale:\n%v", got)
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	// Property: for random diagonally dominant matrices, A·A⁻¹ ≈ I.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := randomMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+1) // make well conditioned
+		}
+		inv, err := a.Inverse()
+		if err != nil {
+			return false
+		}
+		return a.Mul(inv).MaxAbsDiff(Identity(n)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	s := FromSlice(2, 2, []float64{1, 2, 2, 4})
+	if _, err := s.Inverse(); err == nil {
+		t.Fatal("singular matrix must fail to invert")
+	}
+	if _, err := FromSlice(2, 3, make([]float64, 6)).Inverse(); err == nil {
+		t.Fatal("non-square matrix must fail to invert")
+	}
+}
+
+func TestSolveVec(t *testing.T) {
+	a := FromSlice(2, 2, []float64{2, 1, 1, 3})
+	x, err := a.SolveVec([]float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=5, x+3y=10 → x=1, y=3
+	if !almostEqual(x[0], 1, 1e-10) || !almostEqual(x[1], 3, 1e-10) {
+		t.Fatalf("SolveVec = %v", x)
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	// SPD matrix.
+	a := FromSlice(3, 3, []float64{4, 2, 0, 2, 5, 1, 0, 1, 6})
+	l, err := a.Cholesky()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Mul(l.Transpose()); got.MaxAbsDiff(a) > 1e-10 {
+		t.Fatalf("L·Lᵀ != A:\n%v", got)
+	}
+	// Non-PD must fail.
+	bad := FromSlice(2, 2, []float64{1, 2, 2, 1})
+	if _, err := bad.Cholesky(); err == nil {
+		t.Fatal("non-PD matrix must fail Cholesky")
+	}
+}
+
+func TestDet(t *testing.T) {
+	if d := FromSlice(2, 2, []float64{1, 2, 3, 4}).Det(); !almostEqual(d, -2, 1e-12) {
+		t.Fatalf("Det = %g", d)
+	}
+	if d := Identity(5).Det(); !almostEqual(d, 1, 1e-12) {
+		t.Fatalf("Det(I) = %g", d)
+	}
+	if d := FromSlice(2, 2, []float64{1, 2, 2, 4}).Det(); d != 0 {
+		t.Fatalf("Det(singular) = %g", d)
+	}
+}
+
+func TestDetMatchesInverseExistence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		a := randomMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+1)
+		}
+		det := a.Det()
+		inv, err := a.Inverse()
+		if err != nil {
+			return false
+		}
+		// det(A)·det(A⁻¹) ≈ 1
+		return almostEqual(det*inv.Det(), 1, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotAndSquaredDistance(t *testing.T) {
+	if d := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); d != 32 {
+		t.Fatalf("Dot = %g", d)
+	}
+	if d := SquaredDistance([]float64{0, 0}, []float64{3, 4}); d != 25 {
+		t.Fatalf("SquaredDistance = %g", d)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if !Identity(3).IsSymmetric(0) {
+		t.Fatal("identity must be symmetric")
+	}
+	if FromSlice(2, 2, []float64{1, 2, 3, 4}).IsSymmetric(1e-9) {
+		t.Fatal("asymmetric matrix misdetected")
+	}
+	if FromSlice(2, 3, make([]float64, 6)).IsSymmetric(0) {
+		t.Fatal("non-square cannot be symmetric")
+	}
+}
+
+func randomMatrix(rng *rand.Rand, r, c int) *Dense {
+	m := New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}

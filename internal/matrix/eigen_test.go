@@ -1,0 +1,161 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	m := FromSlice(3, 3, []float64{
+		3, 0, 0,
+		0, 1, 0,
+		0, 0, 2,
+	})
+	e, err := SymEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i, v := range want {
+		if !almostEqual(e.Values[i], v, 1e-10) {
+			t.Fatalf("values = %v, want %v", e.Values, want)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	e, err := SymEigen(FromSlice(2, 2, []float64{2, 1, 1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(e.Values[0], 3, 1e-10) || !almostEqual(e.Values[1], 1, 1e-10) {
+		t.Fatalf("values = %v", e.Values)
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	// Property: V·diag(λ)·Vᵀ ≈ A and VᵀV ≈ I for random symmetric A.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		e, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		d := New(n, n)
+		for i, v := range e.Values {
+			d.Set(i, i, v)
+		}
+		recon := e.Vectors.Mul(d).Mul(e.Vectors.Transpose())
+		ortho := e.Vectors.Transpose().Mul(e.Vectors)
+		return recon.MaxAbsDiff(a) < 1e-8 && ortho.MaxAbsDiff(Identity(n)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymEigenValuesSortedDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 6
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	e, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if e.Values[i] > e.Values[i-1]+1e-12 {
+			t.Fatalf("values not descending: %v", e.Values)
+		}
+	}
+}
+
+func TestSymEigenRejectsBadInput(t *testing.T) {
+	if _, err := SymEigen(FromSlice(2, 3, make([]float64, 6))); err == nil {
+		t.Fatal("non-square must be rejected")
+	}
+	if _, err := SymEigen(FromSlice(2, 2, []float64{1, 2, 3, 4})); err == nil {
+		t.Fatal("asymmetric must be rejected")
+	}
+}
+
+func TestTopComponentsOrthogonal(t *testing.T) {
+	// ΛᵀΛ = I_k: the paper's orthogonality property of the reduction matrix.
+	rng := rand.New(rand.NewSource(3))
+	n := 8
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	e, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 3
+	lambda, vals := e.TopComponents(k)
+	if lambda.Rows() != n || lambda.Cols() != k || len(vals) != k {
+		t.Fatalf("shape %d×%d, %d values", lambda.Rows(), lambda.Cols(), len(vals))
+	}
+	if got := lambda.Transpose().Mul(lambda); got.MaxAbsDiff(Identity(k)) > 1e-8 {
+		t.Fatalf("ΛᵀΛ != I:\n%v", got)
+	}
+}
+
+func TestTopComponentsPanicsOutOfRange(t *testing.T) {
+	e, _ := SymEigen(Identity(3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k out of range")
+		}
+	}()
+	e.TopComponents(4)
+}
+
+func TestSymEigenTraceInvariant(t *testing.T) {
+	// Sum of eigenvalues equals the trace.
+	rng := rand.New(rand.NewSource(5))
+	n := 5
+	a := New(n, n)
+	trace := 0.0
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+		trace += a.At(i, i)
+	}
+	e, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range e.Values {
+		sum += v
+	}
+	if math.Abs(sum-trace) > 1e-9 {
+		t.Fatalf("Σλ = %g, trace = %g", sum, trace)
+	}
+}

@@ -1,0 +1,127 @@
+package nlqudf
+
+import (
+	"fmt"
+
+	"repro/internal/engine/sqltypes"
+	"repro/internal/engine/udf"
+)
+
+// histAgg is the equi-width histogram aggregate UDF the paper's
+// min/max tracking enables ("the minimum and maximum for each
+// dimension ... can be used to detect outliers or build histograms"):
+//
+//	hist(bins, lo, hi, x)
+//
+// returns "under|b1|...|bB|over" — per-bin counts packed as a string,
+// with underflow/overflow counts at the ends so outliers are visible
+// rather than silently clamped.
+type histAgg struct{}
+
+// RegisterHistogram installs the hist aggregate UDF; it is registered
+// by Register alongside the summary UDFs.
+type histState struct {
+	bins   int
+	lo, hi float64
+	counts []float64 // len bins+2: [under, bins..., over]
+}
+
+func (histAgg) Name() string { return "hist" }
+
+func (histAgg) CheckArgs(n int) error {
+	if n != 4 {
+		return fmt.Errorf("nlqudf: hist expects (bins, lo, hi, x)")
+	}
+	return nil
+}
+
+func (histAgg) Init(h *udf.Heap) (udf.State, error) {
+	// Static allocation for the maximum bin count, like the NLQ state.
+	if err := h.Alloc(8 * (maxHistBins + 2)); err != nil {
+		return nil, err
+	}
+	return &histState{}, nil
+}
+
+// maxHistBins bounds a histogram state within a heap segment share.
+const maxHistBins = 4096
+
+func (histAgg) Accumulate(s udf.State, args []sqltypes.Value) error {
+	st := s.(*histState)
+	if args[0].IsNull() || args[1].IsNull() || args[2].IsNull() {
+		return fmt.Errorf("nlqudf: hist bins/lo/hi must not be NULL")
+	}
+	bins := int(args[0].Int())
+	lo, _ := args[1].Float()
+	hi, _ := args[2].Float()
+	if bins < 1 || bins > maxHistBins {
+		return fmt.Errorf("nlqudf: hist bins=%d out of range 1..%d", bins, maxHistBins)
+	}
+	if !(hi > lo) {
+		return fmt.Errorf("nlqudf: hist requires lo < hi, got [%g, %g)", lo, hi)
+	}
+	if st.counts == nil {
+		st.bins, st.lo, st.hi = bins, lo, hi
+		st.counts = make([]float64, bins+2)
+	} else if st.bins != bins || st.lo != lo || st.hi != hi {
+		return fmt.Errorf("nlqudf: inconsistent hist parameters across rows")
+	}
+	if args[3].IsNull() {
+		return nil
+	}
+	x, ok := args[3].Float()
+	if !ok {
+		return fmt.Errorf("nlqudf: hist: non-numeric value %v", args[3])
+	}
+	switch {
+	case x < lo:
+		st.counts[0]++
+	case x >= hi:
+		st.counts[bins+1]++
+	default:
+		b := int(float64(bins) * (x - lo) / (hi - lo))
+		if b >= bins { // float edge guard at x == hi-ulp
+			b = bins - 1
+		}
+		st.counts[1+b]++
+	}
+	return nil
+}
+
+func (histAgg) Merge(dst, src udf.State) error {
+	d, s := dst.(*histState), src.(*histState)
+	if s.counts == nil {
+		return nil
+	}
+	if d.counts == nil {
+		*d = *s
+		return nil
+	}
+	if d.bins != s.bins || d.lo != s.lo || d.hi != s.hi {
+		return fmt.Errorf("nlqudf: merging mismatched histograms")
+	}
+	for i, v := range s.counts {
+		d.counts[i] += v
+	}
+	return nil
+}
+
+func (histAgg) Finalize(s udf.State) (sqltypes.Value, error) {
+	st := s.(*histState)
+	if st.counts == nil {
+		return sqltypes.Null, nil
+	}
+	return sqltypes.NewVarChar(udf.PackFloats(st.counts)), nil
+}
+
+// UnpackHistogram parses a hist result into (underflow, bins, overflow).
+func UnpackHistogram(s string) (under float64, bins []float64, over float64, err error) {
+	vals, err := udf.UnpackFloats(s)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if len(vals) < 3 {
+		return 0, nil, 0, fmt.Errorf("nlqudf: histogram result too short")
+	}
+	return vals[0], vals[1 : len(vals)-1], vals[len(vals)-1], nil
+}

@@ -1,0 +1,118 @@
+package nlqudf
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/engine/db"
+)
+
+func TestHistogramUDF(t *testing.T) {
+	d := db.Open(db.Options{Partitions: 4})
+	if err := Register(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Exec("CREATE TABLE H (x DOUBLE)"); err != nil {
+		t.Fatal(err)
+	}
+	// Values 0..99 plus outliers on both sides and a NULL.
+	tab, _ := d.Table("H")
+	for i := 0; i < 100; i++ {
+		if _, err := d.Exec("INSERT INTO H VALUES (" + itoa(i) + ".5)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Exec("INSERT INTO H VALUES (-5), (1000), (NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	_ = tab
+	res, err := d.Exec("SELECT hist(10, 0.0, 100.0, x) FROM H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := res.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	under, bins, over, err := UnpackHistogram(v.Str())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if under != 1 || over != 1 {
+		t.Fatalf("under=%g over=%g", under, over)
+	}
+	if len(bins) != 10 {
+		t.Fatalf("%d bins", len(bins))
+	}
+	for b, c := range bins {
+		if c != 10 { // 10 values of i.5 per decade
+			t.Fatalf("bin %d = %g", b, c)
+		}
+	}
+}
+
+func TestHistogramGrouped(t *testing.T) {
+	d := db.Open(db.Options{Partitions: 3})
+	if err := Register(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Exec("CREATE TABLE H (g BIGINT, x DOUBLE)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		g := i % 2
+		if _, err := d.Exec("INSERT INTO H VALUES (" + itoa(g) + ", " + itoa(i%10) + ".1)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := d.Exec("SELECT g, hist(5, 0.0, 10.0, x) FROM H GROUP BY g ORDER BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d groups", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		_, bins, _, err := UnpackHistogram(row[1].Str())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, c := range bins {
+			total += c
+		}
+		if total != 30 {
+			t.Fatalf("group %v total = %g", row[0], total)
+		}
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	d := db.Open(db.Options{Partitions: 2})
+	if err := Register(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Exec("CREATE TABLE H (x DOUBLE)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Exec("INSERT INTO H VALUES (1), (2)"); err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"SELECT hist(0, 0.0, 1.0, x) FROM H", // bins out of range
+		"SELECT hist(5, 1.0, 1.0, x) FROM H", // lo == hi
+		"SELECT hist(5, 2.0, 1.0, x) FROM H", // lo > hi
+		"SELECT hist(5, 0.0, 1.0) FROM H",    // arity
+		"SELECT hist(NULL, 0.0, 1.0, x) FROM H",
+	}
+	for _, sql := range bad {
+		if _, err := d.Exec(sql); err == nil {
+			t.Errorf("%q must fail", sql)
+		}
+	}
+	if _, _, _, err := UnpackHistogram("1|2"); err == nil {
+		t.Error("short histogram must fail to unpack")
+	}
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }

@@ -1,0 +1,114 @@
+package odbcsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine/sqltypes"
+	"repro/internal/engine/storage"
+)
+
+func makeTable(t *testing.T, n int) *storage.Table {
+	t.Helper()
+	schema := sqltypes.MustSchema(
+		sqltypes.Column{Name: "i", Type: sqltypes.TypeBigInt},
+		sqltypes.Column{Name: "x", Type: sqltypes.TypeDouble},
+		sqltypes.Column{Name: "s", Type: sqltypes.TypeVarChar},
+	)
+	tab, err := storage.NewTable("t", schema, "", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		row := sqltypes.Row{
+			sqltypes.NewBigInt(int64(i)),
+			sqltypes.NewDouble(float64(i) * 1.5),
+			sqltypes.NewVarChar("r"),
+		}
+		if i == 3 {
+			row[1] = sqltypes.Null
+		}
+		if err := tab.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestExportContent(t *testing.T) {
+	tab := makeTable(t, 10)
+	var buf bytes.Buffer
+	st, err := Export(tab, &buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != 10 {
+		t.Fatalf("rows = %d", st.Rows)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	found := 0
+	for _, ln := range lines {
+		fields := strings.Split(ln, ",")
+		if len(fields) != 3 {
+			t.Fatalf("bad line %q", ln)
+		}
+		if fields[0] == "3" {
+			if fields[1] != "" {
+				t.Fatalf("NULL should export empty, got %q", fields[1])
+			}
+			found++
+		}
+	}
+	if found != 1 {
+		t.Fatal("row 3 missing")
+	}
+	if st.PayloadBytes != int64(buf.Len()) {
+		t.Fatalf("payload bytes %d, buffer %d", st.PayloadBytes, buf.Len())
+	}
+	if st.ChannelBytes <= st.PayloadBytes {
+		t.Fatal("channel bytes must include per-row overhead")
+	}
+}
+
+func TestModeledTime(t *testing.T) {
+	tab := makeTable(t, 100)
+	var buf bytes.Buffer
+	st, err := Export(tab, &buf, Config{BytesPerSec: 1e6, PerRowOverheadBytes: 100, TimeScale: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSecs := float64(st.ChannelBytes) / 1e6
+	if got := st.Modeled.Seconds(); got < wantSecs*0.99 || got > wantSecs*1.01 {
+		t.Fatalf("modeled %gs, want %gs", got, wantSecs)
+	}
+	// With TimeScale=0 the export must be near-instant.
+	if st.Elapsed > time.Second {
+		t.Fatalf("unscaled export took %v", st.Elapsed)
+	}
+}
+
+func TestThrottleSleeps(t *testing.T) {
+	tab := makeTable(t, 200)
+	var buf bytes.Buffer
+	// Scale so the modeled delay is small but measurable.
+	st, err := Export(tab, &buf, Config{BytesPerSec: 1e6, PerRowOverheadBytes: 1000, TimeScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAtLeast := time.Duration(float64(st.Modeled) * 0.04)
+	if st.Elapsed < wantAtLeast {
+		t.Fatalf("elapsed %v, expected at least %v of throttling", st.Elapsed, wantAtLeast)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.BytesPerSec != 12.5e6 || cfg.PerRowOverheadBytes != 512 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}

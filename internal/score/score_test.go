@@ -1,0 +1,318 @@
+package score
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine/db"
+	"repro/internal/engine/sqltypes"
+	"repro/internal/sqlgen"
+)
+
+// setup creates a db with scoring UDFs, a data table X(i, X1..Xd[, Y]),
+// and returns the raw points.
+func setup(t *testing.T, dims int, withY bool, n int, seed int64) (*db.DB, [][]float64) {
+	t.Helper()
+	d := db.Open(db.Options{Partitions: 4})
+	if err := Register(d); err != nil {
+		t.Fatal(err)
+	}
+	cols := []sqltypes.Column{{Name: "i", Type: sqltypes.TypeBigInt}}
+	for a := 1; a <= dims; a++ {
+		cols = append(cols, sqltypes.Column{Name: fmt.Sprintf("X%d", a), Type: sqltypes.TypeDouble})
+	}
+	if withY {
+		cols = append(cols, sqltypes.Column{Name: "Y", Type: sqltypes.TypeDouble})
+	}
+	tab, err := d.CreateTable("X", &sqltypes.Schema{Columns: cols})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	width := dims
+	if withY {
+		width++
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		x := make([]float64, width)
+		row := make(sqltypes.Row, width+1)
+		row[0] = sqltypes.NewBigInt(int64(i))
+		for a := 0; a < dims; a++ {
+			x[a] = rng.NormFloat64()*8 + 30
+			row[a+1] = sqltypes.NewDouble(x[a])
+		}
+		if withY {
+			y := 5.0
+			for a := 0; a < dims; a++ {
+				y += float64(a+1) * x[a]
+			}
+			y += rng.NormFloat64()
+			x[dims] = y
+			row[dims+1] = sqltypes.NewDouble(y)
+		}
+		pts[i] = x
+		if err := tab.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, pts
+}
+
+// fetchByID runs sql and returns a map id → remaining columns.
+func fetchByID(t *testing.T, d *db.DB, sql string) map[int64][]float64 {
+	t.Helper()
+	res, err := d.Exec(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	out := make(map[int64][]float64, len(res.Rows))
+	for _, r := range res.Rows {
+		vals := make([]float64, len(r)-1)
+		for j, v := range r[1:] {
+			vals[j] = v.MustFloat()
+		}
+		out[r[0].Int()] = vals
+	}
+	return out
+}
+
+func TestRegressionScoringSQLvsUDFvsDirect(t *testing.T) {
+	const dims, n = 4, 300
+	d, pts := setup(t, dims, true, n, 3)
+	nlq := core.MustNLQ(dims+1, core.Triangular)
+	for _, z := range pts {
+		nlq.Update(z)
+	}
+	m, err := core.BuildLinReg(nlq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveLinReg(d, "BETA", m); err != nil {
+		t.Fatal(err)
+	}
+	udfScores := fetchByID(t, d, sqlgen.RegScoreUDF("X", "BETA", "i", sqlgen.Dims(dims)))
+	sqlScores := fetchByID(t, d, sqlgen.RegScoreSQL("X", "BETA", "i", sqlgen.Dims(dims)))
+	if len(udfScores) != n || len(sqlScores) != n {
+		t.Fatalf("scored %d/%d rows", len(udfScores), len(sqlScores))
+	}
+	for i, z := range pts {
+		want, err := m.Predict(z[:dims])
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := udfScores[int64(i)][0]
+		s := sqlScores[int64(i)][0]
+		if math.Abs(u-want) > 1e-9 || math.Abs(s-want) > 1e-9 {
+			t.Fatalf("row %d: direct=%g udf=%g sql=%g", i, want, u, s)
+		}
+	}
+}
+
+func TestPCAScoringSQLvsUDFvsDirect(t *testing.T) {
+	const dims, n, k = 4, 250, 2
+	d, pts := setup(t, dims, false, n, 5)
+	nlq := core.MustNLQ(dims, core.Triangular)
+	for _, x := range pts {
+		nlq.Update(x)
+	}
+	for _, basis := range []core.PCABasis{core.CorrelationBasis, core.CovarianceBasis} {
+		m, err := core.BuildPCA(nlq, k, basis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := SavePCA(d, "MU", "LAMBDA", m); err != nil {
+			t.Fatal(err)
+		}
+		udfScores := fetchByID(t, d, sqlgen.PCAScoreUDF("X", "MU", "LAMBDA", "i", sqlgen.Dims(dims), k))
+		sqlScores := fetchByID(t, d, sqlgen.PCAScoreSQL("X", "MU", "LAMBDA", "i", sqlgen.Dims(dims), k))
+		for i, x := range pts {
+			want, err := m.Score(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < k; j++ {
+				if math.Abs(udfScores[int64(i)][j]-want[j]) > 1e-9 {
+					t.Fatalf("basis %v row %d comp %d: udf=%g direct=%g", basis, i, j, udfScores[int64(i)][j], want[j])
+				}
+				if math.Abs(sqlScores[int64(i)][j]-want[j]) > 1e-9 {
+					t.Fatalf("basis %v row %d comp %d: sql=%g direct=%g", basis, i, j, sqlScores[int64(i)][j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestClusterScoringSQLvsUDFvsDirect(t *testing.T) {
+	const dims, n, k = 3, 300, 4
+	d, pts := setup(t, dims, false, n, 7)
+	m, err := core.BuildKMeans(core.SliceSource(pts), k, core.KMeansOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveKMeans(d, "C", "R", "W", m); err != nil {
+		t.Fatal(err)
+	}
+	udfScores := fetchByID(t, d, sqlgen.ClusterScoreUDF("X", "C", "i", sqlgen.Dims(dims), k))
+	// SQL version: two scans over a pivoted distance table.
+	stmts := sqlgen.ClusterScoreSQL("X", "C", "XD", "i", sqlgen.Dims(dims), k)
+	for _, s := range stmts[:len(stmts)-1] {
+		if _, err := d.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	sqlScores := fetchByID(t, d, stmts[len(stmts)-1])
+	for i, x := range pts {
+		want, _ := m.Closest(x)
+		u := int(udfScores[int64(i)][0])
+		s := int(sqlScores[int64(i)][0])
+		if u != want+1 || s != want+1 { // UDF/SQL use 1-based j
+			t.Fatalf("row %d: direct=%d udf=%d sql=%d", i, want+1, u, s)
+		}
+	}
+}
+
+func TestModelTableRoundTrips(t *testing.T) {
+	const dims, n = 3, 200
+	d, pts := setup(t, dims, true, n, 9)
+
+	nlq := core.MustNLQ(dims+1, core.Triangular)
+	for _, z := range pts {
+		nlq.Update(z)
+	}
+	lr, err := core.BuildLinReg(nlq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveLinReg(d, "BETA", lr); err != nil {
+		t.Fatal(err)
+	}
+	lr2, err := LoadLinReg(d, "BETA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lr.Beta {
+		if lr.Beta[i] != lr2.Beta[i] {
+			t.Fatalf("beta[%d] changed in round trip", i)
+		}
+	}
+
+	xn := core.MustNLQ(dims, core.Triangular)
+	for _, z := range pts {
+		xn.Update(z[:dims])
+	}
+	pca, err := core.BuildPCA(xn, 2, core.CovarianceBasis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SavePCA(d, "MU", "LAMBDA", pca); err != nil {
+		t.Fatal(err)
+	}
+	pca2, err := LoadPCA(d, "MU", "LAMBDA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loaded model scores identically (scaling folded into loadings).
+	w1, _ := pca.Score(pts[0][:dims])
+	w2, _ := pca2.Score(pts[0][:dims])
+	for j := range w1 {
+		if math.Abs(w1[j]-w2[j]) > 1e-12 {
+			t.Fatalf("PCA round-trip scoring mismatch: %v vs %v", w1, w2)
+		}
+	}
+
+	km, err := core.BuildKMeans(sliceOfPrefix(pts, dims), 3, core.KMeansOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveKMeans(d, "C", "R", "W", km); err != nil {
+		t.Fatal(err)
+	}
+	km2, err := LoadKMeans(d, "C", "R", "W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km2.K != km.K || km2.D != km.D {
+		t.Fatalf("clustering round trip: %+v", km2)
+	}
+	for j := range km.C {
+		for a := range km.C[j] {
+			if km.C[j][a] != km2.C[j][a] || km.R[j][a] != km2.R[j][a] {
+				t.Fatalf("cluster %d changed in round trip", j)
+			}
+		}
+		if km.W[j] != km2.W[j] {
+			t.Fatalf("weight %d changed in round trip", j)
+		}
+	}
+
+	// Re-saving replaces, not duplicates.
+	if err := SaveLinReg(d, "BETA", lr); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := d.Table("BETA")
+	if tb.NumRows() != 1 {
+		t.Fatalf("BETA has %d rows after re-save", tb.NumRows())
+	}
+}
+
+func sliceOfPrefix(pts [][]float64, d int) core.SliceSource {
+	out := make(core.SliceSource, len(pts))
+	for i, p := range pts {
+		out[i] = p[:d]
+	}
+	return out
+}
+
+func TestLoadErrors(t *testing.T) {
+	d := db.Open(db.Options{Partitions: 2})
+	if _, err := LoadLinReg(d, "BETA"); err == nil {
+		t.Fatal("missing table must fail")
+	}
+	if _, err := d.CreateTable("BETA", sqltypes.MustSchema(sqltypes.Column{Name: "b0", Type: sqltypes.TypeDouble})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLinReg(d, "BETA"); err == nil {
+		t.Fatal("empty BETA must fail")
+	}
+	if _, err := LoadPCA(d, "MU", "LAMBDA"); err == nil {
+		t.Fatal("missing PCA tables must fail")
+	}
+	if _, err := LoadKMeans(d, "C", "R", "W"); err == nil {
+		t.Fatal("missing clustering tables must fail")
+	}
+}
+
+func TestScoringUDFNullHandling(t *testing.T) {
+	d := db.Open(db.Options{Partitions: 2})
+	if err := Register(d); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Exec("SELECT linearregscore(NULL, 1.0, 2.0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Value(); !v.IsNull() {
+		t.Fatalf("NULL input must score NULL, got %v", v)
+	}
+	res, err = d.Exec("SELECT clusterscore(3.0, 1.0, 2.0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Value(); v.Int() != 2 {
+		t.Fatalf("clusterscore = %v, want 2", v)
+	}
+	// Arity violations error at evaluation.
+	if _, err := d.Exec("SELECT linearregscore(1.0, 2.0)"); err == nil {
+		t.Fatal("even arg count must fail")
+	}
+	if _, err := d.Exec("SELECT fascore(1.0, 2.0, 3.0, 4.0)"); err == nil {
+		t.Fatal("non-multiple-of-3 must fail")
+	}
+	if _, err := d.Exec("SELECT kdistance(1.0, 2.0, 3.0)"); err == nil {
+		t.Fatal("odd arg count must fail")
+	}
+}

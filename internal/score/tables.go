@@ -1,0 +1,295 @@
+package score
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine/db"
+	"repro/internal/engine/sqltypes"
+	"repro/internal/matrix"
+)
+
+// Model-table layouts, exactly the paper's (§3.5):
+//
+//	BETA(b0, b1, ..., bd)          — one row, all coefficients in one I/O
+//	MU(X1, ..., Xd)                — one row, the data mean
+//	LAMBDA(j, X1, ..., Xd)         — k rows, one per component
+//	C(j, X1, ..., Xd)              — k rows, centroids
+//	R(j, X1, ..., Xd)              — k rows, diagonal variances
+//	W(W1, ..., Wk)                 — one row, cluster weights
+
+// dimsSchema builds (X1..Xd) columns, optionally prefixed with j.
+func dimsSchema(d int, withJ bool) *sqltypes.Schema {
+	var cols []sqltypes.Column
+	if withJ {
+		cols = append(cols, sqltypes.Column{Name: "j", Type: sqltypes.TypeBigInt})
+	}
+	for a := 1; a <= d; a++ {
+		cols = append(cols, sqltypes.Column{Name: fmt.Sprintf("X%d", a), Type: sqltypes.TypeDouble})
+	}
+	return &sqltypes.Schema{Columns: cols}
+}
+
+func replaceTable(d *db.DB, name string, schema *sqltypes.Schema) error {
+	if d.HasTable(name) {
+		if err := d.DropTable(name); err != nil {
+			return err
+		}
+	}
+	_, err := d.CreateTable(name, schema)
+	return err
+}
+
+// SaveLinReg stores β in table BETA(b0..bd). The table name is a
+// parameter so multiple models coexist.
+func SaveLinReg(d *db.DB, table string, m *core.LinRegModel) error {
+	cols := make([]sqltypes.Column, len(m.Beta))
+	for i := range m.Beta {
+		cols[i] = sqltypes.Column{Name: fmt.Sprintf("b%d", i), Type: sqltypes.TypeDouble}
+	}
+	if err := replaceTable(d, table, &sqltypes.Schema{Columns: cols}); err != nil {
+		return err
+	}
+	t, err := d.Table(table)
+	if err != nil {
+		return err
+	}
+	row := make(sqltypes.Row, len(m.Beta))
+	for i, b := range m.Beta {
+		row[i] = sqltypes.NewDouble(b)
+	}
+	return t.Insert(row)
+}
+
+// LoadLinReg reads a BETA table back into a model (without fit
+// statistics, which live with the training run).
+func LoadLinReg(d *db.DB, table string) (*core.LinRegModel, error) {
+	t, err := d.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	var beta []float64
+	err = t.Scan(func(r sqltypes.Row) error {
+		if beta != nil {
+			return fmt.Errorf("score: BETA table %q has more than one row", table)
+		}
+		beta, err = r.Floats(nil)
+		if err != nil {
+			return err
+		}
+		beta = append([]float64(nil), beta...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if beta == nil {
+		return nil, fmt.Errorf("score: BETA table %q is empty", table)
+	}
+	return &core.LinRegModel{D: len(beta) - 1, Beta: beta}, nil
+}
+
+// SavePCA stores µ in muTable and Λ (with eigenvalues omitted — they
+// are build-time diagnostics) in lambdaTable(j, X1..Xd), one row per
+// component j = 1..k.
+func SavePCA(d *db.DB, muTable, lambdaTable string, m *core.PCAModel) error {
+	if err := replaceTable(d, muTable, dimsSchema(m.D, false)); err != nil {
+		return err
+	}
+	mt, err := d.Table(muTable)
+	if err != nil {
+		return err
+	}
+	muRow := make(sqltypes.Row, m.D)
+	for a, v := range m.Mu {
+		muRow[a] = sqltypes.NewDouble(v)
+	}
+	if err := mt.Insert(muRow); err != nil {
+		return err
+	}
+	if err := replaceTable(d, lambdaTable, dimsSchema(m.D, true)); err != nil {
+		return err
+	}
+	lt, err := d.Table(lambdaTable)
+	if err != nil {
+		return err
+	}
+	for j := 0; j < m.K; j++ {
+		row := make(sqltypes.Row, m.D+1)
+		row[0] = sqltypes.NewBigInt(int64(j + 1))
+		for a := 0; a < m.D; a++ {
+			// Under the correlation basis, scoring divides by the
+			// per-dimension standard deviation; fold it into the
+			// stored loading so fascore's fixed (x−µ)·Λ form applies.
+			l := m.Lambda.At(a, j)
+			if m.Sd != nil {
+				l /= m.Sd[a]
+			}
+			row[a+1] = sqltypes.NewDouble(l)
+		}
+		if err := lt.Insert(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadPCA reads MU and LAMBDA tables back into a scoring-capable model
+// (basis-specific scaling is already folded into the loadings).
+func LoadPCA(d *db.DB, muTable, lambdaTable string) (*core.PCAModel, error) {
+	mt, err := d.Table(muTable)
+	if err != nil {
+		return nil, err
+	}
+	var mu []float64
+	err = mt.Scan(func(r sqltypes.Row) error {
+		f, err := r.Floats(nil)
+		if err != nil {
+			return err
+		}
+		mu = append([]float64(nil), f...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if mu == nil {
+		return nil, fmt.Errorf("score: MU table %q is empty", muTable)
+	}
+	lt, err := d.Table(lambdaTable)
+	if err != nil {
+		return nil, err
+	}
+	type comp struct {
+		j   int
+		vec []float64
+	}
+	var comps []comp
+	err = lt.Scan(func(r sqltypes.Row) error {
+		f, err := r.Floats(nil)
+		if err != nil {
+			return err
+		}
+		comps = append(comps, comp{j: int(f[0]), vec: append([]float64(nil), f[1:]...)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("score: LAMBDA table %q is empty", lambdaTable)
+	}
+	d0 := len(mu)
+	lambda := matrix.New(d0, len(comps))
+	for _, c := range comps {
+		if c.j < 1 || c.j > len(comps) || len(c.vec) != d0 {
+			return nil, fmt.Errorf("score: LAMBDA table %q is malformed", lambdaTable)
+		}
+		for a := 0; a < d0; a++ {
+			lambda.Set(a, c.j-1, c.vec[a])
+		}
+	}
+	return &core.PCAModel{D: d0, K: len(comps), Lambda: lambda, Mu: mu}, nil
+}
+
+// SaveKMeans stores centroids, radii and weights in the paper's three
+// tables C(j, X1..Xd), R(j, X1..Xd) and W(W1..Wk).
+func SaveKMeans(d *db.DB, cTable, rTable, wTable string, m *core.KMeansModel) error {
+	for _, spec := range []struct {
+		table string
+		data  [][]float64
+	}{{cTable, m.C}, {rTable, m.R}} {
+		if err := replaceTable(d, spec.table, dimsSchema(m.D, true)); err != nil {
+			return err
+		}
+		t, err := d.Table(spec.table)
+		if err != nil {
+			return err
+		}
+		for j, vec := range spec.data {
+			row := make(sqltypes.Row, m.D+1)
+			row[0] = sqltypes.NewBigInt(int64(j + 1))
+			for a, v := range vec {
+				row[a+1] = sqltypes.NewDouble(v)
+			}
+			if err := t.Insert(row); err != nil {
+				return err
+			}
+		}
+	}
+	cols := make([]sqltypes.Column, m.K)
+	for j := 0; j < m.K; j++ {
+		cols[j] = sqltypes.Column{Name: fmt.Sprintf("W%d", j+1), Type: sqltypes.TypeDouble}
+	}
+	if err := replaceTable(d, wTable, &sqltypes.Schema{Columns: cols}); err != nil {
+		return err
+	}
+	wt, err := d.Table(wTable)
+	if err != nil {
+		return err
+	}
+	row := make(sqltypes.Row, m.K)
+	for j, w := range m.W {
+		row[j] = sqltypes.NewDouble(w)
+	}
+	return wt.Insert(row)
+}
+
+// LoadKMeans reads the C/R/W tables back into a model.
+func LoadKMeans(d *db.DB, cTable, rTable, wTable string) (*core.KMeansModel, error) {
+	loadJ := func(table string) ([][]float64, error) {
+		t, err := d.Table(table)
+		if err != nil {
+			return nil, err
+		}
+		byJ := make(map[int][]float64)
+		err = t.Scan(func(r sqltypes.Row) error {
+			f, err := r.Floats(nil)
+			if err != nil {
+				return err
+			}
+			byJ[int(f[0])] = append([]float64(nil), f[1:]...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]float64, len(byJ))
+		for j := 1; j <= len(byJ); j++ {
+			vec, ok := byJ[j]
+			if !ok {
+				return nil, fmt.Errorf("score: table %q missing row j=%d", table, j)
+			}
+			out[j-1] = vec
+		}
+		return out, nil
+	}
+	c, err := loadJ(cTable)
+	if err != nil {
+		return nil, err
+	}
+	r, err := loadJ(rTable)
+	if err != nil {
+		return nil, err
+	}
+	wt, err := d.Table(wTable)
+	if err != nil {
+		return nil, err
+	}
+	var w []float64
+	err = wt.Scan(func(row sqltypes.Row) error {
+		f, err := row.Floats(nil)
+		if err != nil {
+			return err
+		}
+		w = append([]float64(nil), f...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(c) == 0 || len(c) != len(r) || len(w) != len(c) {
+		return nil, fmt.Errorf("score: inconsistent clustering tables (%d centroids, %d radii, %d weights)", len(c), len(r), len(w))
+	}
+	return &core.KMeansModel{D: len(c[0]), K: len(c), C: c, R: r, W: w}, nil
+}

@@ -1,0 +1,132 @@
+// Package score implements model application ("scoring", §3.5): the
+// scalar UDFs that evaluate a model per row in a single table scan,
+// and the relational model-table layouts the paper stores models in
+// (BETA, MU/LAMBDA, C/R/W).
+package score
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/engine/db"
+	"repro/internal/engine/expr"
+	"repro/internal/engine/sqltypes"
+)
+
+// Register installs the scoring scalar UDFs:
+//
+//	linearregscore(X1..Xd, b0, b1..bd)        → ŷ = β₀ + βᵀx
+//	fascore(X1..Xd, µ1..µd, Λ1j..Λdj)         → j-th reduced coordinate
+//	kdistance(X1..Xd, C1j..Cdj)               → (x−Cj)ᵀ(x−Cj)
+//	clusterscore(d1..dk)                      → argmin j (1-based)
+//
+// Each is called once (fascore/kdistance k times) in a SELECT that
+// cross-joins X with the small model tables, so scoring is one scan.
+func Register(d *db.DB) error {
+	defs := []expr.FuncDef{
+		{Name: "linearregscore", MinArgs: 3, MaxArgs: -1, Fn: linearRegScore},
+		{Name: "fascore", MinArgs: 3, MaxArgs: -1, Fn: faScore},
+		{Name: "kdistance", MinArgs: 2, MaxArgs: -1, Fn: kDistance},
+		{Name: "clusterscore", MinArgs: 1, MaxArgs: -1, Fn: clusterScore},
+	}
+	for _, def := range defs {
+		if err := d.Scalars().Register(def); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// floats converts a run of arguments; any NULL yields ok=false (the
+// UDF then returns NULL for the row, standard scalar-UDF semantics).
+func floats(args []sqltypes.Value, dst []float64) ([]float64, bool, error) {
+	dst = dst[:0]
+	for _, v := range args {
+		if v.IsNull() {
+			return nil, false, nil
+		}
+		f, ok := v.Float()
+		if !ok {
+			return nil, false, fmt.Errorf("score: non-numeric argument %v", v)
+		}
+		dst = append(dst, f)
+	}
+	return dst, true, nil
+}
+
+// linearRegScore computes the dot product ŷ = b0 + Σ ba·xa. The call
+// site passes 2d+1 arguments: d point values then d+1 coefficients.
+func linearRegScore(args []sqltypes.Value) (sqltypes.Value, error) {
+	if len(args)%2 != 1 {
+		return sqltypes.Null, fmt.Errorf("score: linearregscore expects 2d+1 arguments (x..., b0, b...), got %d", len(args))
+	}
+	d := (len(args) - 1) / 2
+	vals, ok, err := floats(args, make([]float64, 0, len(args)))
+	if err != nil || !ok {
+		return sqltypes.Null, err
+	}
+	x, beta := vals[:d], vals[d:]
+	y := beta[0]
+	for a := 0; a < d; a++ {
+		y += beta[a+1] * x[a]
+	}
+	return sqltypes.NewDouble(y), nil
+}
+
+// faScore computes the j-th coordinate of x′ = Λᵀ(x−µ): the call site
+// passes 3d arguments — the point, the mean, and the j-th component.
+func faScore(args []sqltypes.Value) (sqltypes.Value, error) {
+	if len(args)%3 != 0 {
+		return sqltypes.Null, fmt.Errorf("score: fascore expects 3d arguments (x..., mu..., lambda_j...), got %d", len(args))
+	}
+	d := len(args) / 3
+	vals, ok, err := floats(args, make([]float64, 0, len(args)))
+	if err != nil || !ok {
+		return sqltypes.Null, err
+	}
+	x, mu, lam := vals[:d], vals[d:2*d], vals[2*d:]
+	var s float64
+	for a := 0; a < d; a++ {
+		s += (x[a] - mu[a]) * lam[a]
+	}
+	return sqltypes.NewDouble(s), nil
+}
+
+// kDistance computes the squared Euclidean distance between the point
+// and one centroid: 2d arguments.
+func kDistance(args []sqltypes.Value) (sqltypes.Value, error) {
+	if len(args)%2 != 0 {
+		return sqltypes.Null, fmt.Errorf("score: kdistance expects 2d arguments (x..., c_j...), got %d", len(args))
+	}
+	d := len(args) / 2
+	vals, ok, err := floats(args, make([]float64, 0, len(args)))
+	if err != nil || !ok {
+		return sqltypes.Null, err
+	}
+	x, c := vals[:d], vals[d:]
+	var s float64
+	for a := 0; a < d; a++ {
+		diff := x[a] - c[a]
+		s += diff * diff
+	}
+	return sqltypes.NewDouble(s), nil
+}
+
+// clusterScore returns the 1-based subscript J of the minimum distance
+// (J s.t. dJ ≤ dj for all j), the clustering score of §3.5.
+func clusterScore(args []sqltypes.Value) (sqltypes.Value, error) {
+	best, bestD := 0, math.Inf(1)
+	for j, v := range args {
+		if v.IsNull() {
+			return sqltypes.Null, nil
+		}
+		f, ok := v.Float()
+		if !ok {
+			return sqltypes.Null, fmt.Errorf("score: non-numeric distance %v", v)
+		}
+		if f < bestD {
+			best, bestD = j+1, f
+		}
+	}
+	return sqltypes.NewBigInt(int64(best)), nil
+}

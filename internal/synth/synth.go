@@ -1,0 +1,215 @@
+// Package synth generates the paper's synthetic workload (§4, "Data
+// Sets"): a mixture of k = 16 normal distributions with means in
+// [0, 100] and standard deviation around 10 per dimension, plus about
+// 15% uniformly distributed noise points. Generation is deterministic
+// given a seed and streams row by row, so the 1.6M-row configurations
+// never materialize in memory.
+package synth
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/engine/db"
+	"repro/internal/engine/sqltypes"
+)
+
+// Config describes a synthetic data set.
+type Config struct {
+	N              int     // rows
+	D              int     // dimensions
+	K              int     // mixture components; default 16
+	Noise          float64 // fraction of uniform noise points; default 0.15
+	SD             float64 // per-dimension standard deviation; default 10
+	MeanLo, MeanHi float64 // component mean range; default [0, 100]
+	Seed           int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 16
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.15
+	}
+	if c.SD == 0 {
+		c.SD = 10
+	}
+	if c.MeanLo == 0 && c.MeanHi == 0 {
+		c.MeanHi = 100
+	}
+	return c
+}
+
+// validate rejects unusable configurations.
+func (c Config) validate() error {
+	if c.N < 0 || c.D < 1 {
+		return fmt.Errorf("synth: invalid size n=%d d=%d", c.N, c.D)
+	}
+	if c.K < 1 || c.Noise < 0 || c.Noise > 1 {
+		return fmt.Errorf("synth: invalid mixture k=%d noise=%g", c.K, c.Noise)
+	}
+	return nil
+}
+
+// Stream generates the data set, invoking fn once per row with the row
+// id and the point (the slice is reused; copy to retain).
+func Stream(cfg Config, fn func(i int64, x []float64) error) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Component means.
+	means := make([][]float64, cfg.K)
+	for j := range means {
+		mu := make([]float64, cfg.D)
+		for a := range mu {
+			mu[a] = cfg.MeanLo + rng.Float64()*(cfg.MeanHi-cfg.MeanLo)
+		}
+		means[j] = mu
+	}
+	span := cfg.MeanHi - cfg.MeanLo
+	x := make([]float64, cfg.D)
+	for i := 0; i < cfg.N; i++ {
+		if rng.Float64() < cfg.Noise {
+			// Uniform noise over a slightly padded domain.
+			for a := range x {
+				x[a] = cfg.MeanLo - 0.2*span + rng.Float64()*1.4*span
+			}
+		} else {
+			mu := means[rng.Intn(cfg.K)]
+			for a := range x {
+				x[a] = mu[a] + rng.NormFloat64()*cfg.SD
+			}
+		}
+		if err := fn(int64(i), x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Points materializes the data set; intended for tests and small runs.
+func Points(cfg Config) ([][]float64, error) {
+	var out [][]float64
+	err := Stream(cfg, func(_ int64, x []float64) error {
+		out = append(out, append([]float64(nil), x...))
+		return nil
+	})
+	return out, err
+}
+
+// XSchema is the paper's table layout X(i, X1, ..., Xd), optionally
+// with a predicted variable Y.
+func XSchema(d int, withY bool) *sqltypes.Schema {
+	cols := []sqltypes.Column{{Name: "i", Type: sqltypes.TypeBigInt}}
+	for a := 1; a <= d; a++ {
+		cols = append(cols, sqltypes.Column{Name: fmt.Sprintf("X%d", a), Type: sqltypes.TypeDouble})
+	}
+	if withY {
+		cols = append(cols, sqltypes.Column{Name: "Y", Type: sqltypes.TypeDouble})
+	}
+	return &sqltypes.Schema{Columns: cols}
+}
+
+// LoadTable generates the data set directly into table name (replacing
+// it if present) with layout X(i, X1..Xd).
+func LoadTable(d *db.DB, name string, cfg Config) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if d.HasTable(name) {
+		if err := d.DropTable(name); err != nil {
+			return err
+		}
+	}
+	tab, err := d.CreateTable(name, XSchema(cfg.D, false))
+	if err != nil {
+		return err
+	}
+	bl, err := tab.NewBulkLoader()
+	if err != nil {
+		return err
+	}
+	row := make(sqltypes.Row, cfg.D+1)
+	err = Stream(cfg, func(i int64, x []float64) error {
+		row[0] = sqltypes.NewBigInt(i)
+		for a, v := range x {
+			row[a+1] = sqltypes.NewDouble(v)
+		}
+		return bl.Add(row)
+	})
+	if cerr := bl.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// LoadRegressionTable generates X(i, X1..Xd, Y) with a planted linear
+// model Y = beta0 + betaᵀx + N(0, noiseSD²), for regression workloads.
+func LoadRegressionTable(d *db.DB, name string, cfg Config, beta0 float64, beta []float64, noiseSD float64) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if len(beta) != cfg.D {
+		return fmt.Errorf("synth: beta has %d coefficients, want d=%d", len(beta), cfg.D)
+	}
+	if d.HasTable(name) {
+		if err := d.DropTable(name); err != nil {
+			return err
+		}
+	}
+	tab, err := d.CreateTable(name, XSchema(cfg.D, true))
+	if err != nil {
+		return err
+	}
+	bl, err := tab.NewBulkLoader()
+	if err != nil {
+		return err
+	}
+	// Independent noise stream so Y noise does not perturb X.
+	yrng := rand.New(rand.NewSource(cfg.Seed + 10007))
+	row := make(sqltypes.Row, cfg.D+2)
+	err = Stream(cfg, func(i int64, x []float64) error {
+		row[0] = sqltypes.NewBigInt(i)
+		y := beta0
+		for a, v := range x {
+			row[a+1] = sqltypes.NewDouble(v)
+			y += beta[a] * v
+		}
+		row[cfg.D+1] = sqltypes.NewDouble(y + yrng.NormFloat64()*noiseSD)
+		return bl.Add(row)
+	})
+	if cerr := bl.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteCSV streams the data set as CSV with an id column, the flat-file
+// form the external ("C++") comparator consumes.
+func WriteCSV(w io.Writer, cfg Config) (int64, error) {
+	cw := csv.NewWriter(w)
+	cfg = cfg.withDefaults()
+	rec := make([]string, cfg.D+1)
+	var rows int64
+	err := Stream(cfg, func(i int64, x []float64) error {
+		rec[0] = strconv.FormatInt(i, 10)
+		for a, v := range x {
+			rec[a+1] = strconv.FormatFloat(v, 'g', 17, 64)
+		}
+		rows++
+		return cw.Write(rec)
+	})
+	if err != nil {
+		return rows, err
+	}
+	cw.Flush()
+	return rows, cw.Error()
+}

@@ -1,0 +1,172 @@
+package synth
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine/db"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	cfg := Config{N: 100, D: 4, Seed: 42}
+	a, err := Points(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Points(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("generation is not deterministic")
+			}
+		}
+	}
+	c, err := Points(Config{N: 100, D: 4, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0][0] == c[0][0] && a[1][1] == c[1][1] {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestDistributionShape(t *testing.T) {
+	pts, err := Points(Config{N: 20000, D: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.MustNLQ(2, core.Triangular)
+	for _, x := range pts {
+		s.Update(x)
+	}
+	mu, _ := s.Mean()
+	// Mixture means are uniform in [0,100]; the data mean should be
+	// mid-range and the spread should reflect means spread + sd 10.
+	for a, m := range mu {
+		if m < 25 || m > 75 {
+			t.Fatalf("mean[%d] = %g, expected mid-range", a, m)
+		}
+	}
+	vars, _ := s.Variances()
+	for a, v := range vars {
+		sd := math.Sqrt(v)
+		if sd < 15 || sd > 60 {
+			t.Fatalf("sd[%d] = %g, expected mixture-wide spread", a, sd)
+		}
+	}
+	// Noise points reach outside the [0,100] mean range.
+	outside := 0
+	for _, x := range pts {
+		if x[0] < -5 || x[0] > 105 {
+			outside++
+		}
+	}
+	if outside == 0 {
+		t.Fatal("expected some uniform noise outside the component range")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := Stream(Config{N: 10, D: 0}, func(int64, []float64) error { return nil }); err == nil {
+		t.Fatal("d=0 must fail")
+	}
+	if err := Stream(Config{N: -1, D: 2}, func(int64, []float64) error { return nil }); err == nil {
+		t.Fatal("n<0 must fail")
+	}
+	if err := Stream(Config{N: 1, D: 2, Noise: 2}, func(int64, []float64) error { return nil }); err == nil {
+		t.Fatal("noise>1 must fail")
+	}
+}
+
+func TestLoadTable(t *testing.T) {
+	d := db.Open(db.Options{Partitions: 4})
+	if err := LoadTable(d, "X", Config{N: 500, D: 3, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Exec("SELECT count(*), min(i), max(i) FROM X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Rows[0]
+	if r[0].Int() != 500 || r[1].Int() != 0 || r[2].Int() != 499 {
+		t.Fatalf("row = %v", r)
+	}
+	// Replaces on reload.
+	if err := LoadTable(d, "X", Config{N: 50, D: 3, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = d.Exec("SELECT count(*) FROM X")
+	if v, _ := res.Value(); v.Int() != 50 {
+		t.Fatalf("reload count = %v", v)
+	}
+}
+
+func TestLoadRegressionTable(t *testing.T) {
+	d := db.Open(db.Options{Partitions: 4})
+	beta := []float64{2, -1}
+	if err := LoadRegressionTable(d, "XY", Config{N: 2000, D: 2, Seed: 3}, 7, beta, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	// Recover the planted model through the whole pipeline.
+	res, err := d.Exec("SELECT sum(1.0), sum(X1), sum(X2), sum(Y), sum(X1*X1), sum(X2*X1), sum(X2*X2), sum(Y*X1), sum(Y*X2), sum(Y*Y) FROM XY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	s := core.MustNLQ(3, core.Triangular)
+	s.N = row[0].MustFloat()
+	s.L[0], s.L[1], s.L[2] = row[1].MustFloat(), row[2].MustFloat(), row[3].MustFloat()
+	s.Q[0] = row[4].MustFloat()
+	s.Q[3*1+0] = row[5].MustFloat()
+	s.Q[3*1+1] = row[6].MustFloat()
+	s.Q[3*2+0] = row[7].MustFloat()
+	s.Q[3*2+1] = row[8].MustFloat()
+	s.Q[3*2+2] = row[9].MustFloat()
+	m, err := core.BuildLinReg(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Beta[0]-7) > 0.1 || math.Abs(m.Beta[1]-2) > 0.01 || math.Abs(m.Beta[2]+1) > 0.01 {
+		t.Fatalf("recovered beta = %v", m.Beta)
+	}
+	if err := LoadRegressionTable(d, "XY", Config{N: 10, D: 2}, 0, []float64{1}, 0.1); err == nil {
+		t.Fatal("beta arity mismatch must fail")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := WriteCSV(&buf, Config{N: 10, D: 3, Seed: 5})
+	if err != nil || rows != 10 {
+		t.Fatalf("rows=%d err=%v", rows, err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	for i, ln := range lines {
+		fields := strings.Split(ln, ",")
+		if len(fields) != 4 {
+			t.Fatalf("line %d has %d fields", i, len(fields))
+		}
+	}
+	if !strings.HasPrefix(lines[0], "0,") || !strings.HasPrefix(lines[9], "9,") {
+		t.Fatalf("id column wrong: %q ... %q", lines[0], lines[9])
+	}
+}
+
+func TestXSchema(t *testing.T) {
+	s := XSchema(3, true)
+	if s.Len() != 5 || s.Columns[0].Name != "i" || s.Columns[4].Name != "Y" {
+		t.Fatalf("schema = %v", s)
+	}
+}

@@ -1,0 +1,173 @@
+package statsudf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFactorAnalysisScoringInEngine(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	if err := d.Generate("X", MixtureConfig{N: 1000, D: 5, Seed: 21}); err != nil {
+		t.Fatal(err)
+	}
+	cols := DimColumns(5)
+	fa, err := d.FactorAnalysis("X", cols, 2, FactorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StoreFactorAnalysis("FMU", "FLAMBDA", fa); err != nil {
+		t.Fatal(err)
+	}
+	n, err := d.ScoreFactorAnalysis("X", "i", cols, "FMU", "FLAMBDA", "FSCORES", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Fatalf("scored %d rows", n)
+	}
+	// In-engine fascore scores must equal the client-side posterior
+	// means for every row.
+	res, err := d.Exec("SELECT FSCORES.i, p1, p2, X1, X2, X3, X4, X5 FROM FSCORES CROSS JOIN X WHERE FSCORES.i = X.i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1000 {
+		t.Fatalf("join returned %d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		x := make([]float64, 5)
+		for a := 0; a < 5; a++ {
+			x[a] = r[3+a].MustFloat()
+		}
+		want, err := fa.Score(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 2; j++ {
+			got := r[1+j].MustFloat()
+			if math.Abs(got-want[j]) > 1e-9 {
+				t.Fatalf("row %v factor %d: engine=%g client=%g", r[0], j, got, want[j])
+			}
+		}
+	}
+}
+
+func TestScoreOutputsReplacePriorRuns(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	beta := []float64{1, 1}
+	if err := d.GenerateRegression("X", MixtureConfig{N: 100, D: 2, Seed: 1}, 0, beta, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	m, err := d.LinearRegression("X", DimColumns(2), "Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StoreRegression("BETA", m); err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ {
+		n, err := d.ScoreRegression("X", "i", DimColumns(2), "BETA", "OUT")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 100 {
+			t.Fatalf("run %d scored %d", run, n)
+		}
+	}
+	res, _ := d.Exec("SELECT count(*) FROM OUT")
+	if v, _ := res.Value(); v.Int() != 100 {
+		t.Fatalf("OUT has %v rows after two runs (must replace)", v)
+	}
+}
+
+func TestKMeansInEngine(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	// Well-separated clusters so the in-engine loop must find them.
+	if err := d.Generate("X", MixtureConfig{N: 900, D: 3, K: 3, Noise: 0.01, SD: 2, Seed: 33}); err != nil {
+		t.Fatal(err)
+	}
+	cols := DimColumns(3)
+	m, err := d.KMeansInEngine("X", cols, 3, 8, 1, "C", "R", "W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 3 || m.D != 3 {
+		t.Fatalf("model shape: %+v", m)
+	}
+	var wsum float64
+	for _, w := range m.W {
+		wsum += w
+		if w <= 0 {
+			t.Fatalf("weights = %v", m.W)
+		}
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Fatalf("weights sum to %g", wsum)
+	}
+	// The in-engine result must closely agree with the client-side
+	// K-means on the same data and seed.
+	ref, err := d.KMeans("X", cols, 3, KMeansOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ref.C {
+		j, dist := m.Closest(c)
+		if dist > 4 {
+			t.Fatalf("in-engine centroid %d (%v) far from client centroid %v (d²=%g)", j, m.C[j], c, dist)
+		}
+	}
+	// The stored C/R/W tables hold the final model.
+	loaded, err := d.LoadKMeans("C", "R", "W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.K != 3 || loaded.W[0] != m.W[0] {
+		t.Fatalf("stored model differs: %+v", loaded)
+	}
+	// Validation.
+	if _, err := d.KMeansInEngine("X", cols, 0, 1, 1, "C", "R", "W"); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+}
+
+func TestLoadedModelsScoreIdentically(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	if err := d.Generate("X", MixtureConfig{N: 400, D: 3, K: 3, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	cols := DimColumns(3)
+	km, err := d.KMeans("X", cols, 3, KMeansOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StoreKMeans("C", "R", "W", km); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := d.LoadKMeans("C", "R", "W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{km.C[1][0] + 0.1, km.C[1][1], km.C[1][2]}
+	j1, _ := km.Closest(probe)
+	j2, _ := loaded.Closest(probe)
+	if j1 != j2 {
+		t.Fatalf("closest differs: %d vs %d", j1, j2)
+	}
+	reg := &LinRegModel{D: 2, Beta: []float64{1, 2, 3}}
+	if err := d.StoreRegression("B2", reg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.LoadRegression("B2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	y1, _ := Predict(reg, []float64{1, 1})
+	y2, _ := Predict(back, []float64{1, 1})
+	if y1 != y2 || y1 != 6 {
+		t.Fatalf("predictions differ: %g vs %g", y1, y2)
+	}
+}

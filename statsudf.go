@@ -1,0 +1,433 @@
+// Package statsudf is a from-scratch reproduction of "Building
+// Statistical Models and Scoring with UDFs" (Ordonez, SIGMOD 2007): an
+// embedded parallel relational engine with scalar and aggregate
+// User-Defined Functions, one-scan computation of the sufficient-
+// statistic summary matrices n, L, Q, and the four linear statistical
+// models built from them — correlation, linear regression, PCA/factor
+// analysis and K-means clustering — plus single-scan scoring of data
+// sets against stored models.
+//
+// The typical flow mirrors the paper:
+//
+//	db, _ := statsudf.Open(statsudf.Options{})
+//	db.Generate("X", statsudf.MixtureConfig{N: 100000, D: 16})
+//	nlq, _ := db.Summary("X", statsudf.DimColumns(16), statsudf.SummaryOptions{})
+//	corr, _ := core model from nlq ... or directly:
+//	model, _ := db.Correlation("X", statsudf.DimColumns(16))
+//
+// The heavy pass over the data runs inside the engine (SQL or UDF, one
+// table scan); the d×d model math runs in the client, exactly as the
+// paper splits the work.
+package statsudf
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine/db"
+	"repro/internal/engine/exec"
+	"repro/internal/engine/sqltypes"
+	"repro/internal/nlqudf"
+	"repro/internal/score"
+	"repro/internal/sqlgen"
+	"repro/internal/synth"
+)
+
+// Re-exported model and statistics types: the public API surface is
+// this root package; internal packages stay internal.
+type (
+	// NLQ is the summary-statistics accumulator (n, L, Q, min/max).
+	NLQ = core.NLQ
+	// CorrelationModel is the d×d Pearson correlation matrix.
+	CorrelationModel = core.CorrelationModel
+	// LinRegModel is the least-squares linear regression model.
+	LinRegModel = core.LinRegModel
+	// PCAModel is the principal component dimensionality reduction.
+	PCAModel = core.PCAModel
+	// FactorModel is maximum-likelihood factor analysis fit by EM.
+	FactorModel = core.FactorModel
+	// KMeansModel is the K-means clustering model (C, R, W).
+	KMeansModel = core.KMeansModel
+	// EMModel is the Gaussian-mixture clustering model.
+	EMModel = core.EMModel
+	// MatrixType selects diagonal/triangular/full Q maintenance.
+	MatrixType = core.MatrixType
+	// PCABasis selects the correlation or covariance basis.
+	PCABasis = core.PCABasis
+	// KMeansOptions tunes clustering.
+	KMeansOptions = core.KMeansOptions
+	// FactorOptions tunes the EM factor-analysis fit.
+	FactorOptions = core.FactorOptions
+	// EMOptions tunes EM clustering.
+	EMOptions = core.EMOptions
+	// MixtureConfig describes the synthetic mixture workload.
+	MixtureConfig = synth.Config
+	// Result is a materialized SQL result set.
+	Result = exec.Result
+	// Row is one SQL result row.
+	Row = sqltypes.Row
+	// Value is one SQL value.
+	Value = sqltypes.Value
+)
+
+// Matrix type and basis constants, re-exported.
+const (
+	Diagonal   = core.Diagonal
+	Triangular = core.Triangular
+	Full       = core.Full
+
+	CorrelationBasis = core.CorrelationBasis
+	CovarianceBasis  = core.CovarianceBasis
+)
+
+// MaxD is the per-UDF-call dimensionality bound implied by the 64 KB
+// aggregate heap segment; higher d uses the blocked computation.
+const MaxD = core.MaxD
+
+// Value constructors for building rows programmatically.
+var (
+	// NewDouble wraps a float64 as a SQL DOUBLE.
+	NewDouble = sqltypes.NewDouble
+	// NewBigInt wraps an int64 as a SQL BIGINT.
+	NewBigInt = sqltypes.NewBigInt
+	// NewVarChar wraps a string as a SQL VARCHAR.
+	NewVarChar = sqltypes.NewVarChar
+	// Null is the SQL NULL value.
+	Null = sqltypes.Null
+)
+
+// Options configure an embedded database instance.
+type Options struct {
+	// Dir stores table partitions on disk (scanned, never cached);
+	// empty keeps tables in memory.
+	Dir string
+	// Partitions is the engine parallelism (default 20, the paper's
+	// Teradata thread count).
+	Partitions int
+}
+
+// DB is an embedded analytic database with the paper's UDFs installed.
+type DB struct {
+	eng *db.DB
+}
+
+// Open creates a database and registers the aggregate summary UDFs
+// (nlq_list, nlq_str, nlq_block) and the scoring scalar UDFs
+// (linearregscore, fascore, kdistance, clusterscore).
+func Open(opts Options) (*DB, error) {
+	eng, err := db.OpenDir(db.Options{Dir: opts.Dir, Partitions: opts.Partitions})
+	if err != nil {
+		return nil, err
+	}
+	if err := nlqudf.Register(eng); err != nil {
+		return nil, err
+	}
+	if err := score.Register(eng); err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// Close releases the instance (tables on disk persist until dropped).
+func (d *DB) Close() error { return d.eng.Close() }
+
+// Engine exposes the underlying engine for advanced use (custom UDF
+// registration, streaming queries).
+func (d *DB) Engine() *db.DB { return d.eng }
+
+// Exec parses and runs one SQL statement.
+func (d *DB) Exec(sql string) (*Result, error) { return d.eng.Exec(sql) }
+
+// ExecScript runs a semicolon-separated script, returning the last
+// result.
+func (d *DB) ExecScript(sql string) (*Result, error) { return d.eng.ExecScript(sql) }
+
+// DimColumns returns the conventional dimension column names X1..Xd.
+func DimColumns(d int) []string { return sqlgen.Dims(d) }
+
+// Generate creates (or replaces) a table with the paper's synthetic
+// mixture workload, laid out as X(i, X1..Xd).
+func (d *DB) Generate(table string, cfg MixtureConfig) error {
+	return synth.LoadTable(d.eng, table, cfg)
+}
+
+// GenerateRegression creates X(i, X1..Xd, Y) with a planted linear
+// model Y = beta0 + betaᵀx + noise.
+func (d *DB) GenerateRegression(table string, cfg MixtureConfig, beta0 float64, beta []float64, noiseSD float64) error {
+	return synth.LoadRegressionTable(d.eng, table, cfg, beta0, beta, noiseSD)
+}
+
+// SummaryMethod selects how the summaries are computed in-engine.
+type SummaryMethod int
+
+const (
+	// ViaUDF uses the aggregate UDF with list parameter passing (the
+	// paper's fastest path); the default.
+	ViaUDF SummaryMethod = iota
+	// ViaUDFString uses the packed-string parameter passing.
+	ViaUDFString
+	// ViaSQL uses the long 1+d+d² plain SQL query.
+	ViaSQL
+)
+
+// SummaryOptions tune Summary.
+type SummaryOptions struct {
+	Method SummaryMethod
+	// Matrix selects diagonal/triangular/full Q; default Triangular.
+	Matrix MatrixType
+	// Where optionally filters rows (a SQL boolean expression).
+	Where string
+}
+
+// Summary computes n, L, Q over the named columns in one table scan.
+// Columns beyond MaxD automatically use the blocked computation
+// (multiple UDF calls, still one scan).
+func (d *DB) Summary(table string, columns []string, opts SummaryOptions) (*NLQ, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("statsudf: no columns given")
+	}
+	if len(columns) > MaxD {
+		if opts.Method == ViaSQL || opts.Method == ViaUDFString {
+			return nil, fmt.Errorf("statsudf: d=%d > %d requires the blocked UDF method", len(columns), MaxD)
+		}
+		return d.blockedSummary(table, columns, opts.Where)
+	}
+	mt := opts.Matrix
+	var sql string
+	switch opts.Method {
+	case ViaUDF:
+		sql = sqlgen.NLQUDFQuery(table, columns, mt, sqlgen.ListStyle)
+	case ViaUDFString:
+		sql = sqlgen.NLQUDFQuery(table, columns, mt, sqlgen.StringStyle)
+	case ViaSQL:
+		sql = sqlgen.NLQQuery(table, columns, mt)
+	default:
+		return nil, fmt.Errorf("statsudf: unknown summary method %d", opts.Method)
+	}
+	sql = appendWhere(sql, opts.Where)
+	res, err := d.eng.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Method == ViaSQL {
+		return decodeSQLNLQ(res, len(columns), mt)
+	}
+	v, err := res.Value()
+	if err != nil {
+		return nil, err
+	}
+	if v.IsNull() {
+		return nil, fmt.Errorf("statsudf: table %q has no qualifying rows", table)
+	}
+	return core.Unpack(v.Str())
+}
+
+// GroupedSummary computes one summary per group of groupExpr (e.g.
+// "i % 16" or a column name), keyed by the group value's string form.
+func (d *DB) GroupedSummary(table string, columns []string, mt MatrixType, groupExpr string) (map[string]*NLQ, error) {
+	if len(columns) > MaxD {
+		return nil, fmt.Errorf("statsudf: grouped summaries support at most d=%d", MaxD)
+	}
+	sql := sqlgen.NLQUDFGroupQuery(table, columns, mt, sqlgen.ListStyle, groupExpr)
+	res, err := d.eng.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*NLQ, len(res.Rows))
+	for _, row := range res.Rows {
+		if row[1].IsNull() {
+			continue
+		}
+		s, err := core.Unpack(row[1].Str())
+		if err != nil {
+			return nil, err
+		}
+		out[row[0].String()] = s
+	}
+	return out, nil
+}
+
+func appendWhere(sql, where string) string {
+	if where == "" {
+		return sql
+	}
+	// The generated summary queries end in "FROM <table>"; a direct
+	// suffix is safe for them (GROUP BY queries are not routed here).
+	return sql + " WHERE " + where
+}
+
+// blockedSummary computes a full-matrix NLQ for d > MaxD via the
+// paper's partitioned UDF calls in a single synchronized scan.
+func (d *DB) blockedSummary(table string, columns []string, where string) (*NLQ, error) {
+	plan, err := core.PlanBlocks(len(columns), MaxD)
+	if err != nil {
+		return nil, err
+	}
+	sql := appendWhere(sqlgen.NLQBlockQuery(table, columns, plan), where)
+	res, err := d.eng.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*core.BlockResult, plan.Calls())
+	for i, v := range res.Rows[0] {
+		if v.IsNull() {
+			return nil, fmt.Errorf("statsudf: table %q has no qualifying rows", table)
+		}
+		_, r, err := nlqudf.UnpackBlock(v.Str())
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = r
+	}
+	return plan.Assemble(parts)
+}
+
+// decodeSQLNLQ converts the wide SQL result row into an NLQ.
+func decodeSQLNLQ(res *Result, dims int, mt MatrixType) (*NLQ, error) {
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1+dims+dims*dims {
+		return nil, fmt.Errorf("statsudf: unexpected SQL summary shape")
+	}
+	row := res.Rows[0]
+	if row[0].IsNull() {
+		return nil, fmt.Errorf("statsudf: table has no qualifying rows")
+	}
+	s := core.MustNLQ(dims, mt)
+	s.N = row[0].MustFloat()
+	for a := 0; a < dims; a++ {
+		if !row[1+a].IsNull() {
+			s.L[a] = row[1+a].MustFloat()
+		}
+	}
+	for a := 0; a < dims; a++ {
+		for c := 0; c < dims; c++ {
+			v := row[1+dims+a*dims+c]
+			if v.IsNull() {
+				continue
+			}
+			keep := (mt == core.Full) || (mt == core.Triangular && c <= a) || (mt == core.Diagonal && a == c)
+			if keep {
+				s.Q[a*dims+c] = v.MustFloat()
+			}
+		}
+	}
+	// The SQL path does not compute min/max (the UDF does); leave the
+	// sentinel infinities in place.
+	return s, nil
+}
+
+// Correlation builds the correlation model over the named columns.
+func (d *DB) Correlation(table string, columns []string) (*CorrelationModel, error) {
+	s, err := d.Summary(table, columns, SummaryOptions{Matrix: Triangular})
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildCorrelation(s)
+}
+
+// LinearRegression fits Y = β₀ + βᵀx by least squares, where yColumn
+// names the dependent variable. The summaries are computed in one
+// scan; a second scan fills in SSE, R² and var(β), matching the
+// paper's two-scan regression analysis.
+func (d *DB) LinearRegression(table string, xColumns []string, yColumn string) (*LinRegModel, error) {
+	aug := append(append([]string{}, xColumns...), yColumn)
+	s, err := d.Summary(table, aug, SummaryOptions{Matrix: Triangular})
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.BuildLinReg(s)
+	if err != nil {
+		return nil, err
+	}
+	src, err := d.columnsSource(table, aug)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.FitStatistics(src, s); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// PCA builds the top-k principal components over the named columns.
+func (d *DB) PCA(table string, columns []string, k int, basis PCABasis) (*PCAModel, error) {
+	s, err := d.Summary(table, columns, SummaryOptions{Matrix: Triangular})
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildPCA(s, k, basis)
+}
+
+// FactorAnalysis fits a k-factor maximum-likelihood model by EM on the
+// covariance matrix derived from one scan's summaries.
+func (d *DB) FactorAnalysis(table string, columns []string, k int, opts FactorOptions) (*FactorModel, error) {
+	s, err := d.Summary(table, columns, SummaryOptions{Matrix: Triangular})
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildFactorAnalysis(s, k, opts)
+}
+
+// KMeans clusters the named columns into k clusters. The standard
+// variant scans the table once per iteration; opts.Incremental gets a
+// single-scan approximate solution, as §3.1 discusses.
+func (d *DB) KMeans(table string, columns []string, k int, opts KMeansOptions) (*KMeansModel, error) {
+	src, err := d.columnsSource(table, columns)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildKMeans(src, k, opts)
+}
+
+// EMCluster fits a diagonal Gaussian mixture over the named columns.
+func (d *DB) EMCluster(table string, columns []string, k int, opts EMOptions) (*EMModel, error) {
+	src, err := d.columnsSource(table, columns)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildEM(src, k, opts)
+}
+
+// columnsSource adapts named table columns to the core.Source scans.
+func (d *DB) columnsSource(table string, columns []string) (core.Source, error) {
+	t, err := d.eng.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.Schema()
+	idx := make([]int, len(columns))
+	for i, c := range columns {
+		j := schema.Index(c)
+		if j < 0 {
+			return nil, fmt.Errorf("statsudf: table %q has no column %q", table, c)
+		}
+		idx[i] = j
+	}
+	return &colSource{d: d, table: strings.ToLower(table), idx: idx}, nil
+}
+
+type colSource struct {
+	d     *DB
+	table string
+	idx   []int
+}
+
+func (s *colSource) Dims() int { return len(s.idx) }
+
+func (s *colSource) Scan(fn func(x []float64) error) error {
+	t, err := s.d.eng.Table(s.table)
+	if err != nil {
+		return err
+	}
+	x := make([]float64, len(s.idx))
+	return t.Scan(func(r Row) error {
+		for i, j := range s.idx {
+			f, ok := r[j].Float()
+			if !ok {
+				return fmt.Errorf("statsudf: non-numeric value %v in column %d", r[j], j)
+			}
+			x[i] = f
+		}
+		return fn(x)
+	})
+}

@@ -1,0 +1,339 @@
+package statsudf
+
+import (
+	"math"
+	"testing"
+)
+
+func openTest(t *testing.T) *DB {
+	t.Helper()
+	d, err := Open(Options{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestOpenAndExec(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	if _, err := d.Exec("CREATE TABLE t (a DOUBLE)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Exec("INSERT INTO t VALUES (1), (2)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Exec("SELECT sum(a) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := res.Value()
+	if err != nil || v.MustFloat() != 3 {
+		t.Fatalf("%v %v", v, err)
+	}
+}
+
+func TestGenerateAndSummaryMethodsAgree(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	if err := d.Generate("X", MixtureConfig{N: 400, D: 5, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	cols := DimColumns(5)
+	base, err := d.Summary("X", cols, SummaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.N != 400 {
+		t.Fatalf("n = %g", base.N)
+	}
+	for _, method := range []SummaryMethod{ViaUDFString, ViaSQL} {
+		s, err := d.Summary("X", cols, SummaryOptions{Method: method})
+		if err != nil {
+			t.Fatalf("method %v: %v", method, err)
+		}
+		if s.N != base.N {
+			t.Fatalf("method %v: n = %g", method, s.N)
+		}
+		for a := 0; a < 5; a++ {
+			if math.Abs(s.L[a]-base.L[a]) > 1e-6 {
+				t.Fatalf("method %v: L[%d] mismatch", method, a)
+			}
+			for b := 0; b <= a; b++ {
+				if math.Abs(s.QAt(a, b)-base.QAt(a, b)) > 1e-5 {
+					t.Fatalf("method %v: Q[%d][%d] mismatch", method, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestSummaryWhere(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	if err := d.Generate("X", MixtureConfig{N: 100, D: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Summary("X", DimColumns(2), SummaryOptions{Where: "i < 10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 10 {
+		t.Fatalf("n = %g", s.N)
+	}
+	if _, err := d.Summary("X", DimColumns(2), SummaryOptions{Where: "i < 0"}); err == nil {
+		t.Fatal("empty selection must surface an error")
+	}
+}
+
+func TestBlockedSummaryHighD(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	const dims = MaxD + 16 // forces the blocked path
+	if err := d.Generate("X", MixtureConfig{N: 60, D: dims, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Summary("X", DimColumns(dims), SummaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.D != dims || s.N != 60 {
+		t.Fatalf("d=%d n=%g", s.D, s.N)
+	}
+	// Spot-check against a direct recomputation through SQL sums.
+	res, err := d.Exec("SELECT sum(X1), sum(X1*X80) FROM X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := res.Rows[0][0].MustFloat()
+	q := res.Rows[0][1].MustFloat()
+	if math.Abs(s.L[0]-l1) > 1e-6 || math.Abs(s.QAt(0, 79)-q) > 1e-5 {
+		t.Fatalf("blocked summary mismatch: %g vs %g, %g vs %g", s.L[0], l1, s.QAt(0, 79), q)
+	}
+	// SQL/string methods refuse high d.
+	if _, err := d.Summary("X", DimColumns(dims), SummaryOptions{Method: ViaSQL}); err == nil {
+		t.Fatal("SQL method must reject d > MaxD")
+	}
+}
+
+func TestGroupedSummary(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	if err := d.Generate("X", MixtureConfig{N: 90, D: 3, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	groups, err := d.GroupedSummary("X", DimColumns(3), Diagonal, "i % 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("%d groups", len(groups))
+	}
+	var total float64
+	for _, s := range groups {
+		total += s.N
+	}
+	if total != 90 {
+		t.Fatalf("group sizes sum to %g", total)
+	}
+}
+
+func TestCorrelationFacade(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	if err := d.Generate("X", MixtureConfig{N: 500, D: 4, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := d.Correlation("X", DimColumns(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 4; a++ {
+		if math.Abs(m.At(a, a)-1) > 1e-9 {
+			t.Fatalf("rho[%d][%d] = %g", a, a, m.At(a, a))
+		}
+	}
+}
+
+func TestLinearRegressionFacade(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	beta := []float64{1.5, -2}
+	if err := d.GenerateRegression("XY", MixtureConfig{N: 3000, D: 2, Seed: 5}, 4, beta, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	m, err := d.LinearRegression("XY", DimColumns(2), "Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Beta[0]-4) > 0.1 || math.Abs(m.Beta[1]-1.5) > 0.01 || math.Abs(m.Beta[2]+2) > 0.01 {
+		t.Fatalf("beta = %v", m.Beta)
+	}
+	if !m.HasFit || m.R2 < 0.99 {
+		t.Fatalf("fit stats: HasFit=%v R²=%g", m.HasFit, m.R2)
+	}
+}
+
+func TestPCAAndFactorFacade(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	if err := d.Generate("X", MixtureConfig{N: 800, D: 6, Seed: 6}); err != nil {
+		t.Fatal(err)
+	}
+	pca, err := d.PCA("X", DimColumns(6), 3, CorrelationBasis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pca.K != 3 || pca.ExplainedVariance() <= 0 {
+		t.Fatalf("pca = %+v", pca)
+	}
+	fa, err := d.FactorAnalysis("X", DimColumns(6), 2, FactorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.K != 2 {
+		t.Fatalf("fa = %+v", fa)
+	}
+}
+
+func TestClusteringFacade(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	if err := d.Generate("X", MixtureConfig{N: 600, D: 3, K: 4, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	km, err := d.KMeans("X", DimColumns(3), 4, KMeansOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wsum float64
+	for _, w := range km.W {
+		wsum += w
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Fatalf("weights sum to %g", wsum)
+	}
+	em, err := d.EMCluster("X", DimColumns(3), 4, EMOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.K != 4 {
+		t.Fatalf("em = %+v", em)
+	}
+}
+
+func TestSummaryOverView(t *testing.T) {
+	// §3.6's scenario: X is a view deriving dimensions from base
+	// tables; the one-scan summary UDF runs over it transparently.
+	d := openTest(t)
+	defer d.Close()
+	if _, err := d.Exec("CREATE TABLE raw (i BIGINT, v DOUBLE, kind VARCHAR)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		kind := "a"
+		if i%2 == 0 {
+			kind = "b"
+		}
+		sql := "INSERT INTO raw VALUES (" +
+			itoa(i) + ", " + ftoa(float64(i)) + ", '" + kind + "')"
+		if _, err := d.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Exec(`CREATE VIEW X AS SELECT
+		v AS X1,
+		v * v AS X2,
+		CASE WHEN kind = 'a' THEN 1.0 ELSE 0.0 END AS X3
+		FROM raw`); err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Summary("X", DimColumns(3), SummaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 50 {
+		t.Fatalf("n = %g", s.N)
+	}
+	// L1 = Σi = 1225; L3 = #odd = 25.
+	if s.L[0] != 1225 || s.L[2] != 25 {
+		t.Fatalf("L = %v", s.L)
+	}
+	// Models build over view summaries like any other.
+	if _, err := BuildCorrelationFrom(s); err != nil {
+		t.Fatal(err)
+	}
+	// The SQL path works over the view too.
+	s2, err := d.Summary("X", DimColumns(3), SummaryOptions{Method: ViaSQL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.N != s.N || s2.L[0] != s.L[0] {
+		t.Fatalf("SQL-over-view mismatch: %v vs %v", s2.L, s.L)
+	}
+}
+
+func TestReopenDatabaseDirectory(t *testing.T) {
+	// The TWM workflow: one process generates data and stores a model,
+	// a later process reopens the directory and scores with it.
+	dir := t.TempDir()
+	d1, err := Open(Options{Dir: dir, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta := []float64{2, -1}
+	if err := d1.GenerateRegression("X", MixtureConfig{N: 500, D: 2, Seed: 8}, 3, beta, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	m, err := d1.LinearRegression("X", DimColumns(2), "Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.StoreRegression("BETA", m); err != nil {
+		t.Fatal(err)
+	}
+	d1.Close()
+
+	d2, err := Open(Options{Dir: dir, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	n, err := d2.ScoreRegression("X", "i", DimColumns(2), "BETA", "OUT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Fatalf("scored %d rows after reopen", n)
+	}
+	// The summaries over the reattached table match the stored model.
+	m2, err := d2.LoadRegression("BETA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Beta {
+		if m.Beta[i] != m2.Beta[i] {
+			t.Fatalf("beta changed across processes")
+		}
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	d := openTest(t)
+	defer d.Close()
+	if _, err := d.Summary("missing", DimColumns(2), SummaryOptions{}); err == nil {
+		t.Fatal("missing table must fail")
+	}
+	if _, err := d.Summary("missing", nil, SummaryOptions{}); err == nil {
+		t.Fatal("no columns must fail")
+	}
+	if err := d.Generate("X", MixtureConfig{N: 10, D: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Correlation("X", []string{"nope"}); err == nil {
+		t.Fatal("bad column must fail")
+	}
+	if _, err := d.KMeans("X", []string{"nope"}, 2, KMeansOptions{}); err == nil {
+		t.Fatal("bad column must fail")
+	}
+}
