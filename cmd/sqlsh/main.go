@@ -7,7 +7,8 @@
 //	sqlsh [-dir data/] [-partitions 20] [-c "SELECT ..."] [file.sql]
 //
 // Statements end with ';'. Shell commands: \d lists tables, \d NAME
-// shows a schema, \q quits.
+// shows a schema, \stats toggles per-query execution statistics
+// (rows/bytes scanned, partition skew, phase times), \q quits.
 package main
 
 import (
@@ -25,13 +26,20 @@ import (
 	statsudf "repro"
 )
 
+// showStats controls whether a "-- stats: ..." line follows each
+// result; the -stats flag sets it and \stats toggles it in the REPL.
+var showStats bool
+
 func main() {
 	dir := flag.String("dir", "", "database directory (empty = in-memory)")
 	partitions := flag.Int("partitions", 20, "table partitions")
+	workers := flag.Int("workers", 0, "scan worker pool bound (0 = one per partition)")
+	stats := flag.Bool("stats", false, "print execution statistics after each statement")
 	command := flag.String("c", "", "execute this statement and exit")
 	flag.Parse()
+	showStats = *stats
 
-	db, err := statsudf.Open(statsudf.Options{Dir: *dir, Partitions: *partitions})
+	db, err := statsudf.Open(statsudf.Options{Dir: *dir, Partitions: *partitions, Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqlsh:", err)
 		os.Exit(1)
@@ -62,7 +70,7 @@ func main() {
 }
 
 func repl(db *statsudf.DB, in io.Reader, out io.Writer) {
-	fmt.Fprintln(out, "statsudf sql shell — statements end with ';', \\d lists tables, \\q quits")
+	fmt.Fprintln(out, "statsudf sql shell — statements end with ';', \\d lists tables, \\stats toggles stats, \\q quits")
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<24)
 	var pending strings.Builder
@@ -101,6 +109,13 @@ func shellCommand(db *statsudf.DB, cmd string, out io.Writer) (quit bool) {
 	switch {
 	case cmd == "\\q":
 		return true
+	case cmd == "\\stats":
+		showStats = !showStats
+		if showStats {
+			fmt.Fprintln(out, "stats on")
+		} else {
+			fmt.Fprintln(out, "stats off")
+		}
 	case cmd == "\\d":
 		names := db.Engine().TableNames()
 		sort.Strings(names)
@@ -141,6 +156,7 @@ func runScript(db *statsudf.DB, r io.Reader, out io.Writer) error {
 		return err
 	}
 	printResult(out, res)
+	printStats(out, res)
 	return nil
 }
 
@@ -150,7 +166,15 @@ func runStatement(db *statsudf.DB, sql string, out io.Writer) error {
 		return err
 	}
 	printResult(out, res)
+	printStats(out, res)
 	return nil
+}
+
+func printStats(out io.Writer, res *exec.Result) {
+	if !showStats || res == nil || res.Stats == nil {
+		return
+	}
+	fmt.Fprintf(out, "-- stats: %s\n", res.Stats)
 }
 
 func printResult(out io.Writer, res *exec.Result) {

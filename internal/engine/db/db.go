@@ -5,9 +5,11 @@
 package db
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine/exec"
 	"repro/internal/engine/expr"
@@ -27,6 +29,9 @@ type Options struct {
 	// parallel Teradata threads (the paper used 20). Zero selects
 	// storage.DefaultPartitions.
 	Partitions int
+	// Workers bounds the executor's scan worker pool independently of
+	// the partition count; <= 0 runs one worker per partition.
+	Workers int
 }
 
 // DB is an embedded database instance.
@@ -37,6 +42,8 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*storage.Table
 	views  map[string]*sqlparser.Select
+
+	lastStats atomic.Pointer[exec.Stats]
 }
 
 // Open creates a fresh database over an empty (or memory-only)
@@ -143,16 +150,36 @@ func (d *DB) DropTable(name string) error {
 }
 
 func (d *DB) env() *exec.Env {
-	return &exec.Env{Catalog: d, Funcs: d.funcs, Aggs: d.aggs}
+	return &exec.Env{Catalog: d, Funcs: d.funcs, Aggs: d.aggs, Workers: d.opts.Workers}
 }
+
+// noteStats records a statement's execution statistics (nil is
+// ignored) for LastStats.
+func (d *DB) noteStats(st *exec.Stats) {
+	if st != nil {
+		d.lastStats.Store(st)
+	}
+}
+
+// LastStats returns the execution statistics of the most recent
+// statement that performed a scan (nil before any such statement).
+// Shells and benchmarks read it after Exec to report rows scanned,
+// bytes read, partition skew and phase times.
+func (d *DB) LastStats() *exec.Stats { return d.lastStats.Load() }
 
 // Exec parses and runs one SQL statement.
 func (d *DB) Exec(sql string) (*exec.Result, error) {
+	return d.ExecContext(context.Background(), sql)
+}
+
+// ExecContext parses and runs one SQL statement; cancelling ctx stops
+// in-flight partition scans between rows.
+func (d *DB) ExecContext(ctx context.Context, sql string) (*exec.Result, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return d.Run(stmt)
+	return d.RunContext(ctx, stmt)
 }
 
 // ExecScript runs a semicolon-separated statement sequence, returning
@@ -173,9 +200,22 @@ func (d *DB) ExecScript(sql string) (*exec.Result, error) {
 
 // Run executes a parsed statement.
 func (d *DB) Run(stmt sqlparser.Statement) (*exec.Result, error) {
+	return d.RunContext(context.Background(), stmt)
+}
+
+// RunContext executes a parsed statement under a context.
+func (d *DB) RunContext(ctx context.Context, stmt sqlparser.Statement) (*exec.Result, error) {
+	res, err := d.runContext(ctx, stmt)
+	if err == nil && res != nil {
+		d.noteStats(res.Stats)
+	}
+	return res, err
+}
+
+func (d *DB) runContext(ctx context.Context, stmt sqlparser.Statement) (*exec.Result, error) {
 	switch st := stmt.(type) {
 	case *sqlparser.Select:
-		return d.runSelectWithViews(st)
+		return d.runSelectWithViews(ctx, st)
 	case *sqlparser.Insert:
 		if st.Query != nil {
 			expanded, err := d.expandViews(st.Query, 0)
@@ -184,9 +224,9 @@ func (d *DB) Run(stmt sqlparser.Statement) (*exec.Result, error) {
 			}
 			clone := *st
 			clone.Query = expanded
-			return exec.Insert(&clone, d.env())
+			return exec.Insert(ctx, &clone, d.env())
 		}
-		return exec.Insert(st, d.env())
+		return exec.Insert(ctx, st, d.env())
 	case *sqlparser.CreateTable:
 		return d.runCreate(st)
 	case *sqlparser.DropTable:
@@ -212,6 +252,12 @@ func (d *DB) Run(stmt sqlparser.Statement) (*exec.Result, error) {
 // QueryStream parses a SELECT and streams its rows to sink; used for
 // scoring large data sets without materializing them.
 func (d *DB) QueryStream(sql string, sink exec.RowSink) (*sqltypes.Schema, error) {
+	return d.QueryStreamContext(context.Background(), sql, sink)
+}
+
+// QueryStreamContext is QueryStream under a context; cancelling ctx
+// stops the partition scans between rows.
+func (d *DB) QueryStreamContext(ctx context.Context, sql string, sink exec.RowSink) (*sqltypes.Schema, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -224,7 +270,11 @@ func (d *DB) QueryStream(sql string, sink exec.RowSink) (*sqltypes.Schema, error
 	if err != nil {
 		return nil, err
 	}
-	return exec.SelectStream(expanded, d.env(), sink)
+	schema, stats, err := exec.SelectStream(ctx, expanded, d.env(), sink)
+	if err == nil {
+		d.noteStats(stats)
+	}
+	return schema, err
 }
 
 func (d *DB) runCreate(st *sqlparser.CreateTable) (*exec.Result, error) {

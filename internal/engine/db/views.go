@@ -1,6 +1,7 @@
 package db
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -356,10 +357,10 @@ func outerItemName(item sqlparser.SelectItem) string {
 }
 
 // runSelectWithViews expands views then executes.
-func (d *DB) runSelectWithViews(sel *sqlparser.Select) (*exec.Result, error) {
+func (d *DB) runSelectWithViews(ctx context.Context, sel *sqlparser.Select) (*exec.Result, error) {
 	expanded, err := d.expandViews(sel, 0)
 	if err != nil {
 		return nil, err
 	}
-	return exec.Select(expanded, d.env())
+	return exec.Select(ctx, expanded, d.env())
 }

@@ -1,9 +1,13 @@
 package exec
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/engine/expr"
 	"repro/internal/engine/sqlparser"
@@ -25,12 +29,22 @@ type groupState struct {
 // runAggregate executes an aggregate SELECT: per-partition hash
 // aggregation (phases 1-2 of the UDF protocol), a master merge
 // (phase 3), then finalization and post-aggregation expression
-// evaluation (phase 4).
-func runAggregate(sel *sqlparser.Select, items []sqlparser.SelectItem, b *binding, env *Env, sink RowSink) (*sqltypes.Schema, error) {
+// evaluation (phase 4). Each phase's wall time and the per-partition
+// scan volumes are recorded in st; every per-partition state is local
+// to its worker goroutine until the single-threaded merge.
+func runAggregate(ctx context.Context, sel *sqlparser.Select, items []sqlparser.SelectItem, b *binding, env *Env, sink RowSink, st *Stats) (_ *sqltypes.Schema, err error) {
+	// Scan-phase panics are contained per partition by runParallel; this
+	// guard covers the merge and finalize phases, which run UDF code
+	// (Merge, Finalize) on the coordinating goroutine.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("exec: panic during aggregation: %v\n%s", r, debug.Stack())
+		}
+	}()
+	planStart := time.Now()
 	// Rewrite the select list, collecting aggregate specs.
 	rewritten := make([]sqlparser.Expr, len(items))
 	var specs []aggSpec
-	var err error
 	for i, item := range items {
 		rewritten[i], specs, err = rewriteAggregates(item.Expr, sel.GroupBy, specs, env.Aggs)
 		if err != nil {
@@ -67,22 +81,34 @@ func runAggregate(sel *sqlparser.Select, items []sqlparser.SelectItem, b *bindin
 	first := b.tables[0].table
 	nparts := first.Partitions()
 	partGroups := make([]map[string]*groupState, nparts)
+	st.Partitions = nparts
+	st.Workers = scanWorkers(env, nparts)
+	st.PartitionRows = make([]int64, nparts)
+	st.Plan = time.Since(planStart)
 
-	err = runParallel(nparts, func(p int) error {
+	scanStart := time.Now()
+	err = runParallel(ctx, st.Workers, nparts, func(ctx context.Context, p int) error {
+		// Everything below — evaluators, group states, errors — is
+		// local to this partition's worker; partGroups[p] is this
+		// worker's own slot. Nothing here may write enclosing-scope
+		// variables (the old code shared `err` across workers, the
+		// data race this layer exists to prevent).
 		groups := make(map[string]*groupState)
 		partGroups[p] = groups
 
 		var where expr.Evaluator
 		if residual != nil {
-			if where, err = expr.Compile(residual, b.resolve, env.Funcs); err != nil {
-				return err
+			w, cerr := expr.Compile(residual, b.resolve, env.Funcs)
+			if cerr != nil {
+				return cerr
 			}
+			where = w
 		}
 		groupEvs := make([]expr.Evaluator, len(sel.GroupBy))
 		for i, g := range sel.GroupBy {
-			ev, err := expr.Compile(g, b.resolve, env.Funcs)
-			if err != nil {
-				return err
+			ev, cerr := expr.Compile(g, b.resolve, env.Funcs)
+			if cerr != nil {
+				return cerr
 			}
 			groupEvs[i] = ev
 		}
@@ -90,9 +116,9 @@ func runAggregate(sel *sqlparser.Select, items []sqlparser.SelectItem, b *bindin
 		for i, s := range specs {
 			argEvs[i] = make([]expr.Evaluator, len(s.args))
 			for j, a := range s.args {
-				ev, err := expr.Compile(a, b.resolve, env.Funcs)
-				if err != nil {
-					return err
+				ev, cerr := expr.Compile(a, b.resolve, env.Funcs)
+				if cerr != nil {
+					return cerr
 				}
 				argEvs[i][j] = ev
 			}
@@ -103,7 +129,7 @@ func runAggregate(sel *sqlparser.Select, items []sqlparser.SelectItem, b *bindin
 		var keyBuf strings.Builder
 		argBuf := make([]sqltypes.Value, 8)
 
-		return first.ScanPartition(p, func(r sqltypes.Row) error {
+		scan, serr := first.ScanPartitionStats(ctx, p, func(r sqltypes.Row) error {
 			for _, t := range tail {
 				copy(flat, r)
 				copy(flat[len(r):], t)
@@ -132,10 +158,11 @@ func runAggregate(sel *sqlparser.Select, items []sqlparser.SelectItem, b *bindin
 				key := keyBuf.String()
 				g, ok := groups[key]
 				if !ok {
-					g, err = newGroupState(keyVals, specs)
-					if err != nil {
-						return err
+					ng, gerr := newGroupState(keyVals, specs)
+					if gerr != nil {
+						return gerr
 					}
+					g = ng
 					groups[key] = g
 				}
 				// Accumulate each aggregate.
@@ -170,12 +197,18 @@ func runAggregate(sel *sqlparser.Select, items []sqlparser.SelectItem, b *bindin
 			}
 			return nil
 		})
+		st.PartitionRows[p] = scan.Rows
+		atomic.AddInt64(&st.RowsScanned, scan.Rows)
+		atomic.AddInt64(&st.BytesRead, scan.Bytes)
+		return serr
 	})
+	st.Scan = time.Since(scanStart)
 	if err != nil {
 		return nil, err
 	}
 
 	// Phase 3: master merge of per-partition partials.
+	mergeStart := time.Now()
 	merged := partGroups[0]
 	for _, pg := range partGroups[1:] {
 		for key, src := range pg {
@@ -198,6 +231,8 @@ func runAggregate(sel *sqlparser.Select, items []sqlparser.SelectItem, b *bindin
 		}
 	}
 
+	st.Merge = time.Since(mergeStart)
+
 	// Global aggregate over an empty input still yields one row.
 	if len(sel.GroupBy) == 0 && len(merged) == 0 {
 		g, err := newGroupState(nil, specs)
@@ -208,6 +243,8 @@ func runAggregate(sel *sqlparser.Select, items []sqlparser.SelectItem, b *bindin
 	}
 
 	// Phase 4: finalize and evaluate post-aggregation expressions.
+	finalizeStart := time.Now()
+	defer func() { st.Finalize = time.Since(finalizeStart) }()
 	outSchema := &sqltypes.Schema{Columns: make([]sqltypes.Column, len(items))}
 	for i, item := range items {
 		outSchema.Columns[i] = sqltypes.Column{Name: itemName(item, i), Type: sqltypes.TypeDouble}

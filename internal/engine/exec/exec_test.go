@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -209,7 +210,7 @@ func TestBindingResolution(t *testing.T) {
 
 func TestRunParallelErrorPropagation(t *testing.T) {
 	sentinel := errors.New("boom")
-	err := runParallel(8, func(p int) error {
+	err := runParallel(context.Background(), 0, 8, func(_ context.Context, p int) error {
 		if p == 5 {
 			return sentinel
 		}
@@ -218,7 +219,7 @@ func TestRunParallelErrorPropagation(t *testing.T) {
 	if err != sentinel {
 		t.Fatalf("err = %v", err)
 	}
-	if err := runParallel(1, func(int) error { return nil }); err != nil {
+	if err := runParallel(context.Background(), 0, 1, func(context.Context, int) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -239,7 +240,7 @@ func TestSelectStreamRejectsOrderBy(t *testing.T) {
 	env, cat := testEnv(t)
 	cat["x"] = newTable(t, "x", []sqltypes.Column{dcol("a")}, drow(1))
 	s := sel(t, "SELECT a FROM x ORDER BY a")
-	if _, err := SelectStream(s, env, func(sqltypes.Row) error { return nil }); err == nil {
+	if _, _, err := SelectStream(context.Background(), s, env, func(sqltypes.Row) error { return nil }); err == nil {
 		t.Fatal("ORDER BY in streaming mode must fail")
 	}
 }
@@ -248,7 +249,7 @@ func TestDuplicateFromNamesRejected(t *testing.T) {
 	env, cat := testEnv(t)
 	cat["x"] = newTable(t, "x", []sqltypes.Column{dcol("a")})
 	s := sel(t, "SELECT 1 FROM x, x")
-	if _, err := Select(s, env); err == nil {
+	if _, err := Select(context.Background(), s, env); err == nil {
 		t.Fatal("duplicate unaliased FROM entries must fail")
 	}
 }
@@ -291,11 +292,11 @@ func TestInsertArityValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Insert(st.(*sqlparser.Insert), env); err == nil {
+	if _, err := Insert(context.Background(), st.(*sqlparser.Insert), env); err == nil {
 		t.Fatal("arity mismatch must fail")
 	}
 	st, _ = sqlparser.Parse("INSERT INTO x (a) VALUES (1)")
-	res, err := Insert(st.(*sqlparser.Insert), env)
+	res, err := Insert(context.Background(), st.(*sqlparser.Insert), env)
 	if err != nil || res.Affected != 1 {
 		t.Fatalf("%v %v", res, err)
 	}
@@ -315,7 +316,7 @@ func TestAggregateWithJoinAndGroupBy(t *testing.T) {
 		sqltypes.Row{sqltypes.NewBigInt(2), sqltypes.NewDouble(100)},
 	)
 	s := sel(t, "SELECT i % 2, sum(v * scale) FROM x CROSS JOIN m WHERE m.j = 1 GROUP BY i % 2 ORDER BY 1")
-	res, err := Select(s, env)
+	res, err := Select(context.Background(), s, env)
 	if err != nil {
 		t.Fatal(err)
 	}

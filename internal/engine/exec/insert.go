@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -9,8 +10,10 @@ import (
 	"repro/internal/engine/sqltypes"
 )
 
-// Insert executes INSERT..VALUES or INSERT..SELECT.
-func Insert(ins *sqlparser.Insert, env *Env) (*Result, error) {
+// Insert executes INSERT..VALUES or INSERT..SELECT. For INSERT..SELECT
+// the subquery's scan observes ctx cancellation and its execution
+// stats are attached to the result.
+func Insert(ctx context.Context, ins *sqlparser.Insert, env *Env) (*Result, error) {
 	t, err := env.Catalog.Table(ins.Table)
 	if err != nil {
 		return nil, err
@@ -105,11 +108,12 @@ func Insert(ins *sqlparser.Insert, env *Env) (*Result, error) {
 		}
 		return nil
 	}
-	if _, err := SelectStream(ins.Query, env, sink); err != nil {
+	_, stats, err := SelectStream(ctx, ins.Query, env, sink)
+	if err != nil {
 		return nil, err
 	}
 	if err := flush(); err != nil {
 		return nil, err
 	}
-	return &Result{Affected: count}, nil
+	return &Result{Affected: count, Stats: stats}, nil
 }

@@ -23,7 +23,8 @@ type Catalog interface {
 type Result struct {
 	Schema   *sqltypes.Schema
 	Rows     []sqltypes.Row
-	Affected int64 // rows inserted, for INSERT
+	Affected int64  // rows inserted, for INSERT
+	Stats    *Stats // execution statistics; nil for statements without a scan
 }
 
 // Value returns the single value of a one-row one-column result, the
@@ -49,29 +50,5 @@ func (c *collector) sink(r sqltypes.Row) error {
 	c.mu.Lock()
 	c.rows = append(c.rows, r.Clone())
 	c.mu.Unlock()
-	return nil
-}
-
-// runParallel invokes fn(p) for p in [0, n) concurrently and returns
-// the first error.
-func runParallel(n int, fn func(p int) error) error {
-	if n == 1 {
-		return fn(0)
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, n)
-	for p := 0; p < n; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			errs[p] = fn(p)
-		}(p)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
 	return nil
 }

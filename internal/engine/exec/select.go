@@ -1,9 +1,12 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/engine/expr"
 	"repro/internal/engine/sqlparser"
@@ -16,12 +19,17 @@ type Env struct {
 	Catalog Catalog
 	Funcs   *expr.Registry // scalar functions and scalar UDFs
 	Aggs    *udf.Registry  // standard aggregates and aggregate UDFs
+	// Workers bounds the scan worker pool independently of the
+	// partition count; <= 0 runs one goroutine per partition.
+	Workers int
 }
 
 // Select runs a SELECT and materializes the result, applying ORDER BY
 // and LIMIT. ORDER BY keys that are not output columns are computed as
-// hidden trailing columns and stripped after sorting.
-func Select(sel *sqlparser.Select, env *Env) (*Result, error) {
+// hidden trailing columns and stripped after sorting. Cancelling ctx
+// (nil is treated as background) stops the partition scans between
+// rows.
+func Select(ctx context.Context, sel *sqlparser.Select, env *Env) (*Result, error) {
 	run := sel
 	hidden := 0
 	if len(sel.OrderBy) > 0 {
@@ -43,7 +51,7 @@ func Select(sel *sqlparser.Select, env *Env) (*Result, error) {
 			hidden = len(extra)
 		}
 	}
-	schema, rows, err := runSelect(run, env, nil)
+	schema, rows, stats, err := runSelect(ctx, run, env, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +81,7 @@ func Select(sel *sqlparser.Select, env *Env) (*Result, error) {
 			rows[i] = r[:keep]
 		}
 	}
-	return &Result{Schema: schema, Rows: rows}, nil
+	return &Result{Schema: schema, Rows: rows, Stats: stats}, nil
 }
 
 // outputNames collects the visible output column names of a select.
@@ -105,18 +113,19 @@ func orderKeyInOutput(e sqlparser.Expr, outNames map[string]bool) bool {
 }
 
 // SelectStream runs a SELECT, streaming rows to sink (concurrently).
-// ORDER BY and LIMIT are rejected in streaming mode.
-func SelectStream(sel *sqlparser.Select, env *Env, sink RowSink) (*sqltypes.Schema, error) {
+// ORDER BY and LIMIT are rejected in streaming mode. The returned
+// Stats describe the completed scan.
+func SelectStream(ctx context.Context, sel *sqlparser.Select, env *Env, sink RowSink) (*sqltypes.Schema, *Stats, error) {
 	if len(sel.OrderBy) > 0 || sel.Limit != nil {
-		return nil, fmt.Errorf("exec: ORDER BY/LIMIT not supported in streaming mode")
+		return nil, nil, fmt.Errorf("exec: ORDER BY/LIMIT not supported in streaming mode")
 	}
-	schema, _, err := runSelect(sel, env, sink)
-	return schema, err
+	schema, _, stats, err := runSelect(ctx, sel, env, sink)
+	return schema, stats, err
 }
 
 // runSelect plans and executes; when sink is nil rows are materialized
 // and returned, otherwise they stream to sink.
-func runSelect(sel *sqlparser.Select, env *Env, sink RowSink) (*sqltypes.Schema, []sqltypes.Row, error) {
+func runSelect(ctx context.Context, sel *sqlparser.Select, env *Env, sink RowSink) (*sqltypes.Schema, []sqltypes.Row, *Stats, error) {
 	var col *collector
 	if sink == nil {
 		col = &collector{}
@@ -128,20 +137,33 @@ func runSelect(sel *sqlparser.Select, env *Env, sink RowSink) (*sqltypes.Schema,
 		}
 		return col.rows
 	}
+	st := &Stats{Workers: 1}
+	start := time.Now()
+	defer func() { st.Total = time.Since(start) }()
+	// Count emitted rows here so aggregate and projection paths (and
+	// their concurrent sink calls) are all covered by one atomic.
+	inner := sink
+	sink = func(r sqltypes.Row) error {
+		if err := inner(r); err != nil {
+			return err
+		}
+		atomic.AddInt64(&st.RowsEmitted, 1)
+		return nil
+	}
 
 	// Table-less SELECT of constants.
 	if len(sel.From) == 0 {
 		schema, err := constSelect(sel, env, sink)
-		return schema, emitRows(), err
+		return schema, emitRows(), st, err
 	}
 
 	b, err := bindFrom(sel.From, env.Catalog)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	items, err := expandStars(sel.Items, b)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	aggNames := env.Aggs.Names()
@@ -152,15 +174,23 @@ func runSelect(sel *sqlparser.Select, env *Env, sink RowSink) (*sqltypes.Schema,
 		}
 	}
 	if sel.Having != nil && !isAgg {
-		return nil, nil, fmt.Errorf("exec: HAVING requires GROUP BY or aggregates")
+		return nil, nil, nil, fmt.Errorf("exec: HAVING requires GROUP BY or aggregates")
 	}
 
 	if isAgg {
-		schema, err := runAggregate(sel, items, b, env, sink)
-		return schema, emitRows(), err
+		schema, err := runAggregate(ctx, sel, items, b, env, sink, st)
+		return schema, emitRows(), st, err
 	}
-	schema, err := runProjection(sel, items, b, env, sink)
-	return schema, emitRows(), err
+	schema, err := runProjection(ctx, sel, items, b, env, sink, st)
+	return schema, emitRows(), st, err
+}
+
+// scanWorkers resolves the worker-pool bound for n partitions.
+func scanWorkers(env *Env, n int) int {
+	if env.Workers > 0 && env.Workers < n {
+		return env.Workers
+	}
+	return n
 }
 
 // constSelect evaluates a FROM-less select list once.
@@ -309,7 +339,8 @@ func tableResolver(b *binding, ti int) expr.Resolver {
 
 // runProjection executes a scalar (non-aggregate) SELECT: scan the
 // first table in parallel, cross-join the tail, filter, project.
-func runProjection(sel *sqlparser.Select, items []sqlparser.SelectItem, b *binding, env *Env, sink RowSink) (*sqltypes.Schema, error) {
+func runProjection(ctx context.Context, sel *sqlparser.Select, items []sqlparser.SelectItem, b *binding, env *Env, sink RowSink, st *Stats) (*sqltypes.Schema, error) {
+	planStart := time.Now()
 	tail, residual, err := joinTail(b, sel.Where, env.Funcs)
 	if err != nil {
 		return nil, err
@@ -329,27 +360,34 @@ func runProjection(sel *sqlparser.Select, items []sqlparser.SelectItem, b *bindi
 	schema := &sqltypes.Schema{Columns: cols}
 
 	first := b.tables[0].table
-	err = runParallel(first.Partitions(), func(p int) error {
+	nparts := first.Partitions()
+	st.Partitions = nparts
+	st.Workers = scanWorkers(env, nparts)
+	st.PartitionRows = make([]int64, nparts)
+	st.Plan = time.Since(planStart)
+
+	scanStart := time.Now()
+	err = runParallel(ctx, st.Workers, nparts, func(ctx context.Context, p int) error {
 		// Per-partition compiled evaluators (evaluators carry buffers).
 		evals := make([]expr.Evaluator, len(items))
 		for i, item := range items {
-			ev, err := expr.Compile(item.Expr, b.resolve, env.Funcs)
-			if err != nil {
-				return err
+			ev, cerr := expr.Compile(item.Expr, b.resolve, env.Funcs)
+			if cerr != nil {
+				return cerr
 			}
 			evals[i] = ev
 		}
 		var where expr.Evaluator
 		if residual != nil {
-			w, err := expr.Compile(residual, b.resolve, env.Funcs)
-			if err != nil {
-				return err
+			w, cerr := expr.Compile(residual, b.resolve, env.Funcs)
+			if cerr != nil {
+				return cerr
 			}
 			where = w
 		}
 		flat := make(sqltypes.Row, b.width)
 		out := make(sqltypes.Row, len(items))
-		return first.ScanPartition(p, func(r sqltypes.Row) error {
+		scan, serr := first.ScanPartitionStats(ctx, p, func(r sqltypes.Row) error {
 			for _, t := range tail {
 				copy(flat, r)
 				copy(flat[len(r):], t)
@@ -375,7 +413,12 @@ func runProjection(sel *sqlparser.Select, items []sqlparser.SelectItem, b *bindi
 			}
 			return nil
 		})
+		st.PartitionRows[p] = scan.Rows
+		atomic.AddInt64(&st.RowsScanned, scan.Rows)
+		atomic.AddInt64(&st.BytesRead, scan.Bytes)
+		return serr
 	})
+	st.Scan = time.Since(scanStart)
 	return schema, err
 }
 

@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stats describes how one statement executed: how much data the
+// parallel scan touched, how evenly it was spread over partitions, and
+// where the time went across the aggregate UDF protocol's four phases.
+// Workers fill their own slots (PartitionRows[p]) or use atomic adds
+// during the scan; everything else is written single-threaded, so a
+// finished Stats can be read freely.
+type Stats struct {
+	// Partitions is the driving table's partition count; Workers is the
+	// number of goroutines that actually scanned them.
+	Partitions int
+	Workers    int
+
+	// RowsScanned counts driving-table rows delivered to the scan;
+	// BytesRead counts encoded bytes decoded from its partition files
+	// (0 for in-memory tables). PartitionRows holds per-partition
+	// scanned rows, the raw material for skew analysis.
+	RowsScanned   int64
+	BytesRead     int64
+	PartitionRows []int64
+
+	// RowsEmitted counts rows delivered to the result sink.
+	RowsEmitted int64
+
+	// Phase wall times. Plan covers rewrite, binding, pushdown and the
+	// join-tail materialization; Scan is the parallel partition scan
+	// (UDF phases 1-2: init + accumulate); Merge is the cross-partition
+	// partial merge (phase 3); Finalize covers finalization and
+	// post-aggregation expression evaluation (phase 4). Projections
+	// only populate Plan and Scan.
+	Plan     time.Duration
+	Scan     time.Duration
+	Merge    time.Duration
+	Finalize time.Duration
+	Total    time.Duration
+}
+
+// Skew is max/mean of per-partition scanned rows: 1.0 is perfectly
+// balanced, higher means some partition did disproportionate work.
+// Zero-row scans report 0.
+func (s *Stats) Skew() float64 {
+	var max, sum int64
+	for _, r := range s.PartitionRows {
+		sum += r
+		if r > max {
+			max = r
+		}
+	}
+	if sum == 0 || len(s.PartitionRows) == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(s.PartitionRows))
+	return float64(max) / mean
+}
+
+// String renders a one-line summary for shells and logs.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scanned %d rows", s.RowsScanned)
+	if s.BytesRead > 0 {
+		fmt.Fprintf(&b, " (%s)", formatBytes(s.BytesRead))
+	}
+	if s.Partitions > 0 {
+		fmt.Fprintf(&b, " over %d partitions", s.Partitions)
+		if sk := s.Skew(); sk > 0 {
+			fmt.Fprintf(&b, " [skew %.2f]", sk)
+		}
+	}
+	fmt.Fprintf(&b, ", emitted %d rows; plan %s scan %s", s.RowsEmitted, round(s.Plan), round(s.Scan))
+	if s.Merge > 0 || s.Finalize > 0 {
+		fmt.Fprintf(&b, " merge %s finalize %s", round(s.Merge), round(s.Finalize))
+	}
+	fmt.Fprintf(&b, " total %s (workers %d)", round(s.Total), s.Workers)
+	return b.String()
+}
+
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(time.Microsecond)
+	}
+}
+
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -54,10 +54,12 @@ func encodeRow(buf []byte, row sqltypes.Row) ([]byte, error) {
 	return buf, nil
 }
 
-// rowReader decodes consecutive rows of fixed arity from a byte stream.
+// rowReader decodes consecutive rows of fixed arity from a byte stream,
+// counting the encoded bytes it consumes (for scan statistics).
 type rowReader struct {
 	r     *bufio.Reader
 	arity int
+	bytes int64
 	buf   [8]byte
 }
 
@@ -80,6 +82,7 @@ func (rr *rowReader) next(dst sqltypes.Row) (sqltypes.Row, error) {
 			}
 			return nil, fmt.Errorf("storage: truncated row: %w", err)
 		}
+		rr.bytes++
 		switch tag {
 		case tagNull:
 			dst[i] = sqltypes.Null
@@ -87,11 +90,13 @@ func (rr *rowReader) next(dst sqltypes.Row) (sqltypes.Row, error) {
 			if _, err := io.ReadFull(rr.r, rr.buf[:8]); err != nil {
 				return nil, fmt.Errorf("storage: truncated double: %w", err)
 			}
+			rr.bytes += 8
 			dst[i] = sqltypes.NewDouble(math.Float64frombits(binary.LittleEndian.Uint64(rr.buf[:8])))
 		case tagBigInt:
 			if _, err := io.ReadFull(rr.r, rr.buf[:8]); err != nil {
 				return nil, fmt.Errorf("storage: truncated bigint: %w", err)
 			}
+			rr.bytes += 8
 			dst[i] = sqltypes.NewBigInt(int64(binary.LittleEndian.Uint64(rr.buf[:8])))
 		case tagVarChar:
 			if _, err := io.ReadFull(rr.r, rr.buf[:4]); err != nil {
@@ -102,6 +107,7 @@ func (rr *rowReader) next(dst sqltypes.Row) (sqltypes.Row, error) {
 			if _, err := io.ReadFull(rr.r, s); err != nil {
 				return nil, fmt.Errorf("storage: truncated varchar: %w", err)
 			}
+			rr.bytes += 4 + int64(n)
 			dst[i] = sqltypes.NewVarChar(string(s))
 		default:
 			return nil, fmt.Errorf("storage: bad value tag %d", tag)

@@ -2,11 +2,13 @@ package storage
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine/sqltypes"
 )
@@ -25,6 +27,9 @@ type Table struct {
 	mu    sync.RWMutex
 	parts []partition
 	rows  int64
+
+	fault   *Fault       // test-only fault injection; nil in production
+	scanned atomic.Int64 // cumulative rows delivered to scan callbacks
 }
 
 type partition struct {
@@ -82,7 +87,7 @@ func OpenTable(name string, schema *sqltypes.Schema, dir string, partitions int)
 	}
 	for p := range t.parts {
 		var count int64
-		if err := t.ScanPartition(p, func(sqltypes.Row) error { count++; return nil }); err != nil {
+		if err := t.ScanPartition(nil, p, func(sqltypes.Row) error { count++; return nil }); err != nil {
 			return nil, fmt.Errorf("storage: attaching table %q: %w", name, err)
 		}
 		t.parts[p].rows = count
@@ -154,19 +159,44 @@ func (t *Table) Insert(rows ...sqltypes.Row) error {
 		t.rows += int64(len(checked))
 		return nil
 	}
-	// Group per partition, then append each file once.
+	// Group per partition, then append each file once. A failed append
+	// rolls every already-appended partition (and any partial write in
+	// the failing one) back to its pre-insert size, so the files, the
+	// per-partition counts, and the table count always agree: the
+	// insert either lands completely or not at all.
 	groups := make([][]sqltypes.Row, len(t.parts))
 	for i, r := range checked {
 		p := int((t.rows + int64(i)) % int64(len(t.parts)))
 		groups[p] = append(groups[p], r)
 	}
+	type undo struct {
+		p    int
+		size int64
+		rows int64
+	}
+	var done []undo
+	rollback := func() {
+		for _, u := range done {
+			os.Truncate(t.parts[u.p].path, u.size)
+			t.parts[u.p].rows = u.rows
+		}
+	}
 	for p, g := range groups {
 		if len(g) == 0 {
 			continue
 		}
+		st, err := os.Stat(t.parts[p].path)
+		if err != nil {
+			rollback()
+			return fmt.Errorf("storage: %w", err)
+		}
+		prevRows := t.parts[p].rows
 		if err := t.appendFile(p, g); err != nil {
+			os.Truncate(t.parts[p].path, st.Size()) // drop the partial write
+			rollback()
 			return err
 		}
+		done = append(done, undo{p: p, size: st.Size(), rows: prevRows})
 	}
 	t.rows += int64(len(checked))
 	return nil
@@ -194,6 +224,10 @@ func (t *Table) appendFile(p int, rows []sqltypes.Row) error {
 		f.Close()
 		return fmt.Errorf("storage: %w", err)
 	}
+	if flt := t.fault; flt.matches(p) && flt.AppendAfter {
+		f.Close()
+		return flt.err()
+	}
 	t.parts[p].rows += int64(len(rows))
 	return f.Close()
 }
@@ -201,22 +235,31 @@ func (t *Table) appendFile(p int, rows []sqltypes.Row) error {
 // BulkLoader streams large row sets into a table with one open file per
 // partition; used by the synthetic data generator and CSV import.
 type BulkLoader struct {
-	t       *Table
-	files   []*bufio.Writer
-	closers []io.Closer
-	buf     []byte
-	next    int64
-	loaded  int64
+	t         *Table
+	files     []*bufio.Writer
+	closers   []io.Closer
+	origSizes []int64 // on-disk partition sizes before the load
+	added     []int64 // rows written per partition, published on Close
+	buf       []byte
+	next      int64
+	loaded    int64
 }
 
 // NewBulkLoader opens a loader. The caller must Close it; rows become
 // visible to scans only after Close.
 func (t *Table) NewBulkLoader() (*BulkLoader, error) {
-	bl := &BulkLoader{t: t}
+	bl := &BulkLoader{t: t, added: make([]int64, len(t.parts))}
 	if t.dir != "" {
 		bl.files = make([]*bufio.Writer, len(t.parts))
 		bl.closers = make([]io.Closer, len(t.parts))
+		bl.origSizes = make([]int64, len(t.parts))
 		for i := range t.parts {
+			st, err := os.Stat(t.parts[i].path)
+			if err != nil {
+				bl.abort()
+				return nil, fmt.Errorf("storage: %w", err)
+			}
+			bl.origSizes[i] = st.Size()
 			f, err := os.OpenFile(t.parts[i].path, os.O_APPEND|os.O_WRONLY, 0o644)
 			if err != nil {
 				bl.abort()
@@ -252,70 +295,146 @@ func (bl *BulkLoader) Add(row sqltypes.Row) error {
 	if _, err := bl.files[p].Write(bl.buf); err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
-	bl.t.parts[p].rows++
+	bl.added[p]++
 	return nil
 }
 
-// Close flushes and publishes the loaded rows.
+// Close flushes every partition and publishes only the successfully
+// flushed rows: a partition whose flush or close fails is truncated
+// back to its pre-load size and contributes nothing to the row counts,
+// so the in-memory accounting never disagrees with the files. The
+// first failure is returned.
 func (bl *BulkLoader) Close() error {
-	defer bl.t.mu.Unlock()
-	bl.t.rows += bl.loaded
-	return bl.abort()
-}
-
-func (bl *BulkLoader) abort() error {
+	t := bl.t
+	defer t.mu.Unlock()
+	if t.dir == "" {
+		t.rows += bl.loaded
+		return nil
+	}
+	flt := t.fault
 	var first error
-	for i, w := range bl.files {
-		if w != nil {
-			if err := w.Flush(); err != nil && first == nil {
-				first = fmt.Errorf("storage: %w", err)
-			}
+	for i := range bl.files {
+		if bl.files[i] == nil {
+			continue
 		}
-		if bl.closers[i] != nil {
-			if err := bl.closers[i].Close(); err != nil && first == nil {
-				first = fmt.Errorf("storage: %w", err)
-			}
+		err := bl.files[i].Flush()
+		if err != nil {
+			err = fmt.Errorf("storage: %w", err)
 		}
+		if err == nil && flt.matches(i) && flt.FlushClose {
+			err = flt.err()
+		}
+		if cerr := bl.closers[i].Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("storage: %w", cerr)
+		}
+		if err != nil {
+			os.Truncate(t.parts[i].path, bl.origSizes[i]) // drop torn rows
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		t.parts[i].rows += bl.added[i]
+		t.rows += bl.added[i]
 	}
 	return first
+}
+
+// abort closes any files opened by a loader that failed to set up;
+// nothing has been published yet, so no counts need adjusting.
+func (bl *BulkLoader) abort() {
+	for i := range bl.closers {
+		if bl.closers[i] != nil {
+			bl.closers[i].Close()
+		}
+	}
+}
+
+// ScanStats reports what one partition scan consumed.
+type ScanStats struct {
+	Rows  int64 // rows delivered to the callback
+	Bytes int64 // encoded bytes decoded from disk (0 for in-memory)
 }
 
 // ScanPartition iterates the rows of partition p, invoking fn for each.
 // The row passed to fn is reused between calls; fn must clone it to
 // retain it. On-disk partitions are opened and read from the filesystem
 // on every call — the engine never caches table data, matching the
-// paper's measurement methodology.
-func (t *Table) ScanPartition(p int, fn func(sqltypes.Row) error) error {
+// paper's measurement methodology. Cancellation of ctx (nil is treated
+// as background) is observed between rows, so a long scan stops soon
+// after a sibling partition fails.
+func (t *Table) ScanPartition(ctx context.Context, p int, fn func(sqltypes.Row) error) error {
+	_, err := t.ScanPartitionStats(ctx, p, fn)
+	return err
+}
+
+// ScanPartitionStats is ScanPartition returning per-scan statistics;
+// the stats cover whatever was read before an error, so failed scans
+// still report how far they got.
+func (t *Table) ScanPartitionStats(ctx context.Context, p int, fn func(sqltypes.Row) error) (ScanStats, error) {
+	var st ScanStats
 	if p < 0 || p >= len(t.parts) {
-		return fmt.Errorf("storage: partition %d out of range 0..%d", p, len(t.parts)-1)
+		return st, fmt.Errorf("storage: partition %d out of range 0..%d", p, len(t.parts)-1)
+	}
+	var done <-chan struct{}
+	var ctxErr func() error
+	if ctx != nil {
+		done = ctx.Done()
+		ctxErr = ctx.Err
 	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if t.dir == "" {
-		for _, r := range t.parts[p].mem {
-			if err := fn(r); err != nil {
-				return err
+	flt := t.fault
+	failAfter := int64(-1)
+	if flt.matches(p) {
+		if flt.ScanOpen {
+			return st, flt.err()
+		}
+		if flt.ScanAfterRows > 0 {
+			failAfter = flt.ScanAfterRows
+		}
+	}
+	deliver := func(r sqltypes.Row) error {
+		if done != nil && st.Rows&63 == 0 {
+			select {
+			case <-done:
+				return ctxErr()
+			default:
 			}
 		}
-		return nil
+		if failAfter >= 0 && st.Rows >= failAfter {
+			return flt.err()
+		}
+		st.Rows++
+		t.scanned.Add(1)
+		return fn(r)
+	}
+	if t.dir == "" {
+		for _, r := range t.parts[p].mem {
+			if err := deliver(r); err != nil {
+				return st, err
+			}
+		}
+		return st, nil
 	}
 	f, err := os.Open(t.parts[p].path)
 	if err != nil {
-		return fmt.Errorf("storage: %w", err)
+		return st, fmt.Errorf("storage: %w", err)
 	}
 	defer f.Close()
 	rr := newRowReader(f, t.schema.Len())
 	var row sqltypes.Row
 	for {
 		row, err = rr.next(row)
+		st.Bytes = rr.bytes
 		if err == io.EOF {
-			return nil
+			return st, nil
 		}
 		if err != nil {
-			return err
+			return st, err
 		}
-		if err := fn(row); err != nil {
-			return err
+		if err := deliver(row); err != nil {
+			return st, err
 		}
 	}
 }
@@ -324,7 +443,7 @@ func (t *Table) ScanPartition(p int, fn func(sqltypes.Row) error) error {
 // by the executor calling ScanPartition from multiple goroutines.
 func (t *Table) Scan(fn func(sqltypes.Row) error) error {
 	for p := 0; p < len(t.parts); p++ {
-		if err := t.ScanPartition(p, fn); err != nil {
+		if err := t.ScanPartition(nil, p, fn); err != nil {
 			return err
 		}
 	}

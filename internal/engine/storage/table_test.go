@@ -60,7 +60,7 @@ func TestInsertAndScanModes(t *testing.T) {
 			// Round-robin: each partition holds n/4 ± 1 rows.
 			for p := 0; p < tab.Partitions(); p++ {
 				var c int
-				if err := tab.ScanPartition(p, func(sqltypes.Row) error { c++; return nil }); err != nil {
+				if err := tab.ScanPartition(nil, p, func(sqltypes.Row) error { c++; return nil }); err != nil {
 					t.Fatal(err)
 				}
 				if c < n/4 || c > n/4+1 {
@@ -201,7 +201,7 @@ func TestScanErrorPropagation(t *testing.T) {
 	if err := tab.Scan(func(sqltypes.Row) error { return sentinel }); err != sentinel {
 		t.Fatalf("scan error not propagated: %v", err)
 	}
-	if err := tab.ScanPartition(99, func(sqltypes.Row) error { return nil }); err == nil {
+	if err := tab.ScanPartition(nil, 99, func(sqltypes.Row) error { return nil }); err == nil {
 		t.Fatal("out-of-range partition must error")
 	}
 }

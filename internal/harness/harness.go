@@ -134,6 +134,7 @@ func All() []Experiment {
 		{"f6", "Scalar UDF scoring time varying n (Figure 6)", runFigure6},
 		{"a1", "Ablation: partial-aggregation parallelism (partitions 1/4/20)", runAblatePartitions},
 		{"a2", "Ablation: one long SQL query vs per-cell statements (§3.4)", runAblateSQLStyle},
+		{"a3", "Executor statistics: scan volume, partition skew, phase times", runExecutorStats},
 	}
 }
 

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sqlgen"
+)
+
+// runExecutorStats surfaces the executor's per-query statistics — the
+// observability half of the parallel scan core: rows and bytes
+// scanned, how evenly the partitions shared the work, and where the
+// wall time went across the aggregate UDF protocol's four phases.
+// The paper reports only end-to-end seconds; this table shows what
+// those seconds were spent on.
+func runExecutorStats(cfg Config) ([]*Table, error) {
+	const dims = 16
+	n := cfg.rows(100)
+
+	d, cleanup, err := newDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	if err := loadX(d, cfg, n, dims); err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "a3",
+		Title: "Executor statistics: scan volume, partition skew, phase times",
+		Header: []string{"query", "rows scanned", "bytes", "emitted",
+			"parts", "skew", "plan", "scan", "merge", "finalize", "total"},
+		Note: "phase times map to the aggregate UDF protocol: scan = init+accumulate (1-2), merge = partial merge (3), finalize = result packing (4).",
+	}
+	queries := []struct {
+		label string
+		sql   string
+	}{
+		{"aggregate UDF (nlq_list)", sqlgen.NLQUDFQuery("X", sqlgen.Dims(dims), core.Triangular, sqlgen.ListStyle)},
+		{"grouped sum", "SELECT i % 8, sum(X1), sum(X2) FROM X GROUP BY i % 8"},
+		{"projection", "SELECT i, X1 + X2 FROM X WHERE X1 > 0"},
+	}
+	for _, q := range queries {
+		if _, err := d.Exec(q.sql); err != nil {
+			return nil, err
+		}
+		s := d.LastStats()
+		if s == nil {
+			return nil, fmt.Errorf("harness: no stats recorded for %s", q.label)
+		}
+		t.Rows = append(t.Rows, []string{
+			q.label,
+			fmt.Sprintf("%d", s.RowsScanned),
+			fmt.Sprintf("%d", s.BytesRead),
+			fmt.Sprintf("%d", s.RowsEmitted),
+			itoa(s.Partitions),
+			fmt.Sprintf("%.2f", s.Skew()),
+			secs(s.Plan), secs(s.Scan), secs(s.Merge), secs(s.Finalize), secs(s.Total),
+		})
+	}
+	return []*Table{t}, nil
+}

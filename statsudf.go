@@ -21,6 +21,7 @@
 package statsudf
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -65,6 +66,10 @@ type (
 	MixtureConfig = synth.Config
 	// Result is a materialized SQL result set.
 	Result = exec.Result
+	// Stats are one query's execution statistics: rows scanned, bytes
+	// read, per-partition row counts and the aggregate protocol's
+	// phase timings.
+	Stats = exec.Stats
 	// Row is one SQL result row.
 	Row = sqltypes.Row
 	// Value is one SQL value.
@@ -105,6 +110,9 @@ type Options struct {
 	// Partitions is the engine parallelism (default 20, the paper's
 	// Teradata thread count).
 	Partitions int
+	// Workers bounds the executor's scan worker pool independently of
+	// the partition count; <= 0 runs one worker per partition.
+	Workers int
 }
 
 // DB is an embedded analytic database with the paper's UDFs installed.
@@ -116,7 +124,7 @@ type DB struct {
 // (nlq_list, nlq_str, nlq_block) and the scoring scalar UDFs
 // (linearregscore, fascore, kdistance, clusterscore).
 func Open(opts Options) (*DB, error) {
-	eng, err := db.OpenDir(db.Options{Dir: opts.Dir, Partitions: opts.Partitions})
+	eng, err := db.OpenDir(db.Options{Dir: opts.Dir, Partitions: opts.Partitions, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -138,6 +146,18 @@ func (d *DB) Engine() *db.DB { return d.eng }
 
 // Exec parses and runs one SQL statement.
 func (d *DB) Exec(sql string) (*Result, error) { return d.eng.Exec(sql) }
+
+// ExecContext parses and runs one SQL statement; cancelling ctx stops
+// in-flight partition scans between rows.
+func (d *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
+	return d.eng.ExecContext(ctx, sql)
+}
+
+// LastStats returns the execution statistics of the most recent
+// statement that performed a scan: rows scanned and emitted, bytes
+// read, per-partition row counts (skew), and the four-phase aggregate
+// protocol timings. Nil before any scanning statement.
+func (d *DB) LastStats() *Stats { return d.eng.LastStats() }
 
 // ExecScript runs a semicolon-separated script, returning the last
 // result.
