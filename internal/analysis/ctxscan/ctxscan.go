@@ -1,0 +1,116 @@
+// Package ctxscan flags partition scans that ignore an available
+// context. The storage layer polls ctx between rows (the engine's
+// cancellation invariant from the parallel-executor work), but only if
+// callers pass one: a function that receives a context.Context and
+// still calls the ctx-less (*storage.Table).Scan silently produces an
+// uncancellable scan — exactly the bug the executor's join path had.
+package ctxscan
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+const storagePath = "repro/internal/engine/storage"
+
+// Analyzer flags (*storage.Table).Scan calls inside functions that
+// have a context.Context parameter in scope.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxscan",
+	Doc: "report ctx-less (*storage.Table).Scan calls in functions that receive a context.Context; " +
+		"such scans cannot be cancelled — call ScanContext(ctx, fn) instead",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			check(pass, fn.Body, hasCtxParam(pass, fn.Type))
+		}
+	}
+	return nil
+}
+
+// check walks a function body; inCtx reports whether a context.Context
+// parameter is visible. Function literals with their own ctx parameter
+// start a ctx region; literals without one inherit the enclosing state
+// (the ctx is still in scope there).
+func check(pass *analysis.Pass, body ast.Node, inCtx bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			check(pass, n.Body, inCtx || hasCtxParam(pass, n.Type))
+			return false
+		case *ast.CallExpr:
+			if !inCtx {
+				return true
+			}
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Selections[sel]
+			if obj == nil {
+				return true
+			}
+			m, ok := obj.Obj().(*types.Func)
+			if !ok || m.Name() != "Scan" || m.Pkg() == nil || m.Pkg().Path() != storagePath {
+				return true
+			}
+			if named := receiverNamed(m); named != "Table" {
+				return true
+			}
+			pass.Reportf(n.Pos(), "(*storage.Table).Scan ignores the context.Context in scope; use ScanContext so the scan observes cancellation")
+		}
+		return true
+	})
+}
+
+// receiverNamed returns the receiver's named-type name ("" if none).
+func receiverNamed(m *types.Func) string {
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if isContext(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,12 @@
+package ctxscan_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxscan"
+)
+
+func TestCtxScan(t *testing.T) {
+	analysistest.Run(t, ctxscan.Analyzer, "testdata/a")
+}

@@ -1,0 +1,38 @@
+// Fixture for the ctxscan analyzer.
+package a
+
+import (
+	"context"
+
+	"repro/internal/engine/storage"
+)
+
+func bad(ctx context.Context, t *storage.Table) error {
+	return t.Scan(nil) // want `use ScanContext so the scan observes cancellation`
+}
+
+func good(ctx context.Context, t *storage.Table) error {
+	return t.ScanContext(ctx, nil)
+}
+
+func noCtx(t *storage.Table) error {
+	return t.Scan(nil) // no context in scope: allowed
+}
+
+func inLiteral(t *storage.Table) func(context.Context) error {
+	return func(ctx context.Context) error {
+		return t.Scan(nil) // want `use ScanContext so the scan observes cancellation`
+	}
+}
+
+func inheritedCtx(ctx context.Context, t *storage.Table) error {
+	run := func() error {
+		return t.Scan(nil) // want `use ScanContext so the scan observes cancellation`
+	}
+	return run()
+}
+
+// scanPartitionOK: the ctx-taking partition scan is the right call.
+func scanPartitionOK(ctx context.Context, t *storage.Table) error {
+	return t.ScanPartition(ctx, 0, nil)
+}

@@ -1,0 +1,12 @@
+package udfcontract_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/udfcontract"
+)
+
+func TestUDFContract(t *testing.T) {
+	analysistest.Run(t, udfcontract.Analyzer, "testdata/a")
+}

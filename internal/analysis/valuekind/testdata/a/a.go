@@ -1,0 +1,20 @@
+// Fixture for the valuekind analyzer.
+package a
+
+import "repro/internal/engine/sqltypes"
+
+var schema = sqltypes.MustSchema( // want `sqltypes.MustSchema panics on bad input and is test-only`
+	sqltypes.Column{Name: "x", Type: sqltypes.TypeDouble},
+)
+
+func bad(v sqltypes.Value) float64 {
+	return v.MustFloat() // want `sqltypes.MustFloat panics on bad input and is test-only`
+}
+
+func good(v sqltypes.Value) (float64, error) {
+	return v.AsFloat()
+}
+
+func goodSchema() (*sqltypes.Schema, error) {
+	return sqltypes.NewSchema(sqltypes.Column{Name: "x", Type: sqltypes.TypeDouble})
+}

@@ -1,0 +1,80 @@
+// Package valuekind bans the panic-prone sqltypes conveniences in
+// production code. sqltypes.Value.MustFloat and sqltypes.MustSchema
+// panic on bad input; they exist for test fixtures where a panic is a
+// clear test failure. Production code must use the error-returning
+// forms (Value.AsFloat, NewSchema) and handle the error — a malformed
+// UDF result or schema must surface as a query error, not crash the
+// engine mid-scan.
+package valuekind
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+const sqltypesPath = "repro/internal/engine/sqltypes"
+
+// alternatives maps each banned sqltypes function to its
+// error-returning replacement.
+var alternatives = map[string]string{
+	"MustFloat":  "AsFloat",
+	"MustSchema": "NewSchema",
+}
+
+// Analyzer flags MustFloat/MustSchema calls outside _test.go files.
+var Analyzer = &analysis.Analyzer{
+	Name: "valuekind",
+	Doc: "report panic-prone sqltypes accessors (Value.MustFloat, MustSchema) in non-test code; " +
+		"production paths must use the error-returning forms",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, sel)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != sqltypesPath {
+				return true
+			}
+			alt, banned := alternatives[fn.Name()]
+			if !banned {
+				return true
+			}
+			pass.Reportf(call.Pos(), "sqltypes.%s panics on bad input and is test-only; use %s and handle the error", fn.Name(), alt)
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves a selector call to its *types.Func: a method
+// (via Selections) or a package-level function (via Uses).
+func calleeFunc(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Func {
+	if s := pass.TypesInfo.Selections[sel]; s != nil {
+		if fn, ok := s.Obj().(*types.Func); ok {
+			return fn
+		}
+		return nil
+	}
+	if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil {
+		if fn, ok := obj.(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package valuekind_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/valuekind"
+)
+
+func TestValueKind(t *testing.T) {
+	analysistest.Run(t, valuekind.Analyzer, "testdata/a")
+}

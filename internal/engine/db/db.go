@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/engine/exec"
 	"repro/internal/engine/expr"
+	"repro/internal/engine/sema"
 	"repro/internal/engine/sqlparser"
 	"repro/internal/engine/sqltypes"
 	"repro/internal/engine/storage"
@@ -91,6 +92,16 @@ func (d *DB) Table(name string) (*storage.Table, error) {
 		return nil, fmt.Errorf("db: table %q does not exist", name)
 	}
 	return t, nil
+}
+
+// TableSchema implements sema.Catalog: the schema-only view the
+// semantic analyzer resolves column references against.
+func (d *DB) TableSchema(name string) (*sqltypes.Schema, error) {
+	t, err := d.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.Schema(), nil
 }
 
 // HasTable reports whether the table exists.
@@ -280,6 +291,9 @@ func (d *DB) QueryStreamContext(ctx context.Context, sql string, sink exec.RowSi
 func (d *DB) runCreate(st *sqlparser.CreateTable) (*exec.Result, error) {
 	if st.IfNotExists && d.HasTable(st.Name) {
 		return &exec.Result{}, nil
+	}
+	if err := sema.CheckStatement(st, &sema.Env{Catalog: d, Scalars: d.funcs, Aggs: d.aggs}); err != nil {
+		return nil, err
 	}
 	cols := make([]sqltypes.Column, len(st.Columns))
 	for i, c := range st.Columns {

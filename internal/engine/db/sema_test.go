@@ -1,0 +1,102 @@
+package db
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/engine/sema"
+)
+
+// posRE matches a "line:col" diagnostic position.
+var posRE = regexp.MustCompile(`\b\d+:\d+\b`)
+
+// TestSemaRejectsBeforeScan is the acceptance check for the semantic
+// analyzer: a bad query must fail with a positioned diagnostic before
+// any partition scan starts, so the table's scanned-row counter stays
+// at zero.
+func TestSemaRejectsBeforeScan(t *testing.T) {
+	d := openTest(t)
+	mustExec(t, d, "CREATE TABLE pts (i BIGINT, x DOUBLE, s VARCHAR)")
+	for i := 0; i < 50; i++ {
+		mustExec(t, d, "INSERT INTO pts VALUES (1, 2.0, 'a')")
+	}
+	tbl, err := d.Table("pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, q := range []string{
+		"SELECT nocolumn FROM pts",                 // unknown column
+		"SELECT s + 1 FROM pts",                    // type mismatch
+		"SELECT sqrt(x, 2, 3) FROM pts",            // wrong UDF arity
+		"SELECT i, x FROM pts GROUP BY i",          // non-grouped column
+		"SELECT i FROM pts WHERE sum(x) > 0",       // aggregate in WHERE
+		"SELECT pts.x, nope.y FROM pts",            // unknown qualifier
+		"INSERT INTO pts (i, zz) VALUES (1, 2)",    // unknown insert column
+		"SELECT i FROM pts ORDER BY 9",             // ordinal out of range
+		"SELECT sum(count(x)) FROM pts GROUP BY i", // nested aggregate
+		"SELECT * FROM pts, missing WHERE x > 0",   // unknown join table
+	} {
+		tbl.ResetScannedRows()
+		_, err := d.Exec(q)
+		if err == nil {
+			t.Errorf("%q: expected a semantic error", q)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "sema: ") {
+			t.Errorf("%q: error did not come from sema: %v", q, err)
+		}
+		if !posRE.MatchString(err.Error()) {
+			t.Errorf("%q: diagnostic lacks a line:col position: %v", q, err)
+		}
+		if _, ok := err.(sema.ErrorList); !ok {
+			t.Errorf("%q: error is %T, want sema.ErrorList", q, err)
+		}
+		if n := tbl.ScannedRows(); n != 0 {
+			t.Errorf("%q: scanned %d rows before rejection; want 0", q, n)
+		}
+	}
+
+	// Sanity: the same table still answers valid queries.
+	tbl.ResetScannedRows()
+	res, err := d.Exec("SELECT count(*), sum(x) FROM pts WHERE i = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 50 {
+		t.Fatalf("unexpected result %v", res.Rows)
+	}
+	if tbl.ScannedRows() == 0 {
+		t.Fatal("valid query did not scan")
+	}
+}
+
+// TestSemaMultiError asserts one round trip reports several errors.
+func TestSemaMultiError(t *testing.T) {
+	d := openTest(t)
+	mustExec(t, d, "CREATE TABLE m (a BIGINT)")
+	_, err := d.Exec("SELECT bad1, bad2, sqrt(a, a) FROM m")
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	list, ok := err.(sema.ErrorList)
+	if !ok {
+		t.Fatalf("error is %T, want sema.ErrorList", err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("want 3 diagnostics, got %d:\n%v", len(list), err)
+	}
+}
+
+// TestSemaCreateTable asserts DDL type errors carry positions.
+func TestSemaCreateTable(t *testing.T) {
+	d := openTest(t)
+	_, err := d.Exec("CREATE TABLE w (a BIGINT, b FLOATY)")
+	if err == nil || !posRE.MatchString(err.Error()) {
+		t.Fatalf("want positioned diagnostic, got %v", err)
+	}
+	if d.HasTable("w") {
+		t.Fatal("table created despite bad DDL")
+	}
+}

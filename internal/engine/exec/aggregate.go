@@ -73,7 +73,7 @@ func runAggregate(ctx context.Context, sel *sqlparser.Select, items []sqlparser.
 		}
 	}
 
-	tail, residual, err := joinTail(b, sel.Where, env.Funcs)
+	tail, residual, err := joinTail(ctx, b, sel.Where, env.Funcs)
 	if err != nil {
 		return nil, err
 	}

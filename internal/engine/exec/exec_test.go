@@ -92,7 +92,7 @@ func TestJoinTailPushdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tail, residual, err := joinTail(b, s.Where, env.Funcs)
+	tail, residual, err := joinTail(context.Background(), b, s.Where, env.Funcs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestJoinTailAliasedTwice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tail, residual, err := joinTail(b, s.Where, env.Funcs)
+	tail, residual, err := joinTail(context.Background(), b, s.Where, env.Funcs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestJoinTailCapStillEnforced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := joinTail(b, s.Where, env.Funcs); err == nil {
+	if _, _, err := joinTail(context.Background(), b, s.Where, env.Funcs); err == nil {
 		t.Fatal("unfiltered large cross join must hit the cap")
 	}
 }

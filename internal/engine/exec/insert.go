@@ -14,6 +14,9 @@ import (
 // the subquery's scan observes ctx cancellation and its execution
 // stats are attached to the result.
 func Insert(ctx context.Context, ins *sqlparser.Insert, env *Env) (*Result, error) {
+	if err := analyze(ins, env); err != nil {
+		return nil, err
+	}
 	t, err := env.Catalog.Table(ins.Table)
 	if err != nil {
 		return nil, err

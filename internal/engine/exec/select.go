@@ -30,6 +30,9 @@ type Env struct {
 // (nil is treated as background) stops the partition scans between
 // rows.
 func Select(ctx context.Context, sel *sqlparser.Select, env *Env) (*Result, error) {
+	if err := analyze(sel, env); err != nil {
+		return nil, err
+	}
 	run := sel
 	hidden := 0
 	if len(sel.OrderBy) > 0 {
@@ -118,6 +121,9 @@ func orderKeyInOutput(e sqlparser.Expr, outNames map[string]bool) bool {
 func SelectStream(ctx context.Context, sel *sqlparser.Select, env *Env, sink RowSink) (*sqltypes.Schema, *Stats, error) {
 	if len(sel.OrderBy) > 0 || sel.Limit != nil {
 		return nil, nil, fmt.Errorf("exec: ORDER BY/LIMIT not supported in streaming mode")
+	}
+	if err := analyze(sel, env); err != nil {
+		return nil, nil, err
 	}
 	schema, _, stats, err := runSelect(ctx, sel, env, sink)
 	return schema, stats, err
@@ -227,7 +233,7 @@ func constSelect(sel *sqlparser.Select, env *Env, sink RowSink) (*sqltypes.Schem
 // per joined row. A sanity cap catches genuinely large-large joins.
 const maxJoinTailRows = 1 << 20
 
-func joinTail(b *binding, where sqlparser.Expr, funcs *expr.Registry) ([]sqltypes.Row, sqlparser.Expr, error) {
+func joinTail(ctx context.Context, b *binding, where sqlparser.Expr, funcs *expr.Registry) ([]sqltypes.Row, sqlparser.Expr, error) {
 	conjuncts := splitConjuncts(where)
 	used := make([]bool, len(conjuncts))
 
@@ -248,7 +254,7 @@ func joinTail(b *binding, where sqlparser.Expr, funcs *expr.Registry) ([]sqltype
 			used[ci] = true
 		}
 		var trows []sqltypes.Row
-		err := bt.table.Scan(func(r sqltypes.Row) error {
+		err := bt.table.ScanContext(ctx, func(r sqltypes.Row) error {
 			for _, f := range filters {
 				keep, err := f.Eval(r)
 				if err != nil {
@@ -341,7 +347,7 @@ func tableResolver(b *binding, ti int) expr.Resolver {
 // first table in parallel, cross-join the tail, filter, project.
 func runProjection(ctx context.Context, sel *sqlparser.Select, items []sqlparser.SelectItem, b *binding, env *Env, sink RowSink, st *Stats) (*sqltypes.Schema, error) {
 	planStart := time.Now()
-	tail, residual, err := joinTail(b, sel.Where, env.Funcs)
+	tail, residual, err := joinTail(ctx, b, sel.Where, env.Funcs)
 	if err != nil {
 		return nil, err
 	}

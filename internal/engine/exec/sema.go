@@ -1,0 +1,36 @@
+package exec
+
+import (
+	"repro/internal/engine/sema"
+	"repro/internal/engine/sqlparser"
+	"repro/internal/engine/sqltypes"
+)
+
+// schemaCatalog adapts the executor's table catalog to sema's
+// schema-only view.
+type schemaCatalog struct{ cat Catalog }
+
+func (s schemaCatalog) TableSchema(name string) (*sqltypes.Schema, error) {
+	t, err := s.cat.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.Schema(), nil
+}
+
+// semaEnv derives the semantic-analysis environment from an executor
+// environment.
+func semaEnv(env *Env) *sema.Env {
+	se := &sema.Env{Scalars: env.Funcs, Aggs: env.Aggs}
+	if env.Catalog != nil {
+		se.Catalog = schemaCatalog{env.Catalog}
+	}
+	return se
+}
+
+// analyze semantically checks a statement before execution. Every
+// executor entry point calls it, so malformed queries fail with
+// positioned diagnostics before any partition scan starts.
+func analyze(stmt sqlparser.Statement, env *Env) error {
+	return sema.CheckStatement(stmt, semaEnv(env))
+}

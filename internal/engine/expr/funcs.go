@@ -21,11 +21,19 @@ type ScalarFunc func(args []sqltypes.Value) (sqltypes.Value, error)
 
 // FuncDef describes a scalar function: its arity bounds and body.
 // MaxArgs < 0 means variadic.
+//
+// Params and Ret are optional static type annotations used by the
+// semantic analyzer: Params[i] is the declared type of argument i
+// (TypeNull = unchecked; for variadic functions the last entry covers
+// all trailing arguments), and Ret is the result type (TypeNull =
+// unknown). They do not affect evaluation.
 type FuncDef struct {
 	Name    string
 	MinArgs int
 	MaxArgs int
 	Fn      ScalarFunc
+	Params  []sqltypes.Type
+	Ret     sqltypes.Type
 }
 
 // Registry holds scalar functions by lower-cased name. Scalar UDFs are
@@ -82,30 +90,34 @@ func (r *Registry) Names() []string {
 
 // numeric1 adapts a float64 function into a NULL-propagating scalar.
 func numeric1(name string, f func(float64) float64) FuncDef {
-	return FuncDef{Name: name, MinArgs: 1, MaxArgs: 1, Fn: func(args []sqltypes.Value) (sqltypes.Value, error) {
-		if args[0].IsNull() {
-			return sqltypes.Null, nil
-		}
-		x, ok := args[0].Float()
-		if !ok {
-			return sqltypes.Null, fmt.Errorf("expr: %s: non-numeric argument %v", name, args[0])
-		}
-		return sqltypes.NewDouble(f(x)), nil
-	}}
+	return FuncDef{Name: name, MinArgs: 1, MaxArgs: 1,
+		Params: []sqltypes.Type{sqltypes.TypeDouble}, Ret: sqltypes.TypeDouble,
+		Fn: func(args []sqltypes.Value) (sqltypes.Value, error) {
+			if args[0].IsNull() {
+				return sqltypes.Null, nil
+			}
+			x, ok := args[0].Float()
+			if !ok {
+				return sqltypes.Null, fmt.Errorf("expr: %s: non-numeric argument %v", name, args[0])
+			}
+			return sqltypes.NewDouble(f(x)), nil
+		}}
 }
 
 func numeric2(name string, f func(a, b float64) float64) FuncDef {
-	return FuncDef{Name: name, MinArgs: 2, MaxArgs: 2, Fn: func(args []sqltypes.Value) (sqltypes.Value, error) {
-		if args[0].IsNull() || args[1].IsNull() {
-			return sqltypes.Null, nil
-		}
-		a, aok := args[0].Float()
-		b, bok := args[1].Float()
-		if !aok || !bok {
-			return sqltypes.Null, fmt.Errorf("expr: %s: non-numeric arguments", name)
-		}
-		return sqltypes.NewDouble(f(a, b)), nil
-	}}
+	return FuncDef{Name: name, MinArgs: 2, MaxArgs: 2,
+		Params: []sqltypes.Type{sqltypes.TypeDouble, sqltypes.TypeDouble}, Ret: sqltypes.TypeDouble,
+		Fn: func(args []sqltypes.Value) (sqltypes.Value, error) {
+			if args[0].IsNull() || args[1].IsNull() {
+				return sqltypes.Null, nil
+			}
+			a, aok := args[0].Float()
+			b, bok := args[1].Float()
+			if !aok || !bok {
+				return sqltypes.Null, fmt.Errorf("expr: %s: non-numeric arguments", name)
+			}
+			return sqltypes.NewDouble(f(a, b)), nil
+		}}
 }
 
 func builtins() []FuncDef {
@@ -132,17 +144,18 @@ func builtins() []FuncDef {
 		numeric2("pow", math.Pow),
 		numeric2("mod", math.Mod),
 		numeric2("atan2", math.Atan2),
-		{Name: "round", MinArgs: 1, MaxArgs: 2, Fn: fnRound},
+		{Name: "round", MinArgs: 1, MaxArgs: 2, Fn: fnRound,
+			Params: []sqltypes.Type{sqltypes.TypeDouble, sqltypes.TypeBigInt}, Ret: sqltypes.TypeDouble},
 		{Name: "coalesce", MinArgs: 1, MaxArgs: -1, Fn: fnCoalesce},
 		{Name: "nullif", MinArgs: 2, MaxArgs: 2, Fn: fnNullIf},
 		{Name: "least", MinArgs: 1, MaxArgs: -1, Fn: fnLeast},
 		{Name: "greatest", MinArgs: 1, MaxArgs: -1, Fn: fnGreatest},
-		{Name: "lower", MinArgs: 1, MaxArgs: 1, Fn: fnLower},
-		{Name: "upper", MinArgs: 1, MaxArgs: 1, Fn: fnUpper},
-		{Name: "length", MinArgs: 1, MaxArgs: 1, Fn: fnLength},
-		{Name: "substr", MinArgs: 2, MaxArgs: 3, Fn: fnSubstr},
-		{Name: "trim", MinArgs: 1, MaxArgs: 1, Fn: fnTrim},
-		{Name: "like", MinArgs: 2, MaxArgs: 2, Fn: fnLike},
+		{Name: "lower", MinArgs: 1, MaxArgs: 1, Fn: fnLower, Ret: sqltypes.TypeVarChar},
+		{Name: "upper", MinArgs: 1, MaxArgs: 1, Fn: fnUpper, Ret: sqltypes.TypeVarChar},
+		{Name: "length", MinArgs: 1, MaxArgs: 1, Fn: fnLength, Ret: sqltypes.TypeBigInt},
+		{Name: "substr", MinArgs: 2, MaxArgs: 3, Fn: fnSubstr, Ret: sqltypes.TypeVarChar},
+		{Name: "trim", MinArgs: 1, MaxArgs: 1, Fn: fnTrim, Ret: sqltypes.TypeVarChar},
+		{Name: "like", MinArgs: 2, MaxArgs: 2, Fn: fnLike, Ret: sqltypes.TypeBool},
 	}
 }
 

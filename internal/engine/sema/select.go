@@ -1,0 +1,330 @@
+package sema
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine/sqlparser"
+	"repro/internal/engine/sqltypes"
+)
+
+// scopeEntry is one FROM table visible to column references. A nil
+// schema marks a table that failed to resolve: its columns accept any
+// name with unknown type, so one bad table name doesn't cascade into a
+// diagnostic per column reference.
+type scopeEntry struct {
+	name   string // the addressable name (alias, or table name)
+	schema *sqltypes.Schema
+}
+
+// scope is the set of tables a query's column references resolve
+// against, mirroring the executor's binding of cross-joined FROM
+// entries. A nil *scope means no columns are allowed (FROM-less
+// SELECTs, INSERT VALUES expressions).
+type scope struct {
+	entries []scopeEntry
+}
+
+func (c *checker) buildScope(from []sqlparser.TableRef) *scope {
+	sc := &scope{}
+	seen := make(map[string]bool, len(from))
+	for _, ref := range from {
+		name := ref.RefName()
+		key := strings.ToLower(name)
+		if seen[key] {
+			c.errf(ref.At, "duplicate table name %q in FROM; use aliases", name)
+			continue
+		}
+		seen[key] = true
+		entry := scopeEntry{name: name}
+		if c.env.Catalog != nil {
+			schema, err := c.env.Catalog.TableSchema(ref.Name)
+			if err != nil {
+				c.errf(ref.At, "unknown table %q", ref.Name)
+			} else {
+				entry.schema = schema
+			}
+		}
+		sc.entries = append(sc.entries, entry)
+	}
+	return sc
+}
+
+// resolveColumn mirrors the executor's binding.resolve: qualified
+// references name a FROM entry; unqualified references must be
+// unambiguous across all entries.
+func (c *checker) resolveColumn(sc *scope, cr *sqlparser.ColumnRef) typ {
+	if sc == nil || len(sc.entries) == 0 {
+		c.errf(cr.At, "column %s is not allowed here", cr)
+		return anyType
+	}
+	if cr.Table != "" {
+		for _, e := range sc.entries {
+			if !strings.EqualFold(e.name, cr.Table) {
+				continue
+			}
+			if e.schema == nil {
+				return anyType // table itself already diagnosed
+			}
+			if i := e.schema.Index(cr.Name); i >= 0 {
+				return known(e.schema.Columns[i].Type)
+			}
+			c.errf(cr.At, "table %q has no column %q", cr.Table, cr.Name)
+			return anyType
+		}
+		c.errf(cr.At, "unknown table %q", cr.Table)
+		return anyType
+	}
+	found, matches := anyType, 0
+	for _, e := range sc.entries {
+		if e.schema == nil {
+			return anyType // unresolved table could supply any column
+		}
+		if i := e.schema.Index(cr.Name); i >= 0 {
+			matches++
+			found = known(e.schema.Columns[i].Type)
+		}
+	}
+	switch matches {
+	case 0:
+		c.errf(cr.At, "unknown column %q", cr.Name)
+		return anyType
+	case 1:
+		return found
+	default:
+		c.errf(cr.At, "ambiguous column %q", cr.Name)
+		return anyType
+	}
+}
+
+func (c *checker) checkSelect(sel *sqlparser.Select) {
+	if len(sel.From) == 0 {
+		c.checkConstSelect(sel)
+		return
+	}
+	sc := c.buildScope(sel.From)
+
+	// Aggregate detection matches the executor: GROUP BY or any
+	// aggregate call in the select list makes this an aggregate query.
+	// ORDER BY keys that cannot be evaluated against the output become
+	// hidden select items, so an aggregate there counts too.
+	isAgg := len(sel.GroupBy) > 0
+	for _, item := range sel.Items {
+		if !item.Star && c.containsAggregate(item.Expr) {
+			isAgg = true
+		}
+	}
+	outNames, hasStar := outputNames(sel)
+	for _, o := range sel.OrderBy {
+		if lit, ok := o.Expr.(*sqlparser.NumberLit); ok && lit.IsInt {
+			continue
+		}
+		if !orderKeyInOutput(o.Expr, outNames) && c.containsAggregate(o.Expr) {
+			isAgg = true
+		}
+	}
+
+	if sel.Where != nil {
+		c.noAggregates(sel.Where, "the WHERE clause")
+		c.infer(sel.Where, sc)
+	}
+	groupKeys := make(map[string]bool, len(sel.GroupBy))
+	for _, g := range sel.GroupBy {
+		c.noAggregates(g, "GROUP BY")
+		c.infer(g, sc)
+		groupKeys[g.String()] = true
+	}
+
+	if isAgg {
+		for _, item := range sel.Items {
+			if item.Star {
+				c.errf(item.At, "%s cannot be combined with GROUP BY or aggregates; select explicit expressions", starText(item))
+				continue
+			}
+			c.infer(item.Expr, sc)
+			c.checkAggPlacement(item.Expr, groupKeys, false)
+		}
+		if sel.Having != nil {
+			c.infer(sel.Having, sc)
+			c.checkAggPlacement(sel.Having, groupKeys, false)
+		}
+	} else {
+		for _, item := range sel.Items {
+			if item.Star {
+				c.checkStar(item, sc)
+				continue
+			}
+			c.infer(item.Expr, sc)
+		}
+		if sel.Having != nil {
+			c.errf(sel.Having.Pos(), "HAVING requires GROUP BY or aggregates")
+		}
+	}
+	c.checkOrderBy(sel, sc, isAgg, groupKeys, outNames, hasStar)
+}
+
+// outputNames collects the visible output column names (lower-cased),
+// mirroring the executor, and whether a star item is present.
+func outputNames(sel *sqlparser.Select) (map[string]bool, bool) {
+	out := make(map[string]bool, len(sel.Items))
+	hasStar := false
+	for i, item := range sel.Items {
+		if item.Star {
+			hasStar = true
+			continue
+		}
+		out[strings.ToLower(outputName(item, i))] = true
+	}
+	return out, hasStar
+}
+
+// checkConstSelect checks a FROM-less SELECT of constants, mirroring
+// the executor's constSelect restrictions.
+func (c *checker) checkConstSelect(sel *sqlparser.Select) {
+	if sel.Where != nil {
+		c.errf(sel.Where.Pos(), "WHERE requires a FROM clause")
+	}
+	for _, g := range sel.GroupBy {
+		c.errf(g.Pos(), "GROUP BY requires a FROM clause")
+	}
+	if sel.Having != nil {
+		c.errf(sel.Having.Pos(), "HAVING requires a FROM clause")
+	}
+	for _, item := range sel.Items {
+		if item.Star {
+			c.errf(item.At, "%s requires a FROM clause", starText(item))
+			continue
+		}
+		c.noAggregates(item.Expr, "a FROM-less SELECT")
+		c.infer(item.Expr, nil)
+	}
+}
+
+func starText(item sqlparser.SelectItem) string {
+	if item.StarTable != "" {
+		return item.StarTable + ".*"
+	}
+	return "*"
+}
+
+func (c *checker) checkStar(item sqlparser.SelectItem, sc *scope) {
+	if item.StarTable == "" {
+		return
+	}
+	for _, e := range sc.entries {
+		if strings.EqualFold(e.name, item.StarTable) {
+			return
+		}
+	}
+	c.errf(item.At, "%s.* does not match any table in FROM", item.StarTable)
+}
+
+// checkAggPlacement enforces the aggregate-query placement rules the
+// executor's rewrite phase assumes: outside aggregate calls, a column
+// may only appear inside a subtree textually equal to a GROUP BY
+// expression (the executor's own matching rule); aggregate calls may
+// not nest.
+func (c *checker) checkAggPlacement(e sqlparser.Expr, groupKeys map[string]bool, inAgg bool) {
+	if e == nil {
+		return
+	}
+	if !inAgg && groupKeys[e.String()] {
+		return
+	}
+	switch e := e.(type) {
+	case *sqlparser.ColumnRef:
+		if !inAgg {
+			c.errf(e.At, "column %s must appear in GROUP BY or inside an aggregate", e)
+		}
+	case *sqlparser.FuncCall:
+		if c.isAggregate(strings.ToLower(e.Name)) {
+			if inAgg {
+				c.errf(e.At, "aggregate %s() cannot be nested inside another aggregate", strings.ToLower(e.Name))
+				return
+			}
+			for _, a := range e.Args {
+				c.checkAggPlacement(a, groupKeys, true)
+			}
+			return
+		}
+		for _, a := range e.Args {
+			c.checkAggPlacement(a, groupKeys, inAgg)
+		}
+	case *sqlparser.UnaryExpr:
+		c.checkAggPlacement(e.X, groupKeys, inAgg)
+	case *sqlparser.BinaryExpr:
+		c.checkAggPlacement(e.L, groupKeys, inAgg)
+		c.checkAggPlacement(e.R, groupKeys, inAgg)
+	case *sqlparser.CaseExpr:
+		for _, w := range e.Whens {
+			c.checkAggPlacement(w.Cond, groupKeys, inAgg)
+			c.checkAggPlacement(w.Then, groupKeys, inAgg)
+		}
+		c.checkAggPlacement(e.Else, groupKeys, inAgg)
+	case *sqlparser.IsNullExpr:
+		c.checkAggPlacement(e.X, groupKeys, inAgg)
+	case *sqlparser.CastExpr:
+		c.checkAggPlacement(e.X, groupKeys, inAgg)
+	case *sqlparser.BetweenExpr:
+		c.checkAggPlacement(e.X, groupKeys, inAgg)
+		c.checkAggPlacement(e.Lo, groupKeys, inAgg)
+		c.checkAggPlacement(e.Hi, groupKeys, inAgg)
+	case *sqlparser.InExpr:
+		c.checkAggPlacement(e.X, groupKeys, inAgg)
+		for _, x := range e.List {
+			c.checkAggPlacement(x, groupKeys, inAgg)
+		}
+	}
+}
+
+// checkOrderBy mirrors the executor's two ORDER BY paths: keys that are
+// integer ordinals or resolve entirely against output names are sorted
+// on the output; anything else is computed as a hidden select item and
+// must therefore satisfy the same rules as a select item.
+func (c *checker) checkOrderBy(sel *sqlparser.Select, sc *scope, isAgg bool, groupKeys map[string]bool, outNames map[string]bool, hasStar bool) {
+	if len(sel.OrderBy) == 0 {
+		return
+	}
+	for _, o := range sel.OrderBy {
+		if lit, ok := o.Expr.(*sqlparser.NumberLit); ok && lit.IsInt {
+			if !hasStar && (lit.Int < 1 || lit.Int > int64(len(sel.Items))) {
+				c.errf(lit.At, "ORDER BY ordinal %d is out of range (1..%d)", lit.Int, len(sel.Items))
+			}
+			continue
+		}
+		if orderKeyInOutput(o.Expr, outNames) {
+			continue
+		}
+		c.infer(o.Expr, sc)
+		if isAgg {
+			c.checkAggPlacement(o.Expr, groupKeys, false)
+		}
+	}
+}
+
+// outputName mirrors the executor's output-column naming.
+func outputName(item sqlparser.SelectItem, ordinal int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if cr, ok := item.Expr.(*sqlparser.ColumnRef); ok {
+		return cr.Name
+	}
+	s := item.Expr.String()
+	if len(s) <= 40 {
+		return s
+	}
+	return fmt.Sprintf("col%d", ordinal+1)
+}
+
+// orderKeyInOutput mirrors the executor: a key sorts on the output when
+// every column reference is unqualified and names an output column.
+func orderKeyInOutput(e sqlparser.Expr, outNames map[string]bool) bool {
+	ok := true
+	sqlparser.WalkColumns(e, func(cr *sqlparser.ColumnRef) {
+		if cr.Table != "" || !outNames[strings.ToLower(cr.Name)] {
+			ok = false
+		}
+	})
+	return ok
+}

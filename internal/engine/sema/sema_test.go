@@ -1,0 +1,195 @@
+package sema_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/engine/expr"
+	"repro/internal/engine/sema"
+	"repro/internal/engine/sqlparser"
+	"repro/internal/engine/sqltypes"
+	"repro/internal/engine/udf"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// mapCatalog is a fixed schema set for tests.
+type mapCatalog map[string]*sqltypes.Schema
+
+func (m mapCatalog) TableSchema(name string) (*sqltypes.Schema, error) {
+	s, ok := m[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("test: no table %q", name)
+	}
+	return s, nil
+}
+
+// pairAgg is a registered aggregate UDF with a strict two-argument
+// contract, so arity diagnostics for UDFs are exercised.
+type pairAgg struct{}
+
+func (pairAgg) Name() string { return "pairagg" }
+func (pairAgg) CheckArgs(n int) error {
+	if n != 2 {
+		return fmt.Errorf("udf: pairagg expects 2 arguments, got %d", n)
+	}
+	return nil
+}
+func (pairAgg) Init(h *udf.Heap) (udf.State, error)              { return nil, nil }
+func (pairAgg) Accumulate(s udf.State, a []sqltypes.Value) error { return nil }
+func (pairAgg) Merge(dst, src udf.State) error                   { return nil }
+func (pairAgg) Finalize(s udf.State) (sqltypes.Value, error)     { return sqltypes.Null, nil }
+
+func testEnv(t *testing.T) *sema.Env {
+	t.Helper()
+	aggs := udf.NewRegistry()
+	if err := aggs.Register(pairAgg{}); err != nil {
+		t.Fatal(err)
+	}
+	return &sema.Env{
+		Catalog: mapCatalog{
+			"t": sqltypes.MustSchema(
+				sqltypes.Column{Name: "i", Type: sqltypes.TypeBigInt},
+				sqltypes.Column{Name: "x", Type: sqltypes.TypeDouble},
+				sqltypes.Column{Name: "s", Type: sqltypes.TypeVarChar},
+			),
+			"u": sqltypes.MustSchema(
+				sqltypes.Column{Name: "i", Type: sqltypes.TypeBigInt},
+				sqltypes.Column{Name: "y", Type: sqltypes.TypeDouble},
+			),
+		},
+		Scalars: expr.NewRegistry(),
+		Aggs:    aggs,
+	}
+}
+
+// TestGolden checks each testdata/*.sql statement against its .golden
+// diagnostics ("" = must pass). Run with -update to regenerate.
+func TestGolden(t *testing.T) {
+	env := testEnv(t)
+	files, err := filepath.Glob(filepath.Join("testdata", "*.sql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata/*.sql files")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(strings.TrimSuffix(filepath.Base(file), ".sql"), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stmt, err := sqlparser.Parse(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			got := ""
+			if err := sema.CheckStatement(stmt, env); err != nil {
+				got = err.Error() + "\n"
+			}
+			golden := strings.TrimSuffix(file, ".sql") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestValid asserts query shapes the engine's workloads rely on pass
+// sema unchanged.
+func TestValid(t *testing.T) {
+	env := testEnv(t)
+	for _, q := range []string{
+		"SELECT i, x FROM t",
+		"SELECT * FROM t WHERE x > 0 AND s = 'a'",
+		"SELECT t.i, u.y FROM t, u WHERE t.i = u.i",
+		"SELECT i % 8, sum(x), count(*) FROM t GROUP BY i % 8",
+		"SELECT i, avg(x) FROM t GROUP BY i HAVING avg(x) > 1 ORDER BY 2 DESC",
+		"SELECT CAST(x AS VARCHAR) || '|' || s FROM t",
+		"SELECT CASE WHEN TRUE THEN 1 ELSE 0 END FROM t",
+		"SELECT sqrt(x) + abs(x) FROM t ORDER BY x LIMIT 3",
+		"SELECT pairagg(x, i) FROM t",
+		"SELECT sum(x + i) * 2 FROM t",
+		"SELECT 1 + 2, 'a' || 'b'",
+		"INSERT INTO u VALUES (1, 2.5)",
+		"INSERT INTO u (i, y) SELECT i, x FROM t",
+		"SELECT coalesce(s, 'none') FROM t",
+		"SELECT i FROM t GROUP BY i ORDER BY sum(x)",
+	} {
+		stmt, err := sqlparser.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if err := sema.CheckStatement(stmt, env); err != nil {
+			t.Errorf("%q: unexpected diagnostics:\n%v", q, err)
+		}
+	}
+}
+
+// TestPositions asserts the reported positions point at the offending
+// token, not the statement start.
+func TestPositions(t *testing.T) {
+	env := testEnv(t)
+	for _, tc := range []struct {
+		sql string
+		pos string
+	}{
+		{"SELECT nope FROM t", "1:8"},
+		{"SELECT i\nFROM t\nWHERE bad = 1", "3:7"},
+		{"SELECT s + 1 FROM t", "1:10"},
+		{"SELECT sqrt(x, 1) FROM t", "1:8"},
+	} {
+		stmt, err := sqlparser.Parse(tc.sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.sql, err)
+		}
+		err = sema.CheckStatement(stmt, env)
+		if err == nil {
+			t.Errorf("%q: expected diagnostics", tc.sql)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.pos) {
+			t.Errorf("%q: diagnostic %q does not mention position %s", tc.sql, err, tc.pos)
+		}
+	}
+}
+
+// TestDiagnosticCap bounds the error list for deeply broken statements.
+func TestDiagnosticCap(t *testing.T) {
+	env := testEnv(t)
+	items := make([]string, 100)
+	for i := range items {
+		items[i] = fmt.Sprintf("bogus%d", i)
+	}
+	stmt, err := sqlparser.Parse("SELECT " + strings.Join(items, ", ") + " FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cerr := sema.CheckStatement(stmt, env)
+	if cerr == nil {
+		t.Fatal("expected diagnostics")
+	}
+	list, ok := cerr.(sema.ErrorList)
+	if !ok {
+		t.Fatalf("expected ErrorList, got %T", cerr)
+	}
+	if len(list) > 25 {
+		t.Errorf("diagnostic list not capped: %d entries", len(list))
+	}
+}

@@ -1,0 +1,4 @@
+SELECT i, sum(avg(x))
+FROM t
+WHERE sum(x) > 1
+GROUP BY i, count(i)

@@ -1,0 +1,1 @@
+SELECT i, y FROM t, u

@@ -1,0 +1,1 @@
+SELECT 1, *, sum(x) WHERE 1 = 1

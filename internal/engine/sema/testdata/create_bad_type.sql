@@ -1,0 +1,5 @@
+CREATE TABLE w (
+    a BIGINT,
+    b FLOATY,
+    a DOUBLE
+)

@@ -1,0 +1,3 @@
+SELECT i, x, sum(x)
+FROM t
+GROUP BY i

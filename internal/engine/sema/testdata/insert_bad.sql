@@ -1,0 +1,1 @@
+INSERT INTO u (i, z) VALUES (1, 2, 3)

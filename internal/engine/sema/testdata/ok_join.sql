@@ -1,0 +1,4 @@
+SELECT t.i, t.x + u.y
+FROM t, u
+WHERE t.i = u.i AND u.y > 0
+ORDER BY t.i

@@ -1,0 +1,6 @@
+SELECT count(*),
+       sum(x),
+       sum(x * x),
+       sum(x * i)
+FROM t
+WHERE x > 0

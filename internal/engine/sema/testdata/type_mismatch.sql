@@ -1,0 +1,5 @@
+SELECT s + 1,
+       x * s,
+       -s,
+       sqrt(s)
+FROM t

@@ -1,0 +1,5 @@
+SELECT sqrt(x, 1),
+       power(x),
+       pairagg(x),
+       nosuchfn(x)
+FROM t

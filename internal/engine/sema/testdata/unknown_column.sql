@@ -1,0 +1,4 @@
+SELECT i,
+       nope,
+       x
+FROM t

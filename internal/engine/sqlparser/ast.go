@@ -6,13 +6,19 @@ import (
 	"strings"
 )
 
-// Statement is any parsed SQL statement.
-type Statement interface{ isStatement() }
+// Statement is any parsed SQL statement. Pos returns the source
+// location of the statement's first token (zero for synthetic
+// statements built by planners or tests).
+type Statement interface {
+	isStatement()
+	Pos() Position
+}
 
 // ColumnDef is one column in CREATE TABLE.
 type ColumnDef struct {
 	Name string
 	Type string // raw type name; resolved by the catalog
+	At   Position
 }
 
 // CreateTable is `CREATE TABLE [IF NOT EXISTS] name (col type, ...)`.
@@ -20,12 +26,14 @@ type CreateTable struct {
 	Name        string
 	Columns     []ColumnDef
 	IfNotExists bool
+	At          Position
 }
 
 // DropTable is `DROP TABLE [IF EXISTS] name`.
 type DropTable struct {
 	Name     string
 	IfExists bool
+	At       Position
 }
 
 // CreateView is `CREATE VIEW name AS SELECT ...`. Views are expanded
@@ -33,21 +41,26 @@ type DropTable struct {
 type CreateView struct {
 	Name  string
 	Query *Select
+	At    Position
 }
 
 // DropView is `DROP VIEW [IF EXISTS] name`.
 type DropView struct {
 	Name     string
 	IfExists bool
+	At       Position
 }
 
 // Insert is `INSERT INTO name [(cols)] VALUES (...),(...)` or
 // `INSERT INTO name [(cols)] SELECT ...`.
 type Insert struct {
-	Table   string
-	Columns []string // optional explicit column list
-	Rows    [][]Expr // literal rows, when Query == nil
-	Query   *Select  // INSERT .. SELECT, when non-nil
+	Table     string
+	Columns   []string // optional explicit column list
+	ColumnPos []Position
+	Rows      [][]Expr // literal rows, when Query == nil
+	Query     *Select  // INSERT .. SELECT, when non-nil
+	At        Position
+	TablePos  Position
 }
 
 // Select is a SELECT statement (also used as a subquery in INSERT).
@@ -59,6 +72,7 @@ type Select struct {
 	Having  Expr // post-aggregation filter; requires GROUP BY or aggregates
 	OrderBy []OrderItem
 	Limit   *int64
+	At      Position
 }
 
 // SelectItem is one projection: an expression with an optional alias,
@@ -69,6 +83,16 @@ type SelectItem struct {
 	Star  bool
 	// StarTable qualifies a star item (`t.*`); empty for a bare `*`.
 	StarTable string
+	At        Position
+}
+
+// Pos returns the item's source location: the expression's own
+// position, or the star token for `*` items.
+func (s SelectItem) Pos() Position {
+	if s.Expr != nil {
+		return s.Expr.Pos()
+	}
+	return s.At
 }
 
 // TableRef names a table in FROM with an optional alias. Consecutive
@@ -77,6 +101,7 @@ type SelectItem struct {
 type TableRef struct {
 	Name  string
 	Alias string
+	At    Position
 }
 
 // RefName returns the name the table is addressable by in the query.
@@ -166,10 +191,22 @@ func (*DropView) isStatement()    {}
 func (*Insert) isStatement()      {}
 func (*Select) isStatement()      {}
 
-// Expr is any SQL expression node.
+func (s *CreateTable) Pos() Position { return s.At }
+func (s *DropTable) Pos() Position   { return s.At }
+func (s *CreateView) Pos() Position  { return s.At }
+func (s *DropView) Pos() Position    { return s.At }
+func (s *Insert) Pos() Position      { return s.At }
+func (s *Select) Pos() Position      { return s.At }
+
+// Expr is any SQL expression node. Pos returns the node's source
+// location: the first token for most nodes, the operator token for
+// binary expressions (so a type-mismatch diagnostic points at the
+// operator, not the start of a long operand). Synthetic nodes return
+// the zero Position.
 type Expr interface {
 	isExpr()
 	String() string
+	Pos() Position
 }
 
 // NumberLit is a numeric literal. Integers retain exactness.
@@ -177,31 +214,44 @@ type NumberLit struct {
 	IsInt bool
 	Int   int64
 	Float float64
+	At    Position
 }
 
 // StringLit is a quoted string literal.
-type StringLit struct{ Val string }
+type StringLit struct {
+	Val string
+	At  Position
+}
 
 // NullLit is the NULL literal.
-type NullLit struct{}
+type NullLit struct{ At Position }
 
 // BoolLit is TRUE or FALSE.
-type BoolLit struct{ Val bool }
+type BoolLit struct {
+	Val bool
+	At  Position
+}
 
 // ColumnRef references a column, optionally table-qualified.
-type ColumnRef struct{ Table, Name string }
+type ColumnRef struct {
+	Table, Name string
+	At          Position
+}
 
 // BinaryExpr applies a binary operator: arithmetic (+ - * / %),
 // comparison (= <> < <= > >=), logic (AND OR) or concatenation (||).
+// At is the operator's position.
 type BinaryExpr struct {
 	Op   string
 	L, R Expr
+	At   Position
 }
 
 // UnaryExpr applies unary minus or NOT.
 type UnaryExpr struct {
 	Op string // "-" or "NOT"
 	X  Expr
+	At Position
 }
 
 // FuncCall invokes a built-in or user-defined function. Star marks
@@ -211,12 +261,14 @@ type FuncCall struct {
 	Args     []Expr
 	Star     bool
 	Distinct bool
+	At       Position
 }
 
 // CaseExpr is a searched CASE expression.
 type CaseExpr struct {
 	Whens []When
 	Else  Expr // may be nil (NULL)
+	At    Position
 }
 
 // When is one WHEN..THEN arm of a CASE.
@@ -229,18 +281,21 @@ type When struct {
 type IsNullExpr struct {
 	X      Expr
 	Negate bool
+	At     Position
 }
 
 // CastExpr is `CAST(x AS type)`.
 type CastExpr struct {
 	X    Expr
 	Type string
+	At   Position
 }
 
 // BetweenExpr is `x [NOT] BETWEEN lo AND hi`.
 type BetweenExpr struct {
 	X, Lo, Hi Expr
 	Negate    bool
+	At        Position
 }
 
 // InExpr is `x [NOT] IN (e1, e2, ...)`.
@@ -248,6 +303,7 @@ type InExpr struct {
 	X      Expr
 	List   []Expr
 	Negate bool
+	At     Position
 }
 
 func (*NumberLit) isExpr()   {}
@@ -263,6 +319,20 @@ func (*IsNullExpr) isExpr()  {}
 func (*CastExpr) isExpr()    {}
 func (*BetweenExpr) isExpr() {}
 func (*InExpr) isExpr()      {}
+
+func (e *NumberLit) Pos() Position   { return e.At }
+func (e *StringLit) Pos() Position   { return e.At }
+func (e *NullLit) Pos() Position     { return e.At }
+func (e *BoolLit) Pos() Position     { return e.At }
+func (e *ColumnRef) Pos() Position   { return e.At }
+func (e *BinaryExpr) Pos() Position  { return e.At }
+func (e *UnaryExpr) Pos() Position   { return e.At }
+func (e *FuncCall) Pos() Position    { return e.At }
+func (e *CaseExpr) Pos() Position    { return e.At }
+func (e *IsNullExpr) Pos() Position  { return e.At }
+func (e *CastExpr) Pos() Position    { return e.At }
+func (e *BetweenExpr) Pos() Position { return e.At }
+func (e *InExpr) Pos() Position      { return e.At }
 
 func (e *NumberLit) String() string {
 	if e.IsInt {

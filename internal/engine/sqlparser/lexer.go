@@ -3,6 +3,12 @@
 // and INSERT..SELECT), and SELECT with expressions, function calls
 // (including UDFs), CASE, CROSS JOIN, WHERE, GROUP BY, ORDER BY and
 // LIMIT. This is the surface the paper's generated queries use.
+//
+// Every token carries a Position (1-based line and column plus the
+// byte offset), which the parser threads into the AST nodes it builds.
+// Parser errors and the sema layer's diagnostics both report
+// "line:col" so errors in the paper's long generated queries point at
+// the offending term instead of a byte offset.
 package sqlparser
 
 import (
@@ -10,6 +16,44 @@ import (
 	"strings"
 	"unicode"
 )
+
+// Position is a source location within the SQL text handed to the
+// parser. Line and Column are 1-based; Offset is the 0-based byte
+// offset. The zero Position is "unknown" (synthetic nodes built by the
+// planner have no source location).
+type Position struct {
+	Offset int
+	Line   int
+	Column int
+}
+
+// IsValid reports whether the position refers to actual source text.
+func (p Position) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as "line:col", the format used by parser
+// errors and sema diagnostics.
+func (p Position) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Column)
+}
+
+// positionAt computes the line:col position of a byte offset; used on
+// lexer error paths (token positions are filled in bulk by lex).
+func positionAt(src string, offset int) Position {
+	line, lineStart := 1, 0
+	if offset > len(src) {
+		offset = len(src)
+	}
+	for i := 0; i < offset; i++ {
+		if src[i] == '\n' {
+			line++
+			lineStart = i + 1
+		}
+	}
+	return Position{Offset: offset, Line: line, Column: offset - lineStart + 1}
+}
 
 // tokenKind classifies lexical tokens.
 type tokenKind int
@@ -23,11 +67,11 @@ const (
 	tokSymbol
 )
 
-// token is one lexical token with its source position (1-based).
+// token is one lexical token with its source position.
 type token struct {
 	kind tokenKind
 	text string // keywords are upper-cased; idents keep original case
-	pos  int
+	pos  Position
 }
 
 // keywords recognized by the lexer. Anything else alphabetic is an
@@ -52,13 +96,15 @@ type lexer struct {
 }
 
 // lex tokenizes src. It returns a parse error with position on any
-// malformed token.
+// malformed token. Tokens initially record only byte offsets; line and
+// column are filled by one pass over the source at the end.
 func lex(src string) ([]token, error) {
 	l := &lexer{src: src}
 	for {
 		l.skipSpaceAndComments()
 		if l.pos >= len(l.src) {
-			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos + 1})
+			l.toks = append(l.toks, token{kind: tokEOF, pos: Position{Offset: l.pos}})
+			fillPositions(src, l.toks)
 			return l.toks, nil
 		}
 		start := l.pos
@@ -72,9 +118,9 @@ func lex(src string) ([]token, error) {
 			word := l.src[start:l.pos]
 			up := strings.ToUpper(word)
 			if keywords[up] {
-				l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start + 1})
+				l.emit(tokKeyword, up, start)
 			} else {
-				l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start + 1})
+				l.emit(tokIdent, word, start)
 			}
 		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
 			if err := l.lexNumber(); err != nil {
@@ -88,6 +134,29 @@ func lex(src string) ([]token, error) {
 			if err := l.lexSymbol(); err != nil {
 				return nil, err
 			}
+		}
+	}
+}
+
+// emit appends a token whose position is, for now, only the offset.
+func (l *lexer) emit(kind tokenKind, text string, start int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: Position{Offset: start}})
+}
+
+// fillPositions computes line:col for every token in one pass over the
+// source. Tokens are in offset order, so a single scan suffices.
+func fillPositions(src string, toks []token) {
+	line, lineStart := 1, 0
+	ti := 0
+	for i := 0; i <= len(src) && ti < len(toks); i++ {
+		for ti < len(toks) && toks[ti].pos.Offset == i {
+			toks[ti].pos.Line = line
+			toks[ti].pos.Column = i - lineStart + 1
+			ti++
+		}
+		if i < len(src) && src[i] == '\n' {
+			line++
+			lineStart = i + 1
 		}
 	}
 }
@@ -133,11 +202,11 @@ func (l *lexer) lexNumber() error {
 				l.pos++
 			}
 		default:
-			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start + 1})
+			l.emit(tokNumber, l.src[start:l.pos], start)
 			return nil
 		}
 	}
-	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start + 1})
+	l.emit(tokNumber, l.src[start:l.pos], start)
 	return nil
 }
 
@@ -154,13 +223,13 @@ func (l *lexer) lexString() error {
 				continue
 			}
 			l.pos++
-			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start + 1})
+			l.emit(tokString, b.String(), start)
 			return nil
 		}
 		b.WriteByte(c)
 		l.pos++
 	}
-	return fmt.Errorf("sqlparser: unterminated string literal at position %d", start+1)
+	return fmt.Errorf("sqlparser: %s: unterminated string literal", positionAt(l.src, start))
 }
 
 func (l *lexer) lexSymbol() error {
@@ -172,17 +241,17 @@ func (l *lexer) lexSymbol() error {
 	switch two {
 	case "<>", "<=", ">=", "!=", "||":
 		l.pos += 2
-		l.toks = append(l.toks, token{kind: tokSymbol, text: two, pos: start + 1})
+		l.emit(tokSymbol, two, start)
 		return nil
 	}
 	c := l.src[l.pos]
 	switch c {
 	case '(', ')', ',', '*', '+', '-', '/', '%', '<', '>', '=', '.', ';':
 		l.pos++
-		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start + 1})
+		l.emit(tokSymbol, string(c), start)
 		return nil
 	}
-	return fmt.Errorf("sqlparser: unexpected character %q at position %d", c, start+1)
+	return fmt.Errorf("sqlparser: %s: unexpected character %q", positionAt(l.src, start), c)
 }
 
 func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }

@@ -82,6 +82,9 @@ func (p *parser) peek2() token {
 }
 func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
 
+// pos is the position of the token about to be consumed.
+func (p *parser) pos() Position { return p.peek().pos }
+
 // accept consumes the next token when it matches kind and (case for
 // keywords/symbols) text; it reports whether it consumed.
 func (p *parser) accept(kind tokenKind, text string) bool {
@@ -101,7 +104,7 @@ func (p *parser) expect(kind tokenKind, text string) error {
 }
 
 func (p *parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("sqlparser: position %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+	return fmt.Errorf("sqlparser: %s: %s", p.peek().pos, fmt.Sprintf(format, args...))
 }
 
 func (p *parser) parseStatement() (Statement, error) {
@@ -129,7 +132,7 @@ func (p *parser) parseIdent() (string, error) {
 }
 
 func (p *parser) parseCreate() (Statement, error) {
-	p.next() // CREATE
+	at := p.next().pos // CREATE
 	if p.accept(tokKeyword, "VIEW") {
 		name, err := p.parseIdent()
 		if err != nil {
@@ -145,12 +148,12 @@ func (p *parser) parseCreate() (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &CreateView{Name: name, Query: sel}, nil
+		return &CreateView{Name: name, Query: sel, At: at}, nil
 	}
 	if err := p.expect(tokKeyword, "TABLE"); err != nil {
 		return nil, err
 	}
-	st := &CreateTable{}
+	st := &CreateTable{At: at}
 	if p.accept(tokKeyword, "IF") {
 		if err := p.expect(tokKeyword, "NOT"); err != nil {
 			return nil, err
@@ -169,6 +172,7 @@ func (p *parser) parseCreate() (Statement, error) {
 		return nil, err
 	}
 	for {
+		colPos := p.pos()
 		col, err := p.parseIdent()
 		if err != nil {
 			return nil, err
@@ -178,7 +182,7 @@ func (p *parser) parseCreate() (Statement, error) {
 			return nil, p.errorf("expected column type, got %q", typ.text)
 		}
 		p.i++
-		st.Columns = append(st.Columns, ColumnDef{Name: col, Type: typ.text})
+		st.Columns = append(st.Columns, ColumnDef{Name: col, Type: typ.text, At: colPos})
 		if p.accept(tokSymbol, ",") {
 			continue
 		}
@@ -190,7 +194,7 @@ func (p *parser) parseCreate() (Statement, error) {
 }
 
 func (p *parser) parseDrop() (Statement, error) {
-	p.next() // DROP
+	at := p.next().pos // DROP
 	isView := p.accept(tokKeyword, "VIEW")
 	if !isView {
 		if err := p.expect(tokKeyword, "TABLE"); err != nil {
@@ -209,28 +213,31 @@ func (p *parser) parseDrop() (Statement, error) {
 		return nil, err
 	}
 	if isView {
-		return &DropView{Name: name, IfExists: ifExists}, nil
+		return &DropView{Name: name, IfExists: ifExists, At: at}, nil
 	}
-	return &DropTable{Name: name, IfExists: ifExists}, nil
+	return &DropTable{Name: name, IfExists: ifExists, At: at}, nil
 }
 
 func (p *parser) parseInsert() (Statement, error) {
-	p.next() // INSERT
+	at := p.next().pos // INSERT
 	if err := p.expect(tokKeyword, "INTO"); err != nil {
 		return nil, err
 	}
+	tablePos := p.pos()
 	name, err := p.parseIdent()
 	if err != nil {
 		return nil, err
 	}
-	st := &Insert{Table: name}
+	st := &Insert{Table: name, At: at, TablePos: tablePos}
 	if p.accept(tokSymbol, "(") {
 		for {
+			colPos := p.pos()
 			col, err := p.parseIdent()
 			if err != nil {
 				return nil, err
 			}
 			st.Columns = append(st.Columns, col)
+			st.ColumnPos = append(st.ColumnPos, colPos)
 			if p.accept(tokSymbol, ",") {
 				continue
 			}
@@ -278,8 +285,8 @@ func (p *parser) parseInsert() (Statement, error) {
 }
 
 func (p *parser) parseSelect() (*Select, error) {
-	p.next() // SELECT
-	st := &Select{}
+	at := p.next().pos // SELECT
+	st := &Select{At: at}
 	for {
 		item, err := p.parseSelectItem()
 		if err != nil {
@@ -376,8 +383,9 @@ func (p *parser) parseSelect() (*Select, error) {
 
 func (p *parser) parseSelectItem() (SelectItem, error) {
 	// `*` or `t.*`
+	starPos := p.pos()
 	if p.accept(tokSymbol, "*") {
-		return SelectItem{Star: true}, nil
+		return SelectItem{Star: true, At: starPos}, nil
 	}
 	if p.peek().kind == tokIdent && p.peek2().kind == tokSymbol && p.peek2().text == "." {
 		// lookahead for t.* without consuming on failure
@@ -385,7 +393,7 @@ func (p *parser) parseSelectItem() (SelectItem, error) {
 		name, _ := p.parseIdent()
 		p.next() // "."
 		if p.accept(tokSymbol, "*") {
-			return SelectItem{Star: true, StarTable: name}, nil
+			return SelectItem{Star: true, StarTable: name, At: starPos}, nil
 		}
 		p.i = save
 	}
@@ -393,7 +401,7 @@ func (p *parser) parseSelectItem() (SelectItem, error) {
 	if err != nil {
 		return SelectItem{}, err
 	}
-	item := SelectItem{Expr: e}
+	item := SelectItem{Expr: e, At: e.Pos()}
 	if p.accept(tokKeyword, "AS") {
 		alias, err := p.parseIdent()
 		if err != nil {
@@ -407,11 +415,12 @@ func (p *parser) parseSelectItem() (SelectItem, error) {
 }
 
 func (p *parser) parseTableRef() (TableRef, error) {
+	at := p.pos()
 	name, err := p.parseIdent()
 	if err != nil {
 		return TableRef{}, err
 	}
-	ref := TableRef{Name: name}
+	ref := TableRef{Name: name, At: at}
 	if p.accept(tokKeyword, "AS") {
 		alias, err := p.parseIdent()
 		if err != nil {
@@ -435,14 +444,17 @@ func (p *parser) parseOr() (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	for p.accept(tokKeyword, "OR") {
+	for {
+		opPos := p.pos()
+		if !p.accept(tokKeyword, "OR") {
+			return l, nil
+		}
 		r, err := p.parseAnd()
 		if err != nil {
 			return nil, err
 		}
-		l = &BinaryExpr{Op: "OR", L: l, R: r}
+		l = &BinaryExpr{Op: "OR", L: l, R: r, At: opPos}
 	}
-	return l, nil
 }
 
 func (p *parser) parseAnd() (Expr, error) {
@@ -450,23 +462,27 @@ func (p *parser) parseAnd() (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	for p.accept(tokKeyword, "AND") {
+	for {
+		opPos := p.pos()
+		if !p.accept(tokKeyword, "AND") {
+			return l, nil
+		}
 		r, err := p.parseNot()
 		if err != nil {
 			return nil, err
 		}
-		l = &BinaryExpr{Op: "AND", L: l, R: r}
+		l = &BinaryExpr{Op: "AND", L: l, R: r, At: opPos}
 	}
-	return l, nil
 }
 
 func (p *parser) parseNot() (Expr, error) {
+	notPos := p.pos()
 	if p.accept(tokKeyword, "NOT") {
 		x, err := p.parseNot()
 		if err != nil {
 			return nil, err
 		}
-		return &UnaryExpr{Op: "NOT", X: x}, nil
+		return &UnaryExpr{Op: "NOT", X: x, At: notPos}, nil
 	}
 	return p.parseComparison()
 }
@@ -480,6 +496,7 @@ func (p *parser) parseComparison() (Expr, error) {
 		switch t := p.peek(); {
 		case t.kind == tokSymbol && (t.text == "=" || t.text == "<" || t.text == ">" ||
 			t.text == "<=" || t.text == ">=" || t.text == "<>" || t.text == "!="):
+			opPos := p.pos()
 			op := p.next().text
 			if op == "!=" {
 				op = "<>"
@@ -488,16 +505,16 @@ func (p *parser) parseComparison() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			l = &BinaryExpr{Op: op, L: l, R: r}
+			l = &BinaryExpr{Op: op, L: l, R: r, At: opPos}
 		case t.kind == tokKeyword && t.text == "IS":
-			p.next()
+			isPos := p.next().pos
 			negate := p.accept(tokKeyword, "NOT")
 			if err := p.expect(tokKeyword, "NULL"); err != nil {
 				return nil, err
 			}
-			l = &IsNullExpr{X: l, Negate: negate}
+			l = &IsNullExpr{X: l, Negate: negate, At: isPos}
 		case t.kind == tokKeyword && t.text == "BETWEEN":
-			p.next()
+			btwPos := p.next().pos
 			lo, err := p.parseAdditive()
 			if err != nil {
 				return nil, err
@@ -509,7 +526,7 @@ func (p *parser) parseComparison() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			l = &BetweenExpr{X: l, Lo: lo, Hi: hi}
+			l = &BetweenExpr{X: l, Lo: lo, Hi: hi, At: btwPos}
 		case t.kind == tokKeyword && t.text == "NOT" &&
 			p.peek2().kind == tokKeyword && (p.peek2().text == "BETWEEN" || p.peek2().text == "IN" || p.peek2().text == "LIKE"):
 			p.next() // NOT
@@ -546,7 +563,7 @@ func (p *parser) parseComparisonTail(l Expr, negate bool) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &BetweenExpr{X: l, Lo: lo, Hi: hi, Negate: negate}, nil
+		return &BetweenExpr{X: l, Lo: lo, Hi: hi, Negate: negate, At: t.pos}, nil
 	case "IN":
 		if err := p.expect(tokSymbol, "("); err != nil {
 			return nil, err
@@ -566,15 +583,15 @@ func (p *parser) parseComparisonTail(l Expr, negate bool) (Expr, error) {
 			}
 			break
 		}
-		return &InExpr{X: l, List: list, Negate: negate}, nil
+		return &InExpr{X: l, List: list, Negate: negate, At: t.pos}, nil
 	case "LIKE":
 		pat, err := p.parseAdditive()
 		if err != nil {
 			return nil, err
 		}
-		like := &FuncCall{Name: "like", Args: []Expr{l, pat}}
+		like := &FuncCall{Name: "like", Args: []Expr{l, pat}, At: t.pos}
 		if negate {
-			return &UnaryExpr{Op: "NOT", X: like}, nil
+			return &UnaryExpr{Op: "NOT", X: like, At: t.pos}, nil
 		}
 		return like, nil
 	default:
@@ -592,12 +609,12 @@ func (p *parser) parseAdditive() (Expr, error) {
 		if t.kind != tokSymbol || (t.text != "+" && t.text != "-" && t.text != "||") {
 			return l, nil
 		}
-		op := p.next().text
+		op := p.next()
 		r, err := p.parseMultiplicative()
 		if err != nil {
 			return nil, err
 		}
-		l = &BinaryExpr{Op: op, L: l, R: r}
+		l = &BinaryExpr{Op: op.text, L: l, R: r, At: op.pos}
 	}
 }
 
@@ -611,22 +628,23 @@ func (p *parser) parseMultiplicative() (Expr, error) {
 		if t.kind != tokSymbol || (t.text != "*" && t.text != "/" && t.text != "%") {
 			return l, nil
 		}
-		op := p.next().text
+		op := p.next()
 		r, err := p.parseUnary()
 		if err != nil {
 			return nil, err
 		}
-		l = &BinaryExpr{Op: op, L: l, R: r}
+		l = &BinaryExpr{Op: op.text, L: l, R: r, At: op.pos}
 	}
 }
 
 func (p *parser) parseUnary() (Expr, error) {
+	minusPos := p.pos()
 	if p.accept(tokSymbol, "-") {
 		x, err := p.parseUnary()
 		if err != nil {
 			return nil, err
 		}
-		return &UnaryExpr{Op: "-", X: x}, nil
+		return &UnaryExpr{Op: "-", X: x, At: minusPos}, nil
 	}
 	if p.accept(tokSymbol, "+") {
 		return p.parseUnary()
@@ -642,26 +660,26 @@ func (p *parser) parsePrimary() (Expr, error) {
 		if !strings.ContainsAny(t.text, ".eE") {
 			n, err := strconv.ParseInt(t.text, 10, 64)
 			if err == nil {
-				return &NumberLit{IsInt: true, Int: n, Float: float64(n)}, nil
+				return &NumberLit{IsInt: true, Int: n, Float: float64(n), At: t.pos}, nil
 			}
 		}
 		f, err := strconv.ParseFloat(t.text, 64)
 		if err != nil {
 			return nil, p.errorf("invalid number %q", t.text)
 		}
-		return &NumberLit{Float: f}, nil
+		return &NumberLit{Float: f, At: t.pos}, nil
 	case t.kind == tokString:
 		p.i++
-		return &StringLit{Val: t.text}, nil
+		return &StringLit{Val: t.text, At: t.pos}, nil
 	case t.kind == tokKeyword && t.text == "NULL":
 		p.i++
-		return &NullLit{}, nil
+		return &NullLit{At: t.pos}, nil
 	case t.kind == tokKeyword && t.text == "TRUE":
 		p.i++
-		return &BoolLit{Val: true}, nil
+		return &BoolLit{Val: true, At: t.pos}, nil
 	case t.kind == tokKeyword && t.text == "FALSE":
 		p.i++
-		return &BoolLit{Val: false}, nil
+		return &BoolLit{Val: false, At: t.pos}, nil
 	case t.kind == tokKeyword && t.text == "CASE":
 		return p.parseCase()
 	case t.kind == tokKeyword && t.text == "CAST":
@@ -684,11 +702,12 @@ func (p *parser) parsePrimary() (Expr, error) {
 }
 
 func (p *parser) parseIdentExpr() (Expr, error) {
-	name := p.next().text
+	nameTok := p.next()
+	name := nameTok.text
 	// Function call?
 	if p.peek().kind == tokSymbol && p.peek().text == "(" {
 		p.i++
-		fc := &FuncCall{Name: strings.ToLower(name)}
+		fc := &FuncCall{Name: strings.ToLower(name), At: nameTok.pos}
 		if p.accept(tokSymbol, "*") {
 			fc.Star = true
 			if err := p.expect(tokSymbol, ")"); err != nil {
@@ -724,14 +743,14 @@ func (p *parser) parseIdentExpr() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ColumnRef{Table: name, Name: col}, nil
+		return &ColumnRef{Table: name, Name: col, At: nameTok.pos}, nil
 	}
-	return &ColumnRef{Name: name}, nil
+	return &ColumnRef{Name: name, At: nameTok.pos}, nil
 }
 
 func (p *parser) parseCase() (Expr, error) {
-	p.next() // CASE
-	ce := &CaseExpr{}
+	casePos := p.next().pos // CASE
+	ce := &CaseExpr{At: casePos}
 	for p.accept(tokKeyword, "WHEN") {
 		cond, err := p.parseExpr()
 		if err != nil {
@@ -763,7 +782,7 @@ func (p *parser) parseCase() (Expr, error) {
 }
 
 func (p *parser) parseCast() (Expr, error) {
-	p.next() // CAST
+	castPos := p.next().pos // CAST
 	if err := p.expect(tokSymbol, "("); err != nil {
 		return nil, err
 	}
@@ -782,5 +801,5 @@ func (p *parser) parseCast() (Expr, error) {
 	if err := p.expect(tokSymbol, ")"); err != nil {
 		return nil, err
 	}
-	return &CastExpr{X: x, Type: t.text}, nil
+	return &CastExpr{X: x, Type: t.text, At: castPos}, nil
 }

@@ -27,11 +27,11 @@ func SubstituteColumns(e Expr, sub func(*ColumnRef) (Expr, bool)) Expr {
 		cp := *e
 		return &cp
 	case *UnaryExpr:
-		return &UnaryExpr{Op: e.Op, X: SubstituteColumns(e.X, sub)}
+		return &UnaryExpr{Op: e.Op, X: SubstituteColumns(e.X, sub), At: e.At}
 	case *BinaryExpr:
-		return &BinaryExpr{Op: e.Op, L: SubstituteColumns(e.L, sub), R: SubstituteColumns(e.R, sub)}
+		return &BinaryExpr{Op: e.Op, L: SubstituteColumns(e.L, sub), R: SubstituteColumns(e.R, sub), At: e.At}
 	case *FuncCall:
-		out := &FuncCall{Name: e.Name, Star: e.Star, Distinct: e.Distinct}
+		out := &FuncCall{Name: e.Name, Star: e.Star, Distinct: e.Distinct, At: e.At}
 		if e.Args != nil {
 			out.Args = make([]Expr, len(e.Args))
 			for i, a := range e.Args {
@@ -40,7 +40,7 @@ func SubstituteColumns(e Expr, sub func(*ColumnRef) (Expr, bool)) Expr {
 		}
 		return out
 	case *CaseExpr:
-		out := &CaseExpr{}
+		out := &CaseExpr{At: e.At}
 		for _, w := range e.Whens {
 			out.Whens = append(out.Whens, When{
 				Cond: SubstituteColumns(w.Cond, sub),
@@ -50,18 +50,19 @@ func SubstituteColumns(e Expr, sub func(*ColumnRef) (Expr, bool)) Expr {
 		out.Else = SubstituteColumns(e.Else, sub)
 		return out
 	case *IsNullExpr:
-		return &IsNullExpr{X: SubstituteColumns(e.X, sub), Negate: e.Negate}
+		return &IsNullExpr{X: SubstituteColumns(e.X, sub), Negate: e.Negate, At: e.At}
 	case *CastExpr:
-		return &CastExpr{X: SubstituteColumns(e.X, sub), Type: e.Type}
+		return &CastExpr{X: SubstituteColumns(e.X, sub), Type: e.Type, At: e.At}
 	case *BetweenExpr:
 		return &BetweenExpr{
 			X:      SubstituteColumns(e.X, sub),
 			Lo:     SubstituteColumns(e.Lo, sub),
 			Hi:     SubstituteColumns(e.Hi, sub),
 			Negate: e.Negate,
+			At:     e.At,
 		}
 	case *InExpr:
-		out := &InExpr{X: SubstituteColumns(e.X, sub), Negate: e.Negate}
+		out := &InExpr{X: SubstituteColumns(e.X, sub), Negate: e.Negate, At: e.At}
 		out.List = make([]Expr, len(e.List))
 		for i, x := range e.List {
 			out.List[i] = SubstituteColumns(x, sub)

@@ -33,12 +33,15 @@ func NewSchema(cols ...Column) (*Schema, error) {
 	return &Schema{Columns: cols}, nil
 }
 
-// MustSchema is NewSchema that panics on error; for tests and
-// generated schemas whose validity is guaranteed by construction.
+// MustSchema is NewSchema that panics on error.
+//
+// Test-only convenience: production code must call NewSchema and
+// propagate the error — the statlint `valuekind` analyzer flags
+// MustSchema calls in non-test files.
 func MustSchema(cols ...Column) *Schema {
 	s, err := NewSchema(cols...)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("sqltypes: invalid schema: %v", err))
 	}
 	return s
 }

@@ -121,12 +121,28 @@ func (v Value) Float() (float64, bool) {
 	}
 }
 
-// MustFloat returns the value as float64 and panics if it is not
-// numeric. Use only where the planner has already type-checked.
-func (v Value) MustFloat() float64 {
+// AsFloat returns the value as float64 or an error naming the value
+// and its type when it is not numeric. Production code paths (scoring
+// decoders, harness loaders) use this instead of MustFloat so a stray
+// VARCHAR or NULL surfaces as a SQL error, not an engine panic.
+func (v Value) AsFloat() (float64, error) {
 	f, ok := v.Float()
 	if !ok {
-		panic(fmt.Sprintf("sqltypes: value %v is not numeric", v))
+		return 0, fmt.Errorf("sqltypes: value %v (%s) is not numeric", v, v.typ)
+	}
+	return f, nil
+}
+
+// MustFloat returns the value as float64 and panics if it is not
+// numeric.
+//
+// Test-only convenience: production code must use AsFloat (or a
+// Float() kind check) instead — the statlint `valuekind` analyzer
+// flags MustFloat calls in non-test files.
+func (v Value) MustFloat() float64 {
+	f, err := v.AsFloat()
+	if err != nil {
+		panic(err.Error())
 	}
 	return f
 }

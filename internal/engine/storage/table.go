@@ -441,9 +441,17 @@ func (t *Table) ScanPartitionStats(ctx context.Context, p int, fn func(sqltypes.
 
 // Scan iterates all partitions sequentially. Parallel scans are driven
 // by the executor calling ScanPartition from multiple goroutines.
+// Context-carrying callers must use ScanContext instead so the scan
+// observes cancellation (the statlint ctxscan analyzer enforces this).
 func (t *Table) Scan(fn func(sqltypes.Row) error) error {
+	return t.ScanContext(nil, fn)
+}
+
+// ScanContext is Scan observing ctx cancellation between rows (nil is
+// treated as background).
+func (t *Table) ScanContext(ctx context.Context, fn func(sqltypes.Row) error) error {
 	for p := 0; p < len(t.parts); p++ {
-		if err := t.ScanPartition(nil, p, fn); err != nil {
+		if err := t.ScanPartition(ctx, p, fn); err != nil {
 			return err
 		}
 	}

@@ -24,10 +24,14 @@ func runSQLNLQ(d *db.DB, dims int, mt core.MatrixType) (*core.NLQ, error) {
 	}
 	row := res.Rows[0]
 	s := core.MustNLQ(dims, mt)
-	s.N = row[0].MustFloat()
+	if s.N, err = row[0].AsFloat(); err != nil {
+		return nil, fmt.Errorf("harness: bad N in SQL summary: %w", err)
+	}
 	for a := 0; a < dims; a++ {
 		if !row[1+a].IsNull() {
-			s.L[a] = row[1+a].MustFloat()
+			if s.L[a], err = row[1+a].AsFloat(); err != nil {
+				return nil, fmt.Errorf("harness: bad L[%d] in SQL summary: %w", a, err)
+			}
 		}
 	}
 	for a := 0; a < dims; a++ {
@@ -36,17 +40,11 @@ func runSQLNLQ(d *db.DB, dims int, mt core.MatrixType) (*core.NLQ, error) {
 			if v.IsNull() {
 				continue
 			}
-			switch mt {
-			case core.Diagonal:
-				if a == c {
-					s.Q[a*dims+c] = v.MustFloat()
+			keep := (mt == core.Full) || (mt == core.Triangular && c <= a) || (mt == core.Diagonal && a == c)
+			if keep {
+				if s.Q[a*dims+c], err = v.AsFloat(); err != nil {
+					return nil, fmt.Errorf("harness: bad Q[%d,%d] in SQL summary: %w", a, c, err)
 				}
-			case core.Triangular:
-				if c <= a {
-					s.Q[a*dims+c] = v.MustFloat()
-				}
-			case core.Full:
-				s.Q[a*dims+c] = v.MustFloat()
 			}
 		}
 	}

@@ -23,11 +23,16 @@ import (
 // Each is called once (fascore/kdistance k times) in a SELECT that
 // cross-joins X with the small model tables, so scoring is one scan.
 func Register(d *db.DB) error {
+	numeric := []sqltypes.Type{sqltypes.TypeDouble}
 	defs := []expr.FuncDef{
-		{Name: "linearregscore", MinArgs: 3, MaxArgs: -1, Fn: linearRegScore},
-		{Name: "fascore", MinArgs: 3, MaxArgs: -1, Fn: faScore},
-		{Name: "kdistance", MinArgs: 2, MaxArgs: -1, Fn: kDistance},
-		{Name: "clusterscore", MinArgs: 1, MaxArgs: -1, Fn: clusterScore},
+		{Name: "linearregscore", MinArgs: 3, MaxArgs: -1, Fn: linearRegScore,
+			Params: numeric, Ret: sqltypes.TypeDouble},
+		{Name: "fascore", MinArgs: 3, MaxArgs: -1, Fn: faScore,
+			Params: numeric, Ret: sqltypes.TypeDouble},
+		{Name: "kdistance", MinArgs: 2, MaxArgs: -1, Fn: kDistance,
+			Params: numeric, Ret: sqltypes.TypeDouble},
+		{Name: "clusterscore", MinArgs: 1, MaxArgs: -1, Fn: clusterScore,
+			Params: numeric, Ret: sqltypes.TypeBigInt},
 	}
 	for _, def := range defs {
 		if err := d.Scalars().Register(def); err != nil {

@@ -1,0 +1,116 @@
+package sqlgen_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine/db"
+	"repro/internal/engine/sema"
+	"repro/internal/engine/sqlparser"
+	"repro/internal/engine/sqltypes"
+	"repro/internal/nlqudf"
+	"repro/internal/score"
+	"repro/internal/sqlgen"
+	"repro/internal/synth"
+)
+
+// newBenchDB builds a database with the benchmark schemas (X and every
+// model table of §3.5) and all UDFs registered, without loading data —
+// sema only needs the catalog.
+func newBenchDB(t *testing.T, dims, k int) *db.DB {
+	t.Helper()
+	d := db.Open(db.Options{Partitions: 2})
+	if err := nlqudf.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := score.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	create := func(name string, schema *sqltypes.Schema) {
+		if _, err := d.CreateTable(name, schema); err != nil {
+			t.Fatal(err)
+		}
+	}
+	create("X", synth.XSchema(dims, true))
+	beta := make([]sqltypes.Column, dims+1)
+	for i := range beta {
+		beta[i] = sqltypes.Column{Name: fmt.Sprintf("b%d", i), Type: sqltypes.TypeDouble}
+	}
+	create("BETA", &sqltypes.Schema{Columns: beta})
+	model := func(withJ bool) *sqltypes.Schema {
+		var cols []sqltypes.Column
+		if withJ {
+			cols = append(cols, sqltypes.Column{Name: "j", Type: sqltypes.TypeBigInt})
+		}
+		for a := 1; a <= dims; a++ {
+			cols = append(cols, sqltypes.Column{Name: fmt.Sprintf("X%d", a), Type: sqltypes.TypeDouble})
+		}
+		return &sqltypes.Schema{Columns: cols}
+	}
+	create("MU", model(false))
+	create("LAMBDA", model(true))
+	create("C", model(true))
+	dist := []sqltypes.Column{{Name: "i", Type: sqltypes.TypeBigInt}}
+	for j := 1; j <= k; j++ {
+		dist = append(dist, sqltypes.Column{Name: fmt.Sprintf("d%d", j), Type: sqltypes.TypeDouble})
+	}
+	create("XD", &sqltypes.Schema{Columns: dist})
+	return d
+}
+
+// TestGeneratedSQLPassesSema runs every sqlgen generator (and the
+// harness's inline statements) through the semantic analyzer against
+// the benchmark schemas: machine-generated SQL must never trip sema.
+func TestGeneratedSQLPassesSema(t *testing.T) {
+	const k = 4
+	for _, dims := range []int{1, 2, 8, 16} {
+		d := newBenchDB(t, dims, k)
+		env := &sema.Env{Catalog: d, Scalars: d.Scalars(), Aggs: d.Aggregates()}
+		dimNames := sqlgen.Dims(dims)
+
+		var stmts []string
+		for _, mt := range []core.MatrixType{core.Diagonal, core.Triangular, core.Full} {
+			stmts = append(stmts, sqlgen.NLQQuery("X", dimNames, mt))
+			for _, style := range []sqlgen.PassStyle{sqlgen.ListStyle, sqlgen.StringStyle} {
+				stmts = append(stmts, sqlgen.NLQUDFQuery("X", dimNames, mt, style))
+				stmts = append(stmts, sqlgen.NLQUDFGroupQuery("X", dimNames, mt, style, "i % 8"))
+			}
+		}
+		stmts = append(stmts, sqlgen.NLQQueriesPerCell("X", dimNames)...)
+		if plan, err := core.PlanBlocks(dims, 2); err == nil {
+			stmts = append(stmts, sqlgen.NLQBlockQuery("X", dimNames, plan))
+		}
+		stmts = append(stmts,
+			sqlgen.KMeansIterationQuery("X", "C", dimNames, k),
+			sqlgen.RegScoreUDF("X", "BETA", "i", dimNames),
+			sqlgen.RegScoreSQL("X", "BETA", "i", dimNames),
+			sqlgen.PCAScoreUDF("X", "MU", "LAMBDA", "i", dimNames, k),
+			sqlgen.PCAScoreSQL("X", "MU", "LAMBDA", "i", dimNames, k),
+			sqlgen.ClusterScoreUDF("X", "C", "i", dimNames, k),
+		)
+		stmts = append(stmts, sqlgen.ClusterScoreSQL("X", "C", "XD", "i", dimNames, k)...)
+
+		// Inline statements the harness submits outside sqlgen.
+		augmented := fmt.Sprintf("SELECT nlq_list(%d, 'triang'", dims+1)
+		for a := 1; a <= dims; a++ {
+			augmented += fmt.Sprintf(", X%d", a)
+		}
+		stmts = append(stmts,
+			augmented+", Y) FROM X",
+			"SELECT i % 8, sum(X1) FROM X GROUP BY i % 8",
+			"SELECT i, X1 + X1 FROM X WHERE X1 > 0",
+		)
+
+		for _, sql := range stmts {
+			stmt, err := sqlparser.Parse(sql)
+			if err != nil {
+				t.Errorf("d=%d: parse error: %v\nin: %s", dims, err, sql)
+				continue
+			}
+			if err := sema.CheckStatement(stmt, env); err != nil {
+				t.Errorf("d=%d: sema rejected generated SQL:\n%v\nin: %s", dims, err, sql)
+			}
+		}
+	}
+}

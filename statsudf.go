@@ -313,10 +313,15 @@ func decodeSQLNLQ(res *Result, dims int, mt MatrixType) (*NLQ, error) {
 		return nil, fmt.Errorf("statsudf: table has no qualifying rows")
 	}
 	s := core.MustNLQ(dims, mt)
-	s.N = row[0].MustFloat()
+	var err error
+	if s.N, err = row[0].AsFloat(); err != nil {
+		return nil, fmt.Errorf("statsudf: bad N in SQL summary: %w", err)
+	}
 	for a := 0; a < dims; a++ {
 		if !row[1+a].IsNull() {
-			s.L[a] = row[1+a].MustFloat()
+			if s.L[a], err = row[1+a].AsFloat(); err != nil {
+				return nil, fmt.Errorf("statsudf: bad L[%d] in SQL summary: %w", a, err)
+			}
 		}
 	}
 	for a := 0; a < dims; a++ {
@@ -327,7 +332,9 @@ func decodeSQLNLQ(res *Result, dims int, mt MatrixType) (*NLQ, error) {
 			}
 			keep := (mt == core.Full) || (mt == core.Triangular && c <= a) || (mt == core.Diagonal && a == c)
 			if keep {
-				s.Q[a*dims+c] = v.MustFloat()
+				if s.Q[a*dims+c], err = v.AsFloat(); err != nil {
+					return nil, fmt.Errorf("statsudf: bad Q[%d,%d] in SQL summary: %w", a, c, err)
+				}
 			}
 		}
 	}
