@@ -6,10 +6,17 @@
 //
 //	bench [-scale 0.05] [-partitions 20] [-runs 1] [-exp t1,f3,...]
 //	      [-odbc-mbps 100] [-odbc-timescale 0] [-seed 2007]
+//	      [-json out/] [-debug-addr :6060] [-check-metrics]
 //
 // -scale 1 runs the paper's full row counts (n up to 1.6M); the
 // default 0.05 finishes in minutes on a laptop. -exp selects specific
 // experiments; the default runs everything in paper order.
+//
+// -json writes each experiment's tables as BENCH_<id>.json artifacts;
+// -debug-addr serves live /metrics and /debug/pprof while the bench
+// runs; -check-metrics verifies afterwards (through a SQL query
+// against sys.metrics) that the engine's scan counters actually moved,
+// the smoke assertion CI runs.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/engine/db"
 	"repro/internal/harness"
 	"repro/internal/odbcsim"
 )
@@ -32,6 +40,9 @@ func main() {
 	timescale := flag.Float64("odbc-timescale", 0, "fraction of modeled ODBC delay actually slept (0 = report only)")
 	seed := flag.Int64("seed", 2007, "workload seed")
 	dir := flag.String("dir", "", "table directory (default: a temp dir per experiment)")
+	jsonDir := flag.String("json", "", "write BENCH_<id>.json artifacts into this directory")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/queries and /debug/pprof on this address while running")
+	checkMetrics := flag.Bool("check-metrics", false, "after running, assert via sys.metrics that the engine counters moved")
 	flag.Parse()
 
 	cfg := harness.Config{
@@ -41,11 +52,22 @@ func main() {
 		Dir:        *dir,
 		Seed:       *seed,
 		Out:        os.Stdout,
+		JSONDir:    *jsonDir,
 		ODBC: odbcsim.Config{
 			BytesPerSec:         *odbcMbps * 1e6 / 8,
 			PerRowOverheadBytes: *odbcRow,
 			TimeScale:           *timescale,
 		},
+	}
+
+	if *debugAddr != "" {
+		srv, err := db.Open(db.Options{}).ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoint on http://%s/metrics\n", srv.Addr)
 	}
 	var ids []string
 	if *exp != "" {
@@ -59,4 +81,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
+	if *checkMetrics {
+		if err := assertMetrics(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: metrics check failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println("metrics check: ok")
+	}
+}
+
+// assertMetrics queries sys.metrics through the SQL path — metrics are
+// process-wide, so a fresh in-memory instance sees everything the
+// experiments did — and fails if the core engine counters are zero.
+func assertMetrics() error {
+	d := db.Open(db.Options{})
+	res, err := d.Exec("SELECT name, value FROM sys.metrics")
+	if err != nil {
+		return err
+	}
+	vals := make(map[string]float64, len(res.Rows))
+	for _, row := range res.Rows {
+		f, _ := row[1].Float()
+		vals[row[0].Str()] = f
+	}
+	for _, name := range []string{
+		"engine_rows_scanned_total",
+		"engine_rows_inserted_total",
+		"engine_queries_total",
+	} {
+		if vals[name] <= 0 {
+			return fmt.Errorf("%s = %v, want > 0 after a bench run", name, vals[name])
+		}
+	}
+	return nil
 }

@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	sqlsh [-dir data/] [-partitions 20] [-c "SELECT ..."] [file.sql]
+//	sqlsh [-dir data/] [-partitions 20] [-debug-addr :6060] [-c "SELECT ..."] [file.sql]
 //
 // Statements end with ';'. Shell commands: \d lists tables, \d NAME
 // shows a schema, \stats toggles per-query execution statistics
 // (rows/bytes scanned, partition skew, phase times), \q quits.
+// `EXPLAIN ANALYZE <select>` runs the statement and prints its span
+// tree; the sys.metrics/sys.queries/sys.tables/sys.partitions virtual
+// tables are queryable like any other table.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"sort"
 	"strings"
 
+	enginedb "repro/internal/engine/db"
 	"repro/internal/engine/exec"
 	"repro/internal/engine/sqltypes"
 
@@ -36,6 +40,7 @@ func main() {
 	workers := flag.Int("workers", 0, "scan worker pool bound (0 = one per partition)")
 	stats := flag.Bool("stats", false, "print execution statistics after each statement")
 	command := flag.String("c", "", "execute this statement and exit")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/queries and /debug/pprof on this address")
 	flag.Parse()
 	showStats = *stats
 
@@ -45,6 +50,16 @@ func main() {
 		os.Exit(1)
 	}
 	defer db.Close()
+
+	if *debugAddr != "" {
+		srv, err := db.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sqlsh:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sqlsh: debug endpoint on http://%s/metrics\n", srv.Addr)
+	}
 
 	if *command != "" {
 		if err := runStatement(db, *command, os.Stdout); err != nil {
@@ -131,6 +146,9 @@ func shellCommand(db *statsudf.DB, cmd string, out io.Writer) (quit bool) {
 		for _, n := range views {
 			fmt.Fprintf(out, "%s  (view)\n", n)
 		}
+		for _, n := range enginedb.SystemTableNames() {
+			fmt.Fprintf(out, "%s  (system)\n", n)
+		}
 	case strings.HasPrefix(cmd, "\\d "):
 		name := strings.TrimSpace(cmd[3:])
 		t, err := db.Engine().Table(name)
@@ -161,12 +179,44 @@ func runScript(db *statsudf.DB, r io.Reader, out io.Writer) error {
 }
 
 func runStatement(db *statsudf.DB, sql string, out io.Writer) error {
+	if rest, ok := stripExplainAnalyze(sql); ok {
+		return runExplainAnalyze(db, rest, out)
+	}
 	res, err := db.Exec(sql)
 	if err != nil {
 		return err
 	}
 	printResult(out, res)
 	printStats(out, res)
+	return nil
+}
+
+// stripExplainAnalyze detects an EXPLAIN ANALYZE prefix and returns
+// the wrapped statement.
+func stripExplainAnalyze(sql string) (string, bool) {
+	s := strings.TrimSpace(sql)
+	fields := strings.Fields(s)
+	if len(fields) < 3 || !strings.EqualFold(fields[0], "EXPLAIN") || !strings.EqualFold(fields[1], "ANALYZE") {
+		return "", false
+	}
+	idx := strings.Index(strings.ToUpper(s), "ANALYZE")
+	return strings.TrimSpace(s[idx+len("ANALYZE"):]), true
+}
+
+// runExplainAnalyze executes the statement and prints its span tree
+// instead of its rows: per-phase wall times with per-partition scan
+// detail, followed by the one-line stats summary.
+func runExplainAnalyze(db *statsudf.DB, sql string, out io.Writer) error {
+	res, err := db.Exec(sql)
+	if err != nil {
+		return err
+	}
+	if res == nil || res.Stats == nil || res.Stats.Root == nil {
+		fmt.Fprintln(out, "(no execution trace: statement did not scan)")
+		return nil
+	}
+	fmt.Fprint(out, res.Stats.Root.RenderTree())
+	fmt.Fprintf(out, "-- stats: %s\n", res.Stats)
 	return nil
 }
 

@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/engine/exec"
 	"repro/internal/engine/expr"
@@ -33,6 +33,10 @@ type Options struct {
 	// Workers bounds the executor's scan worker pool independently of
 	// the partition count; <= 0 runs one worker per partition.
 	Workers int
+	// SlowQuery is the duration at or above which a statement is
+	// flagged slow in sys.queries and counted in
+	// engine_slow_queries_total. Zero selects DefaultSlowQuery.
+	SlowQuery time.Duration
 }
 
 // DB is an embedded database instance.
@@ -44,7 +48,7 @@ type DB struct {
 	tables map[string]*storage.Table
 	views  map[string]*sqlparser.Select
 
-	lastStats atomic.Pointer[exec.Stats]
+	qlog queryLog
 }
 
 // Open creates a fresh database over an empty (or memory-only)
@@ -53,6 +57,9 @@ type DB struct {
 func Open(opts Options) *DB {
 	if opts.Partitions <= 0 {
 		opts.Partitions = storage.DefaultPartitions
+	}
+	if opts.SlowQuery <= 0 {
+		opts.SlowQuery = DefaultSlowQuery
 	}
 	return &DB{
 		opts:   opts,
@@ -83,11 +90,18 @@ func (d *DB) Scalars() *expr.Registry { return d.funcs }
 // Aggregates exposes the aggregate UDF registry.
 func (d *DB) Aggregates() *udf.Registry { return d.aggs }
 
-// Table implements exec.Catalog.
+// Table implements exec.Catalog. Names under the reserved "sys."
+// prefix resolve to virtual system tables materialized on demand; the
+// interception happens before d.mu is taken because synthesizing
+// sys.tables itself reads the catalog under the same lock.
 func (d *DB) Table(name string) (*storage.Table, error) {
+	key := strings.ToLower(name)
+	if strings.HasPrefix(key, sysPrefix) {
+		return d.sysTable(key)
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	t, ok := d.tables[strings.ToLower(name)]
+	t, ok := d.tables[key]
 	if !ok {
 		return nil, fmt.Errorf("db: table %q does not exist", name)
 	}
@@ -126,9 +140,12 @@ func (d *DB) TableNames() []string {
 // CreateTable creates a table from a schema directly (bypassing SQL);
 // bulk loaders and generators use this.
 func (d *DB) CreateTable(name string, schema *sqltypes.Schema) (*storage.Table, error) {
+	key := strings.ToLower(name)
+	if strings.HasPrefix(key, sysPrefix) {
+		return nil, fmt.Errorf("db: %q is reserved for system tables", name)
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	key := strings.ToLower(name)
 	if _, exists := d.tables[key]; exists {
 		return nil, fmt.Errorf("db: table %q already exists", name)
 	}
@@ -164,19 +181,13 @@ func (d *DB) env() *exec.Env {
 	return &exec.Env{Catalog: d, Funcs: d.funcs, Aggs: d.aggs, Workers: d.opts.Workers}
 }
 
-// noteStats records a statement's execution statistics (nil is
-// ignored) for LastStats.
-func (d *DB) noteStats(st *exec.Stats) {
-	if st != nil {
-		d.lastStats.Store(st)
-	}
-}
-
 // LastStats returns the execution statistics of the most recent
 // statement that performed a scan (nil before any such statement).
 // Shells and benchmarks read it after Exec to report rows scanned,
-// bytes read, partition skew and phase times.
-func (d *DB) LastStats() *exec.Stats { return d.lastStats.Load() }
+// bytes read, partition skew and phase times. It is a view over the
+// recent-query ring, so INSERT ... SELECT and streamed queries are
+// covered like plain SELECTs.
+func (d *DB) LastStats() *exec.Stats { return d.qlog.lastStats() }
 
 // Exec parses and runs one SQL statement.
 func (d *DB) Exec(sql string) (*exec.Result, error) {
@@ -190,7 +201,7 @@ func (d *DB) ExecContext(ctx context.Context, sql string) (*exec.Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	return d.RunContext(ctx, stmt)
+	return d.run(ctx, sql, stmt)
 }
 
 // ExecScript runs a semicolon-separated statement sequence, returning
@@ -216,11 +227,28 @@ func (d *DB) Run(stmt sqlparser.Statement) (*exec.Result, error) {
 
 // RunContext executes a parsed statement under a context.
 func (d *DB) RunContext(ctx context.Context, stmt sqlparser.Statement) (*exec.Result, error) {
+	return d.run(ctx, stmtText(stmt), stmt)
+}
+
+// run dispatches a statement and records it in the recent-query ring.
+func (d *DB) run(ctx context.Context, sql string, stmt sqlparser.Statement) (*exec.Result, error) {
+	start := time.Now()
 	res, err := d.runContext(ctx, stmt)
-	if err == nil && res != nil {
-		d.noteStats(res.Stats)
+	var st *exec.Stats
+	if res != nil {
+		st = res.Stats
 	}
+	d.noteQuery(sql, start, st, err)
 	return res, err
+}
+
+// stmtText renders a pre-parsed statement for the query log: SELECTs
+// print back as SQL, other statement kinds as a short tag.
+func stmtText(stmt sqlparser.Statement) string {
+	if s, ok := stmt.(*sqlparser.Select); ok {
+		return s.String()
+	}
+	return fmt.Sprintf("<%s>", strings.TrimPrefix(fmt.Sprintf("%T", stmt), "*sqlparser."))
 }
 
 func (d *DB) runContext(ctx context.Context, stmt sqlparser.Statement) (*exec.Result, error) {
@@ -281,10 +309,9 @@ func (d *DB) QueryStreamContext(ctx context.Context, sql string, sink exec.RowSi
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	schema, stats, err := exec.SelectStream(ctx, expanded, d.env(), sink)
-	if err == nil {
-		d.noteStats(stats)
-	}
+	d.noteQuery(sql, start, stats, err)
 	return schema, err
 }
 

@@ -1,0 +1,99 @@
+package db
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/engine/obs"
+)
+
+// DebugServer is the diagnostics endpoint started by ServeDebug.
+type DebugServer struct {
+	// Addr is the address the listener actually bound (useful when
+	// ServeDebug was given ":0").
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Close stops the server, releasing its port.
+func (s *DebugServer) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// ServeDebug starts an HTTP diagnostics endpoint on addr and returns
+// immediately; the server runs until Close. It serves:
+//
+//	/metrics        the process-wide obs registry in Prometheus text format
+//	/debug/queries  the recent-query ring as JSON, newest first
+//	/debug/pprof/   the standard Go profiling handlers
+//
+// Metrics are process-global while the query ring is per-DB, so two
+// instances in one process serve identical /metrics but distinct
+// /debug/queries.
+func (d *DB) ServeDebug(addr string) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.Default.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(debugQueries(d.RecentQueries()))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// debugQuery is the JSON shape /debug/queries serves: the ring record
+// with the duration reported in milliseconds and the span tree inlined.
+type debugQuery struct {
+	ID         int64           `json:"id"`
+	SQL        string          `json:"sql"`
+	Start      time.Time       `json:"start"`
+	DurationMS float64         `json:"duration_ms"`
+	Slow       bool            `json:"slow,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Stats      json.RawMessage `json:"stats,omitempty"`
+}
+
+func debugQueries(recs []QueryRecord) []debugQuery {
+	out := make([]debugQuery, 0, len(recs))
+	for _, r := range recs {
+		q := debugQuery{
+			ID:         r.ID,
+			SQL:        r.SQL,
+			Start:      r.Start,
+			DurationMS: float64(r.Duration) / float64(time.Millisecond),
+			Slow:       r.Slow,
+			Error:      r.Err,
+		}
+		if r.Stats != nil {
+			if b, err := json.Marshal(r.Stats); err == nil {
+				q.Stats = b
+			}
+		}
+		out = append(out, q)
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package db
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine/sqltypes"
+)
+
+func newTestDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	d := Open(opts)
+	if _, err := d.Exec("CREATE TABLE x (i INT, v DOUBLE)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Exec("INSERT INTO x VALUES (1, 2.0), (2, 3.0), (3, 4.0)"); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRecentQueriesRingRecordsAllPaths(t *testing.T) {
+	d := newTestDB(t, Options{Partitions: 2})
+
+	if _, err := d.Exec("SELECT sum(v) FROM x"); err != nil {
+		t.Fatal(err)
+	}
+	// INSERT ... SELECT must land in the ring with scan stats.
+	if _, err := d.Exec("CREATE TABLE y (i INT, v DOUBLE)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Exec("INSERT INTO y SELECT i, v FROM x"); err != nil {
+		t.Fatal(err)
+	}
+	// Streamed queries must land in the ring too.
+	if _, err := d.QueryStream("SELECT v FROM x", func(sqltypes.Row) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := d.RecentQueries()
+	if len(recs) != 6 {
+		t.Fatalf("ring holds %d records, want 6", len(recs))
+	}
+	// Newest first: the stream query is recs[0].
+	if recs[0].SQL != "SELECT v FROM x" {
+		t.Errorf("newest record = %q, want the streamed SELECT", recs[0].SQL)
+	}
+	if recs[0].Stats == nil || recs[0].Stats.RowsScanned != 3 {
+		t.Errorf("streamed query stats = %+v, want 3 rows scanned", recs[0].Stats)
+	}
+	var insSel *QueryRecord
+	for i := range recs {
+		if strings.HasPrefix(recs[i].SQL, "INSERT INTO y") {
+			insSel = &recs[i]
+		}
+	}
+	if insSel == nil {
+		t.Fatal("INSERT ... SELECT not recorded")
+	}
+	if insSel.Stats == nil || insSel.Stats.RowsScanned != 3 {
+		t.Errorf("INSERT ... SELECT stats = %+v, want 3 rows scanned", insSel.Stats)
+	}
+	for i := range recs {
+		if recs[i].ID == 0 {
+			t.Errorf("record %d has no ID", i)
+		}
+	}
+
+	// LastStats is a view over the ring: it must reflect the newest
+	// record that carries stats (the streamed SELECT).
+	if st := d.LastStats(); st == nil || st != recs[0].Stats {
+		t.Errorf("LastStats() = %p, want the newest recorded stats %p", st, recs[0].Stats)
+	}
+}
+
+func TestRecentQueriesRingBounded(t *testing.T) {
+	d := newTestDB(t, Options{Partitions: 2})
+	for i := 0; i < queryRingSize+10; i++ {
+		if _, err := d.Exec("SELECT sum(v) FROM x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := d.RecentQueries()
+	if len(recs) != queryRingSize {
+		t.Fatalf("ring holds %d records, want %d", len(recs), queryRingSize)
+	}
+	// IDs keep increasing past the ring size and stay newest-first.
+	if recs[0].ID <= int64(queryRingSize) {
+		t.Errorf("newest ID = %d, want > %d", recs[0].ID, queryRingSize)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].ID != recs[i-1].ID-1 {
+			t.Fatalf("IDs not consecutive newest-first at %d: %d then %d", i, recs[i-1].ID, recs[i].ID)
+		}
+	}
+}
+
+func TestFailedQueriesRecorded(t *testing.T) {
+	d := newTestDB(t, Options{Partitions: 2})
+	if _, err := d.Exec("SELECT nope FROM x"); err == nil {
+		t.Fatal("expected error for unknown column")
+	}
+	recs := d.RecentQueries()
+	if recs[0].Err == "" {
+		t.Errorf("failed query recorded without error: %+v", recs[0])
+	}
+}
+
+func TestSlowQueryFlag(t *testing.T) {
+	d := newTestDB(t, Options{Partitions: 2, SlowQuery: time.Nanosecond})
+	if _, err := d.Exec("SELECT sum(v) FROM x"); err != nil {
+		t.Fatal(err)
+	}
+	if recs := d.RecentQueries(); !recs[0].Slow {
+		t.Errorf("query not flagged slow with 1ns threshold: %+v", recs[0])
+	}
+
+	// Default threshold: a trivial query must not be flagged.
+	d2 := newTestDB(t, Options{Partitions: 2})
+	if _, err := d2.Exec("SELECT sum(v) FROM x"); err != nil {
+		t.Fatal(err)
+	}
+	if recs := d2.RecentQueries(); recs[0].Slow {
+		t.Errorf("trivial query flagged slow under default threshold: %+v", recs[0])
+	}
+}
+
+func TestSysMetricsLive(t *testing.T) {
+	d := newTestDB(t, Options{Partitions: 2})
+	if _, err := d.Exec("SELECT sum(v) FROM x"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Exec("SELECT name, value FROM sys.metrics WHERE name = 'engine_rows_scanned_total'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(res.Rows))
+	}
+	v, _ := res.Rows[0][1].Float()
+	if v < 3 {
+		t.Errorf("engine_rows_scanned_total = %v, want >= 3", v)
+	}
+}
+
+func TestSysQueriesViaSQL(t *testing.T) {
+	d := newTestDB(t, Options{Partitions: 2})
+	if _, err := d.Exec("SELECT sum(v) FROM x"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Exec("SELECT sql_text, rows_scanned FROM sys.queries WHERE rows_scanned > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range res.Rows {
+		if row[0].Str() == "SELECT sum(v) FROM x" {
+			found = true
+			if n := row[1].Int(); n != 3 {
+				t.Errorf("rows_scanned = %d, want 3", n)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("aggregate query not visible in sys.queries: %v", res.Rows)
+	}
+}
+
+func TestSysTablesAndPartitions(t *testing.T) {
+	d := newTestDB(t, Options{Partitions: 2})
+	res, err := d.Exec("SELECT name, partitions, num_rows FROM sys.tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "x" {
+		t.Fatalf("sys.tables = %v, want one row for x", res.Rows)
+	}
+	if got := res.Rows[0][2].Int(); got != 3 {
+		t.Errorf("num_rows = %d, want 3", got)
+	}
+
+	res, err = d.Exec("SELECT table_name, partition, num_rows FROM sys.partitions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("sys.partitions returned %d rows, want 2", len(res.Rows))
+	}
+	var total int64
+	for _, row := range res.Rows {
+		total += row[2].Int()
+	}
+	if total != 3 {
+		t.Errorf("partition rows sum to %d, want 3", total)
+	}
+}
+
+func TestSysNamespaceReserved(t *testing.T) {
+	d := Open(Options{Partitions: 2})
+	if _, err := d.Exec("CREATE TABLE sys.own (i INT)"); err == nil {
+		t.Error("CREATE TABLE sys.own should be rejected")
+	}
+	schema, err := sqltypes.NewSchema(sqltypes.Column{Name: "i", Type: sqltypes.TypeBigInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CreateTable("sys.own", schema); err == nil {
+		t.Error("CreateTable(sys.own) should be rejected")
+	}
+	if _, err := d.Exec("SELECT * FROM sys.bogus"); err == nil {
+		t.Error("unknown sys table should error")
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	d := newTestDB(t, Options{Partitions: 2})
+	if _, err := d.Exec("SELECT sum(v) FROM x"); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := d.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	body := httpGet(t, fmt.Sprintf("http://%s/metrics", srv.Addr))
+	for _, want := range []string{
+		"# TYPE engine_rows_scanned_total counter",
+		"engine_rows_scanned_total",
+		"engine_query_seconds_bucket{le=\"+Inf\"}",
+		"engine_queries_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	qbody := httpGet(t, fmt.Sprintf("http://%s/debug/queries", srv.Addr))
+	var queries []struct {
+		ID  int64  `json:"id"`
+		SQL string `json:"sql"`
+	}
+	if err := json.Unmarshal([]byte(qbody), &queries); err != nil {
+		t.Fatalf("/debug/queries is not JSON: %v\n%s", err, qbody)
+	}
+	if len(queries) == 0 || queries[0].SQL != "SELECT sum(v) FROM x" {
+		t.Errorf("/debug/queries = %+v, want newest-first with the aggregate query", queries)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

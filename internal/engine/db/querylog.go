@@ -1,0 +1,105 @@
+package db
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/engine/exec"
+	"repro/internal/engine/obs"
+)
+
+// queryRingSize bounds the recent-query ring. 128 statements is enough
+// to hold a whole harness experiment while staying trivially small.
+const queryRingSize = 128
+
+// DefaultSlowQuery is the slow-query threshold used when Options leaves
+// SlowQuery zero.
+const DefaultSlowQuery = 250 * time.Millisecond
+
+// QueryRecord is one completed statement in the recent-query ring,
+// the row source for sys.queries and the /debug/queries endpoint.
+type QueryRecord struct {
+	// ID numbers statements in execution order, starting at 1.
+	ID int64 `json:"id"`
+	// SQL is the statement text: the original SQL when the statement
+	// arrived as text, or a rendered/placeholder form when it arrived
+	// pre-parsed via Run.
+	SQL      string        `json:"sql"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	// Err is the error message for failed statements ("" on success).
+	Err string `json:"error,omitempty"`
+	// Slow marks statements whose duration met the configured
+	// slow-query threshold.
+	Slow bool `json:"slow,omitempty"`
+	// Stats is the executor's account of the statement (nil for DDL
+	// and failed statements).
+	Stats *exec.Stats `json:"stats,omitempty"`
+}
+
+// queryLog is a fixed-size ring of recent QueryRecords.
+type queryLog struct {
+	mu   sync.Mutex
+	next int64
+	buf  [queryRingSize]QueryRecord
+	pos  int
+	n    int
+}
+
+func (l *queryLog) add(r QueryRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next++
+	r.ID = l.next
+	l.buf[l.pos] = r
+	l.pos = (l.pos + 1) % queryRingSize
+	if l.n < queryRingSize {
+		l.n++
+	}
+}
+
+// recent returns the retained records newest-first.
+func (l *queryLog) recent() []QueryRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]QueryRecord, 0, l.n)
+	for i := 1; i <= l.n; i++ {
+		out = append(out, l.buf[(l.pos-i+queryRingSize)%queryRingSize])
+	}
+	return out
+}
+
+// lastStats returns the newest record's Stats that is non-nil.
+func (l *queryLog) lastStats() *exec.Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := 1; i <= l.n; i++ {
+		if st := l.buf[(l.pos-i+queryRingSize)%queryRingSize].Stats; st != nil {
+			return st
+		}
+	}
+	return nil
+}
+
+// noteQuery records a finished statement in the ring and updates the
+// process-wide query counters. It is called on every dispatch path —
+// Exec, Run, ExecScript and QueryStream — so INSERT ... SELECT and
+// streamed queries land in sys.queries like everything else.
+func (d *DB) noteQuery(sql string, start time.Time, st *exec.Stats, err error) {
+	dur := time.Since(start)
+	rec := QueryRecord{SQL: sql, Start: start, Duration: dur, Stats: st}
+	obs.Queries.Inc()
+	if err != nil {
+		rec.Err = err.Error()
+		obs.QueryErrors.Inc()
+	}
+	if dur >= d.opts.SlowQuery {
+		rec.Slow = true
+		obs.SlowQueries.Inc()
+	}
+	d.qlog.add(rec)
+}
+
+// RecentQueries returns the retained recent statements, newest first.
+// sys.queries and the debug endpoint are views over this.
+func (d *DB) RecentQueries() []QueryRecord { return d.qlog.recent() }

@@ -1,0 +1,194 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/engine/exec"
+	"repro/internal/engine/obs"
+	"repro/internal/engine/sqltypes"
+	"repro/internal/engine/storage"
+)
+
+// sysPrefix reserves a namespace for virtual system tables. Names under
+// it never enter the catalog; each reference materializes a fresh
+// single-partition in-memory table from live engine state, so
+// `SELECT name, value FROM sys.metrics` always reflects the moment the
+// query planned its scan.
+const sysPrefix = "sys."
+
+// SystemTableNames lists the virtual tables served under sys.,
+// for shell completion and \d-style listings.
+func SystemTableNames() []string {
+	return []string{"sys.metrics", "sys.partitions", "sys.queries", "sys.tables"}
+}
+
+func (d *DB) sysTable(key string) (*storage.Table, error) {
+	switch key {
+	case "sys.metrics":
+		return d.sysMetrics()
+	case "sys.queries":
+		return d.sysQueries()
+	case "sys.tables":
+		return d.sysTables()
+	case "sys.partitions":
+		return d.sysPartitions()
+	default:
+		return nil, fmt.Errorf("db: unknown system table %q", key)
+	}
+}
+
+// newSysTable builds the throwaway in-memory table a sys.* scan reads.
+func newSysTable(name string, cols []sqltypes.Column, rows []sqltypes.Row) (*storage.Table, error) {
+	schema, err := sqltypes.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	t, err := storage.NewTable(name, schema, "", 1)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return t, nil
+	}
+	if err := t.Insert(rows...); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// sysMetrics flattens the process-wide obs registry: one row per
+// counter/gauge, plus per-bucket, _sum and _count rows for histograms
+// (mirroring the Prometheus exposition the debug endpoint serves).
+func (d *DB) sysMetrics() (*storage.Table, error) {
+	cols := []sqltypes.Column{
+		{Name: "name", Type: sqltypes.TypeVarChar},
+		{Name: "kind", Type: sqltypes.TypeVarChar},
+		{Name: "value", Type: sqltypes.TypeDouble},
+		{Name: "help", Type: sqltypes.TypeVarChar},
+	}
+	samples := obs.Default.Snapshot()
+	rows := make([]sqltypes.Row, 0, len(samples))
+	for _, s := range samples {
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewVarChar(s.Name),
+			sqltypes.NewVarChar(s.Kind),
+			sqltypes.NewDouble(s.Value),
+			sqltypes.NewVarChar(s.Help),
+		})
+	}
+	return newSysTable("sys.metrics", cols, rows)
+}
+
+// sysQueries exposes the recent-query ring, newest first.
+func (d *DB) sysQueries() (*storage.Table, error) {
+	cols := []sqltypes.Column{
+		{Name: "id", Type: sqltypes.TypeBigInt},
+		{Name: "sql_text", Type: sqltypes.TypeVarChar},
+		{Name: "started", Type: sqltypes.TypeVarChar},
+		{Name: "duration_ms", Type: sqltypes.TypeDouble},
+		{Name: "rows_scanned", Type: sqltypes.TypeBigInt},
+		{Name: "bytes_read", Type: sqltypes.TypeBigInt},
+		{Name: "rows_emitted", Type: sqltypes.TypeBigInt},
+		{Name: "partitions", Type: sqltypes.TypeBigInt},
+		{Name: "workers", Type: sqltypes.TypeBigInt},
+		{Name: "skew", Type: sqltypes.TypeDouble},
+		{Name: "plan_ms", Type: sqltypes.TypeDouble},
+		{Name: "scan_ms", Type: sqltypes.TypeDouble},
+		{Name: "merge_ms", Type: sqltypes.TypeDouble},
+		{Name: "finalize_ms", Type: sqltypes.TypeDouble},
+		{Name: "slow", Type: sqltypes.TypeBool},
+		{Name: "error", Type: sqltypes.TypeVarChar},
+	}
+	recs := d.qlog.recent()
+	ms := func(dur time.Duration) sqltypes.Value {
+		return sqltypes.NewDouble(float64(dur) / float64(time.Millisecond))
+	}
+	rows := make([]sqltypes.Row, 0, len(recs))
+	for _, r := range recs {
+		st := r.Stats
+		if st == nil {
+			st = &exec.Stats{}
+		}
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewBigInt(r.ID),
+			sqltypes.NewVarChar(r.SQL),
+			sqltypes.NewVarChar(r.Start.Format(time.RFC3339Nano)),
+			ms(r.Duration),
+			sqltypes.NewBigInt(st.RowsScanned),
+			sqltypes.NewBigInt(st.BytesRead),
+			sqltypes.NewBigInt(st.RowsEmitted),
+			sqltypes.NewBigInt(int64(st.Partitions)),
+			sqltypes.NewBigInt(int64(st.Workers)),
+			sqltypes.NewDouble(st.Skew()),
+			ms(st.Plan),
+			ms(st.Scan),
+			ms(st.Merge),
+			ms(st.Finalize),
+			sqltypes.NewBool(r.Slow),
+			sqltypes.NewVarChar(r.Err),
+		})
+	}
+	return newSysTable("sys.queries", cols, rows)
+}
+
+// sysTables summarizes the catalog: partition and row counts and the
+// on-disk footprint of every user table.
+func (d *DB) sysTables() (*storage.Table, error) {
+	cols := []sqltypes.Column{
+		{Name: "name", Type: sqltypes.TypeVarChar},
+		{Name: "partitions", Type: sqltypes.TypeBigInt},
+		{Name: "num_rows", Type: sqltypes.TypeBigInt},
+		{Name: "on_disk", Type: sqltypes.TypeBool},
+		{Name: "size_bytes", Type: sqltypes.TypeBigInt},
+	}
+	var rows []sqltypes.Row
+	for _, t := range d.userTables() {
+		size, err := t.SizeBytes()
+		if err != nil {
+			size = 0
+		}
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewVarChar(t.Name()),
+			sqltypes.NewBigInt(int64(t.Partitions())),
+			sqltypes.NewBigInt(t.NumRows()),
+			sqltypes.NewBool(t.OnDisk()),
+			sqltypes.NewBigInt(size),
+		})
+	}
+	return newSysTable("sys.tables", cols, rows)
+}
+
+// sysPartitions breaks each user table down to per-partition row
+// counts, the raw material behind Stats.Skew.
+func (d *DB) sysPartitions() (*storage.Table, error) {
+	cols := []sqltypes.Column{
+		{Name: "table_name", Type: sqltypes.TypeVarChar},
+		{Name: "partition", Type: sqltypes.TypeBigInt},
+		{Name: "num_rows", Type: sqltypes.TypeBigInt},
+	}
+	var rows []sqltypes.Row
+	for _, t := range d.userTables() {
+		for p, n := range t.PartitionRowCounts() {
+			rows = append(rows, sqltypes.Row{
+				sqltypes.NewVarChar(t.Name()),
+				sqltypes.NewBigInt(int64(p)),
+				sqltypes.NewBigInt(n),
+			})
+		}
+	}
+	return newSysTable("sys.partitions", cols, rows)
+}
+
+// userTables snapshots the catalog sorted by name.
+func (d *DB) userTables() []*storage.Table {
+	d.mu.RLock()
+	out := make([]*storage.Table, 0, len(d.tables))
+	for _, t := range d.tables {
+		out = append(out, t)
+	}
+	d.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}

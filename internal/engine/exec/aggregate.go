@@ -7,9 +7,9 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/engine/expr"
+	"repro/internal/engine/obs"
 	"repro/internal/engine/sqlparser"
 	"repro/internal/engine/sqltypes"
 	"repro/internal/engine/udf"
@@ -41,7 +41,8 @@ func runAggregate(ctx context.Context, sel *sqlparser.Select, items []sqlparser.
 			err = fmt.Errorf("exec: panic during aggregation: %v\n%s", r, debug.Stack())
 		}
 	}()
-	planStart := time.Now()
+	st.hasMerge = true
+	plan := st.ensureRoot().child("plan")
 	// Rewrite the select list, collecting aggregate specs.
 	rewritten := make([]sqlparser.Expr, len(items))
 	var specs []aggSpec
@@ -84,10 +85,13 @@ func runAggregate(ctx context.Context, sel *sqlparser.Select, items []sqlparser.
 	st.Partitions = nparts
 	st.Workers = scanWorkers(env, nparts)
 	st.PartitionRows = make([]int64, nparts)
-	st.Plan = time.Since(planStart)
+	st.Plan = plan.finish()
 
-	scanStart := time.Now()
+	scanSpan := st.Root.child("scan")
+	partSpans := make([]*Span, nparts)
 	err = runParallel(ctx, st.Workers, nparts, func(ctx context.Context, p int) error {
+		span := newSpan(fmt.Sprintf("scan[p%d]", p))
+		partSpans[p] = span
 		// Everything below — evaluators, group states, errors — is
 		// local to this partition's worker; partGroups[p] is this
 		// worker's own slot. Nothing here may write enclosing-scope
@@ -128,8 +132,9 @@ func runAggregate(ctx context.Context, sel *sqlparser.Select, items []sqlparser.
 		keyVals := make(sqltypes.Row, len(groupEvs))
 		var keyBuf strings.Builder
 		argBuf := make([]sqltypes.Value, 8)
+		var accCalls int64 // aggregate-protocol Accumulate calls, flushed once
 
-		scan, serr := first.ScanPartitionStats(ctx, p, func(r sqltypes.Row) error {
+		ps, serr := first.ScanPartitionStats(ctx, p, func(r sqltypes.Row) error {
 			for _, t := range tail {
 				copy(flat, r)
 				copy(flat[len(r):], t)
@@ -193,22 +198,27 @@ func runAggregate(ctx context.Context, sel *sqlparser.Select, items []sqlparser.
 					if err := s.agg.Accumulate(g.states[i], args); err != nil {
 						return err
 					}
+					accCalls++
 				}
 			}
 			return nil
 		})
-		st.PartitionRows[p] = scan.Rows
-		atomic.AddInt64(&st.RowsScanned, scan.Rows)
-		atomic.AddInt64(&st.BytesRead, scan.Bytes)
+		st.PartitionRows[p] = ps.Rows
+		span.Rows, span.Bytes = ps.Rows, ps.Bytes
+		span.finish()
+		atomic.AddInt64(&st.RowsScanned, ps.Rows)
+		atomic.AddInt64(&st.BytesRead, ps.Bytes)
+		obs.UDFCalls.Add(accCalls)
 		return serr
 	})
-	st.Scan = time.Since(scanStart)
+	st.Scan = scanSpan.finish()
+	finishScanSpan(scanSpan, partSpans, st)
 	if err != nil {
 		return nil, err
 	}
 
 	// Phase 3: master merge of per-partition partials.
-	mergeStart := time.Now()
+	mergeSpan := st.Root.child("merge")
 	merged := partGroups[0]
 	for _, pg := range partGroups[1:] {
 		for key, src := range pg {
@@ -231,7 +241,7 @@ func runAggregate(ctx context.Context, sel *sqlparser.Select, items []sqlparser.
 		}
 	}
 
-	st.Merge = time.Since(mergeStart)
+	st.Merge = mergeSpan.finish()
 
 	// Global aggregate over an empty input still yields one row.
 	if len(sel.GroupBy) == 0 && len(merged) == 0 {
@@ -243,8 +253,8 @@ func runAggregate(ctx context.Context, sel *sqlparser.Select, items []sqlparser.
 	}
 
 	// Phase 4: finalize and evaluate post-aggregation expressions.
-	finalizeStart := time.Now()
-	defer func() { st.Finalize = time.Since(finalizeStart) }()
+	finalizeSpan := st.Root.child("finalize")
+	defer func() { st.Finalize = finalizeSpan.finish() }()
 	outSchema := &sqltypes.Schema{Columns: make([]sqltypes.Column, len(items))}
 	for i, item := range items {
 		outSchema.Columns[i] = sqltypes.Column{Name: itemName(item, i), Type: sqltypes.TypeDouble}
@@ -298,6 +308,7 @@ func runAggregate(ctx context.Context, sel *sqlparser.Select, items []sqlparser.
 						return nil, err
 					}
 				}
+				obs.UDFCalls.Add(int64(len(g.seen[i])))
 			}
 			v, err := s.agg.Finalize(g.states[i])
 			if err != nil {

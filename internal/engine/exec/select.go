@@ -6,9 +6,9 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/engine/expr"
+	"repro/internal/engine/obs"
 	"repro/internal/engine/sqlparser"
 	"repro/internal/engine/sqltypes"
 	"repro/internal/engine/udf"
@@ -144,8 +144,24 @@ func runSelect(ctx context.Context, sel *sqlparser.Select, env *Env, sink RowSin
 		return col.rows
 	}
 	st := &Stats{Workers: 1}
-	start := time.Now()
-	defer func() { st.Total = time.Since(start) }()
+	root := st.ensureRoot()
+	obs.ActiveQueries.Inc()
+	defer func() {
+		root.finish()
+		root.Rows = st.RowsEmitted
+		st.Total = root.Duration()
+		obs.ActiveQueries.Dec()
+		obs.QuerySeconds.Observe(st.Total.Seconds())
+		obs.RowsEmitted.Add(st.RowsEmitted)
+		if st.Partitions > 0 {
+			obs.PlanSeconds.Observe(st.Plan.Seconds())
+			obs.ScanSeconds.Observe(st.Scan.Seconds())
+		}
+		if st.hasMerge {
+			obs.MergeSeconds.Observe(st.Merge.Seconds())
+			obs.FinalizeSeconds.Observe(st.Finalize.Seconds())
+		}
+	}()
 	// Count emitted rows here so aggregate and projection paths (and
 	// their concurrent sink calls) are all covered by one atomic.
 	inner := sink
@@ -346,7 +362,7 @@ func tableResolver(b *binding, ti int) expr.Resolver {
 // runProjection executes a scalar (non-aggregate) SELECT: scan the
 // first table in parallel, cross-join the tail, filter, project.
 func runProjection(ctx context.Context, sel *sqlparser.Select, items []sqlparser.SelectItem, b *binding, env *Env, sink RowSink, st *Stats) (*sqltypes.Schema, error) {
-	planStart := time.Now()
+	plan := st.ensureRoot().child("plan")
 	tail, residual, err := joinTail(ctx, b, sel.Where, env.Funcs)
 	if err != nil {
 		return nil, err
@@ -370,10 +386,13 @@ func runProjection(ctx context.Context, sel *sqlparser.Select, items []sqlparser
 	st.Partitions = nparts
 	st.Workers = scanWorkers(env, nparts)
 	st.PartitionRows = make([]int64, nparts)
-	st.Plan = time.Since(planStart)
+	st.Plan = plan.finish()
 
-	scanStart := time.Now()
+	scan := st.Root.child("scan")
+	partSpans := make([]*Span, nparts)
 	err = runParallel(ctx, st.Workers, nparts, func(ctx context.Context, p int) error {
+		span := newSpan(fmt.Sprintf("scan[p%d]", p))
+		partSpans[p] = span
 		// Per-partition compiled evaluators (evaluators carry buffers).
 		evals := make([]expr.Evaluator, len(items))
 		for i, item := range items {
@@ -393,7 +412,7 @@ func runProjection(ctx context.Context, sel *sqlparser.Select, items []sqlparser
 		}
 		flat := make(sqltypes.Row, b.width)
 		out := make(sqltypes.Row, len(items))
-		scan, serr := first.ScanPartitionStats(ctx, p, func(r sqltypes.Row) error {
+		ps, serr := first.ScanPartitionStats(ctx, p, func(r sqltypes.Row) error {
 			for _, t := range tail {
 				copy(flat, r)
 				copy(flat[len(r):], t)
@@ -419,13 +438,30 @@ func runProjection(ctx context.Context, sel *sqlparser.Select, items []sqlparser
 			}
 			return nil
 		})
-		st.PartitionRows[p] = scan.Rows
-		atomic.AddInt64(&st.RowsScanned, scan.Rows)
-		atomic.AddInt64(&st.BytesRead, scan.Bytes)
+		st.PartitionRows[p] = ps.Rows
+		span.Rows, span.Bytes = ps.Rows, ps.Bytes
+		span.finish()
+		atomic.AddInt64(&st.RowsScanned, ps.Rows)
+		atomic.AddInt64(&st.BytesRead, ps.Bytes)
 		return serr
 	})
-	st.Scan = time.Since(scanStart)
+	st.Scan = scan.finish()
+	finishScanSpan(scan, partSpans, st)
 	return schema, err
+}
+
+// finishScanSpan attaches the per-partition child spans (skipping
+// partitions never started before a cancellation) and records the
+// scan's total volume on the parent span.
+func finishScanSpan(scan *Span, partSpans []*Span, st *Stats) {
+	for _, ps := range partSpans {
+		if ps != nil {
+			scan.Children = append(scan.Children, ps)
+		}
+	}
+	scan.sortChildren()
+	scan.Rows = st.RowsScanned
+	scan.Bytes = st.BytesRead
 }
 
 func flatColumnType(b *binding, idx int) sqltypes.Type {

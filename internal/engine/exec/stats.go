@@ -15,19 +15,19 @@ import (
 type Stats struct {
 	// Partitions is the driving table's partition count; Workers is the
 	// number of goroutines that actually scanned them.
-	Partitions int
-	Workers    int
+	Partitions int `json:"partitions"`
+	Workers    int `json:"workers"`
 
 	// RowsScanned counts driving-table rows delivered to the scan;
 	// BytesRead counts encoded bytes decoded from its partition files
 	// (0 for in-memory tables). PartitionRows holds per-partition
 	// scanned rows, the raw material for skew analysis.
-	RowsScanned   int64
-	BytesRead     int64
-	PartitionRows []int64
+	RowsScanned   int64   `json:"rows_scanned"`
+	BytesRead     int64   `json:"bytes_read"`
+	PartitionRows []int64 `json:"partition_rows,omitempty"`
 
 	// RowsEmitted counts rows delivered to the result sink.
-	RowsEmitted int64
+	RowsEmitted int64 `json:"rows_emitted"`
 
 	// Phase wall times. Plan covers rewrite, binding, pushdown and the
 	// join-tail materialization; Scan is the parallel partition scan
@@ -35,11 +35,31 @@ type Stats struct {
 	// partial merge (phase 3); Finalize covers finalization and
 	// post-aggregation expression evaluation (phase 4). Projections
 	// only populate Plan and Scan.
-	Plan     time.Duration
-	Scan     time.Duration
-	Merge    time.Duration
-	Finalize time.Duration
-	Total    time.Duration
+	Plan     time.Duration `json:"plan_ns"`
+	Scan     time.Duration `json:"scan_ns"`
+	Merge    time.Duration `json:"merge_ns"`
+	Finalize time.Duration `json:"finalize_ns"`
+	Total    time.Duration `json:"total_ns"`
+
+	// Root is the statement's span tree: plan/scan[p]/merge/finalize
+	// children with start/end times and per-partition scan volumes.
+	// The phase durations above are derived from these spans, so the
+	// tree's totals agree exactly with them. Nil only for Stats built
+	// by hand (tests).
+	Root *Span `json:"root,omitempty"`
+
+	// hasMerge marks aggregate executions, whose merge/finalize phases
+	// are observed into the latency histograms even when fast.
+	hasMerge bool
+}
+
+// ensureRoot returns the statement span, creating it for Stats built
+// outside runSelect.
+func (s *Stats) ensureRoot() *Span {
+	if s.Root == nil {
+		s.Root = newSpan("statement")
+	}
+	return s.Root
 }
 
 // Skew is max/mean of per-partition scanned rows: 1.0 is perfectly

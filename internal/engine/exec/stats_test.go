@@ -1,0 +1,184 @@
+package exec
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine/sqltypes"
+)
+
+func TestSkew(t *testing.T) {
+	cases := []struct {
+		name string
+		rows []int64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all zero", []int64{0, 0, 0}, 0},
+		{"balanced", []int64{10, 10, 10, 10}, 1},
+		{"idle partitions", []int64{40, 0, 0, 0}, 4},
+		{"mild imbalance", []int64{30, 10}, 1.5},
+		{"single partition", []int64{7}, 1},
+	}
+	for _, c := range cases {
+		st := &Stats{PartitionRows: c.rows}
+		if got := st.Skew(); got != c.want {
+			t.Errorf("%s: Skew() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	st := &Stats{
+		Partitions:    4,
+		Workers:       4,
+		RowsScanned:   1000,
+		BytesRead:     2048,
+		PartitionRows: []int64{250, 250, 250, 250},
+		RowsEmitted:   1,
+		Plan:          time.Millisecond,
+		Scan:          10 * time.Millisecond,
+		Merge:         time.Millisecond,
+		Finalize:      time.Millisecond,
+		Total:         13 * time.Millisecond,
+	}
+	s := st.String()
+	for _, want := range []string{
+		"scanned 1000 rows", "(2.0 KB)", "over 4 partitions",
+		"[skew 1.00]", "emitted 1 rows", "merge", "finalize", "workers 4",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+
+	// Projections (no merge/finalize) omit those phases.
+	proj := &Stats{RowsScanned: 5, RowsEmitted: 5}
+	if s := proj.String(); strings.Contains(s, "merge") {
+		t.Errorf("projection String() = %q, should omit merge", s)
+	}
+}
+
+func TestRound(t *testing.T) {
+	cases := []struct {
+		in, want time.Duration
+	}{
+		{1500 * time.Nanosecond, 2 * time.Microsecond},
+		{1234567 * time.Nanosecond, 1230 * time.Microsecond},
+		{1234567890 * time.Nanosecond, 1235 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := round(c.in); got != c.want {
+			t.Errorf("round(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0 B"},
+		{1023, "1023 B"},
+		{1024, "1.0 KB"},
+		{1<<20 - 1, "1024.0 KB"},
+		{1 << 20, "1.0 MB"},
+		{3 << 20, "3.0 MB"},
+	}
+	for _, c := range cases {
+		if got := formatBytes(c.in); got != c.want {
+			t.Errorf("formatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestSpanTreeMatchesStats checks the EXPLAIN ANALYZE invariant: phase
+// durations in Stats are taken from the span tree, so the two always
+// agree, and scan children cover every partition.
+func TestSpanTreeMatchesStats(t *testing.T) {
+	env, cat := testEnv(t)
+	cat["x"] = newTable(t, "x", []sqltypes.Column{dcol("a")},
+		drow(1), drow(2), drow(3), drow(4))
+
+	res, err := Select(context.Background(), sel(t, "SELECT sum(a) FROM x"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st == nil || st.Root == nil {
+		t.Fatal("aggregate query returned no span tree")
+	}
+	if st.Root.Name != "statement" {
+		t.Fatalf("root span = %q, want statement", st.Root.Name)
+	}
+	if got := st.Root.Duration(); got != st.Total {
+		t.Errorf("root duration %v != Stats.Total %v", got, st.Total)
+	}
+	phases := map[string]time.Duration{
+		"plan": st.Plan, "scan": st.Scan, "merge": st.Merge, "finalize": st.Finalize,
+	}
+	for name, want := range phases {
+		sp := st.Root.SpanByName(name)
+		if sp == nil {
+			t.Fatalf("missing %s span", name)
+		}
+		if sp.Duration() != want {
+			t.Errorf("%s span duration %v != Stats %v", name, sp.Duration(), want)
+		}
+	}
+	scan := st.Root.SpanByName("scan")
+	if len(scan.Children) != st.Partitions {
+		t.Fatalf("scan has %d partition spans, want %d", len(scan.Children), st.Partitions)
+	}
+	var partRows int64
+	for _, c := range scan.Children {
+		partRows += c.Rows
+	}
+	if partRows != st.RowsScanned {
+		t.Errorf("partition span rows sum %d != RowsScanned %d", partRows, st.RowsScanned)
+	}
+	if scan.Rows != st.RowsScanned {
+		t.Errorf("scan span rows %d != RowsScanned %d", scan.Rows, st.RowsScanned)
+	}
+	if st.Root.Rows != st.RowsEmitted {
+		t.Errorf("root rows %d != RowsEmitted %d", st.Root.Rows, st.RowsEmitted)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	env, cat := testEnv(t)
+	cat["x"] = newTable(t, "x", []sqltypes.Column{dcol("a")}, drow(1), drow(2))
+
+	res, err := Select(context.Background(), sel(t, "SELECT a FROM x"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Stats.Root.RenderTree()
+	for _, want := range []string{"statement (", "├─ plan (", "└─ scan (", "scan[p0]", "rows=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderTree() missing %q:\n%s", want, out)
+		}
+	}
+	// Projections have no merge/finalize spans.
+	if strings.Contains(out, "merge") || strings.Contains(out, "finalize") {
+		t.Errorf("projection tree should not contain merge/finalize:\n%s", out)
+	}
+}
+
+func TestSortChildren(t *testing.T) {
+	base := time.Now()
+	sp := &Span{Name: "scan"}
+	sp.Children = []*Span{
+		{Name: "c", Start: base.Add(2 * time.Second)},
+		{Name: "a", Start: base},
+		{Name: "b", Start: base.Add(time.Second)},
+	}
+	sp.sortChildren()
+	got := []string{sp.Children[0].Name, sp.Children[1].Name, sp.Children[2].Name}
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("sortChildren order = %v, want [a b c]", got)
+	}
+}

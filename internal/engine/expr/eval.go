@@ -3,6 +3,7 @@ package expr
 import (
 	"fmt"
 
+	"repro/internal/engine/obs"
 	"repro/internal/engine/sqltypes"
 )
 
@@ -243,6 +244,9 @@ func (e *funcEval) Eval(row sqltypes.Row) (sqltypes.Value, error) {
 			return sqltypes.Null, err
 		}
 		vals[i] = v
+	}
+	if e.def.UDF {
+		obs.UDFCalls.Inc()
 	}
 	return e.def.Fn(vals)
 }

@@ -34,6 +34,10 @@ type FuncDef struct {
 	Fn      ScalarFunc
 	Params  []sqltypes.Type
 	Ret     sqltypes.Type
+
+	// UDF marks user-registered functions (as opposed to built-ins);
+	// their invocations are counted in engine_udf_calls_total.
+	UDF bool
 }
 
 // Registry holds scalar functions by lower-cased name. Scalar UDFs are

@@ -1,0 +1,55 @@
+package obs
+
+// The engine's own instruments, resolved once so hot paths touch only
+// an atomic add. Counter totals are cumulative across every query the
+// process has run; the sys.metrics system table and the /metrics debug
+// endpoint read them live.
+var (
+	// RowsScanned counts driving-table rows delivered to partition scan
+	// callbacks, added once per partition scan.
+	RowsScanned = Default.Counter("engine_rows_scanned_total",
+		"Rows delivered by partition scans across all queries.")
+	// BytesRead counts encoded bytes decoded from partition files
+	// (in-memory tables contribute 0).
+	BytesRead = Default.Counter("engine_bytes_read_total",
+		"Encoded bytes decoded from on-disk partition files.")
+	// RowsEmitted counts rows delivered to result sinks, added once per
+	// statement.
+	RowsEmitted = Default.Counter("engine_rows_emitted_total",
+		"Rows delivered to query result sinks.")
+	// RowsInserted counts rows written by INSERT statements and bulk
+	// loads.
+	RowsInserted = Default.Counter("engine_rows_inserted_total",
+		"Rows inserted into tables (INSERT and bulk loads).")
+	// UDFCalls counts user-defined function work: scalar UDF
+	// invocations plus aggregate-protocol Accumulate calls (in this
+	// engine every aggregate runs the paper's four-phase UDF protocol).
+	UDFCalls = Default.Counter("engine_udf_calls_total",
+		"Scalar UDF invocations plus aggregate Accumulate calls.")
+	// Queries counts statements executed; QueryErrors the subset that
+	// failed; SlowQueries the subset over the slow-query threshold.
+	Queries = Default.Counter("engine_queries_total",
+		"SQL statements executed.")
+	QueryErrors = Default.Counter("engine_query_errors_total",
+		"SQL statements that returned an error.")
+	SlowQueries = Default.Counter("engine_slow_queries_total",
+		"Statements slower than the database's slow-query threshold.")
+	// ActiveQueries is the number of statements currently executing.
+	ActiveQueries = Default.Gauge("engine_active_queries",
+		"Statements currently executing.")
+
+	// Per-phase latency histograms mirror the aggregate UDF protocol's
+	// four phases (plan covers rewrite/binding/pushdown; scan is
+	// phases 1-2; merge phase 3; finalize phase 4), plus the end-to-end
+	// statement latency.
+	PlanSeconds = Default.Histogram("engine_plan_seconds",
+		"Plan phase latency (rewrite, binding, join-tail pushdown).", DurationBuckets)
+	ScanSeconds = Default.Histogram("engine_scan_seconds",
+		"Parallel partition scan latency (UDF phases 1-2).", DurationBuckets)
+	MergeSeconds = Default.Histogram("engine_merge_seconds",
+		"Cross-partition partial merge latency (UDF phase 3).", DurationBuckets)
+	FinalizeSeconds = Default.Histogram("engine_finalize_seconds",
+		"Finalization and post-aggregation latency (UDF phase 4).", DurationBuckets)
+	QuerySeconds = Default.Histogram("engine_query_seconds",
+		"End-to-end statement latency.", DurationBuckets)
+)

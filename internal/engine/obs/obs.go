@@ -1,0 +1,268 @@
+// Package obs is the engine's process-wide observability layer: a
+// metrics registry of atomic counters, gauges and fixed-bucket latency
+// histograms that the storage, executor and UDF hot paths update with
+// near-zero overhead. The paper's evaluation is entirely about where
+// time goes (scan vs. UDF phases vs. model build); this package keeps
+// that accounting always on, queryable through the sys.metrics system
+// table and scrapeable in Prometheus text format from the debug
+// endpoint.
+//
+// Hot paths never look metrics up by name: the engine's instruments
+// are package-level vars resolved once at init. Updates are single
+// atomic adds; per-row work is batched by the callers (a partition
+// scan adds its row count once, not once per row).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is ignored; counters never
+// decrease).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (e.g. active queries).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc and Dec move the gauge by ±1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: bounds[i] is the inclusive upper bound of bucket i, with an
+// implicit +Inf bucket at the end. Observations and reads are
+// lock-free; Sum is maintained with a compare-and-swap loop on the
+// float bits (observations are per-query, not per-row, so contention
+// is negligible).
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sum     atomic.Uint64 // math.Float64bits
+}
+
+// DurationBuckets are the default latency bounds in seconds, spanning
+// 100µs to 10s — wide enough for both in-memory microbenchmarks and
+// full-scale on-disk scans.
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.buckets[h.bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// bucketIndex finds the first bucket whose upper bound admits v
+// (bounds are inclusive, matching Prometheus le semantics); values
+// above every bound land in the +Inf bucket.
+func (h *Histogram) bucketIndex(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bounds returns the bucket upper bounds (without +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns the per-bucket observation counts, the last
+// entry being the +Inf bucket. Counts are non-cumulative.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// metricKind tags a registered metric for rendering.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named metrics. Registration is rare (engine init);
+// lookups by the rendering paths take a read lock, and the returned
+// instruments are updated lock-free.
+type Registry struct {
+	mu    sync.RWMutex
+	order []string
+	m     map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*metric)}
+}
+
+// Default is the process-wide registry the engine's own instruments
+// live in; sys.metrics and the debug endpoint read it.
+var Default = NewRegistry()
+
+func (r *Registry) register(name, help string, kind metricKind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.m[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	r.m[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, help, kindCounter)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.c == nil {
+		m.c = &Counter{}
+	}
+	return m.c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, help, kindGauge)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.g == nil {
+		m.g = &Gauge{}
+	}
+	return m.g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later calls reuse the original bounds).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := r.register(name, help, kindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.h == nil {
+		m.h = newHistogram(bounds)
+	}
+	return m.h
+}
+
+// Sample is one flattened metric row, the shape sys.metrics serves.
+// Histograms expand into one row per bucket (name suffixed with
+// `_bucket{le="..."}`) plus `_sum` and `_count` rows.
+type Sample struct {
+	Name  string
+	Kind  string // "counter", "gauge", "histogram"
+	Value float64
+	Help  string
+}
+
+// Snapshot flattens every metric into rows, in registration order.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Sample
+	for _, name := range r.order {
+		m := r.m[name]
+		switch m.kind {
+		case kindCounter:
+			out = append(out, Sample{Name: name, Kind: "counter", Value: float64(m.c.Value()), Help: m.help})
+		case kindGauge:
+			out = append(out, Sample{Name: name, Kind: "gauge", Value: float64(m.g.Value()), Help: m.help})
+		case kindHistogram:
+			counts := m.h.BucketCounts()
+			cum := int64(0)
+			for i, bound := range m.h.Bounds() {
+				cum += counts[i]
+				out = append(out, Sample{
+					Name:  fmt.Sprintf("%s_bucket{le=%q}", name, formatBound(bound)),
+					Kind:  "histogram",
+					Value: float64(cum),
+					Help:  m.help,
+				})
+			}
+			cum += counts[len(counts)-1]
+			out = append(out, Sample{Name: name + `_bucket{le="+Inf"}`, Kind: "histogram", Value: float64(cum), Help: m.help})
+			out = append(out, Sample{Name: name + "_sum", Kind: "histogram", Value: m.h.Sum(), Help: m.help})
+			out = append(out, Sample{Name: name + "_count", Kind: "histogram", Value: float64(cum), Help: m.help})
+		}
+	}
+	return out
+}
+
+// formatBound renders a bucket bound the way Prometheus does.
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Inc()
+	c.Add(-3) // ignored: counters never decrease
+	if got := c.Value(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-4)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+}
+
+// TestHistogramBucketMath pins the le (inclusive upper bound)
+// semantics: a value exactly on a bound lands in that bound's bucket,
+// values above every bound land in +Inf, and bounds are sorted even if
+// supplied out of order.
+func TestHistogramBucketMath(t *testing.T) {
+	h := newHistogram([]float64{1, 0.1, 0.01}) // deliberately unsorted
+	wantBounds := []float64{0.01, 0.1, 1}
+	for i, b := range h.Bounds() {
+		if b != wantBounds[i] {
+			t.Fatalf("bounds not sorted: %v", h.Bounds())
+		}
+	}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},    // below everything → first bucket
+		{0.01, 0}, // exactly on a bound → that bucket (le is inclusive)
+		{0.010001, 1},
+		{0.1, 1},
+		{0.5, 2},
+		{1, 2},
+		{1.0001, 3}, // above every bound → +Inf
+		{math.Inf(1), 3},
+	}
+	for _, c := range cases {
+		if got := h.bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+	counts := h.BucketCounts()
+	want := []int64{2, 2, 2, 2}
+	if len(counts) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(counts), len(want))
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d (all %v)", i, counts[i], want[i], counts)
+		}
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.Observe(0.25)
+	h.Observe(0.5)
+	if got := h.Sum(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("sum = %v, want 0.75", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(DurationBuckets)
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	if got := h.Sum(); math.Abs(got-workers*per*0.001) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", got, workers*per*0.001)
+	}
+}
+
+func TestRegistryReuseAndKinds(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "help")
+	c2 := r.Counter("x_total", "other help ignored")
+	if c1 != c2 {
+		t.Fatalf("same name should return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a name as a different kind should panic")
+		}
+	}()
+	r.Gauge("x_total", "wrong kind")
+}
+
+func TestSnapshotAndPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a counter").Add(3)
+	r.Gauge("b_active", "a gauge").Set(2)
+	h := r.Histogram("c_seconds", "a histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	rows := r.Snapshot()
+	byName := make(map[string]Sample, len(rows))
+	for _, s := range rows {
+		byName[s.Name] = s
+	}
+	if byName["a_total"].Value != 3 || byName["a_total"].Kind != "counter" {
+		t.Fatalf("bad counter sample: %+v", byName["a_total"])
+	}
+	if byName["b_active"].Value != 2 {
+		t.Fatalf("bad gauge sample: %+v", byName["b_active"])
+	}
+	// histogram buckets are cumulative
+	if byName[`c_seconds_bucket{le="0.1"}`].Value != 1 {
+		t.Fatalf("bucket 0.1 = %v, want 1", byName[`c_seconds_bucket{le="0.1"}`].Value)
+	}
+	if byName[`c_seconds_bucket{le="1"}`].Value != 2 {
+		t.Fatalf("bucket 1 = %v, want 2", byName[`c_seconds_bucket{le="1"}`].Value)
+	}
+	if byName[`c_seconds_bucket{le="+Inf"}`].Value != 3 {
+		t.Fatalf("bucket +Inf = %v, want 3", byName[`c_seconds_bucket{le="+Inf"}`].Value)
+	}
+	if byName["c_seconds_count"].Value != 3 {
+		t.Fatalf("count = %v, want 3", byName["c_seconds_count"].Value)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# HELP a_total a counter",
+		"# TYPE a_total counter",
+		"a_total 3",
+		"# TYPE b_active gauge",
+		"b_active 2",
+		"# TYPE c_seconds histogram",
+		`c_seconds_bucket{le="0.1"} 1`,
+		`c_seconds_bucket{le="+Inf"} 3`,
+		"c_seconds_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers per family,
+// cumulative le-labeled buckets plus _sum and _count for histograms.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.order {
+		m := r.m[name]
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(m.help)); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, m.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, m.g.Value())
+		case kindHistogram:
+			err = writeHistogram(w, name, m.h)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	counts := h.BucketCounts()
+	cum := int64(0)
+	for i, bound := range h.Bounds() {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	return err
+}
+
+// escapeHelp collapses newlines, which would corrupt the line-oriented
+// exposition format.
+func escapeHelp(s string) string {
+	return strings.ReplaceAll(s, "\n", " ")
+}

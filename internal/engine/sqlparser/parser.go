@@ -420,6 +420,16 @@ func (p *parser) parseTableRef() (TableRef, error) {
 	if err != nil {
 		return TableRef{}, err
 	}
+	// Qualified names ("sys.metrics") join into one dotted table name;
+	// the catalog treats the dot as part of the name, not a schema
+	// hierarchy.
+	if p.accept(tokSymbol, ".") {
+		part, err := p.parseIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		name = name + "." + part
+	}
 	ref := TableRef{Name: name, At: at}
 	if p.accept(tokKeyword, "AS") {
 		alias, err := p.parseIdent()

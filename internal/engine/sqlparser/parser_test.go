@@ -354,3 +354,18 @@ func TestStringRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestParseDottedTableName(t *testing.T) {
+	st := mustParse(t, "SELECT name, value FROM sys.metrics").(*Select)
+	if len(st.From) != 1 || st.From[0].Name != "sys.metrics" {
+		t.Fatalf("from: %+v", st.From)
+	}
+	// With an alias, qualified column refs resolve against the alias.
+	st2 := mustParse(t, "SELECT m.name FROM sys.metrics m WHERE m.value > 0").(*Select)
+	if st2.From[0].Name != "sys.metrics" || st2.From[0].Alias != "m" {
+		t.Fatalf("from: %+v", st2.From)
+	}
+	if _, err := Parse("SELECT * FROM sys."); err == nil {
+		t.Fatal("trailing dot should not parse")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/engine/obs"
 	"repro/internal/engine/sqltypes"
 )
 
@@ -112,6 +113,18 @@ func (t *Table) NumRows() int64 {
 	return t.rows
 }
 
+// PartitionRowCounts returns the current per-partition row counts; the
+// sys.partitions system table serves them.
+func (t *Table) PartitionRowCounts() []int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]int64, len(t.parts))
+	for i := range t.parts {
+		out[i] = t.parts[i].rows
+	}
+	return out
+}
+
 // OnDisk reports whether partitions live in files.
 func (t *Table) OnDisk() bool { return t.dir != "" }
 
@@ -157,6 +170,7 @@ func (t *Table) Insert(rows ...sqltypes.Row) error {
 			t.parts[p].rows++
 		}
 		t.rows += int64(len(checked))
+		obs.RowsInserted.Add(int64(len(checked)))
 		return nil
 	}
 	// Group per partition, then append each file once. A failed append
@@ -199,6 +213,7 @@ func (t *Table) Insert(rows ...sqltypes.Row) error {
 		done = append(done, undo{p: p, size: st.Size(), rows: prevRows})
 	}
 	t.rows += int64(len(checked))
+	obs.RowsInserted.Add(int64(len(checked)))
 	return nil
 }
 
@@ -309,6 +324,7 @@ func (bl *BulkLoader) Close() error {
 	defer t.mu.Unlock()
 	if t.dir == "" {
 		t.rows += bl.loaded
+		obs.RowsInserted.Add(bl.loaded)
 		return nil
 	}
 	flt := t.fault
@@ -373,6 +389,12 @@ func (t *Table) ScanPartition(ctx context.Context, p int, fn func(sqltypes.Row) 
 // still report how far they got.
 func (t *Table) ScanPartitionStats(ctx context.Context, p int, fn func(sqltypes.Row) error) (ScanStats, error) {
 	var st ScanStats
+	// One pair of atomic adds per partition scan (not per row) keeps
+	// the process-wide counters current at near-zero overhead.
+	defer func() {
+		obs.RowsScanned.Add(st.Rows)
+		obs.BytesRead.Add(st.Bytes)
+	}()
 	if p < 0 || p >= len(t.parts) {
 		return st, fmt.Errorf("storage: partition %d out of range 0..%d", p, len(t.parts)-1)
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine/db"
@@ -140,7 +139,7 @@ func runTable1(cfg Config) ([]*Table, error) {
 		}
 
 		type cell struct {
-			corr, full time.Duration
+			corr, full Timing
 		}
 		var cpp, sql, udf cell
 		// C++: single-threaded scan of the file + model math.

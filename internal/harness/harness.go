@@ -12,9 +12,11 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"text/tabwriter"
 	"time"
@@ -46,6 +48,10 @@ type Config struct {
 	Out io.Writer
 	// Seed makes workloads reproducible. Default 2007.
 	Seed int64
+	// JSONDir, when set, additionally writes each experiment's tables
+	// as BENCH_<id>.json into the directory (created if missing) — the
+	// machine-readable artifact CI uploads.
+	JSONDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -78,11 +84,11 @@ func (c Config) rows(nThousand int) int {
 
 // Table is one rendered result table.
 type Table struct {
-	ID     string // experiment id, e.g. "t1", "f3"
-	Title  string
-	Header []string
-	Rows   [][]string
-	Note   string
+	ID     string     `json:"id"` // experiment id, e.g. "t1", "f3"
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Note   string     `json:"note,omitempty"`
 }
 
 // Fprint renders the table with aligned columns.
@@ -178,9 +184,35 @@ func RunAll(cfg Config, ids []string) error {
 		for _, t := range tables {
 			t.Fprint(cfg.Out)
 		}
+		if cfg.JSONDir != "" {
+			if err := writeJSON(cfg, e, tables, time.Since(start)); err != nil {
+				return fmt.Errorf("harness: %s: %w", e.ID, err)
+			}
+		}
 		fmt.Fprintf(cfg.Out, "[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// writeJSON saves one experiment's rendered tables as
+// <JSONDir>/BENCH_<id>.json.
+func writeJSON(cfg Config, e Experiment, tables []*Table, elapsed time.Duration) error {
+	if err := os.MkdirAll(cfg.JSONDir, 0o755); err != nil {
+		return err
+	}
+	doc := struct {
+		ID      string   `json:"id"`
+		Title   string   `json:"title"`
+		Scale   float64  `json:"scale"`
+		Runs    int      `json:"runs"`
+		Seconds float64  `json:"seconds"`
+		Tables  []*Table `json:"tables"`
+	}{e.ID, e.Title, cfg.Scale, cfg.Runs, elapsed.Seconds(), tables}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(cfg.JSONDir, "BENCH_"+e.ID+".json"), append(b, '\n'), 0o644)
 }
 
 // newDB opens an on-disk database with the paper's parallelism and the
@@ -213,23 +245,80 @@ func loadX(d *db.DB, cfg Config, n, dims int) error {
 	return synth.LoadTable(d, "X", synth.Config{N: n, D: dims, Seed: cfg.Seed})
 }
 
-// timeIt measures fn averaged over cfg.Runs repetitions.
-func timeIt(cfg Config, fn func() error) (time.Duration, error) {
+// Timing records every repetition of one measurement, so tables can
+// report spread instead of collapsing to a single averaged number.
+type Timing struct {
+	Runs []time.Duration
+}
+
+// Mean is the average run duration (0 for an empty Timing).
+func (t Timing) Mean() time.Duration {
+	if len(t.Runs) == 0 {
+		return 0
+	}
 	var total time.Duration
+	for _, d := range t.Runs {
+		total += d
+	}
+	return total / time.Duration(len(t.Runs))
+}
+
+// Min is the fastest run (0 for an empty Timing).
+func (t Timing) Min() time.Duration {
+	var m time.Duration
+	for i, d := range t.Runs {
+		if i == 0 || d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Max is the slowest run.
+func (t Timing) Max() time.Duration {
+	var m time.Duration
+	for _, d := range t.Runs {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Seconds is the mean in seconds — the number figure series plot.
+func (t Timing) Seconds() float64 { return t.Mean().Seconds() }
+
+// String renders the mean, with the min..max spread when the
+// measurement was repeated.
+func (t Timing) String() string {
+	if len(t.Runs) <= 1 {
+		return fmt.Sprintf("%.4f", t.Seconds())
+	}
+	return fmt.Sprintf("%.4f [%.4f..%.4f]", t.Seconds(), t.Min().Seconds(), t.Max().Seconds())
+}
+
+// timeIt measures fn over cfg.Runs repetitions, recording each run.
+func timeIt(cfg Config, fn func() error) (Timing, error) {
+	t := Timing{Runs: make([]time.Duration, 0, cfg.Runs)}
 	for r := 0; r < cfg.Runs; r++ {
 		start := time.Now()
 		if err := fn(); err != nil {
-			return 0, err
+			return Timing{}, err
 		}
-		total += time.Since(start)
+		t.Runs = append(t.Runs, time.Since(start))
 	}
-	return total / time.Duration(cfg.Runs), nil
+	return t, nil
 }
 
-// secs renders a duration in seconds the way the paper's tables do,
-// with enough precision for modern-hardware magnitudes.
-func secs(d time.Duration) string {
-	return fmt.Sprintf("%.4f", d.Seconds())
+// secs renders a measurement in seconds the way the paper's tables do,
+// with enough precision for modern-hardware magnitudes. Timings render
+// their min..max spread when repeated; plain durations render the
+// bare value.
+func secs(v interface{ Seconds() float64 }) string {
+	if t, ok := v.(Timing); ok {
+		return t.String()
+	}
+	return fmt.Sprintf("%.4f", v.Seconds())
 }
 
 func itoa(n int) string { return fmt.Sprintf("%d", n) }

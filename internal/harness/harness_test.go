@@ -2,9 +2,14 @@ package harness
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // tiny returns a configuration small enough for unit tests.
@@ -262,5 +267,80 @@ func TestTableSourceScan(t *testing.T) {
 	}
 	if _, err := newTableSource(d, "missing", 3); err == nil {
 		t.Fatal("missing table must fail")
+	}
+}
+
+func TestTiming(t *testing.T) {
+	tm := Timing{Runs: []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond}}
+	if got := tm.Mean(); got != 200*time.Millisecond {
+		t.Errorf("Mean() = %v, want 200ms", got)
+	}
+	if got := tm.Min(); got != 100*time.Millisecond {
+		t.Errorf("Min() = %v, want 100ms", got)
+	}
+	if got := tm.Max(); got != 300*time.Millisecond {
+		t.Errorf("Max() = %v, want 300ms", got)
+	}
+	if got := tm.Seconds(); got != 0.2 {
+		t.Errorf("Seconds() = %v, want 0.2", got)
+	}
+	if got := tm.String(); got != "0.2000 [0.1000..0.3000]" {
+		t.Errorf("String() = %q", got)
+	}
+	single := Timing{Runs: []time.Duration{time.Second}}
+	if got := single.String(); got != "1.0000" {
+		t.Errorf("single-run String() = %q", got)
+	}
+	var empty Timing
+	if empty.Mean() != 0 || empty.Min() != 0 || empty.Max() != 0 {
+		t.Errorf("empty Timing should be all zero")
+	}
+	if got := secs(empty); got != "0.0000" {
+		t.Errorf("secs(empty) = %q", got)
+	}
+	if got := secs(1500 * time.Millisecond); got != "1.5000" {
+		t.Errorf("secs(duration) = %q", got)
+	}
+}
+
+func TestTimeItRecordsEveryRun(t *testing.T) {
+	cfg := Config{Runs: 3}.withDefaults()
+	n := 0
+	tm, err := timeIt(cfg, func() error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(tm.Runs) != 3 {
+		t.Errorf("ran %d times, recorded %d, want 3/3", n, len(tm.Runs))
+	}
+	wantErr := fmt.Errorf("boom")
+	if _, err := timeIt(cfg, func() error { return wantErr }); err != wantErr {
+		t.Errorf("timeIt error = %v, want boom", err)
+	}
+}
+
+func TestRunAllWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	cfg := Config{Scale: 0.002, Runs: 1, Out: &buf, JSONDir: dir}
+	if err := RunAll(cfg, []string{"a3"}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "BENCH_a3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		ID     string `json:"id"`
+		Tables []struct {
+			Header []string   `json:"header"`
+			Rows   [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("artifact is not JSON: %v", err)
+	}
+	if doc.ID != "a3" || len(doc.Tables) == 0 || len(doc.Tables[0].Rows) == 0 {
+		t.Errorf("artifact missing content: %+v", doc)
 	}
 }

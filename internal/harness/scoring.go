@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine/db"
@@ -232,7 +231,7 @@ func runFigure6(cfg Config) ([]*Table, error) {
 		if err := prepareScoringModels(d, cfg, n, dims, k); err != nil {
 			return nil, err
 		}
-		var reg, pca, clus time.Duration
+		var reg, pca, clus Timing
 		if reg, err = timeIt(cfg, func() error { return discard(d, sqlgen.RegScoreUDF("X", "BETA", "i", dims32)) }); err != nil {
 			return nil, err
 		}

@@ -26,13 +26,13 @@ func Register(d *db.DB) error {
 	numeric := []sqltypes.Type{sqltypes.TypeDouble}
 	defs := []expr.FuncDef{
 		{Name: "linearregscore", MinArgs: 3, MaxArgs: -1, Fn: linearRegScore,
-			Params: numeric, Ret: sqltypes.TypeDouble},
+			Params: numeric, Ret: sqltypes.TypeDouble, UDF: true},
 		{Name: "fascore", MinArgs: 3, MaxArgs: -1, Fn: faScore,
-			Params: numeric, Ret: sqltypes.TypeDouble},
+			Params: numeric, Ret: sqltypes.TypeDouble, UDF: true},
 		{Name: "kdistance", MinArgs: 2, MaxArgs: -1, Fn: kDistance,
-			Params: numeric, Ret: sqltypes.TypeDouble},
+			Params: numeric, Ret: sqltypes.TypeDouble, UDF: true},
 		{Name: "clusterscore", MinArgs: 1, MaxArgs: -1, Fn: clusterScore,
-			Params: numeric, Ret: sqltypes.TypeBigInt},
+			Params: numeric, Ret: sqltypes.TypeBigInt, UDF: true},
 	}
 	for _, def := range defs {
 		if err := d.Scalars().Register(def); err != nil {

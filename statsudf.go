@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine/db"
@@ -74,6 +75,10 @@ type (
 	Row = sqltypes.Row
 	// Value is one SQL value.
 	Value = sqltypes.Value
+	// QueryRecord is one entry in the recent-query ring (sys.queries).
+	QueryRecord = db.QueryRecord
+	// DebugServer is the diagnostics HTTP endpoint started by ServeDebug.
+	DebugServer = db.DebugServer
 )
 
 // Matrix type and basis constants, re-exported.
@@ -113,6 +118,10 @@ type Options struct {
 	// Workers bounds the executor's scan worker pool independently of
 	// the partition count; <= 0 runs one worker per partition.
 	Workers int
+	// SlowQuery is the duration at or above which a statement is
+	// flagged slow in sys.queries; zero selects the engine default
+	// (250ms).
+	SlowQuery time.Duration
 }
 
 // DB is an embedded analytic database with the paper's UDFs installed.
@@ -124,7 +133,7 @@ type DB struct {
 // (nlq_list, nlq_str, nlq_block) and the scoring scalar UDFs
 // (linearregscore, fascore, kdistance, clusterscore).
 func Open(opts Options) (*DB, error) {
-	eng, err := db.OpenDir(db.Options{Dir: opts.Dir, Partitions: opts.Partitions, Workers: opts.Workers})
+	eng, err := db.OpenDir(db.Options{Dir: opts.Dir, Partitions: opts.Partitions, Workers: opts.Workers, SlowQuery: opts.SlowQuery})
 	if err != nil {
 		return nil, err
 	}
@@ -162,6 +171,17 @@ func (d *DB) LastStats() *Stats { return d.eng.LastStats() }
 // ExecScript runs a semicolon-separated script, returning the last
 // result.
 func (d *DB) ExecScript(sql string) (*Result, error) { return d.eng.ExecScript(sql) }
+
+// RecentQueries returns the retained recent statements, newest first —
+// the same data `SELECT * FROM sys.queries` serves.
+func (d *DB) RecentQueries() []QueryRecord { return d.eng.RecentQueries() }
+
+// ServeDebug starts an HTTP diagnostics endpoint on addr (e.g.
+// "localhost:6060"): /metrics serves the engine metrics in Prometheus
+// text format, /debug/queries the recent-query ring as JSON, and
+// /debug/pprof/ the standard Go profilers. Close the returned server
+// to release the port.
+func (d *DB) ServeDebug(addr string) (*DebugServer, error) { return d.eng.ServeDebug(addr) }
 
 // DimColumns returns the conventional dimension column names X1..Xd.
 func DimColumns(d int) []string { return sqlgen.Dims(d) }
