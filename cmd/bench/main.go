@@ -17,15 +17,25 @@
 // runs; -check-metrics verifies afterwards (through a SQL query
 // against sys.metrics) that the engine's scan counters actually moved,
 // the smoke assertion CI runs.
+//
+// SIGINT/SIGTERM interrupts a run gracefully: the in-flight statement
+// is cancelled through its run context, no further experiments start,
+// the metrics gathered so far are flushed to stderr, and the process
+// exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/engine/db"
+	"repro/internal/engine/obs"
 	"repro/internal/harness"
 	"repro/internal/odbcsim"
 )
@@ -45,7 +55,11 @@ func main() {
 	checkMetrics := flag.Bool("check-metrics", false, "after running, assert via sys.metrics that the engine counters moved")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := harness.Config{
+		Ctx:        ctx,
 		Scale:      *scale,
 		Partitions: *partitions,
 		Runs:       *runs,
@@ -78,6 +92,12 @@ func main() {
 	fmt.Printf("statsudf bench: scale=%g partitions=%d runs=%d seed=%d\n",
 		*scale, *partitions, *runs, *seed)
 	if err := harness.RunAll(cfg, ids); err != nil {
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+			// Graceful interrupt: report what ran and exit clean.
+			fmt.Fprintln(os.Stderr, "bench: interrupted, metrics so far:")
+			obs.Default.WritePrometheus(os.Stderr)
+			return
+		}
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	sqlsh [-dir data/] [-partitions 20] [-debug-addr :6060] [-c "SELECT ..."] [file.sql]
+//	sqlsh -connect host:port [-user alice] [-c "SELECT ..."] [file.sql]
+//
+// Without -connect the shell embeds the engine; with it, statements go
+// over the wire protocol to a running twmd, through the pooled client
+// (the session shows up in the server's sys.sessions).
 //
 // Statements end with ';'. Shell commands: \d lists tables, \d NAME
 // shows a schema, \stats toggles per-query execution statistics
@@ -16,6 +21,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +33,7 @@ import (
 	enginedb "repro/internal/engine/db"
 	"repro/internal/engine/exec"
 	"repro/internal/engine/sqltypes"
+	"repro/pkg/client"
 
 	statsudf "repro"
 )
@@ -34,6 +42,20 @@ import (
 // result; the -stats flag sets it and \stats toggles it in the REPL.
 var showStats bool
 
+// engine abstracts where statements execute: the embedded database, or
+// a remote twmd over the wire protocol.
+type engine interface {
+	// Run executes one statement, materialized.
+	Run(sql string) (*exec.Result, error)
+	// Script executes a semicolon-separated script.
+	Script(sql string) (*exec.Result, error)
+	// Tables prints the \d listing.
+	Tables(out io.Writer)
+	// Describe prints one table's schema (\d NAME).
+	Describe(name string, out io.Writer)
+	Close() error
+}
+
 func main() {
 	dir := flag.String("dir", "", "database directory (empty = in-memory)")
 	partitions := flag.Int("partitions", 20, "table partitions")
@@ -41,28 +63,44 @@ func main() {
 	stats := flag.Bool("stats", false, "print execution statistics after each statement")
 	command := flag.String("c", "", "execute this statement and exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/queries and /debug/pprof on this address")
+	connect := flag.String("connect", "", "connect to a twmd server at this address instead of embedding the engine")
+	user := flag.String("user", "sqlsh", "user name reported to the server (with -connect)")
 	flag.Parse()
 	showStats = *stats
 
-	db, err := statsudf.Open(statsudf.Options{Dir: *dir, Partitions: *partitions, Workers: *workers})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sqlsh:", err)
-		os.Exit(1)
-	}
-	defer db.Close()
-
-	if *debugAddr != "" {
-		srv, err := db.ServeDebug(*debugAddr)
+	var eng engine
+	if *connect != "" {
+		pool, err := client.Open(client.Config{Addr: *connect, User: *user, PoolSize: 1})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sqlsh:", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "sqlsh: debug endpoint on http://%s/metrics\n", srv.Addr)
+		if err := pool.Ping(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "sqlsh: cannot reach %s: %v\n", *connect, err)
+			os.Exit(1)
+		}
+		eng = &remoteEngine{pool: pool}
+	} else {
+		db, err := statsudf.Open(statsudf.Options{Dir: *dir, Partitions: *partitions, Workers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sqlsh:", err)
+			os.Exit(1)
+		}
+		if *debugAddr != "" {
+			srv, err := db.ServeDebug(*debugAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sqlsh:", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "sqlsh: debug endpoint on http://%s/metrics\n", srv.Addr)
+		}
+		eng = &localEngine{db: db}
 	}
+	defer eng.Close()
 
 	if *command != "" {
-		if err := runStatement(db, *command, os.Stdout); err != nil {
+		if err := runStatement(eng, *command, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "sqlsh:", err)
 			os.Exit(1)
 		}
@@ -75,16 +113,120 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := runScript(db, f, os.Stdout); err != nil {
+		if err := runScript(eng, f, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "sqlsh:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	repl(db, os.Stdin, os.Stdout)
+	repl(eng, os.Stdin, os.Stdout)
 }
 
-func repl(db *statsudf.DB, in io.Reader, out io.Writer) {
+// localEngine embeds the database in-process.
+type localEngine struct {
+	db *statsudf.DB
+}
+
+func (l *localEngine) Run(sql string) (*exec.Result, error)    { return l.db.Exec(sql) }
+func (l *localEngine) Script(sql string) (*exec.Result, error) { return l.db.ExecScript(sql) }
+func (l *localEngine) Close() error                            { return l.db.Close() }
+
+func (l *localEngine) Tables(out io.Writer) {
+	names := l.db.Engine().TableNames()
+	sort.Strings(names)
+	for _, n := range names {
+		t, err := l.db.Engine().Table(n)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(out, "%s  (%d rows)\n", n, t.NumRows())
+	}
+	views := l.db.Engine().ViewNames()
+	sort.Strings(views)
+	for _, n := range views {
+		fmt.Fprintf(out, "%s  (view)\n", n)
+	}
+	for _, n := range l.db.Engine().SysTableNames() {
+		fmt.Fprintf(out, "%s  (system)\n", n)
+	}
+}
+
+func (l *localEngine) Describe(name string, out io.Writer) {
+	t, err := l.db.Engine().Table(name)
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	fmt.Fprintf(out, "%s %s, %d rows in %d partitions\n",
+		t.Name(), t.Schema(), t.NumRows(), t.Partitions())
+}
+
+// remoteEngine sends statements to a twmd over the wire protocol.
+type remoteEngine struct {
+	pool *client.Pool
+}
+
+// toResult adapts a wire result to the local result shape, decoding
+// the server's execution statistics so \stats and EXPLAIN ANALYZE work
+// over the wire too.
+func toResult(rows *client.Rows) *exec.Result {
+	res := &exec.Result{Schema: rows.Schema, Rows: rows.Rows, Affected: rows.Affected}
+	if rows.StatsJSON != "" {
+		var st exec.Stats
+		if err := json.Unmarshal([]byte(rows.StatsJSON), &st); err == nil {
+			res.Stats = &st
+		}
+	}
+	return res
+}
+
+func (r *remoteEngine) Run(sql string) (*exec.Result, error) {
+	rows, err := r.pool.Query(context.Background(), sql)
+	if err != nil {
+		return nil, err
+	}
+	return toResult(rows), nil
+}
+
+func (r *remoteEngine) Script(sql string) (*exec.Result, error) {
+	rows, err := r.pool.Exec(context.Background(), sql)
+	if err != nil {
+		return nil, err
+	}
+	return toResult(rows), nil
+}
+
+func (r *remoteEngine) Close() error { return r.pool.Close() }
+
+func (r *remoteEngine) Tables(out io.Writer) {
+	res, err := r.Run("SELECT name, num_rows FROM sys.tables ORDER BY name")
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	for _, row := range res.Rows {
+		fmt.Fprintf(out, "%s  (%s rows)\n", row[0].Str(), row[1].String())
+	}
+	for _, n := range enginedb.SystemTableNames() {
+		fmt.Fprintf(out, "%s  (system)\n", n)
+	}
+	fmt.Fprintln(out, "sys.sessions  (system)")
+}
+
+func (r *remoteEngine) Describe(name string, out io.Writer) {
+	res, err := r.Run(fmt.Sprintf("SELECT * FROM %s LIMIT 1", name))
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	if res.Schema == nil {
+		fmt.Fprintln(out, "error: no schema")
+		return
+	}
+	fmt.Fprintf(out, "%s %s\n", name, res.Schema)
+}
+
+func repl(eng engine, in io.Reader, out io.Writer) {
 	fmt.Fprintln(out, "statsudf sql shell — statements end with ';', \\d lists tables, \\stats toggles stats, \\q quits")
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<24)
@@ -101,7 +243,7 @@ func repl(db *statsudf.DB, in io.Reader, out io.Writer) {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if pending.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if quit := shellCommand(db, trimmed, out); quit {
+			if quit := shellCommand(eng, trimmed, out); quit {
 				return
 			}
 			prompt()
@@ -112,7 +254,7 @@ func repl(db *statsudf.DB, in io.Reader, out io.Writer) {
 		if strings.HasSuffix(trimmed, ";") {
 			stmt := pending.String()
 			pending.Reset()
-			if err := runStatement(db, stmt, out); err != nil {
+			if err := runStatement(eng, stmt, out); err != nil {
 				fmt.Fprintln(out, "error:", err)
 			}
 		}
@@ -120,7 +262,7 @@ func repl(db *statsudf.DB, in io.Reader, out io.Writer) {
 	}
 }
 
-func shellCommand(db *statsudf.DB, cmd string, out io.Writer) (quit bool) {
+func shellCommand(eng engine, cmd string, out io.Writer) (quit bool) {
 	switch {
 	case cmd == "\\q":
 		return true
@@ -132,44 +274,21 @@ func shellCommand(db *statsudf.DB, cmd string, out io.Writer) (quit bool) {
 			fmt.Fprintln(out, "stats off")
 		}
 	case cmd == "\\d":
-		names := db.Engine().TableNames()
-		sort.Strings(names)
-		for _, n := range names {
-			t, err := db.Engine().Table(n)
-			if err != nil {
-				continue
-			}
-			fmt.Fprintf(out, "%s  (%d rows)\n", n, t.NumRows())
-		}
-		views := db.Engine().ViewNames()
-		sort.Strings(views)
-		for _, n := range views {
-			fmt.Fprintf(out, "%s  (view)\n", n)
-		}
-		for _, n := range enginedb.SystemTableNames() {
-			fmt.Fprintf(out, "%s  (system)\n", n)
-		}
+		eng.Tables(out)
 	case strings.HasPrefix(cmd, "\\d "):
-		name := strings.TrimSpace(cmd[3:])
-		t, err := db.Engine().Table(name)
-		if err != nil {
-			fmt.Fprintln(out, "error:", err)
-			return false
-		}
-		fmt.Fprintf(out, "%s %s, %d rows in %d partitions\n",
-			t.Name(), t.Schema(), t.NumRows(), t.Partitions())
+		eng.Describe(strings.TrimSpace(cmd[3:]), out)
 	default:
 		fmt.Fprintln(out, "unknown command; try \\d or \\q")
 	}
 	return false
 }
 
-func runScript(db *statsudf.DB, r io.Reader, out io.Writer) error {
+func runScript(eng engine, r io.Reader, out io.Writer) error {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return err
 	}
-	res, err := db.ExecScript(string(data))
+	res, err := eng.Script(string(data))
 	if err != nil {
 		return err
 	}
@@ -178,11 +297,11 @@ func runScript(db *statsudf.DB, r io.Reader, out io.Writer) error {
 	return nil
 }
 
-func runStatement(db *statsudf.DB, sql string, out io.Writer) error {
+func runStatement(eng engine, sql string, out io.Writer) error {
 	if rest, ok := stripExplainAnalyze(sql); ok {
-		return runExplainAnalyze(db, rest, out)
+		return runExplainAnalyze(eng, rest, out)
 	}
-	res, err := db.Exec(sql)
+	res, err := eng.Run(sql)
 	if err != nil {
 		return err
 	}
@@ -206,8 +325,8 @@ func stripExplainAnalyze(sql string) (string, bool) {
 // runExplainAnalyze executes the statement and prints its span tree
 // instead of its rows: per-phase wall times with per-partition scan
 // detail, followed by the one-line stats summary.
-func runExplainAnalyze(db *statsudf.DB, sql string, out io.Writer) error {
-	res, err := db.Exec(sql)
+func runExplainAnalyze(eng engine, sql string, out io.Writer) error {
+	res, err := eng.Run(sql)
 	if err != nil {
 		return err
 	}

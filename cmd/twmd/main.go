@@ -1,0 +1,97 @@
+// Command twmd is the network daemon: it opens (or creates) a
+// database, registers the paper's UDFs, and serves the wire protocol
+// so remote clients — sqlsh -connect, pkg/client pools, the bench
+// harness — can create tables, build models, and score without linking
+// the engine.
+//
+//	twmd -addr :7780 -dir data/ [-partitions 20] [-max-statements 64]
+//	     [-max-waiting 64] [-idle-timeout 5m] [-batch-rows 256]
+//	     [-debug-addr :6060]
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener stops
+// accepting, in-flight statements are cancelled through their run
+// contexts, sessions drain (bounded by -drain-timeout), final metrics
+// are flushed to stderr in Prometheus text format, and the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine/obs"
+	"repro/internal/server"
+
+	statsudf "repro"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7780", "address to serve the wire protocol on")
+	dir := flag.String("dir", "", "database directory (empty = in-memory)")
+	partitions := flag.Int("partitions", 20, "table partitions")
+	workers := flag.Int("workers", 0, "scan worker pool bound (0 = one per partition)")
+	maxStatements := flag.Int("max-statements", 0, "admission control: max concurrently executing statements (0 = default)")
+	maxWaiting := flag.Int("max-waiting", 0, "admission control: max statements queued for a slot (0 = same as max-statements, negative = fail fast)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = default)")
+	batchRows := flag.Int("batch-rows", 0, "rows per streamed result batch (0 = default)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown: how long to wait for sessions to drain")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/queries and /debug/pprof on this address")
+	flag.Parse()
+
+	if err := run(*addr, *dir, *partitions, *workers, *maxStatements, *maxWaiting,
+		*idleTimeout, *batchRows, *drainTimeout, *debugAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "twmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dir string, partitions, workers, maxStatements, maxWaiting int,
+	idleTimeout time.Duration, batchRows int, drainTimeout time.Duration, debugAddr string) error {
+	d, err := statsudf.Open(statsudf.Options{Dir: dir, Partitions: partitions, Workers: workers})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	if debugAddr != "" {
+		dbg, err := d.ServeDebug(debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "twmd: debug endpoint on http://%s/metrics\n", dbg.Addr)
+	}
+
+	srv := server.New(d.Engine(), server.Config{
+		Addr:          addr,
+		MaxStatements: maxStatements,
+		MaxWaiting:    maxWaiting,
+		IdleTimeout:   idleTimeout,
+		BatchRows:     batchRows,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "twmd: serving wire protocol on %s (%s)\n", srv.Addr(), server.Version)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // a second signal kills immediately
+
+	fmt.Fprintln(os.Stderr, "twmd: signal received, draining sessions...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "twmd: drain incomplete:", err)
+	}
+	fmt.Fprintln(os.Stderr, "twmd: final metrics:")
+	obs.Default.WritePrometheus(os.Stderr)
+	fmt.Fprintln(os.Stderr, "twmd: bye")
+	return nil
+}

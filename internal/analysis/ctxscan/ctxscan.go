@@ -1,9 +1,13 @@
-// Package ctxscan flags partition scans that ignore an available
-// context. The storage layer polls ctx between rows (the engine's
-// cancellation invariant from the parallel-executor work), but only if
-// callers pass one: a function that receives a context.Context and
-// still calls the ctx-less (*storage.Table).Scan silently produces an
-// uncancellable scan — exactly the bug the executor's join path had.
+// Package ctxscan flags engine calls that ignore an available
+// context. The storage layer polls ctx between rows and the db layer
+// threads it through the executor (the engine's cancellation invariant
+// from the parallel-executor work), but only if callers pass one: a
+// function that receives a context.Context and still calls the
+// ctx-less (*storage.Table).Scan — or a ctx-less (*db.DB) statement
+// entry point like Exec or QueryStream — silently produces an
+// uncancellable operation. Server handlers are the motivating case:
+// every statement they run must die with the session's context on
+// disconnect or shutdown.
 package ctxscan
 
 import (
@@ -13,14 +17,35 @@ import (
 	"repro/internal/analysis"
 )
 
-const storagePath = "repro/internal/engine/storage"
+const (
+	storagePath = "repro/internal/engine/storage"
+	dbPath      = "repro/internal/engine/db"
+)
 
-// Analyzer flags (*storage.Table).Scan calls inside functions that
-// have a context.Context parameter in scope.
+// ctxVariants maps ctx-less methods to their context-taking twins,
+// keyed by package path then receiver type then method name.
+var ctxVariants = map[string]map[string]map[string]string{
+	storagePath: {
+		"Table": {"Scan": "ScanContext"},
+	},
+	dbPath: {
+		"DB": {
+			"Exec":        "ExecContext",
+			"ExecScript":  "ExecScriptContext",
+			"Run":         "RunContext",
+			"QueryStream": "QueryStreamContext",
+		},
+	},
+}
+
+// Analyzer flags ctx-less engine calls ((*storage.Table).Scan and the
+// (*db.DB) statement entry points) inside functions that have a
+// context.Context parameter in scope.
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxscan",
-	Doc: "report ctx-less (*storage.Table).Scan calls in functions that receive a context.Context; " +
-		"such scans cannot be cancelled — call ScanContext(ctx, fn) instead",
+	Doc: "report ctx-less engine calls ((*storage.Table).Scan, (*db.DB).Exec/ExecScript/Run/QueryStream) " +
+		"in functions that receive a context.Context; such operations cannot be cancelled — " +
+		"call the *Context variant instead",
 	Run: run,
 }
 
@@ -60,13 +85,23 @@ func check(pass *analysis.Pass, body ast.Node, inCtx bool) {
 				return true
 			}
 			m, ok := obj.Obj().(*types.Func)
-			if !ok || m.Name() != "Scan" || m.Pkg() == nil || m.Pkg().Path() != storagePath {
+			if !ok || m.Pkg() == nil {
 				return true
 			}
-			if named := receiverNamed(m); named != "Table" {
+			byRecv, ok := ctxVariants[m.Pkg().Path()]
+			if !ok {
 				return true
 			}
-			pass.Reportf(n.Pos(), "(*storage.Table).Scan ignores the context.Context in scope; use ScanContext so the scan observes cancellation")
+			byName, ok := byRecv[receiverNamed(m)]
+			if !ok {
+				return true
+			}
+			variant, ok := byName[m.Name()]
+			if !ok {
+				return true
+			}
+			pass.Reportf(n.Pos(), "(*%s.%s).%s ignores the context.Context in scope; use %s so the statement observes cancellation",
+				m.Pkg().Name(), receiverNamed(m), m.Name(), variant)
 		}
 		return true
 	})

@@ -4,11 +4,12 @@ package a
 import (
 	"context"
 
+	"repro/internal/engine/db"
 	"repro/internal/engine/storage"
 )
 
 func bad(ctx context.Context, t *storage.Table) error {
-	return t.Scan(nil) // want `use ScanContext so the scan observes cancellation`
+	return t.Scan(nil) // want `use ScanContext so the statement observes cancellation`
 }
 
 func good(ctx context.Context, t *storage.Table) error {
@@ -21,13 +22,13 @@ func noCtx(t *storage.Table) error {
 
 func inLiteral(t *storage.Table) func(context.Context) error {
 	return func(ctx context.Context) error {
-		return t.Scan(nil) // want `use ScanContext so the scan observes cancellation`
+		return t.Scan(nil) // want `use ScanContext so the statement observes cancellation`
 	}
 }
 
 func inheritedCtx(ctx context.Context, t *storage.Table) error {
 	run := func() error {
-		return t.Scan(nil) // want `use ScanContext so the scan observes cancellation`
+		return t.Scan(nil) // want `use ScanContext so the statement observes cancellation`
 	}
 	return run()
 }
@@ -35,4 +36,31 @@ func inheritedCtx(ctx context.Context, t *storage.Table) error {
 // scanPartitionOK: the ctx-taking partition scan is the right call.
 func scanPartitionOK(ctx context.Context, t *storage.Table) error {
 	return t.ScanPartition(ctx, 0, nil)
+}
+
+// Server-handler shape: a ctx is in scope, so every (*db.DB) statement
+// entry point must be the *Context variant.
+func badExec(ctx context.Context, d *db.DB) error {
+	_, err := d.Exec("SELECT 1") // want `use ExecContext so the statement observes cancellation`
+	return err
+}
+
+func badScript(ctx context.Context, d *db.DB) error {
+	_, err := d.ExecScript("SELECT 1; SELECT 2") // want `use ExecScriptContext so the statement observes cancellation`
+	return err
+}
+
+func badStream(ctx context.Context, d *db.DB) error {
+	_, err := d.QueryStream("SELECT 1", nil) // want `use QueryStreamContext so the statement observes cancellation`
+	return err
+}
+
+func goodExec(ctx context.Context, d *db.DB) error {
+	_, err := d.ExecContext(ctx, "SELECT 1")
+	return err
+}
+
+func execNoCtx(d *db.DB) error {
+	_, err := d.Exec("SELECT 1") // no context in scope: allowed
+	return err
 }

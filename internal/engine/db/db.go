@@ -49,6 +49,11 @@ type DB struct {
 	views  map[string]*sqlparser.Select
 
 	qlog queryLog
+
+	// sysExt holds instance-specific virtual tables registered under
+	// sys. (e.g. the serving layer's sys.sessions).
+	sysMu  sync.RWMutex
+	sysExt map[string]SysTableFunc
 }
 
 // Open creates a fresh database over an empty (or memory-only)
@@ -207,13 +212,23 @@ func (d *DB) ExecContext(ctx context.Context, sql string) (*exec.Result, error) 
 // ExecScript runs a semicolon-separated statement sequence, returning
 // the last result.
 func (d *DB) ExecScript(sql string) (*exec.Result, error) {
+	return d.ExecScriptContext(context.Background(), sql)
+}
+
+// ExecScriptContext is ExecScript under a context; each statement is
+// dispatched (and recorded in the query ring) individually, and
+// cancelling ctx stops between and within statements.
+func (d *DB) ExecScriptContext(ctx context.Context, sql string) (*exec.Result, error) {
 	stmts, err := sqlparser.ParseScript(sql)
 	if err != nil {
 		return nil, err
 	}
 	var res *exec.Result
 	for _, s := range stmts {
-		if res, err = d.Run(s); err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if res, err = d.RunContext(ctx, s); err != nil {
 			return nil, err
 		}
 	}
@@ -238,7 +253,7 @@ func (d *DB) run(ctx context.Context, sql string, stmt sqlparser.Statement) (*ex
 	if res != nil {
 		st = res.Stats
 	}
-	d.noteQuery(sql, start, st, err)
+	d.noteQuery(ctx, sql, start, st, err)
 	return res, err
 }
 
@@ -291,28 +306,31 @@ func (d *DB) runContext(ctx context.Context, stmt sqlparser.Statement) (*exec.Re
 // QueryStream parses a SELECT and streams its rows to sink; used for
 // scoring large data sets without materializing them.
 func (d *DB) QueryStream(sql string, sink exec.RowSink) (*sqltypes.Schema, error) {
-	return d.QueryStreamContext(context.Background(), sql, sink)
+	schema, _, err := d.QueryStreamContext(context.Background(), sql, sink)
+	return schema, err
 }
 
 // QueryStreamContext is QueryStream under a context; cancelling ctx
-// stops the partition scans between rows.
-func (d *DB) QueryStreamContext(ctx context.Context, sql string, sink exec.RowSink) (*sqltypes.Schema, error) {
+// stops the partition scans between rows. It also returns the scan's
+// execution statistics so callers streaming to a remote client can
+// report them without racing on LastStats.
+func (d *DB) QueryStreamContext(ctx context.Context, sql string, sink exec.RowSink) (*sqltypes.Schema, *exec.Stats, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sel, ok := stmt.(*sqlparser.Select)
 	if !ok {
-		return nil, fmt.Errorf("db: QueryStream requires a SELECT")
+		return nil, nil, fmt.Errorf("db: QueryStream requires a SELECT")
 	}
 	expanded, err := d.expandViews(sel, 0)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	start := time.Now()
 	schema, stats, err := exec.SelectStream(ctx, expanded, d.env(), sink)
-	d.noteQuery(sql, start, stats, err)
-	return schema, err
+	d.noteQuery(ctx, sql, start, stats, err)
+	return schema, stats, err
 }
 
 func (d *DB) runCreate(st *sqlparser.CreateTable) (*exec.Result, error) {

@@ -1,12 +1,40 @@
 package db
 
 import (
+	"context"
 	"sync"
 	"time"
 
 	"repro/internal/engine/exec"
 	"repro/internal/engine/obs"
 )
+
+// Session identifies the network session a statement arrived on. The
+// serving layer attaches one to the statement context with WithSession;
+// in-process statements carry none and record zero values.
+type Session struct {
+	// ID is the server-assigned session number (0 for in-process).
+	ID int64 `json:"id"`
+	// User is the handshake's (unauthenticated) user name.
+	User string `json:"user,omitempty"`
+	// RemoteAddr is the client's network address ("" for in-process).
+	RemoteAddr string `json:"remote_addr,omitempty"`
+}
+
+type sessionKey struct{}
+
+// WithSession returns a context carrying the session a statement
+// belongs to; the query ring records it alongside the statement.
+func WithSession(ctx context.Context, s Session) context.Context {
+	return context.WithValue(ctx, sessionKey{}, s)
+}
+
+// SessionFromContext extracts the session attached by WithSession
+// (zero Session and false when the statement is in-process).
+func SessionFromContext(ctx context.Context) (Session, bool) {
+	s, ok := ctx.Value(sessionKey{}).(Session)
+	return s, ok
+}
 
 // queryRingSize bounds the recent-query ring. 128 statements is enough
 // to hold a whole harness experiment while staying trivially small.
@@ -29,6 +57,10 @@ type QueryRecord struct {
 	Duration time.Duration `json:"duration"`
 	// Err is the error message for failed statements ("" on success).
 	Err string `json:"error,omitempty"`
+	// SessionID and RemoteAddr identify the network session the
+	// statement arrived over; zero/empty for in-process statements.
+	SessionID  int64  `json:"session_id,omitempty"`
+	RemoteAddr string `json:"remote_addr,omitempty"`
 	// Slow marks statements whose duration met the configured
 	// slow-query threshold.
 	Slow bool `json:"slow,omitempty"`
@@ -84,10 +116,16 @@ func (l *queryLog) lastStats() *exec.Stats {
 // noteQuery records a finished statement in the ring and updates the
 // process-wide query counters. It is called on every dispatch path —
 // Exec, Run, ExecScript and QueryStream — so INSERT ... SELECT and
-// streamed queries land in sys.queries like everything else.
-func (d *DB) noteQuery(sql string, start time.Time, st *exec.Stats, err error) {
+// streamed queries land in sys.queries like everything else. When the
+// statement context carries a network session (WithSession), its id
+// and remote address are recorded too.
+func (d *DB) noteQuery(ctx context.Context, sql string, start time.Time, st *exec.Stats, err error) {
 	dur := time.Since(start)
 	rec := QueryRecord{SQL: sql, Start: start, Duration: dur, Stats: st}
+	if sess, ok := SessionFromContext(ctx); ok {
+		rec.SessionID = sess.ID
+		rec.RemoteAddr = sess.RemoteAddr
+	}
 	obs.Queries.Inc()
 	if err != nil {
 		rec.Err = err.Error()

@@ -3,6 +3,7 @@ package db
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/engine/exec"
@@ -18,10 +19,55 @@ import (
 // query planned its scan.
 const sysPrefix = "sys."
 
-// SystemTableNames lists the virtual tables served under sys.,
-// for shell completion and \d-style listings.
+// SystemTableNames lists the built-in virtual tables served under
+// sys., for shell completion and \d-style listings. Instance-specific
+// registrations (RegisterSysTable) are reported by SysTableNames.
 func SystemTableNames() []string {
 	return []string{"sys.metrics", "sys.partitions", "sys.queries", "sys.tables"}
+}
+
+// SysTableFunc materializes one registered virtual table's content on
+// demand; it is called at scan-plan time, so every query sees live
+// state. It must be safe for concurrent calls.
+type SysTableFunc func() (cols []sqltypes.Column, rows []sqltypes.Row, err error)
+
+// RegisterSysTable installs an instance-specific virtual table under
+// the reserved sys. prefix (e.g. the serving layer's sys.sessions).
+// Built-in names cannot be shadowed; re-registering a name replaces
+// its builder.
+func (d *DB) RegisterSysTable(name string, fn SysTableFunc) error {
+	key := strings.ToLower(name)
+	if !strings.HasPrefix(key, sysPrefix) {
+		return fmt.Errorf("db: system table %q must be under %q", name, sysPrefix)
+	}
+	for _, builtin := range SystemTableNames() {
+		if key == builtin {
+			return fmt.Errorf("db: cannot replace built-in system table %q", name)
+		}
+	}
+	if fn == nil {
+		return fmt.Errorf("db: nil builder for system table %q", name)
+	}
+	d.sysMu.Lock()
+	defer d.sysMu.Unlock()
+	if d.sysExt == nil {
+		d.sysExt = make(map[string]SysTableFunc)
+	}
+	d.sysExt[key] = fn
+	return nil
+}
+
+// SysTableNames lists every virtual table this instance serves:
+// the built-ins plus RegisterSysTable registrations, sorted.
+func (d *DB) SysTableNames() []string {
+	out := append([]string(nil), SystemTableNames()...)
+	d.sysMu.RLock()
+	for name := range d.sysExt {
+		out = append(out, name)
+	}
+	d.sysMu.RUnlock()
+	sort.Strings(out)
+	return out
 }
 
 func (d *DB) sysTable(key string) (*storage.Table, error) {
@@ -34,9 +80,18 @@ func (d *DB) sysTable(key string) (*storage.Table, error) {
 		return d.sysTables()
 	case "sys.partitions":
 		return d.sysPartitions()
-	default:
+	}
+	d.sysMu.RLock()
+	fn := d.sysExt[key]
+	d.sysMu.RUnlock()
+	if fn == nil {
 		return nil, fmt.Errorf("db: unknown system table %q", key)
 	}
+	cols, rows, err := fn()
+	if err != nil {
+		return nil, fmt.Errorf("db: materializing %s: %w", key, err)
+	}
+	return newSysTable(key, cols, rows)
 }
 
 // newSysTable builds the throwaway in-memory table a sys.* scan reads.
@@ -100,6 +155,8 @@ func (d *DB) sysQueries() (*storage.Table, error) {
 		{Name: "finalize_ms", Type: sqltypes.TypeDouble},
 		{Name: "slow", Type: sqltypes.TypeBool},
 		{Name: "error", Type: sqltypes.TypeVarChar},
+		{Name: "session_id", Type: sqltypes.TypeBigInt},
+		{Name: "remote_addr", Type: sqltypes.TypeVarChar},
 	}
 	recs := d.qlog.recent()
 	ms := func(dur time.Duration) sqltypes.Value {
@@ -128,6 +185,8 @@ func (d *DB) sysQueries() (*storage.Table, error) {
 			ms(st.Finalize),
 			sqltypes.NewBool(r.Slow),
 			sqltypes.NewVarChar(r.Err),
+			sqltypes.NewBigInt(r.SessionID),
+			sqltypes.NewVarChar(r.RemoteAddr),
 		})
 	}
 	return newSysTable("sys.queries", cols, rows)

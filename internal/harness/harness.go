@@ -12,6 +12,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -30,6 +31,11 @@ import (
 
 // Config controls an experiment run.
 type Config struct {
+	// Ctx, when set, cancels the run: RunAll stops between experiments
+	// and repetitions, and streamed scoring scans abort mid-statement.
+	// The bench command wires SIGINT/SIGTERM to it for graceful
+	// shutdown. Nil means context.Background().
+	Ctx context.Context
 	// Scale multiplies the paper's row counts (1.0 = full size,
 	// 0.01 = 1% for CI). Default 0.05.
 	Scale float64
@@ -71,6 +77,14 @@ func (c Config) withDefaults() Config {
 		c.Seed = 2007
 	}
 	return c
+}
+
+// ctx returns the run's cancellation context.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // rows scales one of the paper's "n × 1000" sizes.
@@ -141,6 +155,7 @@ func All() []Experiment {
 		{"a1", "Ablation: partial-aggregation parallelism (partitions 1/4/20)", runAblatePartitions},
 		{"a2", "Ablation: one long SQL query vs per-cell statements (§3.4)", runAblateSQLStyle},
 		{"a3", "Executor statistics: scan volume, partition skew, phase times", runExecutorStats},
+		{"a4", "Scoring delivery path: in-engine vs wire-protocol client vs ODBC export", runServingScoring},
 	}
 }
 
@@ -176,6 +191,9 @@ func RunAll(cfg Config, ids []string) error {
 		exps = sel
 	}
 	for _, e := range exps {
+		if err := cfg.ctx().Err(); err != nil {
+			return fmt.Errorf("harness: run cancelled before %s: %w", e.ID, err)
+		}
 		start := time.Now()
 		tables, err := e.Run(cfg)
 		if err != nil {
@@ -301,6 +319,9 @@ func (t Timing) String() string {
 func timeIt(cfg Config, fn func() error) (Timing, error) {
 	t := Timing{Runs: make([]time.Duration, 0, cfg.Runs)}
 	for r := 0; r < cfg.Runs; r++ {
+		if err := cfg.ctx().Err(); err != nil {
+			return Timing{}, err
+		}
 		start := time.Now()
 		if err := fn(); err != nil {
 			return Timing{}, err

@@ -136,9 +136,10 @@ func (s *tableSource) Scan(fn func(x []float64) error) error {
 }
 
 // discard streams query rows without retaining them; scoring
-// benchmarks measure the scan+compute cost, not materialization.
-func discard(d *db.DB, sql string) error {
-	_, err := d.QueryStream(sql, func(sqltypes.Row) error { return nil })
+// benchmarks measure the scan+compute cost, not materialization. The
+// run context cancels the scan mid-statement (graceful bench shutdown).
+func discard(cfg Config, d *db.DB, sql string) error {
+	_, _, err := d.QueryStreamContext(cfg.ctx(), sql, func(sqltypes.Row) error { return nil })
 	return err
 }
 
@@ -165,31 +166,31 @@ func runTable4(cfg Config) ([]*Table, error) {
 		}
 		label := fmt.Sprintf("%d (%d rows)", nk, n)
 
-		regSQL, err := timeIt(cfg, func() error { return discard(d, sqlgen.RegScoreSQL("X", "BETA", "i", dims32)) })
+		regSQL, err := timeIt(cfg, func() error { return discard(cfg, d, sqlgen.RegScoreSQL("X", "BETA", "i", dims32)) })
 		if err != nil {
 			return nil, err
 		}
-		regUDF, err := timeIt(cfg, func() error { return discard(d, sqlgen.RegScoreUDF("X", "BETA", "i", dims32)) })
+		regUDF, err := timeIt(cfg, func() error { return discard(cfg, d, sqlgen.RegScoreUDF("X", "BETA", "i", dims32)) })
 		if err != nil {
 			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{label, "linear regression", secs(regSQL), secs(regUDF)})
 
-		pcaSQL, err := timeIt(cfg, func() error { return discard(d, sqlgen.PCAScoreSQL("X", "MU", "LAMBDA", "i", dims32, k)) })
+		pcaSQL, err := timeIt(cfg, func() error { return discard(cfg, d, sqlgen.PCAScoreSQL("X", "MU", "LAMBDA", "i", dims32, k)) })
 		if err != nil {
 			return nil, err
 		}
-		pcaUDF, err := timeIt(cfg, func() error { return discard(d, sqlgen.PCAScoreUDF("X", "MU", "LAMBDA", "i", dims32, k)) })
+		pcaUDF, err := timeIt(cfg, func() error { return discard(cfg, d, sqlgen.PCAScoreUDF("X", "MU", "LAMBDA", "i", dims32, k)) })
 		if err != nil {
 			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{label, "PCA", secs(pcaSQL), secs(pcaUDF)})
 
-		clusSQL, err := timeIt(cfg, func() error { return runClusterScoreSQL(d, dims32, k) })
+		clusSQL, err := timeIt(cfg, func() error { return runClusterScoreSQL(cfg, d, dims32, k) })
 		if err != nil {
 			return nil, err
 		}
-		clusUDF, err := timeIt(cfg, func() error { return discard(d, sqlgen.ClusterScoreUDF("X", "C", "i", dims32, k)) })
+		clusUDF, err := timeIt(cfg, func() error { return discard(cfg, d, sqlgen.ClusterScoreUDF("X", "C", "i", dims32, k)) })
 		if err != nil {
 			return nil, err
 		}
@@ -200,14 +201,14 @@ func runTable4(cfg Config) ([]*Table, error) {
 
 // runClusterScoreSQL executes the paper's two-scan SQL clustering
 // scoring plan end to end.
-func runClusterScoreSQL(d *db.DB, dims []string, k int) error {
+func runClusterScoreSQL(cfg Config, d *db.DB, dims []string, k int) error {
 	stmts := sqlgen.ClusterScoreSQL("X", "C", "XD", "i", dims, k)
 	for _, s := range stmts[:len(stmts)-1] {
 		if _, err := d.Exec(s); err != nil {
 			return err
 		}
 	}
-	return discard(d, stmts[len(stmts)-1])
+	return discard(cfg, d, stmts[len(stmts)-1])
 }
 
 // runFigure6 reproduces Figure 6: scoring UDF time vs n for the three
@@ -232,13 +233,13 @@ func runFigure6(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 		var reg, pca, clus Timing
-		if reg, err = timeIt(cfg, func() error { return discard(d, sqlgen.RegScoreUDF("X", "BETA", "i", dims32)) }); err != nil {
+		if reg, err = timeIt(cfg, func() error { return discard(cfg, d, sqlgen.RegScoreUDF("X", "BETA", "i", dims32)) }); err != nil {
 			return nil, err
 		}
-		if pca, err = timeIt(cfg, func() error { return discard(d, sqlgen.PCAScoreUDF("X", "MU", "LAMBDA", "i", dims32, k)) }); err != nil {
+		if pca, err = timeIt(cfg, func() error { return discard(cfg, d, sqlgen.PCAScoreUDF("X", "MU", "LAMBDA", "i", dims32, k)) }); err != nil {
 			return nil, err
 		}
-		if clus, err = timeIt(cfg, func() error { return discard(d, sqlgen.ClusterScoreUDF("X", "C", "i", dims32, k)) }); err != nil {
+		if clus, err = timeIt(cfg, func() error { return discard(cfg, d, sqlgen.ClusterScoreUDF("X", "C", "i", dims32, k)) }); err != nil {
 			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/server/wire"
+)
+
+// admission bounds concurrent statement execution. Up to max
+// statements run at once; up to maxWait more queue for a slot; anything
+// beyond that fails fast with the typed busy error instead of queueing
+// forever — under overload the server sheds work it could never get to,
+// and clients see a clean, retryable signal.
+type admission struct {
+	slots   chan struct{}
+	maxWait int
+	waiting atomic.Int64
+}
+
+func newAdmission(max, maxWait int) *admission {
+	if max <= 0 {
+		max = defaultMaxStatements
+	}
+	if maxWait < 0 {
+		maxWait = 0
+	}
+	return &admission{slots: make(chan struct{}, max), maxWait: maxWait}
+}
+
+// acquire takes an execution slot, waiting in the bounded queue when
+// the server is saturated. It returns the typed busy error on queue
+// overflow and ctx.Err when the caller disconnects while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	// Saturated: join the wait queue if there is room.
+	if n := a.waiting.Add(1); n > int64(a.maxWait) {
+		a.waiting.Add(-1)
+		admissionRejections.Inc()
+		return &wire.Error{
+			Code: wire.CodeBusy,
+			Message: fmt.Sprintf("server at its limit of %d concurrent statements (wait queue %d deep); retry later",
+				cap(a.slots), a.maxWait),
+		}
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees an execution slot.
+func (a *admission) release() { <-a.slots }

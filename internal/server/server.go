@@ -1,0 +1,566 @@
+// Package server is the engine's network serving layer: a TCP server
+// speaking the wire protocol in internal/server/wire, fronting an
+// embedded db.DB the way the paper's Teradata instance fronts its
+// clients — queries and small result sets cross the network, the heavy
+// scans never leave the server.
+//
+// Each connection is one session: a handshake (Hello/Welcome), then a
+// strict request/response loop of statements. The server enforces
+// per-connection read/write deadlines and an idle timeout, cancels a
+// session's in-flight statement the moment its connection drops (the
+// context is threaded into the cancellation-aware executor), and
+// applies admission control — a configurable bound on concurrent
+// statements with a bounded wait queue, beyond which statements fail
+// fast with the typed "server busy" error.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine/db"
+	"repro/internal/engine/exec"
+	"repro/internal/engine/sema"
+	"repro/internal/engine/sqlparser"
+	"repro/internal/engine/sqltypes"
+	"repro/internal/server/wire"
+)
+
+// Defaults for Config's zero values.
+const (
+	defaultMaxStatements    = 64
+	defaultIdleTimeout      = 5 * time.Minute
+	defaultWriteTimeout     = 30 * time.Second
+	defaultHandshakeTimeout = 10 * time.Second
+	defaultBatchRows        = 256
+)
+
+// Version is the server banner sent in the Welcome frame.
+const Version = "twmd/1 (statsudf engine)"
+
+// Config tunes a Server.
+type Config struct {
+	// Addr is the TCP listen address (e.g. ":7443", "127.0.0.1:0").
+	Addr string
+	// MaxStatements bounds concurrently executing statements across
+	// all sessions. Default 64.
+	MaxStatements int
+	// MaxWaiting bounds the admission wait queue; statements beyond
+	// MaxStatements+MaxWaiting fail fast with the typed busy error.
+	// Negative means no queue (fail fast at MaxStatements); zero
+	// selects MaxStatements (a queue as deep as the execution limit).
+	MaxWaiting int
+	// IdleTimeout closes connections with no statement and no traffic
+	// for this long. Default 5m.
+	IdleTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline. Default 30s.
+	WriteTimeout time.Duration
+	// HandshakeTimeout bounds the Hello/Welcome exchange. Default 10s.
+	HandshakeTimeout time.Duration
+	// BatchRows is the number of result rows per wire batch. Default 256.
+	BatchRows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxStatements <= 0 {
+		c.MaxStatements = defaultMaxStatements
+	}
+	switch {
+	case c.MaxWaiting < 0:
+		c.MaxWaiting = 0
+	case c.MaxWaiting == 0:
+		c.MaxWaiting = c.MaxStatements
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = defaultIdleTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = defaultWriteTimeout
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = defaultHandshakeTimeout
+	}
+	if c.BatchRows <= 0 {
+		c.BatchRows = defaultBatchRows
+	}
+	return c
+}
+
+// Server is a wire-protocol front end over one embedded database.
+type Server struct {
+	db  *db.DB
+	cfg Config
+
+	adm      *admission
+	sessions *sessionRegistry
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	ln       net.Listener
+	wg       sync.WaitGroup
+	draining atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// New builds a server over d. Call Start to begin listening.
+func New(d *db.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		db:       d,
+		cfg:      cfg,
+		adm:      newAdmission(cfg.MaxStatements, cfg.MaxWaiting),
+		sessions: newSessionRegistry(),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Start binds the listen address, registers the sys.sessions virtual
+// table on the fronted database, and begins accepting connections in
+// the background. The bound address is available from Addr (useful
+// with ":0").
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	if err := s.db.RegisterSysTable("sys.sessions", s.sessions.sysSessions); err != nil {
+		ln.Close()
+		return err
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			// Listener closed (shutdown) or fatal accept error.
+			return
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(nc)
+	}
+}
+
+// Shutdown drains the server: it stops accepting connections, cancels
+// every in-flight statement through its context, and waits for the
+// session handlers to unwind (or for ctx to expire, at which point
+// remaining connections are force-closed).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.cancel() // cancels every session's statement context
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.closeConns()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close stops the server immediately: no draining, connections are
+// force-closed.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.cancel()
+	s.closeConns()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+}
+
+// incoming is one frame (or terminal read error) from the reader
+// goroutine.
+type incoming struct {
+	f   wire.Frame
+	err error
+}
+
+// errCloseSession signals a clean client-requested close.
+var errCloseSession = errors.New("server: session closed")
+
+// handleConn runs one session: handshake, then the request loop.
+func (s *Server) handleConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+	}()
+	connections.Inc()
+	sessionsActive.Inc()
+	defer sessionsActive.Dec()
+
+	wc := wire.NewConn(nc)
+	defer func() {
+		// Account any bytes not yet flushed by a statement
+		// (handshake, pings, the final close exchange).
+		bytesSent.Add(wc.BytesWritten.Swap(0))
+		bytesReceived.Add(wc.BytesRead.Swap(0))
+	}()
+
+	sess, err := s.handshake(nc, wc)
+	if err != nil {
+		return
+	}
+	defer s.sessions.remove(sess.id)
+
+	// The session context: cancelled when the server shuts down or —
+	// via the reader goroutine — the moment the connection drops, so a
+	// disconnect stops the session's in-flight partition scans.
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	ctx = db.WithSession(ctx, db.Session{ID: sess.id, User: sess.user, RemoteAddr: sess.remoteAddr})
+
+	// inflight marks a statement executing: the reader treats read
+	// deadlines as idle-timeouts only when no statement is running.
+	var inflight atomic.Bool
+	frames := make(chan incoming, 1)
+	go s.readLoop(nc, wc, frames, cancel, &inflight)
+
+	nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	for {
+		select {
+		case in := <-frames:
+			if in.err != nil {
+				return // disconnect, idle timeout or unreadable frame
+			}
+			if err := s.dispatch(ctx, nc, wc, sess, in.f); err != nil {
+				return
+			}
+			// Statement finished: back to idle; re-arm the idle clock.
+			nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+			inflight.Store(false)
+		case <-s.baseCtx.Done():
+			s.sendError(nc, wc, &wire.Error{Code: wire.CodeShutdown, Message: "server shutting down"})
+			return
+		}
+	}
+}
+
+// readLoop is the connection's only reader. It reads ahead while a
+// statement executes purely to detect disconnects: a read error while
+// inflight cancels the session context, which stops the executor's
+// partition scans. Read deadlines double as the idle timeout — while a
+// statement is inflight the handler clears them, so a slow query with
+// a silently waiting client is not mistaken for an idle session.
+func (s *Server) readLoop(nc net.Conn, wc *wire.Conn, frames chan<- incoming, cancel context.CancelFunc, inflight *atomic.Bool) {
+	for {
+		f, err := wc.Recv()
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && inflight.Load() {
+				// Stale idle deadline fired just as a statement began;
+				// the handler has cleared it — keep reading.
+				continue
+			}
+			cancel()
+			select {
+			case frames <- incoming{err: err}:
+			default: // handler already unwinding
+			}
+			return
+		}
+		// A statement (or ping) is now in flight: suspend the idle
+		// clock until the handler responds and re-arms it.
+		inflight.Store(true)
+		nc.SetReadDeadline(time.Time{})
+		frames <- incoming{f: f}
+	}
+}
+
+// handshake performs the Hello/Welcome exchange under its own deadline
+// and registers the session.
+func (s *Server) handshake(nc net.Conn, wc *wire.Conn) (*session, error) {
+	nc.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	f, err := wc.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != wire.MsgHello {
+		s.sendError(nc, wc, &wire.Error{Code: wire.CodeProtocol, Message: fmt.Sprintf("expected Hello, got frame type %#x", f.Type)})
+		return nil, errors.New("server: no hello")
+	}
+	hello, err := wire.DecodeHello(f.Payload)
+	if err != nil {
+		s.sendError(nc, wc, &wire.Error{Code: wire.CodeProtocol, Message: err.Error()})
+		return nil, err
+	}
+	if hello.Version != wire.ProtocolVersion {
+		err := &wire.Error{Code: wire.CodeProtocol, Message: fmt.Sprintf("protocol version %d not supported (server speaks %d)", hello.Version, wire.ProtocolVersion)}
+		s.sendError(nc, wc, err)
+		return nil, err
+	}
+	sess := s.sessions.add(hello.User, nc.RemoteAddr().String())
+	if err := s.send(nc, wc, wire.MsgWelcome, wire.EncodeWelcome(wire.Welcome{SessionID: sess.id, Server: Version})); err != nil {
+		s.sessions.remove(sess.id)
+		return nil, err
+	}
+	return sess, nil
+}
+
+// dispatch handles one request frame. A non-nil return ends the
+// session.
+func (s *Server) dispatch(ctx context.Context, nc net.Conn, wc *wire.Conn, sess *session, f wire.Frame) error {
+	switch f.Type {
+	case wire.MsgPing:
+		return s.send(nc, wc, wire.MsgPong, nil)
+	case wire.MsgClose:
+		s.send(nc, wc, wire.MsgGoodbye, nil)
+		return errCloseSession
+	case wire.MsgQuery, wire.MsgExec:
+		sql, err := wire.DecodeStatement(f.Payload)
+		if err != nil {
+			s.sendError(nc, wc, &wire.Error{Code: wire.CodeProtocol, Message: err.Error()})
+			return err
+		}
+		s.runStatement(ctx, nc, wc, sess, sql, f.Type == wire.MsgExec)
+		return nil
+	default:
+		err := &wire.Error{Code: wire.CodeProtocol, Message: fmt.Sprintf("unexpected frame type %#x", f.Type)}
+		s.sendError(nc, wc, err)
+		return err
+	}
+}
+
+// runStatement executes one statement under admission control and
+// streams its result. Execution errors go back as typed error frames;
+// only write failures (returned via sendError/send inside) matter to
+// the caller, and those surface on the next loop iteration anyway.
+func (s *Server) runStatement(ctx context.Context, nc net.Conn, wc *wire.Conn, sess *session, sql string, script bool) {
+	start := time.Now()
+	defer func() {
+		statementSeconds.Observe(time.Since(start).Seconds())
+		bytesSent.Add(wc.BytesWritten.Swap(0))
+		bytesReceived.Add(wc.BytesRead.Swap(0))
+	}()
+
+	if s.draining.Load() {
+		s.sendError(nc, wc, &wire.Error{Code: wire.CodeShutdown, Message: "server shutting down"})
+		return
+	}
+	if err := s.adm.acquire(ctx); err != nil {
+		s.sendError(nc, wc, classify(err))
+		return
+	}
+	defer s.adm.release()
+	statementsInflight.Inc()
+	defer statementsInflight.Dec()
+	sess.begin(sql)
+	defer sess.end()
+
+	if script {
+		res, err := s.db.ExecScriptContext(ctx, sql)
+		if err != nil {
+			s.sendError(nc, wc, classify(err))
+			return
+		}
+		s.sendResult(nc, wc, res)
+		return
+	}
+
+	// Single statement: SELECTs without ORDER BY/LIMIT stream straight
+	// from the partition scans to the wire; everything else (DDL,
+	// INSERT, ordered SELECTs) executes materialized.
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		s.sendError(nc, wc, classify(err))
+		return
+	}
+	if sel, ok := stmt.(*sqlparser.Select); ok && len(sel.OrderBy) == 0 && sel.Limit == nil {
+		s.streamQuery(ctx, nc, wc, sql)
+		return
+	}
+	res, err := s.db.RunContext(ctx, stmt)
+	if err != nil {
+		s.sendError(nc, wc, classify(err))
+		return
+	}
+	s.sendResult(nc, wc, res)
+}
+
+// streamQuery runs a streamable SELECT, flushing result batches as
+// they fill. The schema frame follows the batches — the streaming
+// executor (like the in-process QueryStream) reports the schema when
+// the scan completes, and batches are self-describing.
+func (s *Server) streamQuery(ctx context.Context, nc net.Conn, wc *wire.Conn, sql string) {
+	var (
+		mu    sync.Mutex
+		batch []sqltypes.Row
+		sent  int64
+		werr  error // first wire write error; stops the sink
+	)
+	flushLocked := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		p, err := wire.EncodeBatch(batch)
+		if err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return s.send(nc, wc, wire.MsgBatch, p)
+	}
+	sink := func(r sqltypes.Row) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if werr != nil {
+			return werr
+		}
+		batch = append(batch, r.Clone())
+		sent++
+		if len(batch) >= s.cfg.BatchRows {
+			if werr = flushLocked(); werr != nil {
+				return werr
+			}
+		}
+		return nil
+	}
+	schema, stats, err := s.db.QueryStreamContext(ctx, sql, sink)
+	if err != nil {
+		if werr != nil {
+			return // connection is gone; nothing to report to
+		}
+		s.sendError(nc, wc, classify(err))
+		return
+	}
+	mu.Lock()
+	err = flushLocked()
+	rows := sent
+	mu.Unlock()
+	if err != nil {
+		return
+	}
+	if err := s.send(nc, wc, wire.MsgSchema, wire.EncodeSchema(schema)); err != nil {
+		return
+	}
+	s.send(nc, wc, wire.MsgDone, wire.EncodeDone(wire.Done{Rows: rows, StatsJSON: statsJSON(stats)}))
+}
+
+// sendResult streams a materialized result: Schema (when the statement
+// produced one), row batches, Done.
+func (s *Server) sendResult(nc net.Conn, wc *wire.Conn, res *exec.Result) {
+	if res.Schema != nil {
+		if err := s.send(nc, wc, wire.MsgSchema, wire.EncodeSchema(res.Schema)); err != nil {
+			return
+		}
+	}
+	for off := 0; off < len(res.Rows); off += s.cfg.BatchRows {
+		end := off + s.cfg.BatchRows
+		if end > len(res.Rows) {
+			end = len(res.Rows)
+		}
+		p, err := wire.EncodeBatch(res.Rows[off:end])
+		if err != nil {
+			s.sendError(nc, wc, classify(err))
+			return
+		}
+		if err := s.send(nc, wc, wire.MsgBatch, p); err != nil {
+			return
+		}
+	}
+	s.send(nc, wc, wire.MsgDone, wire.EncodeDone(wire.Done{
+		Affected:  res.Affected,
+		Rows:      int64(len(res.Rows)),
+		StatsJSON: statsJSON(res.Stats),
+	}))
+}
+
+// send writes one frame under the configured write deadline.
+func (s *Server) send(nc net.Conn, wc *wire.Conn, typ byte, payload []byte) error {
+	nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	return wc.Send(typ, payload)
+}
+
+func (s *Server) sendError(nc net.Conn, wc *wire.Conn, e *wire.Error) {
+	s.send(nc, wc, wire.MsgError, wire.EncodeError(e))
+}
+
+// statsJSON marshals executor stats for the Done frame ("" when the
+// statement did not scan).
+func statsJSON(st *exec.Stats) string {
+	if st == nil {
+		return ""
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// classify maps an execution error to its typed wire error, so the
+// client sees what kind of failure happened (and the full positioned
+// sema diagnostics when analysis rejected the statement).
+func classify(err error) *wire.Error {
+	var we *wire.Error
+	if errors.As(err, &we) {
+		return we
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &wire.Error{Code: wire.CodeCancelled, Message: err.Error()}
+	}
+	var list sema.ErrorList
+	var diag sema.Diagnostic
+	if errors.As(err, &list) || errors.As(err, &diag) {
+		// The code is already the "sema" prefix; don't render it twice.
+		return &wire.Error{Code: wire.CodeSema, Message: strings.TrimPrefix(err.Error(), "sema: ")}
+	}
+	if strings.HasPrefix(err.Error(), "sqlparser:") {
+		return &wire.Error{Code: wire.CodeParse, Message: err.Error()}
+	}
+	return &wire.Error{Code: wire.CodeInternal, Message: err.Error()}
+}

@@ -1,0 +1,565 @@
+// Package wire defines the engine's client/server wire protocol: a
+// length-prefixed binary framing with a small fixed message vocabulary.
+// The paper's architecture keeps the heavy scan inside the DBMS and
+// ships only queries in and small result sets out; this protocol is
+// that boundary. Every frame is
+//
+//	u32 payload length (little-endian) | u8 message type | payload
+//
+// Payload scalars are little-endian; strings are a u32 length followed
+// by raw bytes. Result rows reuse the storage layer's value tagging
+// (1-byte type tag + payload per value) so a row costs the same bytes
+// on the wire as it does on disk.
+//
+// A conversation is strictly request/response: the client sends Hello
+// and reads Welcome, then loops sending Query/Exec/Ping and reading
+// the response (Schema? Batch* Done | Error for statements, Pong for
+// pings). Close/Goodbye end the session. Clients must not pipeline;
+// the server reads ahead only to detect disconnects.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/engine/sqltypes"
+)
+
+// ProtocolVersion is bumped on incompatible frame or payload changes;
+// the server rejects Hello frames with a different major version.
+const ProtocolVersion = 1
+
+// Magic opens every Hello payload, so a server can fail fast when an
+// HTTP client or a stray port scan connects.
+const Magic = "TWM1"
+
+// MaxFrame bounds a single frame's payload; larger frames are a
+// protocol error on both ends (a result set streams as many batches,
+// so no legitimate frame approaches this).
+const MaxFrame = 16 << 20
+
+// Message types. Client-originated types have the high bit clear,
+// server-originated types have it set; this makes misdirected frames
+// fail loudly instead of being misparsed.
+const (
+	MsgHello byte = 0x01 // magic, proto version, user
+	MsgQuery byte = 0x02 // one SQL statement; rows stream back
+	MsgExec  byte = 0x03 // SQL script; only the last result returns
+	MsgPing  byte = 0x04 // liveness/health check
+	MsgClose byte = 0x05 // graceful session end
+
+	MsgWelcome byte = 0x81 // session id, server version
+	MsgSchema  byte = 0x82 // result schema (precedes batches)
+	MsgBatch   byte = 0x83 // a run of result rows
+	MsgDone    byte = 0x84 // statement finished: affected count, stats JSON
+	MsgError   byte = 0x85 // typed error: code + message
+	MsgPong    byte = 0x86 // ping reply
+	MsgGoodbye byte = 0x87 // close acknowledgement
+)
+
+// Error codes carried by MsgError frames. The code survives the wire
+// so clients can react to the kind of failure, not a string match.
+const (
+	// CodeBusy is admission-control overflow: the server is at its
+	// concurrent-statement limit and its wait queue is full. Fail-fast:
+	// the statement was never started and is safe to retry elsewhere.
+	CodeBusy = "busy"
+	// CodeSema is a semantic-analysis rejection; the message carries
+	// the full multi-line "sema: line:col:" diagnostics.
+	CodeSema = "sema"
+	// CodeParse is a SQL syntax error.
+	CodeParse = "parse"
+	// CodeCancelled reports a statement stopped by cancellation
+	// (client disconnect or server shutdown).
+	CodeCancelled = "cancelled"
+	// CodeShutdown reports the server is draining and takes no new work.
+	CodeShutdown = "shutdown"
+	// CodeProtocol reports a malformed or unexpected frame.
+	CodeProtocol = "protocol"
+	// CodeInternal is any other execution error.
+	CodeInternal = "internal"
+)
+
+// Error is the typed error a MsgError frame carries.
+type Error struct {
+	Code    string
+	Message string
+}
+
+// Error renders as "code: message"; the sema multi-error keeps its
+// line structure so shell users see positioned diagnostics.
+func (e *Error) Error() string { return e.Code + ": " + e.Message }
+
+// IsBusy reports whether err is (or wraps) an admission-control
+// rejection — the typed "server busy" fail-fast error.
+func IsBusy(err error) bool {
+	var we *Error
+	return errors.As(err, &we) && we.Code == CodeBusy
+}
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// WriteFrame writes one frame to w. It returns the total bytes written
+// so both ends can maintain their byte counters.
+func WriteFrame(w io.Writer, typ byte, payload []byte) (int, error) {
+	if len(payload) > MaxFrame {
+		return 0, fmt.Errorf("wire: frame payload %d exceeds %d bytes", len(payload), MaxFrame)
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return len(hdr), err
+		}
+	}
+	return len(hdr) + len(payload), nil
+}
+
+// ReadFrame reads one frame from r, rejecting oversized payloads
+// before allocating for them.
+func ReadFrame(r io.Reader) (Frame, int, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return Frame{}, 0, fmt.Errorf("wire: frame payload %d exceeds %d bytes", n, MaxFrame)
+	}
+	f := Frame{Type: hdr[4]}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, 0, fmt.Errorf("wire: truncated frame: %w", err)
+		}
+	}
+	return f, len(hdr) + int(n), nil
+}
+
+// Conn wraps a stream with buffered frame I/O and byte accounting.
+// It is not safe for concurrent use on the same direction; the
+// protocol's request/response discipline keeps each direction single-
+// threaded. The byte counters are atomic because the server reads one
+// direction from a dedicated goroutine while flushing both counters
+// from the statement handler.
+type Conn struct {
+	R io.Reader
+	W *bufio.Writer
+
+	// BytesRead and BytesWritten accumulate frame bytes, for the
+	// engine_server_bytes_* metrics.
+	BytesRead    atomic.Int64
+	BytesWritten atomic.Int64
+}
+
+// NewConn wraps rw in buffered frame I/O.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{R: bufio.NewReaderSize(rw, 1<<16), W: bufio.NewWriterSize(rw, 1<<16)}
+}
+
+// Send writes one frame and flushes it.
+func (c *Conn) Send(typ byte, payload []byte) error {
+	n, err := WriteFrame(c.W, typ, payload)
+	c.BytesWritten.Add(int64(n))
+	if err != nil {
+		return err
+	}
+	return c.W.Flush()
+}
+
+// Recv reads the next frame.
+func (c *Conn) Recv() (Frame, error) {
+	f, n, err := ReadFrame(c.R)
+	c.BytesRead.Add(int64(n))
+	return f, err
+}
+
+// --- payload builders and parsers ---
+
+// A payload buffer with append-style encoders. Strings longer than
+// MaxFrame are impossible (the frame bound catches them).
+
+// AppendString appends a u32-length-prefixed string.
+func AppendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// AppendUint64 appends a little-endian u64.
+func AppendUint64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// reader consumes a payload sequentially.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if r.off+n > len(r.b) {
+		return nil, fmt.Errorf("wire: truncated payload (want %d bytes at offset %d of %d)", n, r.off, len(r.b))
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *reader) uint32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *reader) uint64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (r *reader) byte() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) string() (string, error) {
+	n, err := r.uint32()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *reader) done() error {
+	if r.off != len(r.b) {
+		return fmt.Errorf("wire: %d trailing payload bytes", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// Hello is the client's opening frame.
+type Hello struct {
+	Version uint32
+	User    string
+}
+
+// EncodeHello builds a MsgHello payload.
+func EncodeHello(h Hello) []byte {
+	b := append([]byte(nil), Magic...)
+	b = binary.LittleEndian.AppendUint32(b, h.Version)
+	return AppendString(b, h.User)
+}
+
+// DecodeHello parses a MsgHello payload, verifying the magic.
+func DecodeHello(p []byte) (Hello, error) {
+	r := &reader{b: p}
+	magic, err := r.take(len(Magic))
+	if err != nil {
+		return Hello{}, err
+	}
+	if string(magic) != Magic {
+		return Hello{}, fmt.Errorf("wire: bad magic %q (not a twmd endpoint?)", magic)
+	}
+	var h Hello
+	if h.Version, err = r.uint32(); err != nil {
+		return Hello{}, err
+	}
+	if h.User, err = r.string(); err != nil {
+		return Hello{}, err
+	}
+	return h, r.done()
+}
+
+// Welcome is the server's handshake reply.
+type Welcome struct {
+	SessionID int64
+	Server    string
+}
+
+// EncodeWelcome builds a MsgWelcome payload.
+func EncodeWelcome(w Welcome) []byte {
+	b := AppendUint64(nil, uint64(w.SessionID))
+	return AppendString(b, w.Server)
+}
+
+// DecodeWelcome parses a MsgWelcome payload.
+func DecodeWelcome(p []byte) (Welcome, error) {
+	r := &reader{b: p}
+	id, err := r.uint64()
+	if err != nil {
+		return Welcome{}, err
+	}
+	srv, err := r.string()
+	if err != nil {
+		return Welcome{}, err
+	}
+	return Welcome{SessionID: int64(id), Server: srv}, r.done()
+}
+
+// EncodeStatement builds a MsgQuery/MsgExec payload: just the SQL.
+func EncodeStatement(sql string) []byte { return AppendString(nil, sql) }
+
+// DecodeStatement parses a MsgQuery/MsgExec payload.
+func DecodeStatement(p []byte) (string, error) {
+	r := &reader{b: p}
+	sql, err := r.string()
+	if err != nil {
+		return "", err
+	}
+	return sql, r.done()
+}
+
+// EncodeSchema builds a MsgSchema payload: column count, then
+// name + type tag per column.
+func EncodeSchema(s *sqltypes.Schema) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(s.Len()))
+	for _, c := range s.Columns {
+		b = AppendString(b, c.Name)
+		b = append(b, byte(c.Type))
+	}
+	return b
+}
+
+// DecodeSchema parses a MsgSchema payload.
+func DecodeSchema(p []byte) (*sqltypes.Schema, error) {
+	r := &reader{b: p}
+	n, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxFrame/2 {
+		return nil, fmt.Errorf("wire: implausible column count %d", n)
+	}
+	cols := make([]sqltypes.Column, n)
+	for i := range cols {
+		if cols[i].Name, err = r.string(); err != nil {
+			return nil, err
+		}
+		t, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		cols[i].Type = sqltypes.Type(t)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return sqltypes.NewSchema(cols...)
+}
+
+// Value tags mirror the storage row codec (plus BOOL, which predicates
+// can surface in result sets but storage never persists).
+const (
+	tagNull    byte = 0
+	tagDouble  byte = 1
+	tagBigInt  byte = 2
+	tagVarChar byte = 3
+	tagBool    byte = 4
+)
+
+// AppendValue appends one value's tagged encoding.
+func AppendValue(b []byte, v sqltypes.Value) ([]byte, error) {
+	switch v.Type() {
+	case sqltypes.TypeNull:
+		return append(b, tagNull), nil
+	case sqltypes.TypeDouble:
+		f, _ := v.Float()
+		b = append(b, tagDouble)
+		return binary.LittleEndian.AppendUint64(b, math.Float64bits(f)), nil
+	case sqltypes.TypeBigInt:
+		b = append(b, tagBigInt)
+		return binary.LittleEndian.AppendUint64(b, uint64(v.Int())), nil
+	case sqltypes.TypeVarChar:
+		s := v.Str()
+		b = append(b, tagVarChar)
+		return AppendString(b, s), nil
+	case sqltypes.TypeBool:
+		b = append(b, tagBool)
+		if v.Bool() {
+			return append(b, 1), nil
+		}
+		return append(b, 0), nil
+	default:
+		return nil, fmt.Errorf("wire: cannot encode value of type %v", v.Type())
+	}
+}
+
+// decodeValue parses one tagged value.
+func decodeValue(r *reader) (sqltypes.Value, error) {
+	tag, err := r.byte()
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	switch tag {
+	case tagNull:
+		return sqltypes.Null, nil
+	case tagDouble:
+		u, err := r.uint64()
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewDouble(math.Float64frombits(u)), nil
+	case tagBigInt:
+		u, err := r.uint64()
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewBigInt(int64(u)), nil
+	case tagVarChar:
+		s, err := r.string()
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewVarChar(s), nil
+	case tagBool:
+		b, err := r.byte()
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewBool(b != 0), nil
+	default:
+		return sqltypes.Null, fmt.Errorf("wire: bad value tag %d", tag)
+	}
+}
+
+// EncodeBatch builds a MsgBatch payload from rows. Batches are
+// self-describing (row count and arity in the header) because the
+// streamed execution path — like the in-process QueryStream — learns
+// the result schema only when the scan completes, so the Schema frame
+// may follow the batches it describes. Rows must share one arity.
+func EncodeBatch(rows []sqltypes.Row) ([]byte, error) {
+	arity := 0
+	if len(rows) > 0 {
+		arity = len(rows[0])
+	}
+	b := binary.LittleEndian.AppendUint32(nil, uint32(len(rows)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(arity))
+	var err error
+	for _, row := range rows {
+		if len(row) != arity {
+			return nil, fmt.Errorf("wire: ragged batch: row has %d values, batch arity is %d", len(row), arity)
+		}
+		for _, v := range row {
+			if b, err = AppendValue(b, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+// DecodeBatch parses a MsgBatch payload.
+func DecodeBatch(p []byte) ([]sqltypes.Row, error) {
+	r := &reader{b: p}
+	n, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	arity, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	// Every value costs at least its 1-byte tag; reject headers that
+	// promise more values than the payload could hold.
+	if int64(n)*int64(arity) > int64(len(p)) {
+		return nil, fmt.Errorf("wire: implausible batch header (%d rows × %d cols in %d bytes)", n, arity, len(p))
+	}
+	rows := make([]sqltypes.Row, n)
+	for i := range rows {
+		row := make(sqltypes.Row, arity)
+		for j := 0; j < int(arity); j++ {
+			if row[j], err = decodeValue(r); err != nil {
+				return nil, err
+			}
+		}
+		rows[i] = row
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Done closes a statement's response stream.
+type Done struct {
+	// Affected is the row count for INSERT-like statements.
+	Affected int64
+	// Rows is the number of result rows streamed (for client-side
+	// verification of complete delivery).
+	Rows int64
+	// StatsJSON is the executor's exec.Stats marshaled as JSON, empty
+	// for statements without a scan.
+	StatsJSON string
+}
+
+// EncodeDone builds a MsgDone payload.
+func EncodeDone(d Done) []byte {
+	b := AppendUint64(nil, uint64(d.Affected))
+	b = AppendUint64(b, uint64(d.Rows))
+	return AppendString(b, d.StatsJSON)
+}
+
+// DecodeDone parses a MsgDone payload.
+func DecodeDone(p []byte) (Done, error) {
+	r := &reader{b: p}
+	affected, err := r.uint64()
+	if err != nil {
+		return Done{}, err
+	}
+	rows, err := r.uint64()
+	if err != nil {
+		return Done{}, err
+	}
+	stats, err := r.string()
+	if err != nil {
+		return Done{}, err
+	}
+	return Done{Affected: int64(affected), Rows: int64(rows), StatsJSON: stats}, r.done()
+}
+
+// EncodeError builds a MsgError payload.
+func EncodeError(e *Error) []byte {
+	b := AppendString(nil, e.Code)
+	return AppendString(b, e.Message)
+}
+
+// DecodeError parses a MsgError payload.
+func DecodeError(p []byte) (*Error, error) {
+	r := &reader{b: p}
+	code, err := r.string()
+	if err != nil {
+		return nil, err
+	}
+	msg, err := r.string()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return &Error{Code: code, Message: msg}, nil
+}

@@ -1,0 +1,244 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/engine/sqltypes"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 1<<16)}
+	for _, p := range payloads {
+		var buf bytes.Buffer
+		wn, err := WriteFrame(&buf, MsgQuery, p)
+		if err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+		if wn != buf.Len() {
+			t.Fatalf("WriteFrame reported %d bytes, wrote %d", wn, buf.Len())
+		}
+		f, rn, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if rn != wn {
+			t.Fatalf("ReadFrame consumed %d bytes, frame was %d", rn, wn)
+		}
+		if f.Type != MsgQuery || !bytes.Equal(f.Payload, p) {
+			t.Fatalf("round trip mismatch: %v", f)
+		}
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	if _, err := WriteFrame(io.Discard, MsgBatch, make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("WriteFrame accepted an oversized payload")
+	}
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, MsgBatch})
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("ReadFrame accepted an oversized length")
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, MsgQuery, []byte("SELECT 1")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("ReadFrame accepted a frame truncated to %d/%d bytes", cut, len(full))
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	for _, h := range []Hello{{Version: 1, User: "alice"}, {Version: 7, User: ""}, {Version: 1, User: strings.Repeat("u", 300)}} {
+		got, err := DecodeHello(EncodeHello(h))
+		if err != nil {
+			t.Fatalf("DecodeHello(%+v): %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("hello round trip: got %+v want %+v", got, h)
+		}
+	}
+	if _, err := DecodeHello([]byte("GET / HTTP/1.1\r\n")); err == nil {
+		t.Fatal("DecodeHello accepted an HTTP request")
+	}
+}
+
+func TestWelcomeDoneErrorRoundTrip(t *testing.T) {
+	w := Welcome{SessionID: 42, Server: "twmd/1"}
+	gw, err := DecodeWelcome(EncodeWelcome(w))
+	if err != nil || gw != w {
+		t.Fatalf("welcome round trip: %+v, %v", gw, err)
+	}
+	d := Done{Affected: 12, Rows: 99, StatsJSON: `{"rows_scanned":5}`}
+	gd, err := DecodeDone(EncodeDone(d))
+	if err != nil || gd != d {
+		t.Fatalf("done round trip: %+v, %v", gd, err)
+	}
+	e := &Error{Code: CodeBusy, Message: "50 statements in flight"}
+	ge, err := DecodeError(EncodeError(e))
+	if err != nil || *ge != *e {
+		t.Fatalf("error round trip: %+v, %v", ge, err)
+	}
+	if !IsBusy(ge) {
+		t.Fatal("IsBusy(busy error) = false")
+	}
+	if IsBusy(&Error{Code: CodeInternal}) {
+		t.Fatal("IsBusy(internal error) = true")
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	s := sqltypes.MustSchema(
+		sqltypes.Column{Name: "i", Type: sqltypes.TypeBigInt},
+		sqltypes.Column{Name: "x", Type: sqltypes.TypeDouble},
+		sqltypes.Column{Name: "label", Type: sqltypes.TypeVarChar},
+	)
+	got, err := DecodeSchema(EncodeSchema(s))
+	if err != nil {
+		t.Fatalf("DecodeSchema: %v", err)
+	}
+	if got.String() != s.String() {
+		t.Fatalf("schema round trip: got %s want %s", got, s)
+	}
+}
+
+// randomValue draws one value over all encodable types.
+func randomValue(rng *rand.Rand) sqltypes.Value {
+	switch rng.Intn(5) {
+	case 0:
+		return sqltypes.Null
+	case 1:
+		// Include tricky doubles: ±Inf, NaN payloads survive bit-exact.
+		switch rng.Intn(5) {
+		case 0:
+			return sqltypes.NewDouble(math.Inf(1))
+		case 1:
+			return sqltypes.NewDouble(math.Inf(-1))
+		case 2:
+			return sqltypes.NewDouble(0)
+		default:
+			return sqltypes.NewDouble(rng.NormFloat64() * math.Pow(10, float64(rng.Intn(30)-15)))
+		}
+	case 2:
+		return sqltypes.NewBigInt(rng.Int63() - rng.Int63())
+	case 3:
+		n := rng.Intn(64)
+		b := make([]byte, n)
+		rng.Read(b)
+		return sqltypes.NewVarChar(string(b))
+	default:
+		return sqltypes.NewBool(rng.Intn(2) == 0)
+	}
+}
+
+// TestBatchRoundTripProperty drives random batches through the codec
+// and requires value-exact reconstruction.
+func TestBatchRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2007))
+	for trial := 0; trial < 200; trial++ {
+		arity := 1 + rng.Intn(8)
+		rows := make([]sqltypes.Row, rng.Intn(20))
+		for i := range rows {
+			row := make(sqltypes.Row, arity)
+			for j := range row {
+				row[j] = randomValue(rng)
+			}
+			rows[i] = row
+		}
+		p, err := EncodeBatch(rows)
+		if err != nil {
+			t.Fatalf("EncodeBatch: %v", err)
+		}
+		got, err := DecodeBatch(p)
+		if err != nil {
+			t.Fatalf("DecodeBatch: %v", err)
+		}
+		if len(got) != len(rows) {
+			t.Fatalf("trial %d: %d rows decoded, want %d", trial, len(got), len(rows))
+		}
+		for i := range rows {
+			for j := range rows[i] {
+				a, b := rows[i][j], got[i][j]
+				if a.Type() != b.Type() {
+					t.Fatalf("trial %d row %d col %d: type %v != %v", trial, i, j, a.Type(), b.Type())
+				}
+				// Bit-exact for doubles (NaN != NaN under Compare).
+				af, aok := a.Float()
+				bf, bok := b.Float()
+				if aok != bok || (aok && math.Float64bits(af) != math.Float64bits(bf)) {
+					t.Fatalf("trial %d row %d col %d: %v != %v", trial, i, j, a, b)
+				}
+				if a.Str() != b.Str() {
+					t.Fatalf("trial %d row %d col %d: %q != %q", trial, i, j, a.Str(), b.Str())
+				}
+			}
+		}
+	}
+}
+
+// FuzzDecodeFrameStream throws arbitrary bytes at the frame reader and
+// payload decoders: they must error or succeed, never panic, and any
+// successfully decoded batch must re-encode.
+func FuzzDecodeFrameStream(f *testing.F) {
+	var seed bytes.Buffer
+	WriteFrame(&seed, MsgHello, EncodeHello(Hello{Version: 1, User: "u"}))
+	WriteFrame(&seed, MsgDone, EncodeDone(Done{Affected: 3}))
+	b, _ := EncodeBatch([]sqltypes.Row{{sqltypes.NewDouble(1.5), sqltypes.NewVarChar("a")}})
+	WriteFrame(&seed, MsgBatch, b)
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{5, 0, 0, 0, MsgQuery, 1, 0, 0, 0, 'x'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			fr, _, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			// Decode against every parser: none may panic.
+			DecodeHello(fr.Payload)
+			DecodeWelcome(fr.Payload)
+			DecodeStatement(fr.Payload)
+			DecodeSchema(fr.Payload)
+			DecodeDone(fr.Payload)
+			DecodeError(fr.Payload)
+			if rows, err := DecodeBatch(fr.Payload); err == nil {
+				if _, err := EncodeBatch(rows); err != nil {
+					t.Fatalf("decoded batch failed to re-encode: %v", err)
+				}
+			}
+		}
+	})
+}
+
+func TestConnSendRecv(t *testing.T) {
+	var buf bytes.Buffer
+	c := &Conn{R: &buf, W: bufio.NewWriter(&buf)}
+	if err := c.Send(MsgPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != MsgPing {
+		t.Fatalf("got frame type %#x, want ping", f.Type)
+	}
+	if c.BytesWritten.Load() != 5 || c.BytesRead.Load() != 5 {
+		t.Fatalf("byte accounting: wrote %d read %d, want 5/5", c.BytesWritten.Load(), c.BytesRead.Load())
+	}
+}

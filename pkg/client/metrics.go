@@ -1,0 +1,19 @@
+package client
+
+import "repro/internal/engine/obs"
+
+// Client-side instruments, registered on the process-wide registry so
+// a process embedding both a client and a server (or the harness's
+// over-the-wire experiments) reports both sides of the link.
+var (
+	// RoundtripSeconds is the client-observed wire round trip for one
+	// statement: send, execution, and full result download. Comparing
+	// it with engine_server_statement_seconds isolates network cost.
+	roundtripSeconds = obs.Default.Histogram("engine_client_roundtrip_seconds",
+		"Client-observed statement round-trip latency over the wire.",
+		obs.DurationBuckets)
+	// RetriesTotal counts automatic retries of idempotent SELECTs
+	// after connection loss.
+	retriesTotal = obs.Default.Counter("engine_client_retries_total",
+		"Statements automatically retried after connection loss.")
+)

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# server_smoke.sh — CI smoke test for the network serving layer.
+#
+# Starts twmd, drives a scripted session through sqlsh -connect
+# (create a table, load rows, run the paper's summary UDF, store a
+# model, score with the scalar UDF, inspect sys.sessions), then shuts
+# the daemon down with SIGTERM and requires a clean exit.
+set -euo pipefail
+
+ADDR="${TWMD_ADDR:-127.0.0.1:7791}"
+LOG="$(mktemp)"
+trap 'kill "$TWMD_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+go build -o /tmp/smoke-twmd ./cmd/twmd
+go build -o /tmp/smoke-sqlsh ./cmd/sqlsh
+
+/tmp/smoke-twmd -addr "$ADDR" -max-statements 8 2>"$LOG" &
+TWMD_PID=$!
+
+# Wait for the listener.
+for _ in $(seq 1 50); do
+  if /tmp/smoke-sqlsh -connect "$ADDR" -c "SELECT 1 + 1" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+
+sql() { /tmp/smoke-sqlsh -connect "$ADDR" -user ci "$@"; }
+
+echo "== create + load =="
+sql -c "CREATE TABLE X (i BIGINT, X1 DOUBLE, X2 DOUBLE, Y DOUBLE)"
+sql -c "INSERT INTO X VALUES (1, 1.0, 2.0, 5.0)"
+sql -c "INSERT INTO X VALUES (2, 2.0, 1.0, 4.0)"
+sql -c "INSERT INTO X VALUES (3, 3.0, 3.0, 9.0)"
+
+echo "== summary UDF over the wire =="
+NLQ="$(sql -c "SELECT nlq_list(2, 'triang', X1, X2) FROM X")"
+echo "$NLQ"
+echo "$NLQ" | grep -q "2;triang;3" # d=2, triangular layout, n=3
+
+echo "== store a model + score with the scalar UDF =="
+# One-row BETA table in the layout score.SaveLinReg writes: b0 is the
+# intercept, b1..bd the coefficients. yhat = 1 + X1 + X2.
+sql -c "CREATE TABLE BETA (b0 DOUBLE, b1 DOUBLE, b2 DOUBLE)"
+sql -c "INSERT INTO BETA VALUES (1.0, 1.0, 1.0)"
+SCORES="$(sql -c "SELECT X.i, linearregscore(X.X1, X.X2, b0, b1, b2) AS yhat FROM X CROSS JOIN BETA ORDER BY i")"
+echo "$SCORES"
+echo "$SCORES" | grep -q "^1 | 4$"  # row i=1: 1 + 1.0 + 2.0
+
+echo "== sessions are visible =="
+SESS="$(sql -c "SELECT user_name, current_sql FROM sys.sessions")"
+echo "$SESS"
+echo "$SESS" | grep -q "ci"
+
+echo "== graceful shutdown =="
+kill -TERM "$TWMD_PID"
+wait "$TWMD_PID"
+grep -q "twmd: bye" "$LOG"
+echo "server smoke: ok"
