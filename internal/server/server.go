@@ -228,6 +228,59 @@ type incoming struct {
 	err error
 }
 
+// idleClock manages a connection's idle read deadline across the two
+// goroutines that share it: the reader arms the clock while waiting for
+// a frame and suspends it the moment one arrives; the handler restarts
+// it when the frame has been handled. The count (rather than a bool)
+// makes the handoff safe against a pipelining client: a frame read
+// ahead while the previous statement still executes keeps the clock
+// suspended until the handler has caught up.
+type idleClock struct {
+	mu       sync.Mutex
+	nc       net.Conn
+	timeout  time.Duration
+	inflight int // frames delivered to the handler but not yet handled
+}
+
+func newIdleClock(nc net.Conn, timeout time.Duration) *idleClock {
+	c := &idleClock{nc: nc, timeout: timeout}
+	nc.SetReadDeadline(time.Now().Add(timeout))
+	return c
+}
+
+// begin (reader side) marks a frame in flight and suspends the clock.
+func (c *idleClock) begin() {
+	c.mu.Lock()
+	c.inflight++
+	c.nc.SetReadDeadline(time.Time{})
+	c.mu.Unlock()
+}
+
+// end (handler side) marks a frame handled; once nothing is in flight
+// the clock restarts.
+func (c *idleClock) end() {
+	c.mu.Lock()
+	c.inflight--
+	if c.inflight == 0 {
+		c.nc.SetReadDeadline(time.Now().Add(c.timeout))
+	}
+	c.mu.Unlock()
+}
+
+// staleTimeout reports whether a read timeout came from a deadline made
+// stale by an in-flight frame. It clears the stale deadline under the
+// lock so the reader blocks cleanly instead of spinning on instant
+// timeouts until the statement completes.
+func (c *idleClock) staleTimeout() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inflight == 0 {
+		return false
+	}
+	c.nc.SetReadDeadline(time.Time{})
+	return true
+}
+
 // errCloseSession signals a clean client-requested close.
 var errCloseSession = errors.New("server: session closed")
 
@@ -265,27 +318,29 @@ func (s *Server) handleConn(nc net.Conn) {
 	defer cancel()
 	ctx = db.WithSession(ctx, db.Session{ID: sess.id, User: sess.user, RemoteAddr: sess.remoteAddr})
 
-	// inflight marks a statement executing: the reader treats read
-	// deadlines as idle-timeouts only when no statement is running.
-	var inflight atomic.Bool
+	clock := newIdleClock(nc, s.cfg.IdleTimeout)
 	frames := make(chan incoming, 1)
-	go s.readLoop(nc, wc, frames, cancel, &inflight)
+	go s.readLoop(ctx, wc, frames, cancel, clock)
 
-	nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 	for {
 		select {
 		case in := <-frames:
 			if in.err != nil {
 				return // disconnect, idle timeout or unreadable frame
 			}
-			if err := s.dispatch(ctx, nc, wc, sess, in.f); err != nil {
+			err := s.dispatch(ctx, nc, wc, sess, in.f)
+			clock.end()
+			if err != nil {
 				return
 			}
-			// Statement finished: back to idle; re-arm the idle clock.
-			nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-			inflight.Store(false)
-		case <-s.baseCtx.Done():
-			s.sendError(nc, wc, &wire.Error{Code: wire.CodeShutdown, Message: "server shutting down"})
+		case <-ctx.Done():
+			// Server shutdown, or the reader cancelled on disconnect.
+			// Selecting on the session ctx (not just frames) means a
+			// reader whose terminal error was dropped — because a frame
+			// was already buffered — still unwinds the session.
+			if s.baseCtx.Err() != nil {
+				s.sendError(nc, wc, &wire.Error{Code: wire.CodeShutdown, Message: "server shutting down"})
+			}
 			return
 		}
 	}
@@ -293,32 +348,37 @@ func (s *Server) handleConn(nc net.Conn) {
 
 // readLoop is the connection's only reader. It reads ahead while a
 // statement executes purely to detect disconnects: a read error while
-// inflight cancels the session context, which stops the executor's
-// partition scans. Read deadlines double as the idle timeout — while a
-// statement is inflight the handler clears them, so a slow query with
-// a silently waiting client is not mistaken for an idle session.
-func (s *Server) readLoop(nc net.Conn, wc *wire.Conn, frames chan<- incoming, cancel context.CancelFunc, inflight *atomic.Bool) {
+// a frame is in flight cancels the session context, which stops the
+// executor's partition scans. Read deadlines double as the idle
+// timeout, suspended by the idleClock while frames are in flight so a
+// slow query with a silently waiting client is not mistaken for an
+// idle session.
+func (s *Server) readLoop(ctx context.Context, wc *wire.Conn, frames chan<- incoming, cancel context.CancelFunc, clock *idleClock) {
 	for {
 		f, err := wc.Recv()
 		if err != nil {
 			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() && inflight.Load() {
-				// Stale idle deadline fired just as a statement began;
-				// the handler has cleared it — keep reading.
+			if errors.As(err, &ne) && ne.Timeout() && clock.staleTimeout() {
+				// Idle deadline fired just as a statement began; the
+				// clock cleared it — keep reading.
 				continue
 			}
 			cancel()
+			// Best-effort delivery: the handler may be mid-statement
+			// with a frame already buffered, so never block here — the
+			// cancelled ctx unwinds the handler regardless.
 			select {
 			case frames <- incoming{err: err}:
-			default: // handler already unwinding
+			default:
 			}
 			return
 		}
-		// A statement (or ping) is now in flight: suspend the idle
-		// clock until the handler responds and re-arms it.
-		inflight.Store(true)
-		nc.SetReadDeadline(time.Time{})
-		frames <- incoming{f: f}
+		clock.begin()
+		select {
+		case frames <- incoming{f: f}:
+		case <-ctx.Done():
+			return // handler unwinding; don't block on a dead channel
+		}
 	}
 }
 
@@ -367,8 +427,7 @@ func (s *Server) dispatch(ctx context.Context, nc net.Conn, wc *wire.Conn, sess 
 			s.sendError(nc, wc, &wire.Error{Code: wire.CodeProtocol, Message: err.Error()})
 			return err
 		}
-		s.runStatement(ctx, nc, wc, sess, sql, f.Type == wire.MsgExec)
-		return nil
+		return s.runStatement(ctx, nc, wc, sess, sql, f.Type == wire.MsgExec)
 	default:
 		err := &wire.Error{Code: wire.CodeProtocol, Message: fmt.Sprintf("unexpected frame type %#x", f.Type)}
 		s.sendError(nc, wc, err)
@@ -377,10 +436,12 @@ func (s *Server) dispatch(ctx context.Context, nc net.Conn, wc *wire.Conn, sess 
 }
 
 // runStatement executes one statement under admission control and
-// streams its result. Execution errors go back as typed error frames;
-// only write failures (returned via sendError/send inside) matter to
-// the caller, and those surface on the next loop iteration anyway.
-func (s *Server) runStatement(ctx context.Context, nc net.Conn, wc *wire.Conn, sess *session, sql string, script bool) {
+// streams its result. Execution errors go back to the client as typed
+// error frames and return nil; a non-nil return is a wire write
+// failure, which ends the session immediately — a dead client's reads
+// may never error (see readLoop), so the writer cannot rely on the
+// reader to notice.
+func (s *Server) runStatement(ctx context.Context, nc net.Conn, wc *wire.Conn, sess *session, sql string, script bool) error {
 	start := time.Now()
 	defer func() {
 		statementSeconds.Observe(time.Since(start).Seconds())
@@ -389,12 +450,10 @@ func (s *Server) runStatement(ctx context.Context, nc net.Conn, wc *wire.Conn, s
 	}()
 
 	if s.draining.Load() {
-		s.sendError(nc, wc, &wire.Error{Code: wire.CodeShutdown, Message: "server shutting down"})
-		return
+		return s.sendError(nc, wc, &wire.Error{Code: wire.CodeShutdown, Message: "server shutting down"})
 	}
 	if err := s.adm.acquire(ctx); err != nil {
-		s.sendError(nc, wc, classify(err))
-		return
+		return s.sendError(nc, wc, classify(err))
 	}
 	defer s.adm.release()
 	statementsInflight.Inc()
@@ -405,11 +464,9 @@ func (s *Server) runStatement(ctx context.Context, nc net.Conn, wc *wire.Conn, s
 	if script {
 		res, err := s.db.ExecScriptContext(ctx, sql)
 		if err != nil {
-			s.sendError(nc, wc, classify(err))
-			return
+			return s.sendError(nc, wc, classify(err))
 		}
-		s.sendResult(nc, wc, res)
-		return
+		return s.sendResult(nc, wc, res)
 	}
 
 	// Single statement: SELECTs without ORDER BY/LIMIT stream straight
@@ -417,26 +474,24 @@ func (s *Server) runStatement(ctx context.Context, nc net.Conn, wc *wire.Conn, s
 	// INSERT, ordered SELECTs) executes materialized.
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
-		s.sendError(nc, wc, classify(err))
-		return
+		return s.sendError(nc, wc, classify(err))
 	}
 	if sel, ok := stmt.(*sqlparser.Select); ok && len(sel.OrderBy) == 0 && sel.Limit == nil {
-		s.streamQuery(ctx, nc, wc, sql)
-		return
+		return s.streamQuery(ctx, nc, wc, sql)
 	}
 	res, err := s.db.RunContext(ctx, stmt)
 	if err != nil {
-		s.sendError(nc, wc, classify(err))
-		return
+		return s.sendError(nc, wc, classify(err))
 	}
-	s.sendResult(nc, wc, res)
+	return s.sendResult(nc, wc, res)
 }
 
 // streamQuery runs a streamable SELECT, flushing result batches as
 // they fill. The schema frame follows the batches — the streaming
 // executor (like the in-process QueryStream) reports the schema when
-// the scan completes, and batches are self-describing.
-func (s *Server) streamQuery(ctx context.Context, nc net.Conn, wc *wire.Conn, sql string) {
+// the scan completes, and batches are self-describing. A non-nil
+// return is a wire write failure that ends the session.
+func (s *Server) streamQuery(ctx context.Context, nc net.Conn, wc *wire.Conn, sql string) error {
 	var (
 		mu    sync.Mutex
 		batch []sqltypes.Row
@@ -472,30 +527,30 @@ func (s *Server) streamQuery(ctx context.Context, nc net.Conn, wc *wire.Conn, sq
 	schema, stats, err := s.db.QueryStreamContext(ctx, sql, sink)
 	if err != nil {
 		if werr != nil {
-			return // connection is gone; nothing to report to
+			return werr // connection is gone; nothing to report to
 		}
-		s.sendError(nc, wc, classify(err))
-		return
+		return s.sendError(nc, wc, classify(err))
 	}
 	mu.Lock()
 	err = flushLocked()
 	rows := sent
 	mu.Unlock()
 	if err != nil {
-		return
+		return err
 	}
 	if err := s.send(nc, wc, wire.MsgSchema, wire.EncodeSchema(schema)); err != nil {
-		return
+		return err
 	}
-	s.send(nc, wc, wire.MsgDone, wire.EncodeDone(wire.Done{Rows: rows, StatsJSON: statsJSON(stats)}))
+	return s.send(nc, wc, wire.MsgDone, wire.EncodeDone(wire.Done{Rows: rows, StatsJSON: statsJSON(stats)}))
 }
 
 // sendResult streams a materialized result: Schema (when the statement
-// produced one), row batches, Done.
-func (s *Server) sendResult(nc net.Conn, wc *wire.Conn, res *exec.Result) {
+// produced one), row batches, Done. A non-nil return is a wire write
+// failure that ends the session.
+func (s *Server) sendResult(nc net.Conn, wc *wire.Conn, res *exec.Result) error {
 	if res.Schema != nil {
 		if err := s.send(nc, wc, wire.MsgSchema, wire.EncodeSchema(res.Schema)); err != nil {
-			return
+			return err
 		}
 	}
 	for off := 0; off < len(res.Rows); off += s.cfg.BatchRows {
@@ -505,14 +560,13 @@ func (s *Server) sendResult(nc net.Conn, wc *wire.Conn, res *exec.Result) {
 		}
 		p, err := wire.EncodeBatch(res.Rows[off:end])
 		if err != nil {
-			s.sendError(nc, wc, classify(err))
-			return
+			return s.sendError(nc, wc, classify(err))
 		}
 		if err := s.send(nc, wc, wire.MsgBatch, p); err != nil {
-			return
+			return err
 		}
 	}
-	s.send(nc, wc, wire.MsgDone, wire.EncodeDone(wire.Done{
+	return s.send(nc, wc, wire.MsgDone, wire.EncodeDone(wire.Done{
 		Affected:  res.Affected,
 		Rows:      int64(len(res.Rows)),
 		StatsJSON: statsJSON(res.Stats),
@@ -525,8 +579,10 @@ func (s *Server) send(nc net.Conn, wc *wire.Conn, typ byte, payload []byte) erro
 	return wc.Send(typ, payload)
 }
 
-func (s *Server) sendError(nc net.Conn, wc *wire.Conn, e *wire.Error) {
-	s.send(nc, wc, wire.MsgError, wire.EncodeError(e))
+// sendError reports a statement failure to the client; its non-nil
+// return is a wire write failure, not the statement error.
+func (s *Server) sendError(nc net.Conn, wc *wire.Conn, e *wire.Error) error {
+	return s.send(nc, wc, wire.MsgError, wire.EncodeError(e))
 }
 
 // statsJSON marshals executor stats for the Done frame ("" when the

@@ -406,6 +406,64 @@ func TestCancelOnDisconnect(t *testing.T) {
 	})
 }
 
+// TestSessionUnwindsOnAbruptDisconnect reproduces the dropped-read-
+// error interleaving: a client pipelines a second request behind a
+// parked statement and vanishes mid-flight. The reader's terminal
+// error is dropped (the frames channel already holds the second
+// request), so only the cancelled session context can unwind the
+// handler; the session must leave sys.sessions rather than leak its
+// goroutine, connection, and registry row until server shutdown.
+func TestSessionUnwindsOnAbruptDisconnect(t *testing.T) {
+	eng, srv := startServer(t, server.Config{})
+	entered, release := registerBlocker(t, eng)
+	if _, err := eng.Exec("CREATE TABLE T (v DOUBLE)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec("INSERT INTO T VALUES (1.0)"); err != nil {
+		t.Fatal(err)
+	}
+
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := wire.NewConn(nc)
+	if err := wc.Send(wire.MsgHello, wire.EncodeHello(wire.Hello{Version: wire.ProtocolVersion, User: "vanisher"})); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := wc.Recv(); err != nil || f.Type != wire.MsgWelcome {
+		t.Fatalf("handshake: %v %v", f, err)
+	}
+	// The first request parks in the UDF; the second sits buffered in
+	// the server's frames channel when the disconnect error arrives.
+	if err := wc.Send(wire.MsgQuery, wire.EncodeStatement("SELECT block1(v) FROM T")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Send(wire.MsgQuery, wire.EncodeStatement("SELECT v FROM T")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "statement to park in the UDF", func() bool { return entered.Load() >= 1 })
+	nc.Close()
+	// Let the reader hit its terminal error (and drop it), then let the
+	// parked statement run to its next ctx check.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	p := openPool(t, srv.Addr(), "watcher", 1)
+	waitFor(t, "the dead session to leave sys.sessions", func() bool {
+		rows, err := p.Query(context.Background(), "SELECT user_name FROM sys.sessions")
+		if err != nil {
+			return false
+		}
+		for _, r := range rows.Rows {
+			if r[0].Str() == "vanisher" {
+				return false
+			}
+		}
+		return len(rows.Rows) > 0
+	})
+}
+
 func TestErrorClassification(t *testing.T) {
 	_, srv := startServer(t, server.Config{})
 	p := openPool(t, srv.Addr(), "tester", 1)

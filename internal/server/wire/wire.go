@@ -455,6 +455,11 @@ func EncodeBatch(rows []sqltypes.Row) ([]byte, error) {
 	arity := 0
 	if len(rows) > 0 {
 		arity = len(rows[0])
+		if arity == 0 {
+			// The decoder rejects n>0 with arity 0 (the header would be
+			// indistinguishable from a forged allocation bomb).
+			return nil, errors.New("wire: cannot encode zero-arity rows")
+		}
 	}
 	b := binary.LittleEndian.AppendUint32(nil, uint32(len(rows)))
 	b = binary.LittleEndian.AppendUint32(b, uint32(arity))
@@ -484,9 +489,18 @@ func DecodeBatch(p []byte) ([]sqltypes.Row, error) {
 		return nil, err
 	}
 	// Every value costs at least its 1-byte tag; reject headers that
-	// promise more values than the payload could hold.
-	if int64(n)*int64(arity) > int64(len(p)) {
-		return nil, fmt.Errorf("wire: implausible batch header (%d rows × %d cols in %d bytes)", n, arity, len(p))
+	// promise more values than the payload could hold, before the row
+	// allocation trusts n. The product of two u32s cannot overflow a
+	// u64, and zero-arity rows carry no bytes at all — EncodeBatch
+	// never produces them for a non-empty batch, so any n>0 there is a
+	// forged header.
+	rest := uint64(len(p) - r.off)
+	if arity == 0 {
+		if n != 0 {
+			return nil, fmt.Errorf("wire: implausible batch header (%d rows of zero arity)", n)
+		}
+	} else if uint64(n)*uint64(arity) > rest {
+		return nil, fmt.Errorf("wire: implausible batch header (%d rows × %d cols in %d payload bytes)", n, arity, rest)
 	}
 	rows := make([]sqltypes.Row, n)
 	for i := range rows {

@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"io"
 	"math"
 	"math/rand"
@@ -186,6 +187,41 @@ func TestBatchRoundTripProperty(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestDecodeBatchRejectsForgedHeaders hand-crafts batch headers whose
+// row counts are implausible for the payload: a zero arity with a huge
+// row count (any n × 0 = 0), and counts whose product overflows int64
+// to a negative value. Both must be rejected before the row-slice
+// allocation trusts n, or a 12-byte frame can demand ~100GB.
+func TestDecodeBatchRejectsForgedHeaders(t *testing.T) {
+	forged := []struct{ n, arity uint32 }{
+		{math.MaxUint32, 0},              // product 0 regardless of n
+		{1 << 20, 0},                     // ditto
+		{math.MaxUint32, math.MaxUint32}, // int64 product wraps negative
+		{1 << 31, 1 << 31},               // large positive product
+		{1 << 16, 1 << 16},               // plausible-looking, no payload
+	}
+	for _, h := range forged {
+		p := binary.LittleEndian.AppendUint32(nil, h.n)
+		p = binary.LittleEndian.AppendUint32(p, h.arity)
+		if _, err := DecodeBatch(p); err == nil {
+			t.Errorf("DecodeBatch accepted forged header n=%d arity=%d", h.n, h.arity)
+		}
+	}
+	// The legitimate empty batch (n=0, arity=0) still decodes.
+	p, err := EncodeBatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows, err := DecodeBatch(p); err != nil || len(rows) != 0 {
+		t.Fatalf("empty batch: %d rows, err %v", len(rows), err)
+	}
+	// Zero-arity rows are unencodable (the decoder cannot tell them
+	// from a forged header).
+	if _, err := EncodeBatch([]sqltypes.Row{{}}); err == nil {
+		t.Fatal("EncodeBatch accepted zero-arity rows")
 	}
 }
 

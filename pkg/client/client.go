@@ -124,6 +124,11 @@ type conn struct {
 	wc       *wire.Conn
 	session  int64
 	idleFrom time.Time
+	// broken marks the connection unfit for reuse: a transport or
+	// protocol failure, or a cancelled context that left the deadline
+	// in the past and possibly a half-read response stream. Callers
+	// must discard (never pool) a broken connection.
+	broken bool
 }
 
 // dial establishes and handshakes one connection.
@@ -231,6 +236,17 @@ func (p *Pool) discard(c *conn) {
 	<-p.permits
 }
 
+// release returns c to the pool, unless the round trip left it broken
+// (transport failure or a fired context), in which case it is dropped —
+// pooling it would hand the next caller a spurious instant timeout.
+func (p *Pool) release(c *conn) {
+	if c.broken {
+		p.discard(c)
+		return
+	}
+	p.put(c)
+}
+
 // Close closes the pool and its idle connections. Connections checked
 // out by in-flight calls are closed as they are returned.
 func (p *Pool) Close() error {
@@ -309,7 +325,11 @@ func watchCtx(ctx context.Context, nc net.Conn) (stop func() bool) {
 
 // roundTrip sends one statement and collects the full response.
 // A *wire.Error return means the server failed the statement but the
-// connection remains usable; any other error poisons the connection.
+// connection remains usable; any other error marks the connection
+// broken, as does a context that fired at any point (the watcher moved
+// the deadline into the past, and the response stream may be half
+// read) — even when the response still completed. Callers consult
+// c.broken to decide pool-vs-discard.
 func (c *conn) roundTrip(ctx context.Context, msgType byte, sql string, sink func(sqltypes.Row) error) (*Rows, error) {
 	start := time.Now()
 	stop := watchCtx(ctx, c.nc)
@@ -320,6 +340,7 @@ func (c *conn) roundTrip(ctx context.Context, msgType byte, sql string, sink fun
 		}
 	}()
 	fail := func(err error) (*Rows, error) {
+		c.broken = true
 		if stop() {
 			ctxDone = true
 			if cerr := ctx.Err(); cerr != nil {
@@ -364,14 +385,18 @@ func (c *conn) roundTrip(ctx context.Context, msgType byte, sql string, sink fun
 				return fail(err)
 			}
 			out.Affected, out.StatsJSON = d.Affected, d.StatsJSON
-			stop()
+			if stop() {
+				c.broken = true
+			}
 			return out, nil
 		case wire.MsgError:
 			we, derr := wire.DecodeError(f.Payload)
 			if derr != nil {
 				return fail(derr)
 			}
-			stop()
+			if stop() {
+				c.broken = true
+			}
 			return nil, we
 		default:
 			return fail(fmt.Errorf("client: unexpected frame type %#x", f.Type))
@@ -432,15 +457,13 @@ func (p *Pool) Query(ctx context.Context, sql string) (*Rows, error) {
 			return nil, err
 		}
 		rows, err := c.roundTrip(ctx, wire.MsgQuery, sql, nil)
+		p.release(c)
 		if err == nil {
-			p.put(c)
 			return rows, nil
 		}
 		if !isConnLoss(err) {
-			p.put(c) // server-reported error; connection still good
-			return nil, err
+			return nil, err // server-reported error or cancelled ctx
 		}
-		p.discard(c)
 		lastErr = err
 	}
 	return nil, lastErr
@@ -456,15 +479,10 @@ func (p *Pool) QueryStream(ctx context.Context, sql string, sink func(sqltypes.R
 		return nil, err
 	}
 	res, err := c.roundTrip(ctx, wire.MsgQuery, sql, sink)
+	p.release(c)
 	if err != nil {
-		if isConnLoss(err) {
-			p.discard(c)
-		} else {
-			p.put(c)
-		}
 		return nil, err
 	}
-	p.put(c)
 	return res.Schema, nil
 }
 
@@ -477,15 +495,10 @@ func (p *Pool) Exec(ctx context.Context, sql string) (*Rows, error) {
 		return nil, err
 	}
 	rows, err := c.roundTrip(ctx, wire.MsgExec, sql, nil)
+	p.release(c)
 	if err != nil {
-		if isConnLoss(err) {
-			p.discard(c)
-		} else {
-			p.put(c)
-		}
 		return nil, err
 	}
-	p.put(c)
 	return rows, nil
 }
 
@@ -498,7 +511,9 @@ func (p *Pool) Ping(ctx context.Context) error {
 	}
 	stop := watchCtx(ctx, c.nc)
 	err = c.ping(p.cfg.DialTimeout)
-	stop()
+	if stop() && err == nil {
+		err = ctx.Err() // ctx fired: the connection deadline is poisoned
+	}
 	if err != nil {
 		p.discard(c)
 		return err

@@ -3,10 +3,13 @@ package client
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/engine/db"
+	"repro/internal/engine/expr"
+	"repro/internal/engine/sqltypes"
 	"repro/internal/server"
 )
 
@@ -139,6 +142,60 @@ func TestHealthCheckRecyclesStaleConns(t *testing.T) {
 
 	if _, err := p.Exec(ctx, "INSERT INTO T VALUES (42)"); err != nil {
 		t.Fatalf("Exec after server bounce: %v (health check should have recycled the conn)", err)
+	}
+}
+
+// TestCancelledCallDoesNotPoisonPool cancels a query mid-flight and
+// requires the pool to discard — not recycle — the abandoned
+// connection: its deadline was moved into the past and its response
+// stream is half-read, so pooling it would hand the next caller (here
+// a never-retried INSERT) a spurious instant i/o timeout.
+func TestCancelledCallDoesNotPoisonPool(t *testing.T) {
+	eng := db.Open(db.Options{Partitions: 2})
+	if _, err := eng.Exec("CREATE TABLE B (v DOUBLE)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec("INSERT INTO B VALUES (1.0)"); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	err := eng.Scalars().Register(expr.FuncDef{
+		Name: "park1", MinArgs: 1, MaxArgs: 1, UDF: true,
+		Fn: func(args []sqltypes.Value) (sqltypes.Value, error) {
+			<-release
+			return args[0], nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, server.Config{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	var once sync.Once
+	unpark := func() { once.Do(func() { close(release) }) }
+	t.Cleanup(unpark) // before srv.Close (LIFO)
+
+	p, err := Open(Config{Addr: srv.Addr(), User: "canceller", PoolSize: 1, HealthCheckAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := p.Query(ctx, "SELECT park1(v) FROM B"); err == nil {
+		t.Fatal("parked query outlived its context")
+	}
+	// Unpark the abandoned server-side statement so it can observe its
+	// cancelled session context and release its scan.
+	unpark()
+	// The abandoned connection must not be recycled: the INSERT is not
+	// retried, so it only succeeds on a freshly dialed connection.
+	if _, err := p.Exec(context.Background(), "INSERT INTO B VALUES (2.0)"); err != nil {
+		t.Fatalf("statement after cancelled call: %v", err)
 	}
 }
 
