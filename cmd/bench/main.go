@@ -44,7 +44,7 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "fraction of the paper's row counts (1 = full size)")
 	partitions := flag.Int("partitions", 20, "engine parallelism (the paper's Teradata had 20 threads)")
 	runs := flag.Int("runs", 1, "repetitions averaged per measurement (the paper used 5)")
-	exp := flag.String("exp", "", "comma-separated experiment ids (t1..t6, f1..f6, a1, a2); empty runs all")
+	exp := flag.String("exp", "", "comma-separated experiment ids (t1..t6, f1..f6, a1..a5); empty runs all")
 	odbcMbps := flag.Float64("odbc-mbps", 100, "modeled ODBC LAN bandwidth in megabits/s")
 	odbcRow := flag.Int("odbc-row-overhead", 512, "modeled per-row ODBC framing overhead in bytes")
 	timescale := flag.Float64("odbc-timescale", 0, "fraction of modeled ODBC delay actually slept (0 = report only)")
@@ -102,7 +102,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *checkMetrics {
-		if err := assertMetrics(); err != nil {
+		if err := assertMetrics(ids); err != nil {
 			fmt.Fprintln(os.Stderr, "bench: metrics check failed:", err)
 			os.Exit(1)
 		}
@@ -113,7 +113,11 @@ func main() {
 // assertMetrics queries sys.metrics through the SQL path — metrics are
 // process-wide, so a fresh in-memory instance sees everything the
 // experiments did — and fails if the core engine counters are zero.
-func assertMetrics() error {
+// When the a5 ablation ran (explicitly or because the whole suite
+// did), the summary-cache counters must have moved too: a warm build
+// with zero cache hits or zero incremental updates means the cache is
+// silently falling back to rescans.
+func assertMetrics(ids []string) error {
 	d := db.Open(db.Options{})
 	res, err := d.Exec("SELECT name, value FROM sys.metrics")
 	if err != nil {
@@ -124,11 +128,24 @@ func assertMetrics() error {
 		f, _ := row[1].Float()
 		vals[row[0].Str()] = f
 	}
-	for _, name := range []string{
+	want := []string{
 		"engine_rows_scanned_total",
 		"engine_rows_inserted_total",
 		"engine_queries_total",
-	} {
+	}
+	ranSummary := len(ids) == 0
+	for _, id := range ids {
+		if id == "a5" {
+			ranSummary = true
+		}
+	}
+	if ranSummary {
+		want = append(want,
+			"engine_summary_hits",
+			"engine_summary_incremental_updates",
+		)
+	}
+	for _, name := range want {
 		if vals[name] <= 0 {
 			return fmt.Errorf("%s = %v, want > 0 after a bench run", name, vals[name])
 		}

@@ -6,7 +6,13 @@
 //
 //	twmd -addr :7780 -dir data/ [-partitions 20] [-max-statements 64]
 //	     [-max-waiting 64] [-idle-timeout 5m] [-batch-rows 256]
-//	     [-debug-addr :6060]
+//	     [-debug-addr :6060] [-warm-summaries=false]
+//
+// On startup (unless -warm-summaries=false) the daemon pre-warms the
+// incremental summary cache for every reopened table that has DOUBLE
+// columns: one scan per table up front, after which model builds and
+// sys.summaries reads served over the wire run from the cache with
+// zero partition scans until DDL invalidates an entry.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: the listener stops
 // accepting, in-flight statements are cancelled through their run
@@ -24,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine/obs"
 	"repro/internal/server"
 
@@ -41,22 +48,28 @@ func main() {
 	batchRows := flag.Int("batch-rows", 0, "rows per streamed result batch (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown: how long to wait for sessions to drain")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/queries and /debug/pprof on this address")
+	warmSummaries := flag.Bool("warm-summaries", true, "pre-warm the summary cache for reopened tables at startup")
 	flag.Parse()
 
 	if err := run(*addr, *dir, *partitions, *workers, *maxStatements, *maxWaiting,
-		*idleTimeout, *batchRows, *drainTimeout, *debugAddr); err != nil {
+		*idleTimeout, *batchRows, *drainTimeout, *debugAddr, *warmSummaries); err != nil {
 		fmt.Fprintln(os.Stderr, "twmd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, dir string, partitions, workers, maxStatements, maxWaiting int,
-	idleTimeout time.Duration, batchRows int, drainTimeout time.Duration, debugAddr string) error {
+	idleTimeout time.Duration, batchRows int, drainTimeout time.Duration, debugAddr string,
+	warmSummaries bool) error {
 	d, err := statsudf.Open(statsudf.Options{Dir: dir, Partitions: partitions, Workers: workers})
 	if err != nil {
 		return err
 	}
 	defer d.Close()
+
+	if warmSummaries {
+		warmSummaryCache(d)
+	}
 
 	if debugAddr != "" {
 		dbg, err := d.ServeDebug(debugAddr)
@@ -94,4 +107,19 @@ func run(addr, dir string, partitions, workers, maxStatements, maxWaiting int,
 	obs.Default.WritePrometheus(os.Stderr)
 	fmt.Fprintln(os.Stderr, "twmd: bye")
 	return nil
+}
+
+// warmSummaryCache pays one scan per reopened table now so the first
+// model build a client issues runs from the cache. Tables without
+// numeric columns (or otherwise unwarmable) are skipped with a note —
+// the cache cold-starts them on first use.
+func warmSummaryCache(d *statsudf.DB) {
+	eng := d.Engine()
+	for _, name := range eng.TableNames() {
+		if _, _, err := eng.SummaryNLQ(context.Background(), name, nil, core.Triangular); err != nil {
+			fmt.Fprintf(os.Stderr, "twmd: summary warm skipped for %s: %v\n", name, err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "twmd: summary cache warmed for %s\n", name)
+	}
 }

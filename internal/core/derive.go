@@ -56,7 +56,17 @@ func (s *NLQ) Correlation() (*matrix.Dense, error) {
 				}
 				continue // zero-variance dimension: undefined, report 0
 			}
-			rho.Set(a, b, (n*s.QAt(a, b)-s.L[a]*s.L[b])/den)
+			r := (n*s.QAt(a, b) - s.L[a]*s.L[b]) / den
+			// Clamp the ratio as well as the variances: with
+			// near-collinear dimensions, cancellation in numerator and
+			// denominator can leave |ρ| a few ulps past 1, which poisons
+			// consumers computing √(1−ρ²).
+			if r > 1 {
+				r = 1
+			} else if r < -1 {
+				r = -1
+			}
+			rho.Set(a, b, r)
 		}
 	}
 	return rho, nil

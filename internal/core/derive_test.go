@@ -82,6 +82,51 @@ func TestCorrelationProperties(t *testing.T) {
 	}
 }
 
+// TestCorrelationClampedNearCollinear drives Correlation with
+// near-collinear dimensions at large offsets — the regime where
+// cancellation in n·Qab − La·Lb historically pushed |ρ| a few ulps
+// past 1 — and requires every entry to stay strictly inside [−1, 1]
+// so √(1−ρ²) never yields NaN.
+func TestCorrelationClampedNearCollinear(t *testing.T) {
+	f := func(seed int64, offMag uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Big shared offset amplifies cancellation; the jitter keeps the
+		// variance nonzero so the zero-variance guard does not kick in.
+		off := math.Pow(10, 4+float64(offMag%5)) * (1 + rng.Float64())
+		s := MustNLQ(3, Triangular)
+		for i := 0; i < 300; i++ {
+			v := off + rng.Float64()
+			x := []float64{
+				v,
+				3*v + 7 + 1e-9*rng.Float64(), // almost exactly collinear with x0
+				off * rng.Float64(),
+			}
+			if err := s.Update(x); err != nil {
+				return false
+			}
+		}
+		rho, err := s.Correlation()
+		if err != nil {
+			return false
+		}
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				r := rho.At(a, b)
+				if math.IsNaN(r) || r < -1 || r > 1 {
+					return false
+				}
+				if math.IsNaN(math.Sqrt(1 - r*r)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCorrelationPerfectlyCorrelated(t *testing.T) {
 	s := MustNLQ(2, Triangular)
 	for i := 1; i <= 50; i++ {

@@ -34,6 +34,11 @@ type KMeansOptions struct {
 	// Incremental, when true, performs the paper's single-scan variant:
 	// centroids update online during the one pass instead of per-scan.
 	Incremental bool
+	// InitialCentroids, when non-nil, bypasses the seeding scan: the
+	// k×d centroids are the starting solution. The summary cache derives
+	// them from n, L, Q with SeedCentroidsFromSummary, so clustering
+	// starts without an extra pass over X.
+	InitialCentroids [][]float64
 }
 
 // BuildKMeans clusters the source into k partitions. The standard
@@ -55,9 +60,24 @@ func BuildKMeans(src Source, k int, opts KMeansOptions) (*KMeansModel, error) {
 		opts.Tol = 1e-4
 	}
 
-	centroids, err := seedCentroids(src, k, opts.Seed)
-	if err != nil {
-		return nil, err
+	var centroids [][]float64
+	if opts.InitialCentroids != nil {
+		if len(opts.InitialCentroids) != k {
+			return nil, fmt.Errorf("core: %d initial centroids, want k=%d", len(opts.InitialCentroids), k)
+		}
+		centroids = make([][]float64, k)
+		for j, c := range opts.InitialCentroids {
+			if len(c) != d {
+				return nil, fmt.Errorf("core: initial centroid %d has d=%d, want %d", j, len(c), d)
+			}
+			centroids[j] = append([]float64(nil), c...)
+		}
+	} else {
+		var err error
+		centroids, err = seedCentroids(src, k, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
 	}
 	m := &KMeansModel{D: d, K: k, C: centroids}
 
@@ -167,6 +187,45 @@ func SeedCentroids(src Source, k int, seed int64) ([][]float64, error) {
 		return nil, fmt.Errorf("core: k=%d out of range", k)
 	}
 	return seedCentroids(src, k, seed)
+}
+
+// SeedCentroidsFromSummary places k starting centroids from the
+// summaries alone — zero-scan K-means initialisation for the summary
+// cache. Centroid j sits at µ + t·σ per dimension with t spread
+// uniformly over [−1, 1], clipped to the observed [min, max] envelope,
+// so the seeds span the data's bulk without touching X. Any NLQ type
+// works; the diagonal of Q is all that is read.
+func SeedCentroidsFromSummary(s *NLQ, k int) ([][]float64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k=%d out of range", k)
+	}
+	if s == nil || s.N < 1 {
+		return nil, errors.New("core: empty summary cannot seed centroids")
+	}
+	mu, err := s.Mean()
+	if err != nil {
+		return nil, err
+	}
+	vars, err := s.Variances()
+	if err != nil {
+		return nil, err
+	}
+	cents := make([][]float64, k)
+	for j := range cents {
+		t := 0.0
+		if k > 1 {
+			t = 2*float64(j)/float64(k-1) - 1
+		}
+		c := make([]float64, s.D)
+		for a := 0; a < s.D; a++ {
+			c[a] = mu[a] + t*math.Sqrt(vars[a])
+			if s.Min[a] <= s.Max[a] { // envelope is meaningful once n ≥ 1
+				c[a] = math.Max(s.Min[a], math.Min(s.Max[a], c[a]))
+			}
+		}
+		cents[j] = c
+	}
+	return cents, nil
 }
 
 // FinalizeKMeans builds a model from per-cluster summaries, the

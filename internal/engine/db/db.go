@@ -17,6 +17,7 @@ import (
 	"repro/internal/engine/sqlparser"
 	"repro/internal/engine/sqltypes"
 	"repro/internal/engine/storage"
+	"repro/internal/engine/summary"
 	"repro/internal/engine/udf"
 )
 
@@ -50,6 +51,10 @@ type DB struct {
 
 	qlog queryLog
 
+	// sums is the incremental n/L/Q summary catalog: model builders go
+	// through it so warm rebuilds need zero partition scans.
+	sums *summary.Catalog
+
 	// sysExt holds instance-specific virtual tables registered under
 	// sys. (e.g. the serving layer's sys.sessions).
 	sysMu  sync.RWMutex
@@ -72,6 +77,7 @@ func Open(opts Options) *DB {
 		aggs:   udf.NewRegistry(),
 		tables: make(map[string]*storage.Table),
 		views:  make(map[string]*sqlparser.Select),
+		sums:   summary.NewCatalog(opts.Workers),
 	}
 }
 
@@ -179,6 +185,7 @@ func (d *DB) DropTable(name string) error {
 	if err := d.saveCatalog(); err != nil {
 		return err
 	}
+	d.sums.DropTable(key)
 	return t.Drop()
 }
 

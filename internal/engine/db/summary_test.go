@@ -1,0 +1,205 @@
+package db
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// loadSummaryFixture creates X(i, X1..X3) on disk and inserts n rows
+// through the SQL INSERT path, so the write-path observer wiring is
+// exercised end to end.
+func loadSummaryFixture(t *testing.T, d *DB, n int) {
+	t.Helper()
+	mustExec(t, d, "CREATE TABLE X (i BIGINT, X1 DOUBLE, X2 DOUBLE, X3 DOUBLE)")
+	insertSummaryRows(t, d, 0, n)
+}
+
+func insertSummaryRows(t *testing.T, d *DB, lo, hi int) {
+	t.Helper()
+	for i := lo; i < hi; i++ {
+		v := float64(i)
+		mustExec(t, d, fmt.Sprintf("INSERT INTO X VALUES (%d, %g, %g, %g)",
+			i, v/3, v*v/50+1, 40-v))
+	}
+}
+
+// TestSummaryCacheWarmRebuildZeroScans is the PR's acceptance
+// criterion: after appends, a model rebuild on the warm cache performs
+// zero partition scans and matches the cold-scan model within 1e-9.
+func TestSummaryCacheWarmRebuildZeroScans(t *testing.T) {
+	d := Open(Options{Dir: t.TempDir(), Partitions: 4})
+	loadSummaryFixture(t, d, 60)
+	ctx := context.Background()
+	cols := []string{"X1", "X2", "X3"}
+
+	// Cold: the first read rebuilds with one scan.
+	s1, hit, err := d.SummaryNLQ(ctx, "X", cols, core.Triangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || s1.N != 60 {
+		t.Fatalf("cold read: hit=%v n=%g", hit, s1.N)
+	}
+
+	// Appends are folded at write time; the entry must stay warm.
+	insertSummaryRows(t, d, 60, 90)
+
+	tab, err := d.Table("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.ResetScannedRows()
+	s2, hit, err := d.SummaryNLQ(ctx, "X", cols, core.Triangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("read after appends missed the cache")
+	}
+	if n := tab.ScannedRows(); n != 0 {
+		t.Fatalf("warm rebuild scanned %d rows, want 0", n)
+	}
+	if s2.N != 90 {
+		t.Fatalf("warm summary covers n=%g, want 90", s2.N)
+	}
+
+	// The incrementally maintained summary matches a from-scratch scan
+	// within 1e-9 — model outputs derived from it therefore do too.
+	d.InvalidateSummaries("X")
+	s3, hit, err := d.SummaryNLQ(ctx, "X", cols, core.Triangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("invalidate did not force a rebuild")
+	}
+	closeTo := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	}
+	if s2.N != s3.N {
+		t.Fatalf("n: warm %g vs rescan %g", s2.N, s3.N)
+	}
+	for a := 0; a < s2.D; a++ {
+		if !closeTo(s2.L[a], s3.L[a]) {
+			t.Fatalf("L[%d]: warm %g vs rescan %g", a, s2.L[a], s3.L[a])
+		}
+		for b := 0; b < s2.D; b++ {
+			if !closeTo(s2.QAt(a, b), s3.QAt(a, b)) {
+				t.Fatalf("Q[%d,%d]: warm %g vs rescan %g", a, b, s2.QAt(a, b), s3.QAt(a, b))
+			}
+		}
+	}
+	// Derived models agree too.
+	m2, err := s2.Correlation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := s3.Correlation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < s2.D; a++ {
+		for b := 0; b < s2.D; b++ {
+			if math.Abs(m2.At(a, b)-m3.At(a, b)) > 1e-9 {
+				t.Fatalf("rho[%d,%d]: warm %g vs rescan %g", a, b, m2.At(a, b), m3.At(a, b))
+			}
+		}
+	}
+}
+
+// TestSummaryNLQDefaultsAndErrors: nil columns select the DOUBLE
+// columns; sys. tables and missing tables are rejected.
+func TestSummaryNLQDefaultsAndErrors(t *testing.T) {
+	d := openTest(t)
+	loadSummaryFixture(t, d, 10)
+	ctx := context.Background()
+	s, _, err := d.SummaryNLQ(ctx, "X", nil, core.Diagonal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.D != 3 || s.N != 10 {
+		t.Fatalf("default columns gave d=%d n=%g, want d=3 n=10", s.D, s.N)
+	}
+	if _, _, err := d.SummaryNLQ(ctx, "sys.metrics", nil, core.Diagonal); err == nil {
+		t.Fatal("summary over a sys. table accepted")
+	}
+	if _, _, err := d.SummaryNLQ(ctx, "nope", nil, core.Diagonal); err == nil {
+		t.Fatal("summary over a missing table accepted")
+	}
+}
+
+// TestSysSummaries: the catalog is visible through SQL with live
+// hit/miss accounting and validity state.
+func TestSysSummaries(t *testing.T) {
+	d := openTest(t)
+	loadSummaryFixture(t, d, 12)
+	ctx := context.Background()
+	cols := []string{"X1", "X2"}
+	if _, _, err := d.SummaryNLQ(ctx, "X", cols, core.Triangular); err != nil {
+		t.Fatal(err) // miss + rebuild
+	}
+	if _, _, err := d.SummaryNLQ(ctx, "X", cols, core.Triangular); err != nil {
+		t.Fatal(err) // hit
+	}
+	rows := query(t, d, "SELECT table_name, columns, state, n, hits, misses FROM sys.summaries")
+	if len(rows) != 1 {
+		t.Fatalf("sys.summaries rows = %v", rows)
+	}
+	r := rows[0]
+	if r[0] != "x" || r[1] != "X1,X2" || r[2] != "fresh" {
+		t.Fatalf("sys.summaries row = %v", r)
+	}
+	if n, _ := strconv.ParseFloat(r[3], 64); n != 12 {
+		t.Fatalf("n = %v, want 12", r[3])
+	}
+	hits, _ := strconv.Atoi(r[4])
+	misses, _ := strconv.Atoi(r[5])
+	if hits < 1 || misses < 1 {
+		t.Fatalf("hits=%d misses=%d, want both ≥ 1", hits, misses)
+	}
+	// DROP TABLE removes the entry.
+	mustExec(t, d, "DROP TABLE X")
+	if rows := query(t, d, "SELECT table_name FROM sys.summaries"); len(rows) != 0 {
+		t.Fatalf("entries survive DROP TABLE: %v", rows)
+	}
+}
+
+// TestSummaryMetricsExposed: the four engine_summary_* instruments are
+// visible through sys.metrics after cache activity.
+func TestSummaryMetricsExposed(t *testing.T) {
+	d := openTest(t)
+	loadSummaryFixture(t, d, 5)
+	ctx := context.Background()
+	if _, _, err := d.SummaryNLQ(ctx, "X", nil, core.Triangular); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.SummaryNLQ(ctx, "X", nil, core.Triangular); err != nil {
+		t.Fatal(err)
+	}
+	insertSummaryRows(t, d, 5, 8)
+	vals := map[string]float64{}
+	for _, r := range query(t, d, "SELECT name, value FROM sys.metrics") {
+		f, _ := strconv.ParseFloat(r[1], 64)
+		vals[r[0]] = f
+	}
+	for _, name := range []string{
+		"engine_summary_hits",
+		"engine_summary_misses",
+		"engine_summary_incremental_updates",
+	} {
+		if vals[name] <= 0 {
+			t.Fatalf("%s = %v, want > 0 (all: hits=%v misses=%v inc=%v)",
+				name, vals[name], vals["engine_summary_hits"],
+				vals["engine_summary_misses"], vals["engine_summary_incremental_updates"])
+		}
+	}
+	if vals["engine_summary_rebuild_seconds_count"] <= 0 {
+		t.Fatalf("engine_summary_rebuild_seconds_count = %v, want > 0",
+			vals["engine_summary_rebuild_seconds_count"])
+	}
+}

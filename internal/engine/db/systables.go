@@ -23,7 +23,7 @@ const sysPrefix = "sys."
 // sys., for shell completion and \d-style listings. Instance-specific
 // registrations (RegisterSysTable) are reported by SysTableNames.
 func SystemTableNames() []string {
-	return []string{"sys.metrics", "sys.partitions", "sys.queries", "sys.tables"}
+	return []string{"sys.metrics", "sys.partitions", "sys.queries", "sys.summaries", "sys.tables"}
 }
 
 // SysTableFunc materializes one registered virtual table's content on
@@ -80,6 +80,8 @@ func (d *DB) sysTable(key string) (*storage.Table, error) {
 		return d.sysTables()
 	case "sys.partitions":
 		return d.sysPartitions()
+	case "sys.summaries":
+		return d.sysSummaries()
 	}
 	d.sysMu.RLock()
 	fn := d.sysExt[key]
@@ -217,6 +219,44 @@ func (d *DB) sysTables() (*storage.Table, error) {
 		})
 	}
 	return newSysTable("sys.tables", cols, rows)
+}
+
+// sysSummaries exposes the incremental n/L/Q summary catalog: one row
+// per cached entry with its validity state and hit/rebuild accounting.
+func (d *DB) sysSummaries() (*storage.Table, error) {
+	cols := []sqltypes.Column{
+		{Name: "table_name", Type: sqltypes.TypeVarChar},
+		{Name: "columns", Type: sqltypes.TypeVarChar},
+		{Name: "matrix_type", Type: sqltypes.TypeVarChar},
+		{Name: "state", Type: sqltypes.TypeVarChar},
+		{Name: "n", Type: sqltypes.TypeDouble},
+		{Name: "covered_rows", Type: sqltypes.TypeBigInt},
+		{Name: "epoch", Type: sqltypes.TypeBigInt},
+		{Name: "hits", Type: sqltypes.TypeBigInt},
+		{Name: "misses", Type: sqltypes.TypeBigInt},
+		{Name: "incremental_rows", Type: sqltypes.TypeBigInt},
+		{Name: "rebuilds", Type: sqltypes.TypeBigInt},
+		{Name: "last_rebuild_ms", Type: sqltypes.TypeDouble},
+	}
+	infos := d.Summaries()
+	rows := make([]sqltypes.Row, 0, len(infos))
+	for _, inf := range infos {
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewVarChar(inf.Table),
+			sqltypes.NewVarChar(strings.Join(inf.Columns, ",")),
+			sqltypes.NewVarChar(inf.Matrix.String()),
+			sqltypes.NewVarChar(inf.State),
+			sqltypes.NewDouble(inf.N),
+			sqltypes.NewBigInt(inf.Covered),
+			sqltypes.NewBigInt(inf.Epoch),
+			sqltypes.NewBigInt(inf.Hits),
+			sqltypes.NewBigInt(inf.Misses),
+			sqltypes.NewBigInt(inf.IncRows),
+			sqltypes.NewBigInt(inf.Rebuilds),
+			sqltypes.NewDouble(float64(inf.LastRebuild)/float64(time.Millisecond)),
+		})
+	}
+	return newSysTable("sys.summaries", cols, rows)
 }
 
 // sysPartitions breaks each user table down to per-partition row

@@ -1,0 +1,54 @@
+package exec
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/engine/sqltypes"
+	"repro/internal/engine/storage"
+)
+
+// ComputeTableNLQ computes per-partition n/L/Q partials over the given
+// column ordinals of t, under the aggregate protocol's parallel
+// discipline: phases 1-2 accumulate one partial per partition scan,
+// the caller merges the partials (phase 3) and derives models from the
+// merged summary (phase 4). Rows with a NULL (or non-numeric) value in
+// any selected column are skipped, matching the aggregate UDF's
+// treatment of incomplete points; seen reports the total rows scanned
+// including skipped ones — the count the summary cache stamps entries
+// with, since it must match the table's row count exactly.
+func ComputeTableNLQ(ctx context.Context, t *storage.Table, cols []int, mt core.MatrixType, workers int) (partials []*core.NLQ, seen int64, err error) {
+	n := t.Partitions()
+	partials = make([]*core.NLQ, n)
+	counts := make([]int64, n)
+	err = runParallel(ctx, workers, n, func(ctx context.Context, p int) error {
+		s, err := core.NewNLQ(len(cols), mt)
+		if err != nil {
+			return err
+		}
+		x := make([]float64, len(cols))
+		err = t.ScanPartition(ctx, p, func(r sqltypes.Row) error {
+			counts[p]++
+			for i, c := range cols {
+				f, ok := r[c].Float()
+				if !ok {
+					return nil
+				}
+				x[i] = f
+			}
+			return s.Update(x)
+		})
+		if err != nil {
+			return err
+		}
+		partials[p] = s
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, c := range counts {
+		seen += c
+	}
+	return partials, seen, nil
+}

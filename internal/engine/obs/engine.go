@@ -38,6 +38,19 @@ var (
 	ActiveQueries = Default.Gauge("engine_active_queries",
 		"Statements currently executing.")
 
+	// Summary-cache instruments: the incremental n/L/Q catalog reports
+	// how often model builds were served warm (zero scans), how often
+	// they fell back to a rebuild scan, and how many appended rows were
+	// folded into summaries at write time.
+	SummaryHits = Default.Counter("engine_summary_hits",
+		"Summary-cache reads served from a warm entry with zero partition scans.")
+	SummaryMisses = Default.Counter("engine_summary_misses",
+		"Summary-cache reads that fell back to a rebuild scan (cold or stale entry).")
+	SummaryIncremental = Default.Counter("engine_summary_incremental_updates",
+		"Appended rows delta-merged into cached summaries at write time.")
+	SummaryRebuildSeconds = Default.Histogram("engine_summary_rebuild_seconds",
+		"Latency of summary-cache rebuild scans (cold/stale entries).", DurationBuckets)
+
 	// Per-phase latency histograms mirror the aggregate UDF protocol's
 	// four phases (plan covers rewrite/binding/pushdown; scan is
 	// phases 1-2; merge phase 3; finalize phase 4), plus the end-to-end

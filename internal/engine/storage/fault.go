@@ -23,6 +23,10 @@ type Fault struct {
 	AppendAfter bool
 	// FlushClose makes BulkLoader.Close fail flushing the partition.
 	FlushClose bool
+	// TruncateFail makes the rollback truncate of a failed append itself
+	// fail, leaving torn trailing bytes on disk; exercises the
+	// corruption-marking path (the partition must refuse later scans).
+	TruncateFail bool
 }
 
 func (f *Fault) matches(p int) bool {

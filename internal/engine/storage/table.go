@@ -27,7 +27,15 @@ type Table struct {
 
 	mu    sync.RWMutex
 	parts []partition
-	rows  int64
+	// rows and epoch are written only under mu but read lock-free:
+	// validity checks (summary cache freshness, Stamp) must not acquire
+	// mu, or they would deadlock against writers notifying observers.
+	rows  atomic.Int64
+	epoch atomic.Int64 // bumped under mu on every published mutation
+
+	// watchers receive append/invalidate notifications under mu; the
+	// summary catalog registers entries here (see observer.go).
+	watchers []Observer
 
 	fault   *Fault       // test-only fault injection; nil in production
 	scanned atomic.Int64 // cumulative rows delivered to scan callbacks
@@ -37,6 +45,10 @@ type partition struct {
 	path string         // on-disk file, when dir != ""
 	mem  []sqltypes.Row // in-memory rows otherwise
 	rows int64
+	// corrupt records why this partition's file can no longer be
+	// trusted (a failed rollback truncate left torn bytes); scans of a
+	// corrupt partition fail loudly instead of decoding garbage.
+	corrupt error
 }
 
 // NewTable creates an empty table with the given partition count. If
@@ -88,11 +100,11 @@ func OpenTable(name string, schema *sqltypes.Schema, dir string, partitions int)
 	}
 	for p := range t.parts {
 		var count int64
-		if err := t.ScanPartition(nil, p, func(sqltypes.Row) error { count++; return nil }); err != nil {
+		if err := t.ScanPartition(context.Background(), p, func(sqltypes.Row) error { count++; return nil }); err != nil {
 			return nil, fmt.Errorf("storage: attaching table %q: %w", name, err)
 		}
 		t.parts[p].rows = count
-		t.rows += count
+		t.rows.Add(count)
 	}
 	return t, nil
 }
@@ -106,12 +118,11 @@ func (t *Table) Schema() *sqltypes.Schema { return t.schema }
 // Partitions returns the partition count.
 func (t *Table) Partitions() int { return len(t.parts) }
 
-// NumRows returns the current row count.
-func (t *Table) NumRows() int64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.rows
-}
+// NumRows returns the current row count. It is lock-free: the count is
+// published atomically after each mutation commits, so readers (and
+// the summary cache's freshness checks, which run while writers may be
+// blocked notifying observers) never contend on the table lock.
+func (t *Table) NumRows() int64 { return t.rows.Load() }
 
 // PartitionRowCounts returns the current per-partition row counts; the
 // sys.partitions system table serves them.
@@ -163,25 +174,34 @@ func (t *Table) Insert(rows ...sqltypes.Row) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// Group per partition up front; the groups drive both the appends
+	// and the observer notifications after the insert publishes.
+	groups := make([][]sqltypes.Row, len(t.parts))
+	base := t.rows.Load()
+	for i, r := range checked {
+		p := int((base + int64(i)) % int64(len(t.parts)))
+		groups[p] = append(groups[p], r)
+	}
 	if t.dir == "" {
-		for i, r := range checked {
-			p := int((t.rows + int64(i)) % int64(len(t.parts)))
-			t.parts[p].mem = append(t.parts[p].mem, r)
-			t.parts[p].rows++
+		for p, g := range groups {
+			t.parts[p].mem = append(t.parts[p].mem, g...)
+			t.parts[p].rows += int64(len(g))
 		}
-		t.rows += int64(len(checked))
-		obs.RowsInserted.Add(int64(len(checked)))
+		t.publishLocked(int64(len(checked)), groups)
 		return nil
 	}
-	// Group per partition, then append each file once. A failed append
-	// rolls every already-appended partition (and any partial write in
-	// the failing one) back to its pre-insert size, so the files, the
-	// per-partition counts, and the table count always agree: the
-	// insert either lands completely or not at all.
-	groups := make([][]sqltypes.Row, len(t.parts))
-	for i, r := range checked {
-		p := int((t.rows + int64(i)) % int64(len(t.parts)))
-		groups[p] = append(groups[p], r)
+	// Append each file once. A failed append rolls every
+	// already-appended partition (and any partial write in the failing
+	// one) back to its pre-insert size, so the files, the per-partition
+	// counts, and the table count always agree: the insert either lands
+	// completely or not at all. A partition whose rollback truncate
+	// itself fails keeps torn trailing bytes on disk; it is marked
+	// corrupt so later scans refuse it loudly instead of decoding
+	// garbage rows.
+	for p, g := range groups {
+		if len(g) > 0 && t.parts[p].corrupt != nil {
+			return fmt.Errorf("storage: table %q partition %d is corrupt: %w", t.name, p, t.parts[p].corrupt)
+		}
 	}
 	type undo struct {
 		p    int
@@ -191,7 +211,9 @@ func (t *Table) Insert(rows ...sqltypes.Row) error {
 	var done []undo
 	rollback := func() {
 		for _, u := range done {
-			os.Truncate(t.parts[u.p].path, u.size)
+			if err := t.truncateLocked(u.p, u.size); err != nil {
+				continue // truncateLocked marked the partition corrupt
+			}
 			t.parts[u.p].rows = u.rows
 		}
 	}
@@ -206,15 +228,56 @@ func (t *Table) Insert(rows ...sqltypes.Row) error {
 		}
 		prevRows := t.parts[p].rows
 		if err := t.appendFile(p, g); err != nil {
-			os.Truncate(t.parts[p].path, st.Size()) // drop the partial write
+			_ = t.truncateLocked(p, st.Size()) // drop the partial write; marks corrupt on failure
 			rollback()
 			return err
 		}
 		done = append(done, undo{p: p, size: st.Size(), rows: prevRows})
 	}
-	t.rows += int64(len(checked))
-	obs.RowsInserted.Add(int64(len(checked)))
+	t.publishLocked(int64(len(checked)), groups)
 	return nil
+}
+
+// publishLocked commits an insert: the table row count and epoch are
+// advanced and observers see the appended rows followed by the publish
+// stamp, all inside the same critical section — so an observer's view
+// is never ahead of or behind what scans can deliver.
+func (t *Table) publishLocked(added int64, groups [][]sqltypes.Row) {
+	t.rows.Add(added)
+	t.epoch.Add(1)
+	obs.RowsInserted.Add(added)
+	for p, g := range groups {
+		if len(g) > 0 {
+			t.notifyAppendLocked(p, g)
+		}
+	}
+	t.notifyPublishLocked()
+}
+
+// truncateLocked shrinks a partition file back to size, the rollback
+// primitive. A truncate that fails (or is failed by the TruncateFail
+// fault) leaves torn bytes on disk, so the partition is marked corrupt:
+// the epoch is bumped, observers are invalidated, and every later scan
+// of the partition returns the recorded corruption error.
+func (t *Table) truncateLocked(p int, size int64) error {
+	err := os.Truncate(t.parts[p].path, size)
+	if flt := t.fault; err == nil && flt.matches(p) && flt.TruncateFail {
+		err = flt.err()
+	}
+	if err != nil {
+		t.markCorruptLocked(p, fmt.Errorf("storage: rollback truncate of table %q partition %d to %d bytes failed: %w",
+			t.name, p, size, err))
+		return err
+	}
+	return nil
+}
+
+// markCorruptLocked records that a partition's on-disk state can no
+// longer be trusted and invalidates every observer.
+func (t *Table) markCorruptLocked(p int, err error) {
+	t.parts[p].corrupt = err
+	t.epoch.Add(1)
+	t.notifyInvalidateLocked()
 }
 
 func (t *Table) appendFile(p int, rows []sqltypes.Row) error {
@@ -258,6 +321,7 @@ type BulkLoader struct {
 	buf       []byte
 	next      int64
 	loaded    int64
+	one       [1]sqltypes.Row // scratch for per-row observer notification
 }
 
 // NewBulkLoader opens a loader. The caller must Close it; rows become
@@ -285,11 +349,14 @@ func (t *Table) NewBulkLoader() (*BulkLoader, error) {
 		}
 	}
 	t.mu.Lock() // held until Close; bulk load is exclusive
-	bl.next = t.rows
+	bl.next = t.rows.Load()
 	return bl, nil
 }
 
-// Add appends one row to the load.
+// Add appends one row to the load. Observers see the row immediately
+// (still under the table lock the loader holds), but the loader's
+// pending flag keeps their state unservable until Close publishes —
+// or retracts — the load.
 func (bl *BulkLoader) Add(row sqltypes.Row) error {
 	r, err := bl.t.validate(row)
 	if err != nil {
@@ -301,6 +368,7 @@ func (bl *BulkLoader) Add(row sqltypes.Row) error {
 	if bl.t.dir == "" {
 		bl.t.parts[p].mem = append(bl.t.parts[p].mem, r)
 		bl.t.parts[p].rows++
+		bl.notify(p, r)
 		return nil
 	}
 	bl.buf, err = encodeRow(bl.buf[:0], r)
@@ -311,7 +379,17 @@ func (bl *BulkLoader) Add(row sqltypes.Row) error {
 		return fmt.Errorf("storage: %w", err)
 	}
 	bl.added[p]++
+	bl.notify(p, r)
 	return nil
+}
+
+// notify streams one loaded row to the table's observers.
+func (bl *BulkLoader) notify(p int, r sqltypes.Row) {
+	if len(bl.t.watchers) == 0 {
+		return
+	}
+	bl.one[0] = r
+	bl.t.notifyAppendLocked(p, bl.one[:])
 }
 
 // Close flushes every partition and publishes only the successfully
@@ -323,8 +401,10 @@ func (bl *BulkLoader) Close() error {
 	t := bl.t
 	defer t.mu.Unlock()
 	if t.dir == "" {
-		t.rows += bl.loaded
+		t.rows.Add(bl.loaded)
+		t.epoch.Add(1)
 		obs.RowsInserted.Add(bl.loaded)
+		t.notifyPublishLocked()
 		return nil
 	}
 	flt := t.fault
@@ -344,15 +424,23 @@ func (bl *BulkLoader) Close() error {
 			err = fmt.Errorf("storage: %w", cerr)
 		}
 		if err != nil {
-			os.Truncate(t.parts[i].path, bl.origSizes[i]) // drop torn rows
+			_ = t.truncateLocked(i, bl.origSizes[i]) // drop torn rows; marks corrupt on failure
 			if first == nil {
 				first = err
 			}
 			continue
 		}
 		t.parts[i].rows += bl.added[i]
-		t.rows += bl.added[i]
+		t.rows.Add(bl.added[i])
+		obs.RowsInserted.Add(bl.added[i])
 	}
+	t.epoch.Add(1)
+	if first != nil {
+		// Rows streamed to observers during Add were retracted (or left
+		// torn) for the failed partitions; their state must be rebuilt.
+		t.notifyInvalidateLocked()
+	}
+	t.notifyPublishLocked()
 	return first
 }
 
@@ -398,14 +486,19 @@ func (t *Table) ScanPartitionStats(ctx context.Context, p int, fn func(sqltypes.
 	if p < 0 || p >= len(t.parts) {
 		return st, fmt.Errorf("storage: partition %d out of range 0..%d", p, len(t.parts)-1)
 	}
-	var done <-chan struct{}
-	var ctxErr func() error
-	if ctx != nil {
-		done = ctx.Done()
-		ctxErr = ctx.Err
+	// Normalize at the boundary: a nil ctx means background, and
+	// context.Background().Done() is nil, so the per-row fast path
+	// below still skips the select entirely.
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	done := ctx.Done()
+	ctxErr := ctx.Err
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	if c := t.parts[p].corrupt; c != nil {
+		return st, fmt.Errorf("storage: refusing to scan corrupt partition %d of table %q: %w", p, t.name, c)
+	}
 	flt := t.fault
 	failAfter := int64(-1)
 	if flt.matches(p) {
@@ -466,12 +559,15 @@ func (t *Table) ScanPartitionStats(ctx context.Context, p int, fn func(sqltypes.
 // Context-carrying callers must use ScanContext instead so the scan
 // observes cancellation (the statlint ctxscan analyzer enforces this).
 func (t *Table) Scan(fn func(sqltypes.Row) error) error {
-	return t.ScanContext(nil, fn)
+	return t.ScanContext(context.Background(), fn)
 }
 
 // ScanContext is Scan observing ctx cancellation between rows (nil is
-// treated as background).
+// normalized to background at the boundary).
 func (t *Table) ScanContext(ctx context.Context, fn func(sqltypes.Row) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for p := 0; p < len(t.parts); p++ {
 		if err := t.ScanPartition(ctx, p, fn); err != nil {
 			return err
@@ -480,30 +576,45 @@ func (t *Table) ScanContext(ctx context.Context, fn func(sqltypes.Row) error) er
 	return nil
 }
 
-// Truncate removes all rows.
+// Truncate removes all rows. A partition whose file cannot be
+// rewritten keeps its rows (and its count), so per-partition accounting
+// stays consistent even on a partial truncate; rewriting the file empty
+// also clears any corruption marker, since the torn bytes are gone.
 func (t *Table) Truncate() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	var removed int64
+	var first error
 	for i := range t.parts {
-		t.parts[i].mem = nil
-		t.parts[i].rows = 0
 		if t.dir != "" {
 			if err := os.WriteFile(t.parts[i].path, nil, 0o644); err != nil {
-				return fmt.Errorf("storage: %w", err)
+				if first == nil {
+					first = fmt.Errorf("storage: %w", err)
+				}
+				continue
 			}
 		}
+		removed += t.parts[i].rows
+		t.parts[i].mem = nil
+		t.parts[i].rows = 0
+		t.parts[i].corrupt = nil
 	}
-	t.rows = 0
-	return nil
+	t.rows.Add(-removed)
+	t.epoch.Add(1)
+	t.notifyInvalidateLocked()
+	t.notifyPublishLocked()
+	return first
 }
 
 // Drop removes the table's on-disk files.
 func (t *Table) Drop() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.rows.Store(0)
+	t.epoch.Add(1)
+	t.notifyInvalidateLocked()
 	if t.dir == "" {
 		t.parts = make([]partition, len(t.parts))
-		t.rows = 0
 		return nil
 	}
 	var first error

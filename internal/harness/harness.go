@@ -156,6 +156,7 @@ func All() []Experiment {
 		{"a2", "Ablation: one long SQL query vs per-cell statements (§3.4)", runAblateSQLStyle},
 		{"a3", "Executor statistics: scan volume, partition skew, phase times", runExecutorStats},
 		{"a4", "Scoring delivery path: in-engine vs wire-protocol client vs ODBC export", runServingScoring},
+		{"a5", "Ablation: incremental summary cache: cold scan vs warm cache vs incremental model builds", runSummaryCache},
 	}
 }
 

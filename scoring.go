@@ -168,11 +168,7 @@ func (d *DB) KMeansInEngine(table string, columns []string, k, iters int, seed i
 	if k < 1 || iters < 1 {
 		return nil, fmt.Errorf("statsudf: k=%d iters=%d out of range", k, iters)
 	}
-	src, err := d.columnsSource(table, columns)
-	if err != nil {
-		return nil, err
-	}
-	cents, err := core.SeedCentroids(src, k, seed)
+	cents, err := d.seedCentroids(table, columns, k, seed)
 	if err != nil {
 		return nil, err
 	}

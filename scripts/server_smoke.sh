@@ -52,6 +52,9 @@ SESS="$(sql -c "SELECT user_name, current_sql FROM sys.sessions")"
 echo "$SESS"
 echo "$SESS" | grep -q "ci"
 
+echo "== summary catalog is queryable over the wire =="
+sql -c "SELECT table_name, state, n FROM sys.summaries"
+
 echo "== graceful shutdown =="
 kill -TERM "$TWMD_PID"
 wait "$TWMD_PID"

@@ -209,6 +209,11 @@ const (
 	ViaUDFString
 	// ViaSQL uses the long 1+d+d² plain SQL query.
 	ViaSQL
+	// ViaCache serves the engine's incrementally maintained summary
+	// catalog: a warm entry returns in O(d²) with zero partition scans,
+	// a cold one pays a single parallel scan and installs the result.
+	// WHERE filters are not cacheable and are rejected.
+	ViaCache
 )
 
 // SummaryOptions tune Summary.
@@ -226,6 +231,12 @@ type SummaryOptions struct {
 func (d *DB) Summary(table string, columns []string, opts SummaryOptions) (*NLQ, error) {
 	if len(columns) == 0 {
 		return nil, fmt.Errorf("statsudf: no columns given")
+	}
+	if opts.Method == ViaCache {
+		if opts.Where != "" {
+			return nil, fmt.Errorf("statsudf: the summary cache cannot serve WHERE-filtered summaries")
+		}
+		return d.cachedSummary(table, columns, opts.Matrix)
 	}
 	if len(columns) > MaxD {
 		if opts.Method == ViaSQL || opts.Method == ViaUDFString {
@@ -363,9 +374,27 @@ func decodeSQLNLQ(res *Result, dims int, mt MatrixType) (*NLQ, error) {
 	return s, nil
 }
 
+// cachedSummary serves Summary's ViaCache method from the engine's
+// incremental catalog.
+func (d *DB) cachedSummary(table string, columns []string, mt MatrixType) (*NLQ, error) {
+	s, _, err := d.eng.SummaryNLQ(context.Background(), table, columns, mt)
+	return s, err
+}
+
+// modelSummary feeds the model builders: base tables go through the
+// incremental summary cache (zero scans when the entry is warm), while
+// views, sys. tables and dimensionalities beyond the cache's reach
+// fall back to the one-scan aggregate UDF.
+func (d *DB) modelSummary(table string, columns []string, mt MatrixType) (*NLQ, error) {
+	if d.eng.HasTable(table) && len(columns) <= MaxD {
+		return d.cachedSummary(table, columns, mt)
+	}
+	return d.Summary(table, columns, SummaryOptions{Matrix: mt})
+}
+
 // Correlation builds the correlation model over the named columns.
 func (d *DB) Correlation(table string, columns []string) (*CorrelationModel, error) {
-	s, err := d.Summary(table, columns, SummaryOptions{Matrix: Triangular})
+	s, err := d.modelSummary(table, columns, Triangular)
 	if err != nil {
 		return nil, err
 	}
@@ -378,7 +407,7 @@ func (d *DB) Correlation(table string, columns []string) (*CorrelationModel, err
 // paper's two-scan regression analysis.
 func (d *DB) LinearRegression(table string, xColumns []string, yColumn string) (*LinRegModel, error) {
 	aug := append(append([]string{}, xColumns...), yColumn)
-	s, err := d.Summary(table, aug, SummaryOptions{Matrix: Triangular})
+	s, err := d.modelSummary(table, aug, Triangular)
 	if err != nil {
 		return nil, err
 	}
@@ -398,7 +427,7 @@ func (d *DB) LinearRegression(table string, xColumns []string, yColumn string) (
 
 // PCA builds the top-k principal components over the named columns.
 func (d *DB) PCA(table string, columns []string, k int, basis PCABasis) (*PCAModel, error) {
-	s, err := d.Summary(table, columns, SummaryOptions{Matrix: Triangular})
+	s, err := d.modelSummary(table, columns, Triangular)
 	if err != nil {
 		return nil, err
 	}
@@ -408,7 +437,7 @@ func (d *DB) PCA(table string, columns []string, k int, basis PCABasis) (*PCAMod
 // FactorAnalysis fits a k-factor maximum-likelihood model by EM on the
 // covariance matrix derived from one scan's summaries.
 func (d *DB) FactorAnalysis(table string, columns []string, k int, opts FactorOptions) (*FactorModel, error) {
-	s, err := d.Summary(table, columns, SummaryOptions{Matrix: Triangular})
+	s, err := d.modelSummary(table, columns, Triangular)
 	if err != nil {
 		return nil, err
 	}
@@ -417,13 +446,47 @@ func (d *DB) FactorAnalysis(table string, columns []string, k int, opts FactorOp
 
 // KMeans clusters the named columns into k clusters. The standard
 // variant scans the table once per iteration; opts.Incremental gets a
-// single-scan approximate solution, as §3.1 discusses.
+// single-scan approximate solution, as §3.1 discusses. For base
+// tables, initial centroids are seeded from the cached diagonal
+// summary (zero scans) unless opts.InitialCentroids already provides
+// them; non-cacheable sources keep the seeding scan.
 func (d *DB) KMeans(table string, columns []string, k int, opts KMeansOptions) (*KMeansModel, error) {
 	src, err := d.columnsSource(table, columns)
 	if err != nil {
 		return nil, err
 	}
+	if opts.InitialCentroids == nil {
+		cents, err := d.seedCentroids(table, columns, k, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		opts.InitialCentroids = cents
+	}
 	return core.BuildKMeans(src, k, opts)
+}
+
+// seedCentroids places k starting centroids for the clustering entry
+// points: base tables within the cache's dimensionality are seeded
+// from the cached diagonal summary — zero extra scans — while views
+// and other non-cacheable sources keep the deterministic
+// farthest-point seeding scan. Both the client-side KMeans and
+// KMeansInEngine go through here, so the two variants start from the
+// same solution.
+func (d *DB) seedCentroids(table string, columns []string, k int, seed int64) ([][]float64, error) {
+	if d.eng.HasTable(table) && len(columns) <= MaxD {
+		// Best-effort: a summary the cache cannot maintain (e.g. a
+		// non-numeric column) just falls back to the seeding scan.
+		if s, err := d.cachedSummary(table, columns, Diagonal); err == nil {
+			if cents, err := core.SeedCentroidsFromSummary(s, k); err == nil {
+				return cents, nil
+			}
+		}
+	}
+	src, err := d.columnsSource(table, columns)
+	if err != nil {
+		return nil, err
+	}
+	return core.SeedCentroids(src, k, seed)
 }
 
 // EMCluster fits a diagonal Gaussian mixture over the named columns.
