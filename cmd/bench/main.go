@@ -44,7 +44,7 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "fraction of the paper's row counts (1 = full size)")
 	partitions := flag.Int("partitions", 20, "engine parallelism (the paper's Teradata had 20 threads)")
 	runs := flag.Int("runs", 1, "repetitions averaged per measurement (the paper used 5)")
-	exp := flag.String("exp", "", "comma-separated experiment ids (t1..t6, f1..f6, a1..a5); empty runs all")
+	exp := flag.String("exp", "", "comma-separated experiment ids (t1..t6, f1..f6, a1..a6); empty runs all")
 	odbcMbps := flag.Float64("odbc-mbps", 100, "modeled ODBC LAN bandwidth in megabits/s")
 	odbcRow := flag.Int("odbc-row-overhead", 512, "modeled per-row ODBC framing overhead in bytes")
 	timescale := flag.Float64("odbc-timescale", 0, "fraction of modeled ODBC delay actually slept (0 = report only)")
@@ -116,7 +116,9 @@ func main() {
 // When the a5 ablation ran (explicitly or because the whole suite
 // did), the summary-cache counters must have moved too: a warm build
 // with zero cache hits or zero incremental updates means the cache is
-// silently falling back to rescans.
+// silently falling back to rescans. Likewise a6 must have produced
+// plan-cache hits: zero hits means every repeated statement was
+// re-planned and the high-QPS path silently degraded to ad-hoc.
 func assertMetrics(ids []string) error {
 	d := db.Open(db.Options{})
 	res, err := d.Exec("SELECT name, value FROM sys.metrics")
@@ -134,9 +136,13 @@ func assertMetrics(ids []string) error {
 		"engine_queries_total",
 	}
 	ranSummary := len(ids) == 0
+	ranPrepared := len(ids) == 0
 	for _, id := range ids {
 		if id == "a5" {
 			ranSummary = true
+		}
+		if id == "a6" {
+			ranPrepared = true
 		}
 	}
 	if ranSummary {
@@ -144,6 +150,9 @@ func assertMetrics(ids []string) error {
 			"engine_summary_hits",
 			"engine_summary_incremental_updates",
 		)
+	}
+	if ranPrepared {
+		want = append(want, "engine_plan_cache_hits")
 	}
 	for _, name := range want {
 		if vals[name] <= 0 {

@@ -9,14 +9,17 @@
 //
 // Without -connect the shell embeds the engine; with it, statements go
 // over the wire protocol to a running twmd, through the pooled client
-// (the session shows up in the server's sys.sessions).
+// (the session shows up in the server's sys.sessions, and a SELECT
+// text repeated enough times is transparently switched onto the
+// PREPARE/EXECUTE wire path — sys.prepared shows the server-side
+// handles and plan-cache entries).
 //
 // Statements end with ';'. Shell commands: \d lists tables, \d NAME
 // shows a schema, \stats toggles per-query execution statistics
 // (rows/bytes scanned, partition skew, phase times), \q quits.
 // `EXPLAIN ANALYZE <select>` runs the statement and prints its span
-// tree; the sys.metrics/sys.queries/sys.tables/sys.partitions virtual
-// tables are queryable like any other table.
+// tree; the sys.metrics/sys.queries/sys.tables/sys.partitions/
+// sys.prepared virtual tables are queryable like any other table.
 package main
 
 import (
@@ -298,6 +301,10 @@ func runScript(eng engine, r io.Reader, out io.Writer) error {
 }
 
 func runStatement(eng engine, sql string, out io.Writer) error {
+	// Strip the shell's statement terminator: the client pool only
+	// treats terminator-free single SELECTs as retry- and
+	// auto-prepare-eligible.
+	sql = strings.TrimSuffix(strings.TrimSpace(sql), ";")
 	if rest, ok := stripExplainAnalyze(sql); ok {
 		return runExplainAnalyze(eng, rest, out)
 	}

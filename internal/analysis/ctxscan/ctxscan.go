@@ -34,6 +34,10 @@ var ctxVariants = map[string]map[string]map[string]string{
 			"ExecScript":  "ExecScriptContext",
 			"Run":         "RunContext",
 			"QueryStream": "QueryStreamContext",
+			"Prepare":     "PrepareContext",
+		},
+		"Prepared": {
+			"Execute": "ExecuteContext",
 		},
 	},
 }
@@ -43,9 +47,9 @@ var ctxVariants = map[string]map[string]map[string]string{
 // context.Context parameter in scope.
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxscan",
-	Doc: "report ctx-less engine calls ((*storage.Table).Scan, (*db.DB).Exec/ExecScript/Run/QueryStream) " +
-		"in functions that receive a context.Context; such operations cannot be cancelled — " +
-		"call the *Context variant instead",
+	Doc: "report ctx-less engine calls ((*storage.Table).Scan, (*db.DB).Exec/ExecScript/Run/QueryStream/Prepare, " +
+		"(*db.Prepared).Execute) in functions that receive a context.Context; such operations cannot be " +
+		"cancelled — call the *Context variant instead",
 	Run: run,
 }
 

@@ -64,3 +64,29 @@ func execNoCtx(d *db.DB) error {
 	_, err := d.Exec("SELECT 1") // no context in scope: allowed
 	return err
 }
+
+// Prepared-statement path: Prepare and Execute have *Context twins too.
+func badPrepare(ctx context.Context, d *db.DB) error {
+	_, err := d.Prepare("SELECT 1") // want `use PrepareContext so the statement observes cancellation`
+	return err
+}
+
+func badExecute(ctx context.Context, p *db.Prepared) error {
+	_, err := p.Execute() // want `use ExecuteContext so the statement observes cancellation`
+	return err
+}
+
+func goodPrepared(ctx context.Context, d *db.DB) error {
+	p, err := d.PrepareContext(ctx, "SELECT 1")
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	_, err = p.ExecuteContext(ctx)
+	return err
+}
+
+func preparedNoCtx(d *db.DB, p *db.Prepared) error {
+	_, err := p.Execute() // no context in scope: allowed
+	return err
+}

@@ -6,9 +6,11 @@ package db
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine/exec"
@@ -51,6 +53,20 @@ type DB struct {
 
 	qlog queryLog
 
+	// epoch is the catalog epoch: bumped by every CREATE/DROP of a
+	// table or view. Prepared plans record the epoch they were built
+	// under and refuse to run (ErrPlanStale) once it moves, so a plan
+	// can never execute against a schema it was not planned for.
+	epoch atomic.Int64
+
+	// plans is the LRU plan cache unprepared SELECT traffic reads
+	// through; preps tracks every live prepared statement (explicit or
+	// cache-owned) for the sys.prepared virtual table.
+	plans  *planCache
+	prepMu sync.Mutex
+	prepID int64
+	preps  map[int64]*Prepared
+
 	// sums is the incremental n/L/Q summary catalog: model builders go
 	// through it so warm rebuilds need zero partition scans.
 	sums *summary.Catalog
@@ -77,6 +93,8 @@ func Open(opts Options) *DB {
 		aggs:   udf.NewRegistry(),
 		tables: make(map[string]*storage.Table),
 		views:  make(map[string]*sqlparser.Select),
+		plans:  newPlanCache(defaultPlanCacheSize),
+		preps:  make(map[int64]*Prepared),
 		sums:   summary.NewCatalog(opts.Workers),
 	}
 }
@@ -169,6 +187,7 @@ func (d *DB) CreateTable(name string, schema *sqltypes.Schema) (*storage.Table, 
 		delete(d.tables, key)
 		return nil, err
 	}
+	d.epoch.Add(1)
 	return t, nil
 }
 
@@ -185,9 +204,13 @@ func (d *DB) DropTable(name string) error {
 	if err := d.saveCatalog(); err != nil {
 		return err
 	}
+	d.epoch.Add(1)
 	d.sums.DropTable(key)
 	return t.Drop()
 }
+
+// Epoch returns the current catalog epoch (see DB.epoch).
+func (d *DB) Epoch() int64 { return d.epoch.Load() }
 
 func (d *DB) env() *exec.Env {
 	return &exec.Env{Catalog: d, Funcs: d.funcs, Aggs: d.aggs, Workers: d.opts.Workers}
@@ -207,11 +230,31 @@ func (d *DB) Exec(sql string) (*exec.Result, error) {
 }
 
 // ExecContext parses and runs one SQL statement; cancelling ctx stops
-// in-flight partition scans between rows.
+// in-flight partition scans between rows. Parameter-free SELECT text
+// reads through the LRU plan cache: a hit skips parse, sema, view
+// expansion and compilation entirely.
 func (d *DB) ExecContext(ctx context.Context, sql string) (*exec.Result, error) {
+	if p := d.plans.lookup(sql, d.epoch.Load()); p != nil {
+		res, err := p.ExecuteContext(ctx)
+		if !errors.Is(err, ErrPlanStale) {
+			return res, err
+		}
+		// Lost a race with DDL between lookup and execute: re-plan below.
+	}
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
+	}
+	if sel, ok := stmt.(*sqlparser.Select); ok && sqlparser.CountParams(sel) == 0 {
+		if p, perr := d.prepareParsed(sql, sel, true); perr == nil {
+			d.plans.add(p)
+			res, err := p.ExecuteContext(ctx)
+			if !errors.Is(err, ErrPlanStale) {
+				return res, err
+			}
+		}
+		// Prepare errors fall through to the ad-hoc path so the failure
+		// surfaces with the same message and is query-ring-logged.
 	}
 	return d.run(ctx, sql, stmt)
 }
@@ -264,9 +307,14 @@ func (d *DB) run(ctx context.Context, sql string, stmt sqlparser.Statement) (*ex
 	return res, err
 }
 
-// stmtText renders a pre-parsed statement for the query log: SELECTs
-// print back as SQL, other statement kinds as a short tag.
+// stmtText renders a pre-parsed statement for the query log: the
+// original SQL slice when the parser recorded one, otherwise SELECTs
+// print back as SQL and remaining statement kinds as a short tag
+// (synthetic statements built by planners or tests have no source).
 func stmtText(stmt sqlparser.Statement) string {
+	if src := sqlparser.StatementSource(stmt); src != "" {
+		return src
+	}
 	if s, ok := stmt.(*sqlparser.Select); ok {
 		return s.String()
 	}
@@ -322,6 +370,12 @@ func (d *DB) QueryStream(sql string, sink exec.RowSink) (*sqltypes.Schema, error
 // execution statistics so callers streaming to a remote client can
 // report them without racing on LastStats.
 func (d *DB) QueryStreamContext(ctx context.Context, sql string, sink exec.RowSink) (*sqltypes.Schema, *exec.Stats, error) {
+	if p := d.plans.lookup(sql, d.epoch.Load()); p != nil && p.Streamable() {
+		schema, stats, err := p.ExecuteStreamContext(ctx, sink)
+		if !errors.Is(err, ErrPlanStale) {
+			return schema, stats, err
+		}
+	}
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, nil, err
@@ -329,6 +383,17 @@ func (d *DB) QueryStreamContext(ctx context.Context, sql string, sink exec.RowSi
 	sel, ok := stmt.(*sqlparser.Select)
 	if !ok {
 		return nil, nil, fmt.Errorf("db: QueryStream requires a SELECT")
+	}
+	if sqlparser.CountParams(sel) == 0 {
+		if p, perr := d.prepareParsed(sql, sel, true); perr == nil {
+			d.plans.add(p)
+			if p.Streamable() {
+				schema, stats, err := p.ExecuteStreamContext(ctx, sink)
+				if !errors.Is(err, ErrPlanStale) {
+					return schema, stats, err
+				}
+			}
+		}
 	}
 	expanded, err := d.expandViews(sel, 0)
 	if err != nil {
@@ -344,7 +409,9 @@ func (d *DB) runCreate(st *sqlparser.CreateTable) (*exec.Result, error) {
 	if st.IfNotExists && d.HasTable(st.Name) {
 		return &exec.Result{}, nil
 	}
-	if err := sema.CheckStatement(st, &sema.Env{Catalog: d, Scalars: d.funcs, Aggs: d.aggs}); err != nil {
+	// Same env constructor as the executor's internal checks, so the
+	// catalog/UDF view sema sees cannot drift from execution's.
+	if err := sema.CheckStatement(st, exec.SemaEnv(d.env())); err != nil {
 		return nil, err
 	}
 	cols := make([]sqltypes.Column, len(st.Columns))

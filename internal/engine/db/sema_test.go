@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/engine/sema"
+	"repro/internal/engine/sqlparser"
+	"repro/internal/engine/sqltypes"
 )
 
 // posRE matches a "line:col" diagnostic position.
@@ -69,6 +71,65 @@ func TestSemaRejectsBeforeScan(t *testing.T) {
 	}
 	if tbl.ScannedRows() == 0 {
 		t.Fatal("valid query did not scan")
+	}
+}
+
+// TestSemaRejectsBeforeScanAllPaths drives one bad statement through
+// every dispatch entry point — Exec, ExecScript, Run, QueryStream, and
+// Prepare — and asserts none of them started a partition scan before
+// the semantic rejection. The paths share sema but reach it through
+// different plumbing (script splitting, pre-parsed statements, the
+// streaming executor, the prepared planner), so each is its own
+// regression surface.
+func TestSemaRejectsBeforeScanAllPaths(t *testing.T) {
+	d := openTest(t)
+	mustExec(t, d, "CREATE TABLE pp (i BIGINT, x DOUBLE)")
+	for i := 0; i < 20; i++ {
+		mustExec(t, d, "INSERT INTO pp VALUES (1, 2.0)")
+	}
+	tbl, err := d.Table("pp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bad = "SELECT nocolumn FROM pp"
+
+	paths := []struct {
+		name string
+		run  func() error
+	}{
+		{"Exec", func() error { _, err := d.Exec(bad); return err }},
+		{"ExecScript", func() error {
+			// Scripts execute statement-by-statement (earlier DDL may
+			// create what later statements reference, so whole-script
+			// pre-validation is impossible); the guarantee is that the
+			// bad statement itself never scans. The prefix is an insert,
+			// which touches no scan path.
+			_, err := d.ExecScript("INSERT INTO pp VALUES (9, 9.0); " + bad)
+			return err
+		}},
+		{"Run", func() error {
+			st, perr := sqlparser.Parse(bad)
+			if perr != nil {
+				return perr
+			}
+			_, err := d.Run(st)
+			return err
+		}},
+		{"QueryStream", func() error {
+			_, err := d.QueryStream(bad, func(sqltypes.Row) error { return nil })
+			return err
+		}},
+		{"Prepare", func() error { _, err := d.Prepare(bad); return err }},
+	}
+	for _, p := range paths {
+		tbl.ResetScannedRows()
+		if err := p.run(); err == nil {
+			t.Errorf("%s: expected a semantic error", p.name)
+			continue
+		}
+		if n := tbl.ScannedRows(); n != 0 {
+			t.Errorf("%s: scanned %d rows before rejection; want 0", p.name, n)
+		}
 	}
 }
 

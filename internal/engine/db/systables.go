@@ -23,7 +23,7 @@ const sysPrefix = "sys."
 // sys., for shell completion and \d-style listings. Instance-specific
 // registrations (RegisterSysTable) are reported by SysTableNames.
 func SystemTableNames() []string {
-	return []string{"sys.metrics", "sys.partitions", "sys.queries", "sys.summaries", "sys.tables"}
+	return []string{"sys.metrics", "sys.partitions", "sys.prepared", "sys.queries", "sys.summaries", "sys.tables"}
 }
 
 // SysTableFunc materializes one registered virtual table's content on
@@ -82,6 +82,12 @@ func (d *DB) sysTable(key string) (*storage.Table, error) {
 		return d.sysPartitions()
 	case "sys.summaries":
 		return d.sysSummaries()
+	case "sys.prepared":
+		cols, rows, err := d.sysPrepared()
+		if err != nil {
+			return nil, err
+		}
+		return newSysTable(key, cols, rows)
 	}
 	d.sysMu.RLock()
 	fn := d.sysExt[key]

@@ -41,7 +41,12 @@ func (d *DB) CreateView(name string, query *sqlparser.Select) error {
 		return fmt.Errorf("db: view %q already exists", name)
 	}
 	d.views[key] = query
-	return d.saveCatalog()
+	if err := d.saveCatalog(); err != nil {
+		delete(d.views, key)
+		return err
+	}
+	d.epoch.Add(1)
+	return nil
 }
 
 // DropView removes a view.
@@ -53,7 +58,11 @@ func (d *DB) DropView(name string) error {
 		return fmt.Errorf("db: view %q does not exist", name)
 	}
 	delete(d.views, key)
-	return d.saveCatalog()
+	if err := d.saveCatalog(); err != nil {
+		return err
+	}
+	d.epoch.Add(1)
+	return nil
 }
 
 // HasView reports whether the view exists.
@@ -89,6 +98,9 @@ func validateViewBody(q *sqlparser.Select) error {
 	}
 	if len(q.GroupBy) > 0 || len(q.OrderBy) > 0 || q.Limit != nil || q.Having != nil {
 		return fmt.Errorf("views with GROUP BY/HAVING/ORDER BY/LIMIT are not supported")
+	}
+	if sqlparser.CountParams(q) > 0 {
+		return fmt.Errorf("views may not contain ? parameters")
 	}
 	seen := make(map[string]bool)
 	for i, item := range q.Items {

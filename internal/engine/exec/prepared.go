@@ -1,0 +1,371 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine/expr"
+	"repro/internal/engine/sqlparser"
+	"repro/internal/engine/sqltypes"
+)
+
+// PreparedSelect is a SELECT planned once for repeated execution: the
+// statement is sema-checked, FROM is bound to concrete table handles,
+// stars are expanded, the join-tail push-down is decided and the
+// projection's expression trees compile to closures — all at prepare
+// time. Each EXECUTE then binds parameter values and scans.
+//
+// The point-scoring shape (non-aggregate, FROM-ful, no ORDER BY or
+// LIMIT) takes a fast path whose evaluator sets are pooled across
+// executions; other shapes fall back to binding parameters as literals
+// into a copy of the statement and running the general executor.
+//
+// The fast path's table handles are captured at prepare, so an
+// execution that races a DROP/CREATE sees the pre-DDL tables
+// consistently; the db layer's catalog epoch decides when the plan as
+// a whole is stale. Tail (model) tables are re-scanned per EXECUTE, so
+// freshly inserted model rows are always visible.
+type PreparedSelect struct {
+	env       *Env
+	sel       *sqlparser.Select
+	numParams int
+
+	// fast-path plan (nil/zero when fall-back)
+	fast   bool
+	b      *binding
+	items  []sqlparser.SelectItem
+	schema *sqltypes.Schema
+	tail   *tailPlan
+
+	scanPool sync.Pool // *scanEvalSet
+	tailPool sync.Pool // *tailEvalSet
+}
+
+// scanEvalSet is one partition worker's compiled state: the projection
+// and residual-WHERE evaluators (which carry scratch buffers and read
+// `?` slots from params) plus the flattened-row buffers. A set is used
+// by one goroutine at a time and pooled across executions.
+type scanEvalSet struct {
+	params []sqltypes.Value
+	evals  []expr.Evaluator
+	where  expr.Evaluator // nil when no residual predicate
+	flat   sqltypes.Row
+	out    sqltypes.Row
+}
+
+// tailEvalSet holds the compiled push-down filters for the tail scan,
+// which runs serially once per EXECUTE.
+type tailEvalSet struct {
+	params  []sqltypes.Value
+	filters [][]expr.Evaluator
+}
+
+// PrepareSelect plans sel (already view-expanded) against env.
+func PrepareSelect(sel *sqlparser.Select, env *Env) (*PreparedSelect, error) {
+	if err := analyze(sel, env); err != nil {
+		return nil, err
+	}
+	p := &PreparedSelect{env: env, sel: sel, numParams: sqlparser.CountParams(sel)}
+
+	isAgg := len(sel.GroupBy) > 0
+	if !isAgg {
+		aggNames := env.Aggs.Names()
+		for _, item := range sel.Items {
+			if !item.Star && expr.ContainsAggregate(item.Expr, aggNames) {
+				isAgg = true
+				break
+			}
+		}
+	}
+	if sel.Having != nil && !isAgg {
+		return nil, fmt.Errorf("exec: HAVING requires GROUP BY or aggregates")
+	}
+	p.fast = !isAgg && len(sel.From) > 0 && len(sel.OrderBy) == 0 && sel.Limit == nil
+	if !p.fast {
+		return p, nil
+	}
+
+	b, err := bindFrom(sel.From, env.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	items, err := expandStars(sel.Items, b)
+	if err != nil {
+		return nil, err
+	}
+	p.b, p.items = b, items
+	p.tail = planTail(b, sel.Where)
+
+	cols := make([]sqltypes.Column, len(items))
+	for i, item := range items {
+		cols[i] = sqltypes.Column{Name: itemName(item, i), Type: sqltypes.TypeDouble}
+		if cr, ok := item.Expr.(*sqlparser.ColumnRef); ok {
+			if idx, err := b.resolve(cr.Table, cr.Name); err == nil {
+				cols[i].Type = flatColumnType(b, idx)
+			}
+		}
+	}
+	p.schema = &sqltypes.Schema{Columns: cols}
+
+	// Compile one set of each kind eagerly so compile errors surface at
+	// prepare time, then seed the pools with them.
+	ss, err := p.newScanSet()
+	if err != nil {
+		return nil, err
+	}
+	p.scanPool.Put(ss)
+	ts, err := p.newTailSet()
+	if err != nil {
+		return nil, err
+	}
+	p.tailPool.Put(ts)
+	return p, nil
+}
+
+// NumParams reports how many `?` slots the statement has.
+func (p *PreparedSelect) NumParams() int { return p.numParams }
+
+// Schema returns the output schema when it is known at prepare time
+// (fast path); nil otherwise.
+func (p *PreparedSelect) Schema() *sqltypes.Schema {
+	if p.fast {
+		return p.schema
+	}
+	return nil
+}
+
+// Streamable reports whether ExecuteStreamContext can run the
+// statement (ORDER BY/LIMIT require materialization).
+func (p *PreparedSelect) Streamable() bool {
+	return len(p.sel.OrderBy) == 0 && p.sel.Limit == nil
+}
+
+func (p *PreparedSelect) newScanSet() (*scanEvalSet, error) {
+	s := &scanEvalSet{}
+	compile := func(e sqlparser.Expr, r expr.Resolver) (expr.Evaluator, error) {
+		return expr.CompileWithParams(e, r, p.env.Funcs, &s.params)
+	}
+	s.evals = make([]expr.Evaluator, len(p.items))
+	for i, item := range p.items {
+		ev, err := compile(item.Expr, p.b.resolve)
+		if err != nil {
+			return nil, err
+		}
+		s.evals[i] = ev
+	}
+	if p.tail.residual != nil {
+		w, err := compile(p.tail.residual, p.b.resolve)
+		if err != nil {
+			return nil, err
+		}
+		s.where = w
+	}
+	s.flat = make(sqltypes.Row, p.b.width)
+	s.out = make(sqltypes.Row, len(p.items))
+	return s, nil
+}
+
+func (p *PreparedSelect) newTailSet() (*tailEvalSet, error) {
+	s := &tailEvalSet{}
+	filters, err := p.tail.compileFilters(p.b, func(e sqlparser.Expr, r expr.Resolver) (expr.Evaluator, error) {
+		return expr.CompileWithParams(e, r, p.env.Funcs, &s.params)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.filters = filters
+	return s, nil
+}
+
+func (p *PreparedSelect) getScanSet() (*scanEvalSet, error) {
+	if s, ok := p.scanPool.Get().(*scanEvalSet); ok && s != nil {
+		return s, nil
+	}
+	return p.newScanSet()
+}
+
+func (p *PreparedSelect) getTailSet() (*tailEvalSet, error) {
+	if s, ok := p.tailPool.Get().(*tailEvalSet); ok && s != nil {
+		return s, nil
+	}
+	return p.newTailSet()
+}
+
+// ExecuteContext binds args and materializes the result.
+func (p *PreparedSelect) ExecuteContext(ctx context.Context, args []sqltypes.Value) (*Result, error) {
+	schema, rows, stats, err := p.run(ctx, args, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: schema, Rows: rows, Stats: stats}, nil
+}
+
+// ExecuteStreamContext binds args and streams result rows to sink.
+func (p *PreparedSelect) ExecuteStreamContext(ctx context.Context, args []sqltypes.Value, sink RowSink) (*sqltypes.Schema, *Stats, error) {
+	if !p.Streamable() {
+		return nil, nil, fmt.Errorf("exec: ORDER BY/LIMIT not supported in streaming mode")
+	}
+	schema, _, stats, err := p.run(ctx, args, sink)
+	return schema, stats, err
+}
+
+func (p *PreparedSelect) run(ctx context.Context, args []sqltypes.Value, sink RowSink) (*sqltypes.Schema, []sqltypes.Row, *Stats, error) {
+	if len(args) != p.numParams {
+		return nil, nil, nil, fmt.Errorf("exec: prepared statement expects %d parameter(s), got %d", p.numParams, len(args))
+	}
+	if !p.fast {
+		return p.runFallback(ctx, args, sink)
+	}
+
+	var col *collector
+	if sink == nil {
+		col = &collector{}
+		sink = col.sink
+	}
+	st := &Stats{Workers: 1}
+	finish := beginSelectObs(st)
+	defer finish()
+	sink = countedSink(st, sink)
+
+	plan := st.ensureRoot().child("plan")
+	ts, err := p.getTailSet()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ts.params = args
+	tail, err := p.tail.scan(ctx, p.b, ts.filters)
+	ts.params = nil
+	p.tailPool.Put(ts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	first := p.b.tables[0].table
+	nparts := first.Partitions()
+	st.Partitions = nparts
+	st.Workers = scanWorkers(p.env, nparts)
+	st.PartitionRows = make([]int64, nparts)
+	st.Plan = plan.finish()
+
+	scan := st.Root.child("scan")
+	partSpans := make([]*Span, nparts)
+	err = runParallel(ctx, st.Workers, nparts, func(ctx context.Context, part int) error {
+		span := newSpan(fmt.Sprintf("scan[p%d]", part))
+		partSpans[part] = span
+		set, serr := p.getScanSet()
+		if serr != nil {
+			return serr
+		}
+		set.params = args
+		defer func() {
+			set.params = nil
+			p.scanPool.Put(set)
+		}()
+		ps, serr := first.ScanPartitionStats(ctx, part, func(r sqltypes.Row) error {
+			for _, t := range tail {
+				copy(set.flat, r)
+				copy(set.flat[len(r):], t)
+				if set.where != nil {
+					keep, err := set.where.Eval(set.flat)
+					if err != nil {
+						return err
+					}
+					if keep.IsNull() || !keep.Bool() {
+						continue
+					}
+				}
+				for i, ev := range set.evals {
+					v, err := ev.Eval(set.flat)
+					if err != nil {
+						return err
+					}
+					set.out[i] = v
+				}
+				if err := sink(set.out); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		st.PartitionRows[part] = ps.Rows
+		span.Rows, span.Bytes = ps.Rows, ps.Bytes
+		span.finish()
+		atomic.AddInt64(&st.RowsScanned, ps.Rows)
+		atomic.AddInt64(&st.BytesRead, ps.Bytes)
+		return serr
+	})
+	st.Scan = scan.finish()
+	finishScanSpan(scan, partSpans, st)
+	var rows []sqltypes.Row
+	if col != nil {
+		rows = col.rows
+	}
+	return p.schema, rows, st, err
+}
+
+// runFallback binds args as literal expressions into a deep copy of
+// the statement and runs the general executor (aggregates, ORDER BY,
+// LIMIT, FROM-less selects). The copy re-resolves tables by name, so
+// it is always catalog-fresh; parse and view expansion are still
+// amortized by the prepare.
+func (p *PreparedSelect) runFallback(ctx context.Context, args []sqltypes.Value, sink RowSink) (*sqltypes.Schema, []sqltypes.Row, *Stats, error) {
+	bound, err := bindArgs(p.sel, args)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if sink == nil {
+		res, err := Select(ctx, bound, p.env)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return res.Schema, res.Rows, res.Stats, nil
+	}
+	schema, stats, err := SelectStream(ctx, bound, p.env, sink)
+	return schema, nil, stats, err
+}
+
+// bindArgs deep-copies sel with each `?` replaced by its argument as a
+// literal expression.
+func bindArgs(sel *sqlparser.Select, args []sqltypes.Value) (*sqlparser.Select, error) {
+	lits := make([]sqlparser.Expr, len(args))
+	for i, v := range args {
+		lits[i] = literalExpr(v)
+	}
+	stmt, err := sqlparser.BindParams(sel, lits)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.(*sqlparser.Select), nil
+}
+
+// BindStatementArgs deep-copies stmt with every `?` slot bound to the
+// corresponding argument as a literal expression; the db layer's
+// prepared-INSERT path executes the bound copy through the general
+// executor.
+func BindStatementArgs(stmt sqlparser.Statement, args []sqltypes.Value) (sqlparser.Statement, error) {
+	lits := make([]sqlparser.Expr, len(args))
+	for i, v := range args {
+		lits[i] = literalExpr(v)
+	}
+	return sqlparser.BindParams(stmt, lits)
+}
+
+// literalExpr renders a runtime value as a literal expression node.
+func literalExpr(v sqltypes.Value) sqlparser.Expr {
+	switch v.Type() {
+	case sqltypes.TypeNull:
+		return &sqlparser.NullLit{}
+	case sqltypes.TypeBigInt:
+		n := v.Int()
+		return &sqlparser.NumberLit{IsInt: true, Int: n, Float: float64(n)}
+	case sqltypes.TypeDouble:
+		f, _ := v.Float()
+		return &sqlparser.NumberLit{Float: f}
+	case sqltypes.TypeBool:
+		return &sqlparser.BoolLit{Val: v.Bool()}
+	default:
+		return &sqlparser.StringLit{Val: v.Str()}
+	}
+}

@@ -144,34 +144,11 @@ func runSelect(ctx context.Context, sel *sqlparser.Select, env *Env, sink RowSin
 		return col.rows
 	}
 	st := &Stats{Workers: 1}
-	root := st.ensureRoot()
-	obs.ActiveQueries.Inc()
-	defer func() {
-		root.finish()
-		root.Rows = st.RowsEmitted
-		st.Total = root.Duration()
-		obs.ActiveQueries.Dec()
-		obs.QuerySeconds.Observe(st.Total.Seconds())
-		obs.RowsEmitted.Add(st.RowsEmitted)
-		if st.Partitions > 0 {
-			obs.PlanSeconds.Observe(st.Plan.Seconds())
-			obs.ScanSeconds.Observe(st.Scan.Seconds())
-		}
-		if st.hasMerge {
-			obs.MergeSeconds.Observe(st.Merge.Seconds())
-			obs.FinalizeSeconds.Observe(st.Finalize.Seconds())
-		}
-	}()
+	finish := beginSelectObs(st)
+	defer finish()
 	// Count emitted rows here so aggregate and projection paths (and
 	// their concurrent sink calls) are all covered by one atomic.
-	inner := sink
-	sink = func(r sqltypes.Row) error {
-		if err := inner(r); err != nil {
-			return err
-		}
-		atomic.AddInt64(&st.RowsEmitted, 1)
-		return nil
-	}
+	sink = countedSink(st, sink)
 
 	// Table-less SELECT of constants.
 	if len(sel.From) == 0 {
@@ -205,6 +182,42 @@ func runSelect(ctx context.Context, sel *sqlparser.Select, env *Env, sink RowSin
 	}
 	schema, err := runProjection(ctx, sel, items, b, env, sink, st)
 	return schema, emitRows(), st, err
+}
+
+// beginSelectObs starts the root span and the engine-level query
+// gauges/histograms for one SELECT execution; the returned finish
+// function completes them. Shared by the ad-hoc and prepared paths.
+func beginSelectObs(st *Stats) func() {
+	root := st.ensureRoot()
+	obs.ActiveQueries.Inc()
+	return func() {
+		root.finish()
+		root.Rows = st.RowsEmitted
+		st.Total = root.Duration()
+		obs.ActiveQueries.Dec()
+		obs.QuerySeconds.Observe(st.Total.Seconds())
+		obs.RowsEmitted.Add(st.RowsEmitted)
+		if st.Partitions > 0 {
+			obs.PlanSeconds.Observe(st.Plan.Seconds())
+			obs.ScanSeconds.Observe(st.Scan.Seconds())
+		}
+		if st.hasMerge {
+			obs.MergeSeconds.Observe(st.Merge.Seconds())
+			obs.FinalizeSeconds.Observe(st.Finalize.Seconds())
+		}
+	}
+}
+
+// countedSink wraps sink so every emitted row is counted into st with
+// one atomic, covering concurrent sink calls from partition workers.
+func countedSink(st *Stats, sink RowSink) RowSink {
+	return func(r sqltypes.Row) error {
+		if err := sink(r); err != nil {
+			return err
+		}
+		atomic.AddInt64(&st.RowsEmitted, 1)
+		return nil
+	}
 }
 
 // scanWorkers resolves the worker-pool bound for n partitions.
@@ -250,28 +263,89 @@ func constSelect(sel *sqlparser.Select, env *Env, sink RowSink) (*sqltypes.Schem
 const maxJoinTailRows = 1 << 20
 
 func joinTail(ctx context.Context, b *binding, where sqlparser.Expr, funcs *expr.Registry) ([]sqltypes.Row, sqlparser.Expr, error) {
+	tp := planTail(b, where)
+	filters, err := tp.compileFilters(b, func(e sqlparser.Expr, r expr.Resolver) (expr.Evaluator, error) {
+		return expr.Compile(e, r, funcs)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tail, err := tp.scan(ctx, b, filters)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tail, tp.residual, nil
+}
+
+// tailPlan is the data-independent half of a cross-join tail: which
+// WHERE conjuncts push down to which tail table, and the residual
+// predicate that still runs per joined row. A prepared statement keeps
+// one tailPlan and re-scans the (small) tail tables each EXECUTE, so
+// inserts into model tables are always visible.
+type tailPlan struct {
+	splits   [][]sqlparser.Expr // per FROM index: conjuncts pushed to that table
+	residual sqlparser.Expr
+}
+
+// planTail decides the push-down split. The decision is structural
+// (which tables each conjunct references), so it is stable across
+// executions of the same statement.
+func planTail(b *binding, where sqlparser.Expr) *tailPlan {
 	conjuncts := splitConjuncts(where)
 	used := make([]bool, len(conjuncts))
-
-	tail := []sqltypes.Row{{}}
+	tp := &tailPlan{splits: make([][]sqlparser.Expr, len(b.tables))}
 	for ti := 1; ti < len(b.tables); ti++ {
-		bt := b.tables[ti]
-		// Compile the conjuncts that only touch this table.
-		var filters []expr.Evaluator
 		for ci, c := range conjuncts {
 			if used[ci] || !refsOnlyTable(c, b, ti) {
 				continue
 			}
-			ev, err := expr.Compile(c, tableResolver(b, ti), funcs)
-			if err != nil {
-				return nil, nil, err
-			}
-			filters = append(filters, ev)
+			tp.splits[ti] = append(tp.splits[ti], c)
 			used[ci] = true
 		}
+	}
+	for ci, c := range conjuncts {
+		if used[ci] {
+			continue
+		}
+		if tp.residual == nil {
+			tp.residual = c
+		} else {
+			tp.residual = &sqlparser.BinaryExpr{Op: "AND", L: tp.residual, R: c}
+		}
+	}
+	return tp
+}
+
+// compileFilters compiles the pushed-down conjuncts with the given
+// compile hook (plain Compile for ad-hoc queries, CompileWithParams
+// for prepared ones).
+func (tp *tailPlan) compileFilters(b *binding, compile func(sqlparser.Expr, expr.Resolver) (expr.Evaluator, error)) ([][]expr.Evaluator, error) {
+	filters := make([][]expr.Evaluator, len(tp.splits))
+	for ti, split := range tp.splits {
+		if len(split) == 0 {
+			continue
+		}
+		resolve := tableResolver(b, ti)
+		for _, c := range split {
+			ev, err := compile(c, resolve)
+			if err != nil {
+				return nil, err
+			}
+			filters[ti] = append(filters[ti], ev)
+		}
+	}
+	return filters, nil
+}
+
+// scan materializes the filtered cross product of the tail tables.
+func (tp *tailPlan) scan(ctx context.Context, b *binding, filters [][]expr.Evaluator) ([]sqltypes.Row, error) {
+	tail := []sqltypes.Row{{}}
+	for ti := 1; ti < len(b.tables); ti++ {
+		bt := b.tables[ti]
 		var trows []sqltypes.Row
+		fs := filters[ti]
 		err := bt.table.ScanContext(ctx, func(r sqltypes.Row) error {
-			for _, f := range filters {
+			for _, f := range fs {
 				keep, err := f.Eval(r)
 				if err != nil {
 					return err
@@ -284,10 +358,10 @@ func joinTail(ctx context.Context, b *binding, where sqlparser.Expr, funcs *expr
 			return nil
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if len(tail)*len(trows) > maxJoinTailRows {
-			return nil, nil, fmt.Errorf("exec: cross-join tail exceeds %d rows; joins expect small model tables after the first table", maxJoinTailRows)
+			return nil, fmt.Errorf("exec: cross-join tail exceeds %d rows; joins expect small model tables after the first table", maxJoinTailRows)
 		}
 		next := make([]sqltypes.Row, 0, len(tail)*len(trows))
 		for _, t := range tail {
@@ -300,19 +374,7 @@ func joinTail(ctx context.Context, b *binding, where sqlparser.Expr, funcs *expr
 		}
 		tail = next
 	}
-	// Rebuild the residual predicate from the unconsumed conjuncts.
-	var residual sqlparser.Expr
-	for ci, c := range conjuncts {
-		if used[ci] {
-			continue
-		}
-		if residual == nil {
-			residual = c
-		} else {
-			residual = &sqlparser.BinaryExpr{Op: "AND", L: residual, R: c}
-		}
-	}
-	return tail, residual, nil
+	return tail, nil
 }
 
 // splitConjuncts flattens a predicate's top-level AND tree.

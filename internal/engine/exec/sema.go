@@ -18,9 +18,12 @@ func (s schemaCatalog) TableSchema(name string) (*sqltypes.Schema, error) {
 	return t.Schema(), nil
 }
 
-// semaEnv derives the semantic-analysis environment from an executor
-// environment.
-func semaEnv(env *Env) *sema.Env {
+// SemaEnv derives the semantic-analysis environment from an executor
+// environment. It is the single constructor for sema.Env: both the
+// executor's internal pre-execution checks and the db layer's
+// statement dispatch go through it, so the catalog and UDF registries
+// sema sees can never drift from the ones execution uses.
+func SemaEnv(env *Env) *sema.Env {
 	se := &sema.Env{Scalars: env.Funcs, Aggs: env.Aggs}
 	if env.Catalog != nil {
 		se.Catalog = schemaCatalog{env.Catalog}
@@ -32,5 +35,5 @@ func semaEnv(env *Env) *sema.Env {
 // executor entry point calls it, so malformed queries fail with
 // positioned diagnostics before any partition scan starts.
 func analyze(stmt sqlparser.Statement, env *Env) error {
-	return sema.CheckStatement(stmt, semaEnv(env))
+	return sema.CheckStatement(stmt, SemaEnv(env))
 }

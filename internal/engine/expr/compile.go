@@ -29,9 +29,19 @@ func Compile(e sqlparser.Expr, resolve Resolver, funcs *Registry) (Evaluator, er
 	return c.compile(e)
 }
 
+// CompileWithParams is Compile for prepared statements: `?` parameter
+// references compile to reads of the shared params box, which the
+// prepared statement points at the bound argument slice before each
+// EXECUTE. Plain Compile rejects parameter references.
+func CompileWithParams(e sqlparser.Expr, resolve Resolver, funcs *Registry, params *[]sqltypes.Value) (Evaluator, error) {
+	c := &compiler{resolve: resolve, funcs: funcs, params: params}
+	return c.compile(e)
+}
+
 type compiler struct {
 	resolve Resolver
 	funcs   *Registry
+	params  *[]sqltypes.Value // nil outside prepared statements
 }
 
 func (c *compiler) compile(e sqlparser.Expr) (Evaluator, error) {
@@ -56,6 +66,11 @@ func (c *compiler) compile(e sqlparser.Expr) (Evaluator, error) {
 			return nil, err
 		}
 		return colEval{idx: idx, name: e.String()}, nil
+	case *sqlparser.ParamRef:
+		if c.params == nil {
+			return nil, fmt.Errorf("expr: ? parameter not allowed here (statement is not prepared)")
+		}
+		return paramEval{idx: e.Index, box: c.params}, nil
 	case *sqlparser.UnaryExpr:
 		x, err := c.compile(e.X)
 		if err != nil {
@@ -129,6 +144,23 @@ func (c *compiler) compile(e sqlparser.Expr) (Evaluator, error) {
 	default:
 		return nil, fmt.Errorf("expr: unsupported expression %T", e)
 	}
+}
+
+// paramEval reads one `?` slot from the params box shared by every
+// evaluator compiled for a prepared statement. The prepared statement
+// repoints the box at the bound arguments before each EXECUTE, so the
+// compiled tree never needs recompiling.
+type paramEval struct {
+	idx int
+	box *[]sqltypes.Value
+}
+
+func (p paramEval) Eval(sqltypes.Row) (sqltypes.Value, error) {
+	vals := *p.box
+	if p.idx < 0 || p.idx >= len(vals) {
+		return sqltypes.Null, fmt.Errorf("expr: parameter %d is not bound (%d bound)", p.idx+1, len(vals))
+	}
+	return vals[p.idx], nil
 }
 
 // AggregateNames are the built-in SQL aggregates the executor

@@ -51,6 +51,24 @@ var (
 	SummaryRebuildSeconds = Default.Histogram("engine_summary_rebuild_seconds",
 		"Latency of summary-cache rebuild scans (cold/stale entries).", DurationBuckets)
 
+	// Plan-cache instruments: the statement path's LRU of prepared
+	// plans reports read-through hits and misses, capacity evictions,
+	// and entries discarded because a CREATE/DROP bumped the catalog
+	// epoch after they were planned.
+	PlanCacheHits = Default.Counter("engine_plan_cache_hits",
+		"Statements served from a cached prepared plan (no parse/sema/plan).")
+	PlanCacheMisses = Default.Counter("engine_plan_cache_misses",
+		"Statements that missed the plan cache and were planned from scratch.")
+	PlanCacheEvictions = Default.Counter("engine_plan_cache_evictions",
+		"Plan-cache entries evicted by the LRU capacity bound.")
+	PlanCacheInvalidations = Default.Counter("engine_plan_cache_invalidations",
+		"Plan-cache entries discarded because the catalog epoch moved (DDL).")
+	// PrepareSeconds is the one-time cost a PREPARE pays so EXECUTE can
+	// skip it: parse, sema, view expansion, binding and closure
+	// compilation.
+	PrepareSeconds = Default.Histogram("engine_prepare_seconds",
+		"Latency of preparing a statement (parse, sema, plan, compile).", DurationBuckets)
+
 	// Per-phase latency histograms mirror the aggregate UDF protocol's
 	// four phases (plan covers rewrite/binding/pushdown; scan is
 	// phases 1-2; merge phase 3; finalize phase 4), plus the end-to-end

@@ -51,6 +51,11 @@ func (c *checker) infer(e sqlparser.Expr, sc *scope) typ {
 		return known(sqltypes.TypeBool)
 	case *sqlparser.ColumnRef:
 		return c.resolveColumn(sc, e)
+	case *sqlparser.ParamRef:
+		// A `?` placeholder types as unknown; the bound value is only
+		// known at EXECUTE time, and the engine's operators are total
+		// over runtime values. Slot validity is checked at bind time.
+		return anyType
 	case *sqlparser.UnaryExpr:
 		xt := c.infer(e.X, sc)
 		if e.Op == "NOT" {

@@ -14,6 +14,42 @@ type Statement interface {
 	Pos() Position
 }
 
+// stmtSource carries the slice of the original input a statement was
+// parsed from. Parse and ParseScript fill it; synthetic statements
+// leave it empty. It is embedded in every statement struct so the
+// query log can show real SQL instead of a Go type name.
+type stmtSource struct {
+	source string
+}
+
+func (s *stmtSource) setSource(src string) { s.source = src }
+
+// sourcer is implemented by every statement struct via stmtSource.
+type sourcer interface {
+	setSource(string)
+}
+
+// StatementSource returns the original SQL text the statement was
+// parsed from, or "" for synthetic statements.
+func StatementSource(stmt Statement) string {
+	type sourced interface{ sourceText() string }
+	if s, ok := stmt.(sourced); ok {
+		return s.sourceText()
+	}
+	return ""
+}
+
+func (s *stmtSource) sourceText() string { return s.source }
+
+// SetStatementSource records src as the statement's original SQL.
+// Callers that build statements programmatically (or re-render them)
+// can use it so sys.queries shows something meaningful.
+func SetStatementSource(stmt Statement, src string) {
+	if s, ok := stmt.(sourcer); ok {
+		s.setSource(src)
+	}
+}
+
 // ColumnDef is one column in CREATE TABLE.
 type ColumnDef struct {
 	Name string
@@ -27,6 +63,7 @@ type CreateTable struct {
 	Columns     []ColumnDef
 	IfNotExists bool
 	At          Position
+	stmtSource
 }
 
 // DropTable is `DROP TABLE [IF EXISTS] name`.
@@ -34,6 +71,7 @@ type DropTable struct {
 	Name     string
 	IfExists bool
 	At       Position
+	stmtSource
 }
 
 // CreateView is `CREATE VIEW name AS SELECT ...`. Views are expanded
@@ -42,6 +80,7 @@ type CreateView struct {
 	Name  string
 	Query *Select
 	At    Position
+	stmtSource
 }
 
 // DropView is `DROP VIEW [IF EXISTS] name`.
@@ -49,6 +88,7 @@ type DropView struct {
 	Name     string
 	IfExists bool
 	At       Position
+	stmtSource
 }
 
 // Insert is `INSERT INTO name [(cols)] VALUES (...),(...)` or
@@ -61,6 +101,7 @@ type Insert struct {
 	Query     *Select  // INSERT .. SELECT, when non-nil
 	At        Position
 	TablePos  Position
+	stmtSource
 }
 
 // Select is a SELECT statement (also used as a subquery in INSERT).
@@ -73,6 +114,7 @@ type Select struct {
 	OrderBy []OrderItem
 	Limit   *int64
 	At      Position
+	stmtSource
 }
 
 // SelectItem is one projection: an expression with an optional alias,
@@ -306,6 +348,14 @@ type InExpr struct {
 	At     Position
 }
 
+// ParamRef is a `?` positional parameter in a prepared statement.
+// Index is the 0-based slot, assigned left-to-right across the whole
+// statement by the parser. Values are bound at EXECUTE time.
+type ParamRef struct {
+	Index int
+	At    Position
+}
+
 func (*NumberLit) isExpr()   {}
 func (*StringLit) isExpr()   {}
 func (*NullLit) isExpr()     {}
@@ -319,6 +369,7 @@ func (*IsNullExpr) isExpr()  {}
 func (*CastExpr) isExpr()    {}
 func (*BetweenExpr) isExpr() {}
 func (*InExpr) isExpr()      {}
+func (*ParamRef) isExpr()    {}
 
 func (e *NumberLit) Pos() Position   { return e.At }
 func (e *StringLit) Pos() Position   { return e.At }
@@ -333,6 +384,9 @@ func (e *IsNullExpr) Pos() Position  { return e.At }
 func (e *CastExpr) Pos() Position    { return e.At }
 func (e *BetweenExpr) Pos() Position { return e.At }
 func (e *InExpr) Pos() Position      { return e.At }
+func (e *ParamRef) Pos() Position    { return e.At }
+
+func (e *ParamRef) String() string { return "?" }
 
 func (e *NumberLit) String() string {
 	if e.IsInt {

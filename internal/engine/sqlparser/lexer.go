@@ -99,7 +99,20 @@ type lexer struct {
 // malformed token. Tokens initially record only byte offsets; line and
 // column are filled by one pass over the source at the end.
 func lex(src string) ([]token, error) {
-	l := &lexer{src: src}
+	toks, err := lexInto(src, nil)
+	if err != nil {
+		return nil, err
+	}
+	return toks, nil
+}
+
+// lexInto tokenizes src, appending into toks (normally a pooled buffer
+// truncated to length zero) so the hot statement path reuses one token
+// slice instead of growing a fresh one per statement. On error the
+// partially filled slice is returned alongside the error so the caller
+// can still recycle its backing array.
+func lexInto(src string, toks []token) ([]token, error) {
+	l := lexer{src: src, toks: toks}
 	for {
 		l.skipSpaceAndComments()
 		if l.pos >= len(l.src) {
@@ -124,15 +137,15 @@ func lex(src string) ([]token, error) {
 			}
 		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
 			if err := l.lexNumber(); err != nil {
-				return nil, err
+				return l.toks, err
 			}
 		case c == '\'':
 			if err := l.lexString(); err != nil {
-				return nil, err
+				return l.toks, err
 			}
 		default:
 			if err := l.lexSymbol(); err != nil {
-				return nil, err
+				return l.toks, err
 			}
 		}
 	}
@@ -246,7 +259,7 @@ func (l *lexer) lexSymbol() error {
 	}
 	c := l.src[l.pos]
 	switch c {
-	case '(', ')', ',', '*', '+', '-', '/', '%', '<', '>', '=', '.', ';':
+	case '(', ')', ',', '*', '+', '-', '/', '%', '<', '>', '=', '.', ';', '?':
 		l.pos++
 		l.emit(tokSymbol, string(c), start)
 		return nil

@@ -1,0 +1,180 @@
+package sqlparser
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseParams(t *testing.T) {
+	st := mustParse(t, "SELECT a FROM t WHERE b = ? AND c > ?").(*Select)
+	if got := CountParams(st); got != 2 {
+		t.Fatalf("CountParams = %d, want 2", got)
+	}
+	// Slots are numbered left-to-right.
+	var idx []int
+	walkSelectExprs(st, func(e Expr) {
+		WalkExprs(e, func(x Expr) {
+			if pr, ok := x.(*ParamRef); ok {
+				idx = append(idx, pr.Index)
+			}
+		})
+	})
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Fatalf("param indices = %v, want [0 1]", idx)
+	}
+}
+
+func TestParseParamsEverywhere(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT ? AS x", 1},
+		{"SELECT a + ? FROM t WHERE b IN (?, ?, ?)", 4},
+		{"SELECT a FROM t WHERE b BETWEEN ? AND ?", 2},
+		{"SELECT CASE WHEN a > ? THEN ? ELSE ? END FROM t", 3},
+		{"INSERT INTO t VALUES (?, ?, 3)", 2},
+		{"SELECT f(?, a, ?) FROM t", 2},
+		{"SELECT a FROM t", 0},
+	}
+	for _, c := range cases {
+		st := mustParse(t, c.sql)
+		if got := CountParams(st); got != c.want {
+			t.Errorf("CountParams(%q) = %d, want %d", c.sql, got, c.want)
+		}
+	}
+}
+
+func TestParamRejectedInDDL(t *testing.T) {
+	// Parameters only make sense where expressions are evaluated.
+	for _, sql := range []string{
+		"CREATE TABLE t (a ?)",
+		"DROP TABLE ?",
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) accepted a ? outside expression position", sql)
+		}
+	}
+}
+
+func TestBindParamsSubstitutes(t *testing.T) {
+	st := mustParse(t, "SELECT a FROM t WHERE b = ? AND c = ?")
+	bound, err := BindParams(st, []Expr{
+		&NumberLit{IsInt: true, Int: 7},
+		&StringLit{Val: "x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bound.(*Select).String()
+	if !strings.Contains(s, "7") || !strings.Contains(s, "'x'") {
+		t.Fatalf("bound statement %q lacks literals", s)
+	}
+	// The original tree is untouched: binding is a deep copy.
+	if CountParams(st) != 2 {
+		t.Fatal("BindParams mutated the original statement")
+	}
+	if CountParams(bound) != 0 {
+		t.Fatal("bound statement still has params")
+	}
+}
+
+func TestBindParamsUnderBinding(t *testing.T) {
+	// Arity is enforced by the executor's argument binding, not here:
+	// an unbound slot survives as a ParamRef so sema rejects it later
+	// instead of the statement silently running with a hole.
+	st := mustParse(t, "SELECT a FROM t WHERE b = ? AND c = ?")
+	bound, err := BindParams(st, []Expr{&NumberLit{IsInt: true, Int: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountParams(bound); got != 2 {
+		t.Fatalf("under-bound statement has %d param slots, want the unbound slot preserved", got)
+	}
+}
+
+func TestBindParamsUnsupportedStatement(t *testing.T) {
+	if _, err := BindParams(mustParse(t, "DROP TABLE t"), nil); err != nil {
+		t.Fatalf("param-free DDL must pass through: %v", err)
+	}
+}
+
+// TestStatementSourceSpans is the regression for the query-log bug
+// where sys.queries showed the statement's Go type name ("%!s(*Select)"
+// style noise) instead of its SQL: every parsed statement must carry
+// the exact source slice it came from.
+func TestStatementSourceSpans(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT a, b FROM t WHERE c = 1",
+		"INSERT INTO t VALUES (1, 2)",
+		"CREATE TABLE u (a BIGINT)",
+	} {
+		st := mustParse(t, sql)
+		if got := StatementSource(st); got != sql {
+			t.Errorf("StatementSource = %q, want %q", got, sql)
+		}
+	}
+}
+
+func TestStatementSourceSpansScript(t *testing.T) {
+	stmts, err := ParseScript("CREATE TABLE t (a BIGINT);\nINSERT INTO t VALUES (1);\nSELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"CREATE TABLE t (a BIGINT)",
+		"INSERT INTO t VALUES (1)",
+		"SELECT a FROM t",
+	}
+	if len(stmts) != len(want) {
+		t.Fatalf("got %d statements", len(stmts))
+	}
+	for i, st := range stmts {
+		if got := StatementSource(st); got != want[i] {
+			t.Errorf("statement %d source = %q, want %q", i, got, want[i])
+		}
+	}
+}
+
+// TestParserPoolNoStateLeak drives many concurrent parses through the
+// pooled scratch: no parse may see another statement's tokens, and the
+// pooled token buffers must not pin (alias) a previous caller's SQL
+// string — putScratch zeroes them.
+func TestParserPoolNoStateLeak(t *testing.T) {
+	texts := []string{
+		"SELECT a FROM t WHERE b = ?",
+		"SELECT x, y, z FROM u WHERE q BETWEEN 1 AND 2",
+		"INSERT INTO t VALUES (1, 'abc'), (2, 'def')",
+		"CREATE TABLE v (a BIGINT, b DOUBLE, c VARCHAR)",
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sql := texts[(w+i)%len(texts)]
+				st, err := Parse(sql)
+				if err != nil {
+					t.Errorf("Parse(%q): %v", sql, err)
+					return
+				}
+				if got := StatementSource(st); got != sql {
+					t.Errorf("cross-parse leak: source %q for input %q", got, sql)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Whatever scratch ends up pooled afterwards holds no tokens.
+	s := scratchPool.Get().(*parseScratch)
+	defer scratchPool.Put(s)
+	for _, tok := range s.toks[:cap(s.toks)] {
+		if tok.text != "" {
+			t.Fatalf("pooled scratch retains token text %q", tok.text)
+		}
+	}
+}

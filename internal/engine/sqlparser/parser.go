@@ -7,31 +7,39 @@ import (
 )
 
 // Parse parses one SQL statement (an optional trailing semicolon is
-// allowed).
+// allowed). The statement records the slice of sql it was parsed from
+// (see StatementSource).
 func Parse(sql string) (Statement, error) {
-	toks, err := lex(sql)
+	s, err := getScratch(sql)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	defer putScratch(s)
+	p := &s.p
+	start := p.peek().pos.Offset
 	stmt, err := p.parseStatement()
 	if err != nil {
 		return nil, err
 	}
+	end := p.peek().pos.Offset // the ';' or EOF token
 	p.accept(tokSymbol, ";")
 	if p.peek().kind != tokEOF {
 		return nil, p.errorf("unexpected %q after statement", p.peek().text)
 	}
+	SetStatementSource(stmt, strings.TrimSpace(sql[start:end]))
 	return stmt, nil
 }
 
 // ParseScript parses a sequence of semicolon-separated statements.
+// Each statement records the slice of sql it was parsed from, so the
+// query log shows the real text rather than a Go type name.
 func ParseScript(sql string) ([]Statement, error) {
-	toks, err := lex(sql)
+	s, err := getScratch(sql)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	defer putScratch(s)
+	p := &s.p
 	var out []Statement
 	for {
 		for p.accept(tokSymbol, ";") {
@@ -39,10 +47,12 @@ func ParseScript(sql string) ([]Statement, error) {
 		if p.peek().kind == tokEOF {
 			return out, nil
 		}
+		start := p.peek().pos.Offset
 		stmt, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
+		SetStatementSource(stmt, strings.TrimSpace(sql[start:p.peek().pos.Offset]))
 		out = append(out, stmt)
 		if !p.accept(tokSymbol, ";") && p.peek().kind != tokEOF {
 			return nil, p.errorf("expected ';' between statements, got %q", p.peek().text)
@@ -53,11 +63,12 @@ func ParseScript(sql string) ([]Statement, error) {
 // ParseExpr parses a standalone expression (used by tests and by the
 // engine's expression-level APIs).
 func ParseExpr(s string) (Expr, error) {
-	toks, err := lex(s)
+	sc, err := getScratch(s)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	defer putScratch(sc)
+	p := &sc.p
 	e, err := p.parseExpr()
 	if err != nil {
 		return nil, err
@@ -69,8 +80,9 @@ func ParseExpr(s string) (Expr, error) {
 }
 
 type parser struct {
-	toks []token
-	i    int
+	toks   []token
+	i      int
+	params int // number of `?` parameters seen so far, in source order
 }
 
 func (p *parser) peek() token { return p.toks[p.i] }
@@ -690,6 +702,11 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case t.kind == tokKeyword && t.text == "FALSE":
 		p.i++
 		return &BoolLit{Val: false, At: t.pos}, nil
+	case t.kind == tokSymbol && t.text == "?":
+		p.i++
+		pr := &ParamRef{Index: p.params, At: t.pos}
+		p.params++
+		return pr, nil
 	case t.kind == tokKeyword && t.text == "CASE":
 		return p.parseCase()
 	case t.kind == tokKeyword && t.text == "CAST":

@@ -1,0 +1,42 @@
+package sqlparser
+
+import "sync"
+
+// parseScratch bundles the token buffer and parser state for one
+// Parse/ParseScript/ParseExpr call. High-QPS serving parses one small
+// statement per request; pooling the scratch removes the token-slice
+// allocation from that path (the VictoriaMetrics parser-pool idiom).
+type parseScratch struct {
+	toks []token
+	p    parser
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(parseScratch) }}
+
+// getScratch lexes src into a pooled scratch and positions the parser
+// at the first token. On lex error the scratch is recycled and only
+// the error returned.
+func getScratch(src string) (*parseScratch, error) {
+	s := scratchPool.Get().(*parseScratch)
+	toks, err := lexInto(src, s.toks[:0])
+	s.toks = toks // keep the (possibly grown) backing array either way
+	if err != nil {
+		putScratch(s)
+		return nil, err
+	}
+	s.p = parser{toks: toks}
+	return s, nil
+}
+
+// putScratch recycles s. Token texts alias the SQL string that was
+// parsed, so every element is zeroed first: a pooled scratch must not
+// pin a caller's statement text (or leak one statement's tokens into
+// the next parse).
+func putScratch(s *parseScratch) {
+	for i := range s.toks {
+		s.toks[i] = token{}
+	}
+	s.toks = s.toks[:0]
+	s.p = parser{}
+	scratchPool.Put(s)
+}

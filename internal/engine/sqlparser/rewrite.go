@@ -1,11 +1,13 @@
 package sqlparser
 
+import "fmt"
+
 // CopyExpr returns a deep copy of an expression tree. Literals are
 // immutable and shared; every structural node is duplicated, so the
 // copy can be rewritten without aliasing the original (view expansion
 // relies on this).
 func CopyExpr(e Expr) Expr {
-	return SubstituteColumns(e, nil)
+	return rewriteExpr(e, nil)
 }
 
 // SubstituteColumns rebuilds the expression tree, replacing each
@@ -13,29 +15,66 @@ func CopyExpr(e Expr) Expr {
 // sub performs a pure deep copy. Replacement expressions are inserted
 // as-is (the caller ensures they are themselves fresh copies).
 func SubstituteColumns(e Expr, sub func(*ColumnRef) (Expr, bool)) Expr {
-	switch e := e.(type) {
-	case nil:
+	if sub == nil {
+		return rewriteExpr(e, nil)
+	}
+	return rewriteExpr(e, func(x Expr) (Expr, bool) {
+		cr, ok := x.(*ColumnRef)
+		if !ok {
+			return nil, false
+		}
+		return sub(cr)
+	})
+}
+
+// SubstituteParams rebuilds the expression tree, replacing each `?`
+// parameter with the literal expression at its slot. Out-of-range
+// slots are left in place (sema rejects them later). Like
+// SubstituteColumns, replacements are inserted as-is.
+func SubstituteParams(e Expr, vals []Expr) Expr {
+	if len(vals) == 0 {
+		return rewriteExpr(e, nil)
+	}
+	return rewriteExpr(e, func(x Expr) (Expr, bool) {
+		pr, ok := x.(*ParamRef)
+		if !ok || pr.Index < 0 || pr.Index >= len(vals) {
+			return nil, false
+		}
+		return vals[pr.Index], true
+	})
+}
+
+// rewriteExpr deep-copies the tree, consulting sub (when non-nil) at
+// every node; a (replacement, true) answer substitutes the whole node
+// without visiting its children.
+func rewriteExpr(e Expr, sub func(Expr) (Expr, bool)) Expr {
+	if e == nil {
 		return nil
+	}
+	if sub != nil {
+		if repl, ok := sub(e); ok {
+			return repl
+		}
+	}
+	switch e := e.(type) {
 	case *NumberLit, *StringLit, *NullLit, *BoolLit:
 		return e
 	case *ColumnRef:
-		if sub != nil {
-			if repl, ok := sub(e); ok {
-				return repl
-			}
-		}
+		cp := *e
+		return &cp
+	case *ParamRef:
 		cp := *e
 		return &cp
 	case *UnaryExpr:
-		return &UnaryExpr{Op: e.Op, X: SubstituteColumns(e.X, sub), At: e.At}
+		return &UnaryExpr{Op: e.Op, X: rewriteExpr(e.X, sub), At: e.At}
 	case *BinaryExpr:
-		return &BinaryExpr{Op: e.Op, L: SubstituteColumns(e.L, sub), R: SubstituteColumns(e.R, sub), At: e.At}
+		return &BinaryExpr{Op: e.Op, L: rewriteExpr(e.L, sub), R: rewriteExpr(e.R, sub), At: e.At}
 	case *FuncCall:
 		out := &FuncCall{Name: e.Name, Star: e.Star, Distinct: e.Distinct, At: e.At}
 		if e.Args != nil {
 			out.Args = make([]Expr, len(e.Args))
 			for i, a := range e.Args {
-				out.Args[i] = SubstituteColumns(a, sub)
+				out.Args[i] = rewriteExpr(a, sub)
 			}
 		}
 		return out
@@ -43,29 +82,29 @@ func SubstituteColumns(e Expr, sub func(*ColumnRef) (Expr, bool)) Expr {
 		out := &CaseExpr{At: e.At}
 		for _, w := range e.Whens {
 			out.Whens = append(out.Whens, When{
-				Cond: SubstituteColumns(w.Cond, sub),
-				Then: SubstituteColumns(w.Then, sub),
+				Cond: rewriteExpr(w.Cond, sub),
+				Then: rewriteExpr(w.Then, sub),
 			})
 		}
-		out.Else = SubstituteColumns(e.Else, sub)
+		out.Else = rewriteExpr(e.Else, sub)
 		return out
 	case *IsNullExpr:
-		return &IsNullExpr{X: SubstituteColumns(e.X, sub), Negate: e.Negate, At: e.At}
+		return &IsNullExpr{X: rewriteExpr(e.X, sub), Negate: e.Negate, At: e.At}
 	case *CastExpr:
-		return &CastExpr{X: SubstituteColumns(e.X, sub), Type: e.Type, At: e.At}
+		return &CastExpr{X: rewriteExpr(e.X, sub), Type: e.Type, At: e.At}
 	case *BetweenExpr:
 		return &BetweenExpr{
-			X:      SubstituteColumns(e.X, sub),
-			Lo:     SubstituteColumns(e.Lo, sub),
-			Hi:     SubstituteColumns(e.Hi, sub),
+			X:      rewriteExpr(e.X, sub),
+			Lo:     rewriteExpr(e.Lo, sub),
+			Hi:     rewriteExpr(e.Hi, sub),
 			Negate: e.Negate,
 			At:     e.At,
 		}
 	case *InExpr:
-		out := &InExpr{X: SubstituteColumns(e.X, sub), Negate: e.Negate, At: e.At}
+		out := &InExpr{X: rewriteExpr(e.X, sub), Negate: e.Negate, At: e.At}
 		out.List = make([]Expr, len(e.List))
 		for i, x := range e.List {
-			out.List[i] = SubstituteColumns(x, sub)
+			out.List[i] = rewriteExpr(x, sub)
 		}
 		return out
 	default:
@@ -81,4 +120,157 @@ func WalkColumns(e Expr, fn func(*ColumnRef)) {
 		fn(cr)
 		return nil, false
 	})
+}
+
+// WalkExprs visits every node of the expression tree.
+func WalkExprs(e Expr, fn func(Expr)) {
+	rewriteExpr(e, func(x Expr) (Expr, bool) {
+		fn(x)
+		return nil, false
+	})
+}
+
+// CopySelect returns a deep copy of the SELECT (including subordinate
+// expression trees), so the copy can be rewritten — view expansion,
+// parameter binding — without mutating a cached original.
+func CopySelect(s *Select) *Select {
+	return copySelectWith(s, nil)
+}
+
+func copySelectWith(s *Select, sub func(Expr) (Expr, bool)) *Select {
+	if s == nil {
+		return nil
+	}
+	cp := *s
+	cp.Items = make([]SelectItem, len(s.Items))
+	for i, it := range s.Items {
+		it.Expr = rewriteExpr(it.Expr, sub)
+		cp.Items[i] = it
+	}
+	cp.From = append([]TableRef(nil), s.From...)
+	cp.Where = rewriteExpr(s.Where, sub)
+	if s.GroupBy != nil {
+		cp.GroupBy = make([]Expr, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			cp.GroupBy[i] = rewriteExpr(g, sub)
+		}
+	}
+	cp.Having = rewriteExpr(s.Having, sub)
+	if s.OrderBy != nil {
+		cp.OrderBy = make([]OrderItem, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			o.Expr = rewriteExpr(o.Expr, sub)
+			cp.OrderBy[i] = o
+		}
+	}
+	if s.Limit != nil {
+		n := *s.Limit
+		cp.Limit = &n
+	}
+	return &cp
+}
+
+// paramSub is the rewrite hook that binds `?` slots to literals.
+func paramSub(vals []Expr) func(Expr) (Expr, bool) {
+	if len(vals) == 0 {
+		return nil
+	}
+	return func(x Expr) (Expr, bool) {
+		pr, ok := x.(*ParamRef)
+		if !ok || pr.Index < 0 || pr.Index >= len(vals) {
+			return nil, false
+		}
+		return vals[pr.Index], true
+	}
+}
+
+// BindParams returns a deep copy of stmt with every `?` replaced by
+// the corresponding literal expression. The statement is copied even
+// when it has no parameters, so callers may hand the result to the
+// executor while the original stays shared (e.g. inside a plan cache).
+// Only SELECT and INSERT support parameters.
+func BindParams(stmt Statement, vals []Expr) (Statement, error) {
+	switch st := stmt.(type) {
+	case *Select:
+		return copySelectWith(st, paramSub(vals)), nil
+	case *Insert:
+		cp := *st
+		cp.Columns = append([]string(nil), st.Columns...)
+		cp.ColumnPos = append([]Position(nil), st.ColumnPos...)
+		sub := paramSub(vals)
+		if st.Rows != nil {
+			cp.Rows = make([][]Expr, len(st.Rows))
+			for i, row := range st.Rows {
+				nr := make([]Expr, len(row))
+				for j, e := range row {
+					nr[j] = rewriteExpr(e, sub)
+				}
+				cp.Rows[i] = nr
+			}
+		}
+		cp.Query = copySelectWith(st.Query, sub)
+		return &cp, nil
+	default:
+		if CountParams(stmt) > 0 {
+			return nil, fmt.Errorf("sqlparser: %T does not support ? parameters", stmt)
+		}
+		return stmt, nil
+	}
+}
+
+// CountParams reports how many `?` parameter slots stmt uses (the
+// parser numbers them left-to-right, so this is 1 + the highest index).
+func CountParams(stmt Statement) int {
+	n := 0
+	count := func(e Expr) {
+		WalkExprs(e, func(x Expr) {
+			if pr, ok := x.(*ParamRef); ok && pr.Index+1 > n {
+				n = pr.Index + 1
+			}
+		})
+	}
+	walkStatementExprs(stmt, count)
+	return n
+}
+
+// walkStatementExprs hands every top-level expression tree of the
+// statement to fn.
+func walkStatementExprs(stmt Statement, fn func(Expr)) {
+	switch st := stmt.(type) {
+	case *Select:
+		walkSelectExprs(st, fn)
+	case *Insert:
+		for _, row := range st.Rows {
+			for _, e := range row {
+				fn(e)
+			}
+		}
+		if st.Query != nil {
+			walkSelectExprs(st.Query, fn)
+		}
+	case *CreateView:
+		if st.Query != nil {
+			walkSelectExprs(st.Query, fn)
+		}
+	}
+}
+
+func walkSelectExprs(s *Select, fn func(Expr)) {
+	for _, it := range s.Items {
+		if it.Expr != nil {
+			fn(it.Expr)
+		}
+	}
+	if s.Where != nil {
+		fn(s.Where)
+	}
+	for _, g := range s.GroupBy {
+		fn(g)
+	}
+	if s.Having != nil {
+		fn(s.Having)
+	}
+	for _, o := range s.OrderBy {
+		fn(o.Expr)
+	}
 }

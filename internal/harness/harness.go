@@ -157,6 +157,7 @@ func All() []Experiment {
 		{"a3", "Executor statistics: scan volume, partition skew, phase times", runExecutorStats},
 		{"a4", "Scoring delivery path: in-engine vs wire-protocol client vs ODBC export", runServingScoring},
 		{"a5", "Ablation: incremental summary cache: cold scan vs warm cache vs incremental model builds", runSummaryCache},
+		{"a6", "High-QPS point scoring over the wire: ad-hoc SQL vs plan cache vs PREPARE/EXECUTE", runPreparedQPS},
 	}
 }
 

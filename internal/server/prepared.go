@@ -1,0 +1,238 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/engine/db"
+	"repro/internal/engine/sqltypes"
+	"repro/internal/server/wire"
+)
+
+// maxPreparedPerSession bounds one session's live prepared handles; a
+// client that leaks handles gets a typed error instead of growing the
+// server without bound.
+const maxPreparedPerSession = 64
+
+// preparedSet is one session's prepared-statement registry. Handles
+// are session-scoped: they mean nothing on any other connection, and
+// the whole set is closed when the session ends.
+type preparedSet struct {
+	mu   sync.Mutex
+	next int64
+	m    map[int64]*db.Prepared
+}
+
+// put registers p under a fresh handle.
+func (ps *preparedSet) put(p *db.Prepared) (int64, error) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.m == nil {
+		ps.m = make(map[int64]*db.Prepared)
+	}
+	if len(ps.m) >= maxPreparedPerSession {
+		return 0, fmt.Errorf("server: session holds %d prepared statements (limit); close some first", len(ps.m))
+	}
+	ps.next++
+	ps.m[ps.next] = p
+	return ps.next, nil
+}
+
+// get resolves a handle (nil when unknown or already closed).
+func (ps *preparedSet) get(h int64) *db.Prepared {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.m[h]
+}
+
+// replace swaps the plan behind an existing handle (the server-side
+// re-prepare after DDL staled the old plan). The displaced plan is
+// returned for closing outside the lock.
+func (ps *preparedSet) replace(h int64, p *db.Prepared) *db.Prepared {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	old := ps.m[h]
+	if old == nil {
+		return p // handle was closed concurrently; caller closes the new plan
+	}
+	ps.m[h] = p
+	return old
+}
+
+// take removes and returns a handle's plan (nil when unknown).
+func (ps *preparedSet) take(h int64) *db.Prepared {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	p := ps.m[h]
+	delete(ps.m, h)
+	return p
+}
+
+// closeAll releases every plan; called when the session ends.
+func (ps *preparedSet) closeAll() {
+	ps.mu.Lock()
+	m := ps.m
+	ps.m = nil
+	ps.mu.Unlock()
+	for _, p := range m {
+		p.Close()
+	}
+}
+
+// handlePrepare plans one statement and returns its handle. Prepares
+// skip admission control — they never scan — but respect draining.
+func (s *Server) handlePrepare(ctx context.Context, nc net.Conn, wc *wire.Conn, sess *session, payload []byte) error {
+	sql, err := wire.DecodePrepare(payload)
+	if err != nil {
+		s.sendError(nc, wc, &wire.Error{Code: wire.CodeProtocol, Message: err.Error()})
+		return err
+	}
+	if s.draining.Load() {
+		return s.sendError(nc, wc, &wire.Error{Code: wire.CodeShutdown, Message: "server shutting down"})
+	}
+	p, err := s.db.PrepareContext(ctx, sql)
+	if err != nil {
+		return s.sendError(nc, wc, classify(err))
+	}
+	h, err := sess.preps.put(p)
+	if err != nil {
+		p.Close()
+		return s.sendError(nc, wc, &wire.Error{Code: wire.CodeInternal, Message: err.Error()})
+	}
+	return s.send(nc, wc, wire.MsgPrepared, wire.EncodePrepared(wire.PreparedInfo{Handle: h, NumParams: p.NumParams()}))
+}
+
+// handleClosePrepared releases one handle; closing an unknown handle is
+// a no-op (the client may race a session teardown), acknowledged with
+// an empty Done either way.
+func (s *Server) handleClosePrepared(nc net.Conn, wc *wire.Conn, sess *session, payload []byte) error {
+	h, err := wire.DecodeClosePrepared(payload)
+	if err != nil {
+		s.sendError(nc, wc, &wire.Error{Code: wire.CodeProtocol, Message: err.Error()})
+		return err
+	}
+	if p := sess.preps.take(h); p != nil {
+		p.Close()
+	}
+	return s.send(nc, wc, wire.MsgDone, wire.EncodeDone(wire.Done{}))
+}
+
+// handleExecPrepared executes a handle under admission control,
+// streaming rows like MsgQuery. A plan staled by DDL is transparently
+// re-prepared once from its SQL text; if the fresh plan is immediately
+// stale again (DDL churn) the client gets the typed stale_plan error
+// and decides.
+func (s *Server) handleExecPrepared(ctx context.Context, nc net.Conn, wc *wire.Conn, sess *session, payload []byte) error {
+	h, args, err := wire.DecodeExecPrepared(payload)
+	if err != nil {
+		s.sendError(nc, wc, &wire.Error{Code: wire.CodeProtocol, Message: err.Error()})
+		return err
+	}
+	p := sess.preps.get(h)
+	if p == nil {
+		return s.sendError(nc, wc, &wire.Error{Code: wire.CodeStalePlan, Message: fmt.Sprintf("unknown prepared handle %d (server restarted or handle closed?)", h)})
+	}
+
+	start := time.Now()
+	defer func() {
+		statementSeconds.Observe(time.Since(start).Seconds())
+		bytesSent.Add(wc.BytesWritten.Swap(0))
+		bytesReceived.Add(wc.BytesRead.Swap(0))
+	}()
+	if s.draining.Load() {
+		return s.sendError(nc, wc, &wire.Error{Code: wire.CodeShutdown, Message: "server shutting down"})
+	}
+	if err := s.adm.acquire(ctx); err != nil {
+		return s.sendError(nc, wc, classify(err))
+	}
+	defer s.adm.release()
+	statementsInflight.Inc()
+	defer statementsInflight.Dec()
+	sess.begin(p.SQL())
+	defer sess.end()
+
+	werr, err := s.runPrepared(ctx, nc, wc, p, args)
+	if errors.Is(err, db.ErrPlanStale) && werr == nil {
+		// The epoch check fires before any row is produced, so nothing
+		// has been sent yet: safe to re-prepare from the SQL and retry.
+		np, perr := s.db.PrepareContext(ctx, p.SQL())
+		if perr != nil {
+			return s.sendError(nc, wc, classify(perr))
+		}
+		if old := sess.preps.replace(h, np); old != nil {
+			old.Close()
+		}
+		werr, err = s.runPrepared(ctx, nc, wc, np, args)
+	}
+	if err != nil {
+		if werr != nil {
+			return werr // connection is gone; nothing to report to
+		}
+		return s.sendError(nc, wc, classify(err))
+	}
+	return werr
+}
+
+// runPrepared executes one prepared plan and streams its result. The
+// first return is a wire write failure (ends the session); the second
+// is the execution error (reported to the client by the caller).
+func (s *Server) runPrepared(ctx context.Context, nc net.Conn, wc *wire.Conn, p *db.Prepared, args []sqltypes.Value) (werr, err error) {
+	if !p.Streamable() {
+		res, err := p.ExecuteContext(ctx, args...)
+		if err != nil {
+			return nil, err
+		}
+		return s.sendResult(nc, wc, res), nil
+	}
+	var (
+		mu    sync.Mutex
+		batch []sqltypes.Row
+		sent  int64
+		wfail error
+	)
+	flushLocked := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		pl, err := wire.EncodeBatch(batch)
+		if err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return s.send(nc, wc, wire.MsgBatch, pl)
+	}
+	sink := func(r sqltypes.Row) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if wfail != nil {
+			return wfail
+		}
+		batch = append(batch, r.Clone())
+		sent++
+		if len(batch) >= s.cfg.BatchRows {
+			if wfail = flushLocked(); wfail != nil {
+				return wfail
+			}
+		}
+		return nil
+	}
+	schema, stats, err := p.ExecuteStreamContext(ctx, sink, args...)
+	if err != nil {
+		return wfail, err
+	}
+	mu.Lock()
+	ferr := flushLocked()
+	rows := sent
+	mu.Unlock()
+	if ferr != nil {
+		return ferr, nil
+	}
+	if werr := s.send(nc, wc, wire.MsgSchema, wire.EncodeSchema(schema)); werr != nil {
+		return werr, nil
+	}
+	return s.send(nc, wc, wire.MsgDone, wire.EncodeDone(wire.Done{Rows: rows, StatsJSON: statsJSON(stats)})), nil
+}

@@ -310,6 +310,7 @@ func (s *Server) handleConn(nc net.Conn) {
 		return
 	}
 	defer s.sessions.remove(sess.id)
+	defer sess.preps.closeAll()
 
 	// The session context: cancelled when the server shuts down or —
 	// via the reader goroutine — the moment the connection drops, so a
@@ -428,6 +429,12 @@ func (s *Server) dispatch(ctx context.Context, nc net.Conn, wc *wire.Conn, sess 
 			return err
 		}
 		return s.runStatement(ctx, nc, wc, sess, sql, f.Type == wire.MsgExec)
+	case wire.MsgPrepare:
+		return s.handlePrepare(ctx, nc, wc, sess, f.Payload)
+	case wire.MsgExecPrepared:
+		return s.handleExecPrepared(ctx, nc, wc, sess, f.Payload)
+	case wire.MsgClosePrepared:
+		return s.handleClosePrepared(nc, wc, sess, f.Payload)
 	default:
 		err := &wire.Error{Code: wire.CodeProtocol, Message: fmt.Sprintf("unexpected frame type %#x", f.Type)}
 		s.sendError(nc, wc, err)
@@ -608,6 +615,9 @@ func classify(err error) *wire.Error {
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return &wire.Error{Code: wire.CodeCancelled, Message: err.Error()}
+	}
+	if errors.Is(err, db.ErrPlanStale) {
+		return &wire.Error{Code: wire.CodeStalePlan, Message: err.Error()}
 	}
 	var list sema.ErrorList
 	var diag sema.Diagnostic

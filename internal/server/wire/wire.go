@@ -47,19 +47,23 @@ const MaxFrame = 16 << 20
 // server-originated types have it set; this makes misdirected frames
 // fail loudly instead of being misparsed.
 const (
-	MsgHello byte = 0x01 // magic, proto version, user
-	MsgQuery byte = 0x02 // one SQL statement; rows stream back
-	MsgExec  byte = 0x03 // SQL script; only the last result returns
-	MsgPing  byte = 0x04 // liveness/health check
-	MsgClose byte = 0x05 // graceful session end
+	MsgHello         byte = 0x01 // magic, proto version, user
+	MsgQuery         byte = 0x02 // one SQL statement; rows stream back
+	MsgExec          byte = 0x03 // SQL script; only the last result returns
+	MsgPing          byte = 0x04 // liveness/health check
+	MsgClose         byte = 0x05 // graceful session end
+	MsgPrepare       byte = 0x06 // plan one statement; MsgPrepared returns a handle
+	MsgExecPrepared  byte = 0x07 // handle + args; rows stream back like MsgQuery
+	MsgClosePrepared byte = 0x08 // release a prepared handle
 
-	MsgWelcome byte = 0x81 // session id, server version
-	MsgSchema  byte = 0x82 // result schema (precedes batches)
-	MsgBatch   byte = 0x83 // a run of result rows
-	MsgDone    byte = 0x84 // statement finished: affected count, stats JSON
-	MsgError   byte = 0x85 // typed error: code + message
-	MsgPong    byte = 0x86 // ping reply
-	MsgGoodbye byte = 0x87 // close acknowledgement
+	MsgWelcome  byte = 0x81 // session id, server version
+	MsgSchema   byte = 0x82 // result schema (precedes batches)
+	MsgBatch    byte = 0x83 // a run of result rows
+	MsgDone     byte = 0x84 // statement finished: affected count, stats JSON
+	MsgError    byte = 0x85 // typed error: code + message
+	MsgPong     byte = 0x86 // ping reply
+	MsgGoodbye  byte = 0x87 // close acknowledgement
+	MsgPrepared byte = 0x88 // prepare reply: handle + parameter count
 )
 
 // Error codes carried by MsgError frames. The code survives the wire
@@ -81,6 +85,11 @@ const (
 	CodeShutdown = "shutdown"
 	// CodeProtocol reports a malformed or unexpected frame.
 	CodeProtocol = "protocol"
+	// CodeStalePlan reports that a prepared handle's plan was built
+	// under a catalog that has since changed (CREATE/DROP landed after
+	// PREPARE) or the handle is unknown to this session. The statement
+	// did not run; the client should re-prepare and retry.
+	CodeStalePlan = "stale_plan"
 	// CodeInternal is any other execution error.
 	CodeInternal = "internal"
 )
@@ -553,6 +562,99 @@ func DecodeDone(p []byte) (Done, error) {
 		return Done{}, err
 	}
 	return Done{Affected: int64(affected), Rows: int64(rows), StatsJSON: stats}, r.done()
+}
+
+// EncodePrepare builds a MsgPrepare payload: just the SQL.
+func EncodePrepare(sql string) []byte { return AppendString(nil, sql) }
+
+// DecodePrepare parses a MsgPrepare payload.
+func DecodePrepare(p []byte) (string, error) { return DecodeStatement(p) }
+
+// PreparedInfo is the server's MsgPrepared reply: the session-scoped
+// handle EXECUTE frames name, and the statement's `?` slot count.
+type PreparedInfo struct {
+	Handle    int64
+	NumParams int
+}
+
+// EncodePrepared builds a MsgPrepared payload.
+func EncodePrepared(pi PreparedInfo) []byte {
+	b := AppendUint64(nil, uint64(pi.Handle))
+	return binary.LittleEndian.AppendUint32(b, uint32(pi.NumParams))
+}
+
+// DecodePrepared parses a MsgPrepared payload.
+func DecodePrepared(p []byte) (PreparedInfo, error) {
+	r := &reader{b: p}
+	h, err := r.uint64()
+	if err != nil {
+		return PreparedInfo{}, err
+	}
+	n, err := r.uint32()
+	if err != nil {
+		return PreparedInfo{}, err
+	}
+	if n > MaxFrame {
+		return PreparedInfo{}, fmt.Errorf("wire: implausible parameter count %d", n)
+	}
+	return PreparedInfo{Handle: int64(h), NumParams: int(n)}, r.done()
+}
+
+// EncodeExecPrepared builds a MsgExecPrepared payload: handle, arg
+// count, then one tagged value per `?` slot (the result-row codec).
+func EncodeExecPrepared(handle int64, args []sqltypes.Value) ([]byte, error) {
+	b := AppendUint64(nil, uint64(handle))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(args)))
+	var err error
+	for _, v := range args {
+		if b, err = AppendValue(b, v); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// DecodeExecPrepared parses a MsgExecPrepared payload.
+func DecodeExecPrepared(p []byte) (int64, []sqltypes.Value, error) {
+	r := &reader{b: p}
+	h, err := r.uint64()
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := r.uint32()
+	if err != nil {
+		return 0, nil, err
+	}
+	// Every value costs at least its 1-byte tag; reject forged counts
+	// before the slice allocation trusts n.
+	if uint64(n) > uint64(len(p)-r.off) {
+		return 0, nil, fmt.Errorf("wire: implausible argument count %d in %d payload bytes", n, len(p)-r.off)
+	}
+	args := make([]sqltypes.Value, n)
+	for i := range args {
+		if args[i], err = decodeValue(r); err != nil {
+			return 0, nil, err
+		}
+	}
+	if err := r.done(); err != nil {
+		return 0, nil, err
+	}
+	return int64(h), args, nil
+}
+
+// EncodeClosePrepared builds a MsgClosePrepared payload.
+func EncodeClosePrepared(handle int64) []byte {
+	return AppendUint64(nil, uint64(handle))
+}
+
+// DecodeClosePrepared parses a MsgClosePrepared payload.
+func DecodeClosePrepared(p []byte) (int64, error) {
+	r := &reader{b: p}
+	h, err := r.uint64()
+	if err != nil {
+		return 0, err
+	}
+	return int64(h), r.done()
 }
 
 // EncodeError builds a MsgError payload.

@@ -63,6 +63,11 @@ type Config struct {
 	// has been idle at least this long, discarding it if the ping
 	// fails. Default 30s; negative disables the check.
 	HealthCheckAfter time.Duration
+	// AutoPrepareAfter transparently switches a repeated idempotent
+	// SELECT to the PREPARE/EXECUTE wire path once the pool has seen its
+	// exact text this many times (the next occurrence runs prepared).
+	// Default 2; negative disables auto-prepare.
+	AutoPrepareAfter int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +88,9 @@ func (c Config) withDefaults() Config {
 	if c.HealthCheckAfter == 0 {
 		c.HealthCheckAfter = defaultHealthCheckAfter
 	}
+	if c.AutoPrepareAfter == 0 {
+		c.AutoPrepareAfter = defaultAutoPrepareAfter
+	}
 	return c
 }
 
@@ -95,6 +103,10 @@ type Rows struct {
 	// StatsJSON is the server-side executor statistics for the
 	// statement, JSON-encoded ("" when the statement did not scan).
 	StatsJSON string
+
+	// prepared carries a MsgPrepared acknowledgement when the exchange
+	// was a PREPARE rather than a statement.
+	prepared *wire.PreparedInfo
 }
 
 // Pool is a bounded pool of wire-protocol connections. Safe for
@@ -106,6 +118,11 @@ type Pool struct {
 	mu     sync.Mutex
 	idle   []*conn // LIFO: most recently used first
 	closed bool
+
+	// stmtSeen counts how many times each idempotent SELECT text has
+	// run, driving the AutoPrepareAfter switch to the prepared path.
+	stmtMu   sync.Mutex
+	stmtSeen map[string]int
 }
 
 // Open creates a pool. Connections are dialed lazily; use Ping to
@@ -124,6 +141,11 @@ type conn struct {
 	wc       *wire.Conn
 	session  int64
 	idleFrom time.Time
+	// prepared maps SQL text to the server-side handle this connection
+	// holds for it. Handles are session-scoped: a fresh connection (and
+	// therefore every post-bounce retry) starts empty and re-prepares,
+	// so a stale handle is never replayed against a restarted server.
+	prepared map[string]wire.PreparedInfo
 	// broken marks the connection unfit for reuse: a transport or
 	// protocol failure, or a cancelled context that left the deadline
 	// in the past and possibly a half-read response stream. Callers
@@ -166,7 +188,7 @@ func (p *Pool) dial(ctx context.Context) (*conn, error) {
 		return nil, err
 	}
 	nc.SetDeadline(time.Time{})
-	return &conn{nc: nc, wc: wc, session: w.SessionID}, nil
+	return &conn{nc: nc, wc: wc, session: w.SessionID, prepared: make(map[string]wire.PreparedInfo)}, nil
 }
 
 // get checks a connection out of the pool, dialing when the pool has
@@ -324,13 +346,18 @@ func watchCtx(ctx context.Context, nc net.Conn) (stop func() bool) {
 }
 
 // roundTrip sends one statement and collects the full response.
+func (c *conn) roundTrip(ctx context.Context, msgType byte, sql string, sink func(sqltypes.Row) error) (*Rows, error) {
+	return c.exchange(ctx, msgType, wire.EncodeStatement(sql), sink)
+}
+
+// exchange sends one request frame and collects the full response.
 // A *wire.Error return means the server failed the statement but the
 // connection remains usable; any other error marks the connection
 // broken, as does a context that fired at any point (the watcher moved
 // the deadline into the past, and the response stream may be half
 // read) — even when the response still completed. Callers consult
 // c.broken to decide pool-vs-discard.
-func (c *conn) roundTrip(ctx context.Context, msgType byte, sql string, sink func(sqltypes.Row) error) (*Rows, error) {
+func (c *conn) exchange(ctx context.Context, msgType byte, payload []byte, sink func(sqltypes.Row) error) (*Rows, error) {
 	start := time.Now()
 	stop := watchCtx(ctx, c.nc)
 	ctxDone := false
@@ -349,7 +376,7 @@ func (c *conn) roundTrip(ctx context.Context, msgType byte, sql string, sink fun
 		}
 		return nil, err
 	}
-	if err := c.wc.Send(msgType, wire.EncodeStatement(sql)); err != nil {
+	if err := c.wc.Send(msgType, payload); err != nil {
 		return fail(err)
 	}
 	out := &Rows{}
@@ -385,6 +412,16 @@ func (c *conn) roundTrip(ctx context.Context, msgType byte, sql string, sink fun
 				return fail(err)
 			}
 			out.Affected, out.StatsJSON = d.Affected, d.StatsJSON
+			if stop() {
+				c.broken = true
+			}
+			return out, nil
+		case wire.MsgPrepared:
+			pi, err := wire.DecodePrepared(f.Payload)
+			if err != nil {
+				return fail(err)
+			}
+			out.prepared = &pi
 			if stop() {
 				c.broken = true
 			}
@@ -430,10 +467,33 @@ func isIdempotentSelect(sql string) bool {
 
 // Query runs one statement and materializes its result. Idempotent
 // SELECTs that lose their connection mid-flight are retried on a fresh
-// connection with exponential backoff.
+// connection with exponential backoff; repeated SELECT texts switch to
+// the prepared wire path per Config.AutoPrepareAfter.
 func (p *Pool) Query(ctx context.Context, sql string) (*Rows, error) {
+	prepared := p.notePrepareCandidate(sql)
+	return p.withRetry(ctx, isIdempotentSelect(sql), func(c *conn) (*Rows, error) {
+		if prepared {
+			rows, err := c.execPrepared(ctx, sql, nil, nil)
+			var rej *prepareRejected
+			if !errors.As(err, &rej) {
+				return rows, err
+			}
+			// The server declined to prepare this statement (system
+			// tables, for one); remember that and run it plain.
+			p.notePrepareNever(sql)
+		}
+		return c.roundTrip(ctx, wire.MsgQuery, sql, nil)
+	})
+}
+
+// withRetry checks out a connection and runs one exchange, retrying
+// idempotent work on a fresh connection after connection loss. A fresh
+// connection holds no prepared handles, so retried prepared statements
+// re-prepare rather than replaying a handle a bounced server has never
+// seen.
+func (p *Pool) withRetry(ctx context.Context, idempotent bool, run func(c *conn) (*Rows, error)) (*Rows, error) {
 	retries := 0
-	if isIdempotentSelect(sql) {
+	if idempotent {
 		retries = p.cfg.RetryAttempts
 	}
 	backoff := p.cfg.RetryBackoff
@@ -456,7 +516,7 @@ func (p *Pool) Query(ctx context.Context, sql string) (*Rows, error) {
 			}
 			return nil, err
 		}
-		rows, err := c.roundTrip(ctx, wire.MsgQuery, sql, nil)
+		rows, err := run(c)
 		p.release(c)
 		if err == nil {
 			return rows, nil
@@ -474,11 +534,24 @@ func (p *Pool) Query(ctx context.Context, sql string) (*Rows, error) {
 // already have been delivered when the connection fails. The schema is
 // returned on completion (streamed results describe their schema last).
 func (p *Pool) QueryStream(ctx context.Context, sql string, sink func(sqltypes.Row) error) (*sqltypes.Schema, error) {
+	prepared := p.notePrepareCandidate(sql)
 	c, err := p.get(ctx)
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.roundTrip(ctx, wire.MsgQuery, sql, sink)
+	var res *Rows
+	if prepared {
+		res, err = c.execPrepared(ctx, sql, nil, sink)
+		var rej *prepareRejected
+		if errors.As(err, &rej) {
+			// Prepare was refused before any row was delivered, so
+			// falling back to a plain query is safe even for a stream.
+			p.notePrepareNever(sql)
+			res, err = c.roundTrip(ctx, wire.MsgQuery, sql, sink)
+		}
+	} else {
+		res, err = c.roundTrip(ctx, wire.MsgQuery, sql, sink)
+	}
 	p.release(c)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,241 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine/sqltypes"
+)
+
+func TestStmtQueryParams(t *testing.T) {
+	srv := startServerAt(t, "127.0.0.1:0")
+	p, err := Open(Config{Addr: srv.Addr(), User: "stmt", PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx := context.Background()
+
+	stmt := p.Prepare("SELECT i FROM T WHERE i = ?")
+	for i := 1; i <= 3; i++ {
+		rows, err := stmt.Query(ctx, sqltypes.NewBigInt(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows.Rows) != 1 || rows.Rows[0][0].Int() != int64(i) {
+			t.Fatalf("i=%d: rows %v", i, rows.Rows)
+		}
+	}
+}
+
+func TestStmtArgCountCheckedClientSide(t *testing.T) {
+	srv := startServerAt(t, "127.0.0.1:0")
+	p, err := Open(Config{Addr: srv.Addr(), User: "stmt", PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	stmt := p.Prepare("SELECT i FROM T WHERE i = ?")
+	if _, err := stmt.Query(context.Background()); err == nil {
+		t.Fatal("0 args for 1 slot accepted")
+	}
+	// The arity error must not have poisoned the connection: a correct
+	// call still works.
+	if _, err := stmt.Query(context.Background(), sqltypes.NewBigInt(1)); err != nil {
+		t.Fatalf("after arity error: %v", err)
+	}
+}
+
+func TestStmtPrepareErrorSurfacesFromQuery(t *testing.T) {
+	srv := startServerAt(t, "127.0.0.1:0")
+	p, err := Open(Config{Addr: srv.Addr(), User: "stmt", PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	stmt := p.Prepare("SELECT nocolumn FROM T")
+	if _, err := stmt.Query(context.Background()); err == nil {
+		t.Fatal("prepare of a bad statement succeeded")
+	}
+	// The pooled connection survives a server-side prepare rejection.
+	if _, err := p.Query(context.Background(), "SELECT i FROM T"); err != nil {
+		t.Fatalf("pool poisoned by failed prepare: %v", err)
+	}
+}
+
+// TestStmtReprepareAfterBounce restarts the server between two
+// executions of the same Stmt. The retry path lands on a fresh
+// connection with no handles; it must re-prepare from the SQL text and
+// never replay the dead server's handle.
+func TestStmtReprepareAfterBounce(t *testing.T) {
+	srv1 := startServerAt(t, "127.0.0.1:0")
+	addr := srv1.Addr()
+	p, err := Open(Config{
+		Addr: addr, User: "stmt", PoolSize: 1,
+		RetryBackoff:     time.Millisecond,
+		HealthCheckAfter: -1, // hand out the dead conn as-is; the retry must save us
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx := context.Background()
+
+	stmt := p.Prepare("SELECT i FROM T WHERE i = ?")
+	if _, err := stmt.Query(ctx, sqltypes.NewBigInt(1)); err != nil {
+		t.Fatalf("first execute: %v", err)
+	}
+	before := retriesTotal.Value()
+
+	srv1.Close()
+	startServerAt(t, addr) // fresh server: all old handles are gone
+
+	rows, err := stmt.Query(ctx, sqltypes.NewBigInt(2))
+	if err != nil {
+		t.Fatalf("execute across server bounce: %v", err)
+	}
+	if len(rows.Rows) != 1 || rows.Rows[0][0].Int() != 2 {
+		t.Fatalf("rows %v", rows.Rows)
+	}
+	if retriesTotal.Value() <= before {
+		t.Fatal("success did not go through the retry path")
+	}
+}
+
+// TestStmtSurvivesDDLInvalidation runs DDL between executions: the
+// server's plan goes stale, and the session must transparently
+// re-prepare rather than surface a stale-plan error to the caller.
+func TestStmtSurvivesDDLInvalidation(t *testing.T) {
+	srv := startServerAt(t, "127.0.0.1:0")
+	p, err := Open(Config{Addr: srv.Addr(), User: "stmt", PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx := context.Background()
+
+	stmt := p.Prepare("SELECT i FROM T WHERE i = ?")
+	if _, err := stmt.Query(ctx, sqltypes.NewBigInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Exec(ctx, fmt.Sprintf("CREATE TABLE ddl%d (a BIGINT)", i)); err != nil {
+			t.Fatal(err)
+		}
+		rows, err := stmt.Query(ctx, sqltypes.NewBigInt(1))
+		if err != nil {
+			t.Fatalf("after DDL %d: %v", i, err)
+		}
+		if len(rows.Rows) != 1 {
+			t.Fatalf("after DDL %d: rows %v", i, rows.Rows)
+		}
+	}
+}
+
+// TestAutoPrepare exercises the transparent path: the same SELECT text
+// repeated past the threshold must switch onto PREPARE/EXECUTE, which
+// shows up as a server-side prepared statement for the session.
+func TestAutoPrepare(t *testing.T) {
+	srv := startServerAt(t, "127.0.0.1:0")
+	p, err := Open(Config{Addr: srv.Addr(), User: "auto", PoolSize: 1, AutoPrepareAfter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx := context.Background()
+
+	const sel = "SELECT i FROM T WHERE i = 2"
+	for i := 0; i < 5; i++ {
+		rows, err := p.Query(ctx, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows.Rows) != 1 || rows.Rows[0][0].Int() != 2 {
+			t.Fatalf("iteration %d: rows %v", i, rows.Rows)
+		}
+	}
+	// The statement crossed the threshold, so the single pooled
+	// connection's session now holds it server-side. sys.prepared also
+	// lists the server's own plan-cache entries (cached = true); an
+	// explicit session handle is cached = false.
+	rows, err := p.Query(ctx, "SELECT sql_text, cached FROM sys.prepared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rows.Rows {
+		if r[0].Str() == sel && !r[1].Bool() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("auto-prepare did not register %q server-side: %v", sel, rows.Rows)
+	}
+}
+
+func TestAutoPrepareDisabled(t *testing.T) {
+	srv := startServerAt(t, "127.0.0.1:0")
+	p, err := Open(Config{Addr: srv.Addr(), User: "auto", PoolSize: 1, AutoPrepareAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx := context.Background()
+
+	const sel = "SELECT i FROM T WHERE i = 1"
+	for i := 0; i < 6; i++ {
+		if _, err := p.Query(ctx, sel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No explicit handle may exist; the server's own plan cache
+	// (cached = true entries) is allowed to serve repeated text.
+	rows, err := p.Query(ctx, "SELECT sql_text, cached FROM sys.prepared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows.Rows {
+		if !r[1].Bool() {
+			t.Fatalf("AutoPrepareAfter=-1 still prepared %q", r[0].Str())
+		}
+	}
+}
+
+// TestStmtConcurrent hammers one Stmt from several goroutines across a
+// small pool; run under -race this proves the per-conn handle maps and
+// the pool's statement counter are properly confined.
+func TestStmtConcurrent(t *testing.T) {
+	srv := startServerAt(t, "127.0.0.1:0")
+	p, err := Open(Config{Addr: srv.Addr(), User: "conc", PoolSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	stmt := p.Prepare("SELECT i FROM T WHERE i = ?")
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				want := int64(i%3 + 1)
+				rows, err := stmt.Query(context.Background(), sqltypes.NewBigInt(want))
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if len(rows.Rows) != 1 || rows.Rows[0][0].Int() != want {
+					t.Errorf("worker %d: rows %v", w, rows.Rows)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -55,6 +55,23 @@ echo "$SESS" | grep -q "ci"
 echo "== summary catalog is queryable over the wire =="
 sql -c "SELECT table_name, state, n FROM sys.summaries"
 
+echo "== auto-prepare: repeated SELECT switches to PREPARE/EXECUTE =="
+# One repl session (each -c invocation is a fresh pool, which never
+# crosses the auto-prepare threshold): repeat a SELECT past the
+# threshold, then sys.prepared must list it as an explicit session
+# handle (cached = false; plan-cache entries are cached = true).
+PREP="$({
+  for _ in 1 2 3 4 5; do echo "SELECT X1 FROM X WHERE i = 1;"; done
+  echo "SELECT sql_text, cached FROM sys.prepared;"
+} | /tmp/smoke-sqlsh -connect "$ADDR" -user ci)"
+echo "$PREP"
+echo "$PREP" | grep -q "SELECT X1 FROM X WHERE i = 1 | FALSE"
+
+echo "== plan cache served the repeats before the switch =="
+METRICS="$(sql -c "SELECT name, value FROM sys.metrics" | grep plan_cache)"
+echo "$METRICS"
+echo "$METRICS" | grep -q "engine_plan_cache_hits"
+
 echo "== graceful shutdown =="
 kill -TERM "$TWMD_PID"
 wait "$TWMD_PID"
