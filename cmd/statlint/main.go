@@ -1,22 +1,37 @@
 // Command statlint is the repository's custom multichecker: it runs
-// the engine-invariant analyzers (udfcontract, ctxscan, valuekind)
-// over the packages matching its arguments (default ./...) and exits
-// non-zero if any invariant is violated.
+// the engine-invariant analyzers over the packages matching its
+// arguments (default ./...) and exits non-zero if any invariant is
+// violated.
+//
+// Per-package analyzers: udfcontract, ctxscan, valuekind. Whole-program
+// analyzers (facts flow bottom-up over the dependency order, so run
+// them over ./... rather than a single leaf package): lockreent,
+// atomichygiene, poolcheck, metricscontract.
+//
+// Findings can be suppressed — one line at a time, with an audit trail
+// — by `//statlint:ignore <analyzer> <reason>`; a bare ignore without
+// a reason is itself an error.
 //
 // Usage:
 //
 //	go run ./cmd/statlint ./...
 //	go run ./cmd/statlint -run ctxscan ./internal/engine/...
+//	go run ./cmd/statlint -json ./... > statlint.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomichygiene"
 	"repro/internal/analysis/ctxscan"
+	"repro/internal/analysis/lockreent"
+	"repro/internal/analysis/metricscontract"
+	"repro/internal/analysis/poolcheck"
 	"repro/internal/analysis/udfcontract"
 	"repro/internal/analysis/valuekind"
 )
@@ -25,15 +40,30 @@ var all = []*analysis.Analyzer{
 	ctxscan.Analyzer,
 	udfcontract.Analyzer,
 	valuekind.Analyzer,
+	lockreent.Analyzer,
+	atomichygiene.Analyzer,
+	poolcheck.Analyzer,
+	metricscontract.Analyzer,
+}
+
+// jsonDiagnostic is the machine-readable shape of one finding, stable
+// for CI artifact consumers.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the available analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: statlint [-run names] [-list] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: statlint [-run names] [-list] [-json] [packages]\n\nAnalyzers:\n")
 		for _, a := range all {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
 		flag.PrintDefaults()
 	}
@@ -41,7 +71,7 @@ func main() {
 
 	if *list {
 		for _, a := range all {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -77,8 +107,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "statlint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "statlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)

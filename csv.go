@@ -15,6 +15,11 @@ import (
 // names; otherwise columns are named c1..cn. Column types are inferred
 // from the first data record: integers become BIGINT, other numbers
 // DOUBLE, everything else VARCHAR. Empty fields load as NULL.
+//
+// The import is all-or-nothing: on any error the new table is dropped,
+// so a malformed row never leaves a partially loaded table (note that
+// a pre-existing table of the same name is replaced up front and is
+// not restored on failure).
 func (d *DB) ImportCSV(table string, r io.Reader, header bool) (int64, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
@@ -65,6 +70,13 @@ func (d *DB) ImportCSV(table string, r io.Reader, header bool) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	// A failed import must not leave a half-loaded table behind: close
+	// the loader (releasing the table lock), then drop the table.
+	fail := func(err error) (int64, error) {
+		bl.Close()
+		_ = d.eng.DropTable(table)
+		return 0, err
+	}
 	var count int64
 	row := make(sqltypes.Row, len(cols))
 	add := func(rec []string) error {
@@ -82,8 +94,7 @@ func (d *DB) ImportCSV(table string, r io.Reader, header bool) (int64, error) {
 		return bl.Add(row)
 	}
 	if err := add(firstData); err != nil {
-		bl.Close()
-		return 0, err
+		return fail(err)
 	}
 	for {
 		rec, err := cr.Read()
@@ -91,15 +102,17 @@ func (d *DB) ImportCSV(table string, r io.Reader, header bool) (int64, error) {
 			break
 		}
 		if err != nil {
-			bl.Close()
-			return 0, fmt.Errorf("statsudf: %w", err)
+			return fail(fmt.Errorf("statsudf: %w", err))
 		}
 		if err := add(rec); err != nil {
-			bl.Close()
-			return 0, err
+			return fail(err)
 		}
 	}
-	return count, bl.Close()
+	if err := bl.Close(); err != nil {
+		_ = d.eng.DropTable(table)
+		return 0, err
+	}
+	return count, nil
 }
 
 func inferType(field string) sqltypes.Type {

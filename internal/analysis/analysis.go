@@ -4,7 +4,10 @@
 // The engine's custom lint (cmd/statlint) runs on machines without
 // network access, so depending on golang.org/x/tools is not an option;
 // this package provides exactly the subset the statlint analyzers
-// need: parsed files, full type information, and positioned reports.
+// need: parsed files, full type information, positioned reports — and,
+// for the cross-package invariant analyzers, a per-package call graph
+// (callgraph.go) and an object-keyed fact store (facts.go) populated
+// bottom-up over the dependency order.
 package analysis
 
 import (
@@ -13,11 +16,13 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Analyzer describes one static check.
 type Analyzer struct {
-	// Name identifies the analyzer in reports and -run filters.
+	// Name identifies the analyzer in reports, -run filters and
+	// //statlint:ignore directives.
 	Name string
 	// Doc is the one-paragraph description printed by statlint -help.
 	Doc string
@@ -33,7 +38,21 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the run-wide fact store: facts exported while analyzing
+	// this package's dependencies are visible here, and facts exported
+	// here are visible to dependents analyzed later.
+	Facts *Facts
+	// Program gives access to every package of the run (call-graph
+	// caching, package lookup by path).
+	Program *Program
+
+	pkg   *Package
 	diags []Diagnostic
+}
+
+// CallGraph returns this package's call graph, built on first use.
+func (p *Pass) CallGraph() *CallGraph {
+	return p.Program.callGraphFor(p.pkg)
 }
 
 // Diagnostic is one finding.
@@ -58,11 +77,103 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run applies each analyzer to each package and returns all findings
-// sorted by position.
+// Program is one Run's view of every analyzed package plus the shared
+// fact store and cached call graphs.
+type Program struct {
+	Packages []*Package
+	Facts    *Facts
+
+	graphs map[*Package]*CallGraph
+}
+
+// NewProgram wraps pkgs for a run. Packages are reordered so that
+// every package follows the packages it imports (facts flow bottom-up);
+// `go list -deps` already emits this order, but patterns given in
+// arbitrary order must not break fact visibility.
+func NewProgram(pkgs []*Package) *Program {
+	return &Program{
+		Packages: topoSort(pkgs),
+		Facts:    NewFacts(),
+		graphs:   make(map[*Package]*CallGraph),
+	}
+}
+
+// callGraphFor returns the cached call graph of pkg.
+func (p *Program) callGraphFor(pkg *Package) *CallGraph {
+	g, ok := p.graphs[pkg]
+	if !ok {
+		g = BuildCallGraph(pkg)
+		p.graphs[pkg] = g
+	}
+	return g
+}
+
+// PackageByPath returns the analyzed package with the given import
+// path, nil if the run does not include it.
+func (p *Program) PackageByPath(path string) *Package {
+	for _, pkg := range p.Packages {
+		if pkg.Path == path {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// topoSort orders pkgs dependencies-first. Import edges outside the
+// analyzed set are ignored; ties keep the input order (stable).
+func topoSort(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	state := make(map[*Package]int) // 0 unvisited, 1 visiting, 2 done
+	var out []*Package
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p] != 0 {
+			return // visiting (cycle: impossible in Go) or done
+		}
+		state[p] = 1
+		if p.Types != nil {
+			for _, imp := range p.Types.Imports() {
+				if dep, ok := byPath[imp.Path()]; ok {
+					visit(dep)
+				}
+			}
+		}
+		state[p] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}
+
+// IgnoreAnalyzer is the pseudo-analyzer name carried by diagnostics
+// about malformed //statlint:ignore directives; such diagnostics can
+// never themselves be suppressed.
+const IgnoreAnalyzer = "statlint"
+
+// ignoreDirective is one parsed //statlint:ignore comment.
+type ignoreDirective struct {
+	pos      token.Position
+	analyzer string
+	used     bool
+}
+
+// Run applies each analyzer to each package (dependencies first, so
+// cross-package facts are populated bottom-up) and returns all
+// findings sorted by position. Findings on a line carrying — or
+// immediately following — a `//statlint:ignore <analyzer> <reason>`
+// comment naming their analyzer are suppressed; an ignore without a
+// reason (or without an analyzer) is itself reported and suppresses
+// nothing.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog := NewProgram(pkgs)
 	var out []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range prog.Packages {
+		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -70,12 +181,18 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Facts:     prog.Facts,
+				Program:   prog,
+				pkg:       pkg,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 			}
-			out = append(out, pass.diags...)
+			pkgDiags = append(pkgDiags, pass.diags...)
 		}
+		directives, bad := collectIgnores(pkg)
+		out = append(out, bad...)
+		out = append(out, applyIgnores(pkgDiags, directives)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
@@ -91,4 +208,65 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return out[i].Analyzer < out[j].Analyzer
 	})
 	return out, nil
+}
+
+// collectIgnores parses every //statlint:ignore comment of pkg,
+// returning the well-formed directives and a diagnostic per malformed
+// one (bare ignores are rejected, not silently honored: a suppression
+// without a reason is a suppression nobody can audit).
+func collectIgnores(pkg *Package) ([]*ignoreDirective, []Diagnostic) {
+	const prefix = "//statlint:ignore"
+	var directives []*ignoreDirective
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, prefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //statlint:ignorexyz — not this directive
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: IgnoreAnalyzer,
+						Message: "malformed //statlint:ignore directive: want " +
+							"`//statlint:ignore <analyzer> <reason>` (a reason is required; bare ignores are rejected)",
+					})
+					continue
+				}
+				directives = append(directives, &ignoreDirective{pos: pos, analyzer: fields[0]})
+			}
+		}
+	}
+	return directives, bad
+}
+
+// applyIgnores drops diagnostics matched by a directive: same file,
+// same analyzer, and on the directive's line (trailing comment) or the
+// line after it (directive on its own line above the flagged code).
+func applyIgnores(diags []Diagnostic, directives []*ignoreDirective) []Diagnostic {
+	if len(directives) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range directives {
+			if dir.analyzer == d.Analyzer && dir.pos.Filename == d.Pos.Filename &&
+				(d.Pos.Line == dir.pos.Line || d.Pos.Line == dir.pos.Line+1) {
+				dir.used = true
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
 }

@@ -2,6 +2,15 @@
 // checks its findings against // want "regexp" comments, mirroring
 // golang.org/x/tools/go/analysis/analysistest on the stdlib-only
 // framework in internal/analysis.
+//
+// A // want comment holds one or more quoted regexps; each must match
+// a distinct diagnostic reported on the comment's line:
+//
+//	bad()  // want `first finding` `second finding`
+//
+// Both failure directions are reported with file:line positions: a
+// diagnostic no want matched ("unexpected diagnostic"), and a want no
+// diagnostic matched ("no diagnostic matching").
 package analysistest
 
 import (
@@ -15,6 +24,16 @@ import (
 	"repro/internal/analysis"
 )
 
+// T is the subset of *testing.T the harness needs; the package's own
+// self-test substitutes a recorder to verify failure reporting.
+type T interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+var _ T = (*testing.T)(nil)
+
 // expectation is one // want entry: a regexp expected to match a
 // diagnostic on the same line.
 type expectation struct {
@@ -26,7 +45,7 @@ type expectation struct {
 
 // Run loads the fixture package in dir, applies the analyzer, and
 // fails the test for any unexpected diagnostic or unmatched // want.
-func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+func Run(t T, a *analysis.Analyzer, dir string) {
 	t.Helper()
 	pkg, err := analysis.LoadFixture(dir)
 	if err != nil {
@@ -48,7 +67,7 @@ outer:
 				continue outer
 			}
 		}
-		t.Errorf("unexpected diagnostic: %s", d)
+		t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
 	}
 	for _, w := range wants {
 		if !w.used {
@@ -58,7 +77,9 @@ outer:
 }
 
 // collectWants extracts the // want "re" expectations from a file.
-func collectWants(t *testing.T, pkg *analysis.Package, f *ast.File) []*expectation {
+// One comment may carry several quoted patterns; each becomes its own
+// expectation on the comment's line.
+func collectWants(t T, pkg *analysis.Package, f *ast.File) []*expectation {
 	t.Helper()
 	var out []*expectation
 	for _, cg := range f.Comments {

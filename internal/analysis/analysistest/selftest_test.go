@@ -1,0 +1,132 @@
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// recorder implements T, capturing failures instead of failing.
+type recorder struct {
+	errors []string
+	fatals []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprintf(format, args...))
+	panic(selfTestBailout{})
+}
+
+// selfTestBailout unwinds Run after a recorded Fatalf, mimicking
+// testing.T.Fatalf's runtime.Goexit without killing the goroutine.
+type selfTestBailout struct{}
+
+func runRecorded(t *testing.T, a *analysis.Analyzer, dir string) *recorder {
+	t.Helper()
+	rec := &recorder{}
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				if _, ok := p.(selfTestBailout); !ok {
+					panic(p)
+				}
+			}
+		}()
+		Run(rec, a, dir)
+	}()
+	return rec
+}
+
+// selftest reports on functions of the fixture by name: one finding on
+// alpha, one on beta (which has no want), two on delta (one line, two
+// wants), none on gamma (whose want must go unmatched).
+var selftest = &analysis.Analyzer{
+	Name: "selftest",
+	Doc:  "fixture analyzer for the analysistest self-test",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				switch fd.Name.Name {
+				case "alpha":
+					pass.Reportf(fd.Pos(), "alpha reported")
+				case "beta":
+					pass.Reportf(fd.Pos(), "beta reported with no want")
+				case "delta":
+					pass.Reportf(fd.Pos(), "delta first finding")
+					pass.Reportf(fd.Pos(), "delta second finding")
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestSelfReportsBothDirectionsWithPositions(t *testing.T) {
+	rec := runRecorded(t, selftest, "testdata/self")
+	if len(rec.fatals) > 0 {
+		t.Fatalf("unexpected fatal: %v", rec.fatals)
+	}
+	if len(rec.errors) != 2 {
+		t.Fatalf("got %d failures, want 2 (one unexpected, one missing):\n%s",
+			len(rec.errors), strings.Join(rec.errors, "\n"))
+	}
+	var sawUnexpected, sawMissing bool
+	for _, e := range rec.errors {
+		switch {
+		case strings.Contains(e, "unexpected diagnostic") && strings.Contains(e, "beta"):
+			sawUnexpected = true
+			if !strings.Contains(e, "a.go:11") {
+				t.Errorf("unexpected-diagnostic failure lacks file:line position: %q", e)
+			}
+		case strings.Contains(e, "no diagnostic matching") && strings.Contains(e, "gamma"):
+			sawMissing = true
+			if !strings.Contains(e, "a.go:13") {
+				t.Errorf("missing-want failure lacks file:line position: %q", e)
+			}
+		default:
+			t.Errorf("unrecognized failure: %q", e)
+		}
+	}
+	if !sawUnexpected {
+		t.Error("harness did not report the unexpected diagnostic on beta")
+	}
+	if !sawMissing {
+		t.Error("harness did not report the unmatched want on gamma")
+	}
+}
+
+func TestSelfMultipleWantsOnOneLine(t *testing.T) {
+	// delta carries two wants on one line and the analyzer reports two
+	// findings there; neither direction may fail for it.
+	rec := runRecorded(t, selftest, "testdata/self")
+	for _, e := range rec.errors {
+		if strings.Contains(e, "delta") {
+			t.Errorf("delta's two wants on one line did not both match: %q", e)
+		}
+	}
+}
+
+func TestSelfBadWantComment(t *testing.T) {
+	rec := runRecorded(t, &analysis.Analyzer{
+		Name: "noop",
+		Doc:  "noop",
+		Run:  func(*analysis.Pass) error { return nil },
+	}, "testdata/badwant")
+	if len(rec.fatals) != 1 {
+		t.Fatalf("got %d fatals, want 1 for the malformed want comment: %v", len(rec.fatals), rec.fatals)
+	}
+	if !strings.Contains(rec.fatals[0], "bad want comment") {
+		t.Errorf("fatal does not describe the malformed want: %q", rec.fatals[0])
+	}
+}

@@ -1,0 +1,7 @@
+// Package badwant carries a malformed want comment (unquoted pattern)
+// so the self-test can verify the harness rejects it loudly.
+package badwant
+
+func f() {} // want unquoted-pattern
+
+var _ = f

@@ -1,0 +1,20 @@
+// Package self is the analysistest self-test fixture. The selftest
+// analyzer (defined in selftest_test.go) reports on functions by name;
+// the want comments below are deliberately arranged so the harness
+// must produce one "unexpected diagnostic" (beta) and one "no
+// diagnostic matching" (gamma), and must match two wants on one line
+// (delta).
+package self
+
+func alpha() {} // want `alpha reported`
+
+func beta() {}
+
+func gamma() {} // want `gamma never reported`
+
+func delta() {} // want `delta first` `delta second`
+
+var _ = alpha
+var _ = beta
+var _ = gamma
+var _ = delta

@@ -1,0 +1,155 @@
+// Package atomichygiene enforces all-or-nothing atomics on struct
+// fields: a field whose address is passed to a sync/atomic function
+// anywhere in the program must be accessed through sync/atomic
+// everywhere. A plain read or write of such a field is a data race
+// even when every *other* access is atomic — the race detector only
+// catches it when the two sides collide at runtime, while this check
+// catches it statically.
+//
+// The field set is computed bottom-up: each package exports an
+// AtomicField fact per field it touches atomically, so a dependent
+// package's plain access to an exported field is flagged too. (The
+// reverse direction — a dependency accessing plainly a field only
+// dependents touch atomically — is outside the bottom-up fact flow;
+// in practice atomic fields are owned and accessed by their defining
+// package.) Typed atomics (atomic.Int64 et al.) need no checking:
+// they make plain access impossible, which is why mixed fields are
+// usually best migrated to them.
+package atomichygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomichygiene analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomichygiene",
+	Doc: "flag plain accesses to struct fields that are accessed via " +
+		"sync/atomic elsewhere (mixed access is a data race)",
+	Run: run,
+}
+
+// AtomicField marks a struct field (keyed "pkgpath.Type.field") as
+// accessed through sync/atomic; At records one such site.
+type AtomicField struct{ At string }
+
+func (AtomicField) AFact() {}
+
+// atomicFuncs is the set of sync/atomic functions whose first argument
+// is the address of the atomically-accessed word.
+var atomicFuncs = buildAtomicFuncs()
+
+func buildAtomicFuncs() map[string]bool {
+	out := map[string]bool{}
+	for _, op := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		for _, t := range []string{"Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer"} {
+			out[op+t] = true
+		}
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: collect fields accessed atomically in this package, and
+	// remember the exact selector nodes inside atomic calls so pass 2
+	// does not flag them.
+	exempt := map[*ast.SelectorExpr]bool{}
+	localAtomic := map[string]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 || !isAtomicCall(pass, call) {
+				return true
+			}
+			sel := addrFieldSel(call.Args[0])
+			if sel == nil {
+				return true
+			}
+			key := fieldKeyOf(pass, sel)
+			if key == "" {
+				return true
+			}
+			exempt[sel] = true
+			if _, dup := localAtomic[key]; !dup {
+				localAtomic[key] = pass.Fset.Position(call.Pos()).String()
+			}
+			return true
+		})
+	}
+
+	// Merge fields imported from dependencies, then export the local
+	// ones for dependents.
+	atomicFields := map[string]string{}
+	for _, kf := range analysis.AllFacts[AtomicField](pass.Facts) {
+		atomicFields[kf.Key] = kf.Fact.At
+	}
+	for key, at := range localAtomic {
+		if _, ok := atomicFields[key]; !ok {
+			pass.Facts.Export(key, AtomicField{At: at})
+			atomicFields[key] = at
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag every non-exempt access to an atomic field.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || exempt[sel] {
+				return true
+			}
+			key := fieldKeyOf(pass, sel)
+			if key == "" {
+				return true
+			}
+			if at, ok := atomicFields[key]; ok {
+				pass.Reportf(sel.Pos(),
+					"plain access to %s, which is accessed with sync/atomic elsewhere (e.g. %s); mixed access is a data race — use atomic ops everywhere or a typed atomic",
+					analysis.ShortName(key), at)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package
+// function from the address-taking family.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !atomicFuncs[sel.Sel.Name] {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "sync/atomic"
+}
+
+// addrFieldSel unwraps &x.f to the field selector, nil otherwise.
+func addrFieldSel(arg ast.Expr) *ast.SelectorExpr {
+	unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return nil
+	}
+	sel, _ := ast.Unparen(unary.X).(*ast.SelectorExpr)
+	return sel
+}
+
+// fieldKeyOf resolves a selector to a struct-field key ("" when the
+// selector is not a field access on a named type).
+func fieldKeyOf(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return ""
+	}
+	return analysis.FieldKey(selection.Recv(), sel.Sel.Name)
+}

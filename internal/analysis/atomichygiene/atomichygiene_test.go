@@ -1,0 +1,11 @@
+package atomichygiene
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAtomicHygiene(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/a")
+}

@@ -1,0 +1,49 @@
+// Package a exercises atomichygiene: the hits field is accessed both
+// atomically and plainly (a race); total and name are only ever
+// accessed plainly (fine).
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	total int64
+	name  string
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) mixedRead() int64 {
+	return c.hits // want `mixed access is a data race`
+}
+
+func (c *counters) mixedWrite() {
+	c.hits = 0 // want `mixed access is a data race`
+}
+
+func (c *counters) mixedInc() {
+	c.hits++ // want `mixed access is a data race`
+}
+
+func (c *counters) plainOnly() int64 {
+	c.total++
+	return c.total
+}
+
+func (c *counters) label() string { return c.name }
+
+var (
+	_ = (&counters{}).bump
+	_ = (&counters{}).read
+	_ = (&counters{}).mixedRead
+	_ = (&counters{}).mixedWrite
+	_ = (&counters{}).mixedInc
+	_ = (&counters{}).plainOnly
+	_ = (&counters{}).label
+)

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// Fact is a piece of knowledge an analyzer derives while analyzing one
+// package and wants visible when it later analyzes a dependent package
+// — the cross-package half of a flow-sensitive invariant. A fact is
+// keyed by the object it describes (a function, a type, an interface
+// method, a struct field); because packages are type-checked from
+// source while their dependencies come in through export data, object
+// *identity* differs between the defining and the importing universe,
+// so facts are keyed by the object's stable string key (see ObjectKey)
+// rather than by pointer.
+//
+// Facts only flow bottom-up: Run visits packages in dependency order,
+// so an analyzer sees the facts of everything its current package
+// imports, never the reverse.
+type Fact interface {
+	// AFact is a marker; it tags a type as usable in the fact store.
+	AFact()
+}
+
+// keyedFact is one (key, fact) pair held by the store.
+type keyedFact struct {
+	key  string
+	fact Fact
+}
+
+// Facts is the store shared by every analyzer invocation of one Run.
+// Run is sequential, so the store is not synchronized.
+type Facts struct {
+	byKey map[string][]Fact
+	all   []keyedFact
+}
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts {
+	return &Facts{byKey: make(map[string][]Fact)}
+}
+
+// Export records fact under an arbitrary string key. Most callers
+// should prefer ExportObject; raw keys exist for facts about things
+// that are not objects (e.g. a registered metric name).
+func (f *Facts) Export(key string, fact Fact) {
+	f.byKey[key] = append(f.byKey[key], fact)
+	f.all = append(f.all, keyedFact{key: key, fact: fact})
+}
+
+// ExportObject records fact about obj, keyed by ObjectKey(obj).
+func (f *Facts) ExportObject(obj types.Object, fact Fact) {
+	f.Export(ObjectKey(obj), fact)
+}
+
+// LookupFact returns the first fact of type T recorded under key.
+func LookupFact[T Fact](f *Facts, key string) (T, bool) {
+	var zero T
+	for _, fact := range f.byKey[key] {
+		if t, ok := fact.(T); ok {
+			return t, true
+		}
+	}
+	return zero, false
+}
+
+// LookupObjectFact is LookupFact keyed by ObjectKey(obj).
+func LookupObjectFact[T Fact](f *Facts, obj types.Object) (T, bool) {
+	return LookupFact[T](f, ObjectKey(obj))
+}
+
+// FactsFor returns every fact of type T recorded under key, in export
+// order (a key can carry several facts of one type — e.g. a function
+// that acquires two different annotated locks).
+func FactsFor[T Fact](f *Facts, key string) []T {
+	var out []T
+	for _, fact := range f.byKey[key] {
+		if t, ok := fact.(T); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// AllFacts returns every (key, fact) pair whose fact has type T, in
+// export order. Analyzers use it to enumerate facts whose keys they
+// cannot predict (e.g. every interface method tainted anywhere).
+func AllFacts[T Fact](f *Facts) []struct {
+	Key  string
+	Fact T
+} {
+	var out []struct {
+		Key  string
+		Fact T
+	}
+	for _, kf := range f.all {
+		if t, ok := kf.fact.(T); ok {
+			out = append(out, struct {
+				Key  string
+				Fact T
+			}{kf.key, t})
+		}
+	}
+	return out
+}
+
+// Keys returns every key holding at least one fact, sorted; tests use
+// it to assert what a pass exported.
+func (f *Facts) Keys() []string {
+	out := make([]string, 0, len(f.byKey))
+	for k := range f.byKey {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the store for debugging.
+func (f *Facts) String() string {
+	return fmt.Sprintf("facts(%d keys, %d facts)", len(f.byKey), len(f.all))
+}
+
+// ObjectKey renders the stable cross-universe key of an object:
+// "pkgpath.Name" for package-level objects, "pkgpath.Recv.Name" for
+// methods (the receiver's named type, pointers stripped). Two objects
+// describing the same source declaration — one from type-checking the
+// source, one from reading export data — produce the same key.
+func ObjectKey(obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path() + "."
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := recvTypeName(fn); recv != "" {
+			return pkg + recv + "." + fn.Name()
+		}
+	}
+	return pkg + obj.Name()
+}
+
+// FieldKey renders the key of field name on the struct behind recv
+// (pointers stripped): "pkgpath.Type.field". Empty if recv is not a
+// named type.
+func FieldKey(recv types.Type, field string) string {
+	n := namedOf(recv)
+	if n == nil {
+		return ""
+	}
+	return ObjectKey(n.Obj()) + "." + field
+}
+
+// recvTypeName returns the name of fn's receiver type ("" for plain
+// functions and receivers that are not named types).
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if n := namedOf(sig.Recv().Type()); n != nil {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// namedOf strips pointers and returns the named type behind t, if any.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -34,6 +34,7 @@ type listedPkg struct {
 	Export     string
 	DepOnly    bool
 	Error      *struct{ Err string }
+	DepsErrors []*struct{ Err string }
 }
 
 // goList runs `go list -export -deps -json` over patterns in dir and
@@ -41,7 +42,7 @@ type listedPkg struct {
 func goList(dir string, patterns []string) ([]*listedPkg, error) {
 	args := append([]string{
 		"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,Error",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,Error,DepsErrors",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -82,6 +83,16 @@ func exportLookup(exports map[string]string) func(path string) (io.ReadCloser, e
 // Only non-test Go files are analyzed: the lint invariants target
 // production code, and test helpers are explicitly exempt from some of
 // them (e.g. sqltypes.MustSchema).
+//
+// Load is deliberately loud about broken input. `go list -e` reports
+// load errors inside the JSON stream with a zero exit status, so a
+// package that fails to list, a dependency that fails to build, or a
+// pattern that matches nothing would otherwise slip through — and a
+// lint run that silently analyzed nothing would pass CI while checking
+// no invariant at all. Every listed error (including errors on
+// dependency-only packages, whose missing export data would later
+// surface as a cryptic importer failure) is collected and returned,
+// and matching zero packages is an error, never an empty success.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -89,6 +100,21 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
+	}
+	var loadErrs []string
+	for _, p := range listed {
+		if p.Error != nil {
+			loadErrs = append(loadErrs, fmt.Sprintf("%s: %s", p.ImportPath, p.Error.Err))
+		}
+		for _, de := range p.DepsErrors {
+			if de != nil {
+				loadErrs = append(loadErrs, fmt.Sprintf("%s: dependency error: %s", p.ImportPath, de.Err))
+			}
+		}
+	}
+	if len(loadErrs) > 0 {
+		return nil, fmt.Errorf("analysis: go list reported %d error(s):\n  %s",
+			len(loadErrs), strings.Join(loadErrs, "\n  "))
 	}
 	exports := make(map[string]string, len(listed))
 	for _, p := range listed {
@@ -104,9 +130,6 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if p.DepOnly || p.Name == "main" && p.ImportPath == "command-line-arguments" {
 			continue
 		}
-		if p.Error != nil {
-			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
-		}
 		files := make([]string, len(p.GoFiles))
 		for i, f := range p.GoFiles {
 			files[i] = filepath.Join(p.Dir, f)
@@ -117,7 +140,18 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		out = append(out, pkg)
 	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analysis: patterns %v matched no packages under %q", patterns, dirLabel(dir))
+	}
 	return out, nil
+}
+
+// dirLabel names dir in errors ("." for the default).
+func dirLabel(dir string) string {
+	if dir == "" {
+		return "."
+	}
+	return dir
 }
 
 // LoadFixture type-checks a directory of fixture files (an analyzer's

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module under a temp dir and returns
+// its root. files maps relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for rel, content := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadGoodModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"ok/ok.go": "package ok\n\n// Answer is the answer.\nfunc Answer() int { return 42 }\n",
+	})
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "tmpmod/ok" {
+		t.Errorf("package path = %q, want tmpmod/ok", p.Path)
+	}
+	if p.Types == nil || p.Types.Scope().Lookup("Answer") == nil {
+		t.Errorf("type info missing Answer")
+	}
+	if len(p.Files) != 1 {
+		t.Errorf("got %d files, want 1", len(p.Files))
+	}
+}
+
+func TestLoadSurfacesSyntaxError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"ok/ok.go":   "package ok\n\nfunc Fine() {}\n",
+		"bad/bad.go": "package bad\n\nfunc Broken( {\n",
+	})
+	_, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a module with a syntax-broken package")
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("error does not name the broken package: %v", err)
+	}
+}
+
+func TestLoadSurfacesTypeError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"bad/bad.go": "package bad\n\nfunc Broken() int { return undefinedIdent }\n",
+	})
+	_, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a module with a type-broken package")
+	}
+	if !strings.Contains(err.Error(), "undefinedIdent") && !strings.Contains(err.Error(), "bad") {
+		t.Errorf("error does not surface the type failure: %v", err)
+	}
+}
+
+func TestLoadSurfacesBrokenImport(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"app/app.go": "package app\n\nimport \"tmpmod/missing\"\n\nvar _ = missing.X\n",
+	})
+	_, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a module importing a nonexistent package")
+	}
+	if !strings.Contains(err.Error(), "missing") {
+		t.Errorf("error does not name the missing import: %v", err)
+	}
+}
+
+func TestLoadRejectsEmptyMatch(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"ok/ok.go": "package ok\n\nfunc Fine() {}\n",
+	})
+	// A pattern for a directory that does not exist: go list -e reports
+	// it as a pseudo-package error that Load must surface.
+	if _, err := Load(dir, "./nosuchdir/..."); err == nil {
+		t.Fatal("Load succeeded on a pattern naming a nonexistent directory")
+	} else if !strings.Contains(err.Error(), "nosuchdir") {
+		t.Errorf("error does not name the bad pattern: %v", err)
+	}
+	// A directory that exists but holds no Go packages: go list matches
+	// nothing without an error, which must not pass as a silent success.
+	if err := os.MkdirAll(filepath.Join(dir, "emptydir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, "./emptydir/..."); err == nil {
+		t.Fatal("Load succeeded on a pattern matching no packages")
+	} else if !strings.Contains(err.Error(), "matched no packages") &&
+		!strings.Contains(err.Error(), "emptydir") {
+		t.Errorf("error does not mention the empty match: %v", err)
+	}
+}
+
+func TestLoadFixtureRejectsEmptyDir(t *testing.T) {
+	if _, err := LoadFixture(t.TempDir()); err == nil {
+		t.Fatal("LoadFixture succeeded on a directory with no Go files")
+	}
+}

@@ -1,0 +1,31 @@
+package lockreent
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestLockReent(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/a")
+}
+
+// TestRealStorageAndSummary runs the analyzer over the real storage
+// and summary packages: the annotated Table.mu contract must hold,
+// including the cross-package fact flow (summary's observer entry is
+// invoked under the table lock).
+func TestRealStorageAndSummary(t *testing.T) {
+	pkgs, err := analysis.Load("../../..",
+		"./internal/engine/storage", "./internal/engine/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

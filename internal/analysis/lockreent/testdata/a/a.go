@@ -1,0 +1,118 @@
+// Package a exercises lockreent: a guarded table whose observers run
+// under the lock, *Locked methods, //statlint:locked annotations,
+// callback parameters invoked under the lock, and lexical lock-held
+// regions.
+package a
+
+import "sync"
+
+// Table owns the guarded lock.
+//
+//statlint:guards mu
+type Table struct {
+	mu   sync.RWMutex
+	rows int
+	obs  []Observer
+}
+
+// Observer callbacks are invoked while Table.mu is held.
+type Observer interface {
+	OnPublish(n int)
+}
+
+func (t *Table) Insert(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows += n
+	t.publishLocked()
+}
+
+func (t *Table) Rows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+func (t *Table) publishLocked() {
+	for _, o := range t.obs {
+		o.OnPublish(t.rows)
+	}
+}
+
+// Reload releases before re-reading: no finding.
+func (t *Table) Reload() {
+	t.mu.Lock()
+	t.rows = 0
+	t.mu.Unlock()
+	_ = t.Rows()
+}
+
+// Grow calls a transitive acquirer while holding the lock.
+func (t *Table) Grow() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bump() // want `can deadlock`
+}
+
+func (t *Table) bump() { _ = t.Rows() }
+
+// Reset re-acquires the lock it already holds.
+func (t *Table) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mu.Lock() // want `re-entrant acquisition`
+	t.rows = 0
+}
+
+// Sync invokes its callback under the read lock.
+func (t *Table) Sync(fn func(int)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	fn(t.rows)
+}
+
+func refreshAll(t *Table) {
+	t.Sync(func(n int) {
+		t.Insert(n) // want `can deadlock`
+	})
+	t.Sync(func(n int) { _ = n })
+}
+
+// badObserver re-enters the table from its callback.
+type badObserver struct{ t *Table }
+
+func (b *badObserver) OnPublish(int) {
+	_ = b.t.Rows() // want `can deadlock`
+}
+
+// goodObserver only records the value.
+type goodObserver struct{ last int }
+
+func (g *goodObserver) OnPublish(n int) { g.last = n }
+
+// Loader.finish is documented to run with the table lock held.
+type Loader struct{ t *Table }
+
+//statlint:locked Table.mu
+func (l *Loader) finish() {
+	l.t.publishLocked()
+	l.t.Insert(1) // want `can deadlock`
+}
+
+//statlint:locked Table.missing
+func (l *Loader) flush() {} // want `does not name`
+
+//statlint:guards missing
+type Box struct{ n int } // want `has no sync.Mutex`
+
+var (
+	_ = refreshAll
+	_ = (&Loader{}).finish
+	_ = (&Loader{}).flush
+	_ = Box{}
+	_ = (&badObserver{}).OnPublish
+	_ = (&goodObserver{}).OnPublish
+	_ = (&Table{}).Reload
+	_ = (&Table{}).Grow
+	_ = (&Table{}).Reset
+)

@@ -1,0 +1,183 @@
+// Package metricscontract pins down two operability contracts:
+//
+// Metric registration: every Counter/Gauge/Histogram registered on a
+// Registry (the obs package's type, matched by convention so fixtures
+// can define their own) must use a compile-time constant name —
+// dynamic names defeat dashboards and make cardinality unauditable —
+// in engine_-prefixed snake_case, and each name must be registered
+// exactly once program-wide. Uniqueness is enforced across packages
+// through RegisteredMetric facts keyed "metric:<name>".
+//
+// Wire-code mapping: a switch over a wire error's .Code field must
+// handle every Code* constant its package declares. The wire protocol
+// grows codes over time; a client-side switch with a default silently
+// lumps new codes into the fallback bucket, so the analyzer requires
+// an explicit case per code (matched by constant value, so both named
+// constants and literal strings count) and treats a default as
+// non-satisfying.
+package metricscontract
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the metricscontract analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricscontract",
+	Doc: "enforce constant engine_-prefixed snake_case metric names, " +
+		"single registration per name, and exhaustive switches over wire error codes",
+	Run: run,
+}
+
+// RegisteredMetric marks a metric name (keyed "metric:<name>") as
+// registered; At records where.
+type RegisteredMetric struct{ At string }
+
+func (RegisteredMetric) AFact() {}
+
+var metricNameRE = regexp.MustCompile(`^engine(_[a-z0-9]+)+$`)
+
+// registerMethods are the Registry methods whose first argument is a
+// metric name.
+var registerMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkRegistration(pass, n)
+			case *ast.SwitchStmt:
+				checkCodeSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRegistration validates one Registry.Counter/Gauge/Histogram
+// call: constant name, naming scheme, program-wide uniqueness.
+func checkRegistration(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !registerMethods[sel.Sel.Name] || len(call.Args) == 0 {
+		return
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil {
+		return
+	}
+	fnObj, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	recv := fnObj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return
+	}
+	named := namedOf(recv.Type())
+	if named == nil || named.Obj().Name() != "Registry" {
+		return
+	}
+	tv := pass.TypesInfo.Types[call.Args[0]]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric name passed to %s must be a compile-time string constant; dynamic names defeat dashboards and cardinality audits",
+			sel.Sel.Name)
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !metricNameRE.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric name %q must be snake_case with the engine_ prefix (want ^engine(_[a-z0-9]+)+$)", name)
+		return
+	}
+	key := "metric:" + name
+	if prev, ok := analysis.LookupFact[RegisteredMetric](pass.Facts, key); ok {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric %q is registered more than once (first registration at %s)", name, prev.At)
+		return
+	}
+	pass.Facts.Export(key, RegisteredMetric{At: pass.Fset.Position(call.Pos()).String()})
+}
+
+// checkCodeSwitch validates one `switch x.Code { ... }` against the
+// Code* constants of the package declaring x's type.
+func checkCodeSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	sel, ok := ast.Unparen(sw.Tag).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Code" {
+		return
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	named := namedOf(selection.Recv())
+	if named == nil || named.Obj().Pkg() == nil {
+		return
+	}
+	codes := codeConstants(named.Obj().Pkg())
+	if len(codes) < 2 {
+		return // not a coded-error package
+	}
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok || cc.List == nil {
+			continue // default clause: present but never satisfying
+		}
+		for _, expr := range cc.List {
+			tv := pass.TypesInfo.Types[expr]
+			if tv.Value != nil && tv.Value.Kind() == constant.String {
+				delete(codes, constant.StringVal(tv.Value))
+			}
+		}
+	}
+	if len(codes) == 0 {
+		return
+	}
+	var missing []string
+	for _, name := range codes {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(),
+		"switch on %s.Code does not handle: %s — add explicit cases; a default cannot tell new wire codes apart",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+// codeConstants collects pkg's exported Code* string constants, keyed
+// by value.
+func codeConstants(pkg *types.Package) map[string]string {
+	out := map[string]string{}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Code") || name == "Code" {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || c.Val().Kind() != constant.String {
+			continue
+		}
+		out[constant.StringVal(c.Val())] = name
+	}
+	return out
+}
+
+// namedOf strips pointers and returns the named type behind t.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -1,0 +1,30 @@
+package metricscontract
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestMetricsContract(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/a")
+}
+
+// TestRealObsAndClients runs the analyzer over every package that
+// registers metrics or inspects wire codes: names must be unique
+// program-wide and the client's code switch exhaustive.
+func TestRealObsAndClients(t *testing.T) {
+	pkgs, err := analysis.Load("../../..",
+		"./internal/engine/obs", "./internal/server", "./pkg/client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

@@ -1,0 +1,81 @@
+// Package a exercises metricscontract with a local Registry lookalike
+// and a coded error type mirroring the wire package's conventions.
+package a
+
+// Registry mimics obs.Registry (matched by type name + method set).
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) int               { return 0 }
+func (r *Registry) Gauge(name, help string) int                 { return 0 }
+func (r *Registry) Histogram(name, help string, b []float64) int { return 0 }
+
+var reg Registry
+
+const base = "engine_ok"
+
+var (
+	good   = reg.Counter("engine_good_total", "fine")
+	concat = reg.Counter(base+"_total", "constant concatenation is fine")
+	dup    = reg.Gauge("engine_good_total", "") // want `registered more than once`
+	camel  = reg.Counter("engineBadName", "")   // want `snake_case`
+	bare   = reg.Counter("queries_total", "")   // want `engine_ prefix`
+	upper  = reg.Counter("engine_Bad", "")      // want `snake_case`
+)
+
+func dynamic(name string) int {
+	return reg.Counter(name, "") // want `compile-time string constant`
+}
+
+// Error mirrors wire.Error: a Code field plus Code* constants.
+type Error struct {
+	Code    string
+	Message string
+}
+
+const (
+	CodeA = "a"
+	CodeB = "b"
+	CodeC = "c"
+)
+
+func classifyMissing(e *Error) string {
+	switch e.Code { // want `does not handle: CodeC`
+	case CodeA:
+		return "a"
+	case CodeB:
+		return "b"
+	}
+	return ""
+}
+
+func classifyAll(e Error) string {
+	switch e.Code {
+	case CodeA, CodeB:
+		return "ab"
+	case "c": // literal value counts
+		return "c"
+	}
+	return ""
+}
+
+func classifyDefaulted(e *Error) string {
+	switch e.Code { // want `does not handle: CodeB, CodeC`
+	case CodeA:
+		return "a"
+	default:
+		return "?"
+	}
+}
+
+var (
+	_ = good
+	_ = concat
+	_ = dup
+	_ = camel
+	_ = bare
+	_ = upper
+	_ = dynamic
+	_ = classifyMissing
+	_ = classifyAll
+	_ = classifyDefaulted
+)

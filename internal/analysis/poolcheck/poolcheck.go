@@ -1,0 +1,507 @@
+// Package poolcheck enforces sync.Pool discipline on the engine's hot
+// paths (the parser scratch pool, the prepared-statement eval-set
+// pools):
+//
+//   - no use-after-Put: once an object is returned to a pool — via
+//     pool.Put or a wrapper like sqlparser.putScratch — another
+//     goroutine may own it; any later use of the same variable is
+//     flagged (unless it is reassigned first);
+//   - reset before Put: a field written with live data must be cleared
+//     (nil / zero / x.f[:0] / empty literal) — or handed to a helper
+//     that can clear it — before the object is pooled, so one
+//     request's data cannot leak into the next;
+//   - no escape: a pooled object stored in a package-level variable
+//     outlives its lease and races with the pool's next lessee.
+//
+// Wrappers are recognized cross-package through PutsPooled/GetsPooled
+// facts: a function that Puts its parameter, or returns a Get result,
+// extends the discipline to its callers. The checks are lexical
+// (position-ordered within one function); deferred Puts — including
+// Puts inside a `defer func(){...}()` body — run at return and are
+// exempt from ordering-based checks.
+package poolcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the poolcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolcheck",
+	Doc: "flag sync.Pool misuse: use-after-Put, objects pooled with " +
+		"uncleared fields, and pooled objects escaping to package level",
+	Run: run,
+}
+
+// PutsPooled marks a function that returns its Param'th parameter to a
+// sync.Pool; calls to it count as Put sites in callers.
+type PutsPooled struct{ Param int }
+
+func (PutsPooled) AFact() {}
+
+// GetsPooled marks a function that returns an object leased from a
+// sync.Pool; its results are tracked like direct Get results.
+type GetsPooled struct{}
+
+func (GetsPooled) AFact() {}
+
+// putSite is one point where an object is returned to a pool.
+type putSite struct {
+	pos, end token.Pos // the Put (or wrapper) call expression's extent
+	obj      types.Object
+	deferred bool
+	direct   bool // pool.Put itself (reset check applies), not a wrapper
+}
+
+// fieldWrite is one `x.f = rhs` assignment on a tracked object.
+type fieldWrite struct {
+	pos      token.Pos
+	obj      types.Object
+	field    string
+	clearing bool
+}
+
+func run(pass *analysis.Pass) error {
+	g := pass.CallGraph()
+
+	// Pass 1: wrapper facts — a function that Puts a parameter, or
+	// returns a Get-derived value, extends the pool discipline to its
+	// callers (including cross-package ones, via the fact store).
+	for _, fn := range g.Functions() {
+		decl := g.Decls[fn]
+		fnObj, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		params := fnObj.Type().(*types.Signature).Params()
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPoolCall(pass, call, "Put") && len(call.Args) == 1 {
+				if obj := identObj(pass, call.Args[0]); obj != nil {
+					for i := 0; i < params.Len(); i++ {
+						if params.At(i) == obj {
+							if _, dup := analysis.LookupFact[PutsPooled](pass.Facts, fn); !dup {
+								pass.Facts.Export(fn, PutsPooled{Param: i})
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		getDerived := collectGetDerived(pass, decl)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				res = ast.Unparen(res)
+				if isGetExpr(pass, res) || getDerived[identObj(pass, res)] {
+					if _, dup := analysis.LookupFact[GetsPooled](pass.Facts, fn); !dup {
+						pass.Facts.Export(fn, GetsPooled{})
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: per-function checks.
+	for _, fn := range g.Functions() {
+		checkFunc(pass, g, fn)
+	}
+	return nil
+}
+
+// checkFunc applies the three checks inside one function body.
+func checkFunc(pass *analysis.Pass, g *analysis.CallGraph, fn string) {
+	decl := g.Decls[fn]
+	deferredPos := deferredRegions(decl.Body)
+
+	var puts []putSite
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPoolCall(pass, call, "Put") && len(call.Args) == 1 {
+			if obj := identObj(pass, call.Args[0]); obj != nil {
+				puts = append(puts, putSite{pos: call.Pos(), end: call.End(), obj: obj,
+					deferred: deferredPos(call.Pos()), direct: true})
+			}
+			return true
+		}
+		// Wrapper call: callee carries a PutsPooled fact.
+		if callee, _ := calleeKey(pass, call); callee != "" {
+			if f, ok := analysis.LookupFact[PutsPooled](pass.Facts, callee); ok {
+				if f.Param >= 0 && f.Param < len(call.Args) {
+					if obj := identObj(pass, call.Args[f.Param]); obj != nil {
+						puts = append(puts, putSite{pos: call.Pos(), end: call.End(), obj: obj,
+							deferred: deferredPos(call.Pos())})
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	writes, assigns, uses, calls := collectAccesses(pass, decl)
+	sort.Slice(puts, func(i, j int) bool { return puts[i].pos < puts[j].pos })
+
+	for _, put := range puts {
+		if !put.deferred {
+			// Use-after-Put: a later use of the same object on the Put's
+			// own control-flow path — the suffix of the Put statement's
+			// innermost block, up to and including its first terminating
+			// statement (a Put followed by `return err` does not reach
+			// uses in the enclosing block). Reassignment clears the taint.
+			regionEnd := putRegionEnd(decl.Body, put.end)
+			for _, use := range uses[put.obj] {
+				if use <= put.end || use > regionEnd {
+					continue
+				}
+				reassigned := false
+				for _, a := range assigns[put.obj] {
+					if a > put.pos && a < use {
+						reassigned = true
+						break
+					}
+				}
+				if !reassigned {
+					pass.Reportf(use, "use of %s after it was returned to the pool at line %d",
+						put.obj.Name(), pass.Fset.Position(put.pos).Line)
+				}
+			}
+		}
+		if put.direct && !put.deferred {
+			// Reset-before-Put: the last write of each field must clear
+			// it, unless a helper call took the object afterwards.
+			last := map[string]fieldWrite{}
+			for _, w := range writes {
+				if w.obj == put.obj && w.pos < put.pos {
+					last[w.field] = w
+				}
+			}
+			for _, w := range last {
+				if w.clearing {
+					continue
+				}
+				helped := false
+				for _, cp := range calls[put.obj] {
+					if cp > w.pos && cp < put.pos {
+						helped = true
+						break
+					}
+				}
+				if !helped {
+					pass.Reportf(put.pos,
+						"%s returned to pool with field %s still holding data (last write at line %d); clear it before Put",
+						put.obj.Name(), w.field, pass.Fset.Position(w.pos).Line)
+				}
+			}
+		}
+	}
+
+	// Escape: a Get-derived object assigned to a package-level variable.
+	getDerived := collectGetDerived(pass, decl)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			ident, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := pass.TypesInfo.Uses[ident].(*types.Var)
+			if !ok || v.Parent() != pass.Pkg.Scope() {
+				continue
+			}
+			if i >= len(as.Rhs) {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if isGetExpr(pass, rhs) || getDerived[identObj(pass, rhs)] {
+				pass.Reportf(as.Pos(),
+					"pooled object escapes to package-level variable %s; it races with the pool's next lessee", v.Name())
+			}
+		}
+		return true
+	})
+}
+
+// collectAccesses gathers, per object: field writes (with clearingness),
+// assignments to the variable itself, identifier uses, and calls that
+// take the object (as receiver or argument).
+func collectAccesses(pass *analysis.Pass, decl *ast.FuncDecl) (
+	writes []fieldWrite,
+	assigns map[types.Object][]token.Pos,
+	uses map[types.Object][]token.Pos,
+	calls map[types.Object][]token.Pos,
+) {
+	assigns = map[types.Object][]token.Pos{}
+	uses = map[types.Object][]token.Pos{}
+	calls = map[types.Object][]token.Pos{}
+	lhsIdents := map[*ast.Ident]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				lhs = ast.Unparen(lhs)
+				if ident, ok := lhs.(*ast.Ident); ok {
+					lhsIdents[ident] = true
+					if obj := pass.TypesInfo.ObjectOf(ident); obj != nil {
+						assigns[obj] = append(assigns[obj], n.Pos())
+					}
+					continue
+				}
+				if sel, ok := lhs.(*ast.SelectorExpr); ok {
+					if obj := identObj(pass, sel.X); obj != nil {
+						var rhs ast.Expr
+						if i < len(n.Rhs) {
+							rhs = n.Rhs[i]
+						}
+						writes = append(writes, fieldWrite{pos: n.Pos(), obj: obj,
+							field: sel.Sel.Name, clearing: isClearing(pass, sel, rhs)})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if obj := identObj(pass, sel.X); obj != nil {
+					calls[obj] = append(calls[obj], n.Pos())
+				}
+			}
+			for _, arg := range n.Args {
+				if obj := identObj(pass, arg); obj != nil {
+					calls[obj] = append(calls[obj], n.Pos())
+				}
+			}
+		case *ast.Ident:
+			if !lhsIdents[n] {
+				if obj := pass.TypesInfo.Uses[n]; obj != nil {
+					uses[obj] = append(uses[obj], n.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return writes, assigns, uses, calls
+}
+
+// collectGetDerived returns the set of objects assigned from a pool
+// Get (directly, through a type assertion, or through a GetsPooled
+// wrapper) in decl.
+func collectGetDerived(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			ident, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			if isGetExpr(pass, as.Rhs[i]) {
+				if obj := pass.TypesInfo.ObjectOf(ident); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isGetExpr reports whether e is a pool Get call or a GetsPooled
+// wrapper call, unwrapping parens and type assertions.
+func isGetExpr(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if isPoolCall(pass, call, "Get") {
+		return true
+	}
+	if callee, _ := calleeKey(pass, call); callee != "" {
+		if _, ok := analysis.LookupFact[GetsPooled](pass.Facts, callee); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// isPoolCall reports whether call is sync.Pool method name.
+func isPoolCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil {
+		return false
+	}
+	fnObj, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fnObj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	n := namedOf(recv.Type())
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "Pool"
+}
+
+// calleeKey resolves call's callee to its object key ("" when the
+// callee is not a statically-known function).
+func calleeKey(pass *analysis.Pass, call *ast.CallExpr) (string, *types.Func) {
+	var fnObj *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fnObj, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		if sel := pass.TypesInfo.Selections[fun]; sel != nil {
+			fnObj, _ = sel.Obj().(*types.Func)
+		} else {
+			fnObj, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		}
+	}
+	if fnObj == nil {
+		return "", nil
+	}
+	return analysis.ObjectKey(fnObj), fnObj
+}
+
+// identObj resolves an expression to the object of a plain identifier
+// (nil for anything more complex).
+func identObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	ident, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(ident)
+}
+
+// isClearing reports whether assigning rhs to the field selected by
+// sel leaves no live data: nil, a zero literal, false, an empty
+// composite literal, or a self-truncating slice x.f[:0].
+func isClearing(pass *analysis.Pass, sel *ast.SelectorExpr, rhs ast.Expr) bool {
+	if rhs == nil {
+		return false
+	}
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.Ident:
+		return rhs.Name == "nil" || rhs.Name == "false"
+	case *ast.BasicLit:
+		return rhs.Value == "0" || rhs.Value == `""` || rhs.Value == "0.0"
+	case *ast.CompositeLit:
+		return len(rhs.Elts) == 0
+	case *ast.SliceExpr:
+		if rhs.Low != nil {
+			return false
+		}
+		if high, ok := rhs.High.(*ast.BasicLit); !ok || high.Value != "0" {
+			return false
+		}
+		// x.f = <expr>[:0] empties whatever backing array it aliases.
+		return true
+	}
+	return false
+}
+
+// putRegionEnd computes how far a use-after-Put taint extends: within
+// the innermost statement list containing the Put, sibling statements
+// after it remain tainted up to and including the first terminating
+// statement (return/branch) — execution cannot fall past it back into
+// an enclosing block on the Put path.
+func putRegionEnd(body *ast.BlockStmt, putEnd token.Pos) token.Pos {
+	var innermost []ast.Stmt
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for _, s := range list {
+			if s.Pos() <= putEnd && putEnd <= s.End() {
+				innermost = list // keep descending: a deeper list wins
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	end := putEnd
+	past := false
+	for _, s := range innermost {
+		if !past {
+			if s.Pos() <= putEnd && putEnd <= s.End() {
+				past = true
+			}
+			continue
+		}
+		end = s.End()
+		switch s.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			return end
+		}
+	}
+	return end
+}
+
+// deferredRegions returns a predicate reporting whether a position
+// executes at function return: directly `defer f(x)`, or inside the
+// body of a `defer func(){ ... }()` literal.
+func deferredRegions(body *ast.BlockStmt) func(token.Pos) bool {
+	type span struct{ start, end token.Pos }
+	var spans []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		spans = append(spans, span{ds.Call.Pos(), ds.Call.End()})
+		return true
+	})
+	return func(pos token.Pos) bool {
+		for _, s := range spans {
+			if pos >= s.start && pos <= s.end {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// namedOf strips pointers and returns the named type behind t.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -1,0 +1,30 @@
+package poolcheck
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestPoolCheck(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/a")
+}
+
+// TestRealParserAndExecPools runs the analyzer over the packages that
+// actually pool objects: the parser scratch pool and the prepared
+// statement eval-set pools must satisfy the discipline as-is.
+func TestRealParserAndExecPools(t *testing.T) {
+	pkgs, err := analysis.Load("../../..",
+		"./internal/engine/sqlparser", "./internal/engine/exec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

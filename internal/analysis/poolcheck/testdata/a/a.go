@@ -1,0 +1,116 @@
+// Package a exercises poolcheck: a pooled buffer with a reset wrapper,
+// use-after-Put through both the pool and the wrapper, a Put with a
+// dirty field, and a pooled object escaping to package scope.
+package a
+
+import "sync"
+
+type buf struct {
+	data []byte
+	n    int
+}
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+func get() *buf { return pool.Get().(*buf) }
+
+func put(b *buf) {
+	b.data = b.data[:0]
+	b.n = 0
+	pool.Put(b)
+}
+
+func goodUse() int {
+	b := get()
+	defer put(b)
+	b.n++
+	return b.n
+}
+
+func goodDeferredLit() int {
+	b := get()
+	defer func() {
+		b.data = nil
+		pool.Put(b)
+	}()
+	b.data = append(b.data, 1)
+	return len(b.data)
+}
+
+func useAfterWrapperPut() int {
+	b := get()
+	b.n = 1
+	put(b)
+	return b.n // want `after it was returned`
+}
+
+func useAfterDirectPut() int {
+	b := get()
+	b.n = 0
+	pool.Put(b)
+	return b.n // want `after it was returned`
+}
+
+func reassigned() int {
+	b := get()
+	b.n = 0
+	pool.Put(b)
+	b = get()
+	defer put(b)
+	return b.n
+}
+
+func putDirty() {
+	b := get()
+	b.data = append(b.data, 'x')
+	pool.Put(b) // want `still holding data`
+}
+
+// putOnErrorPath recycles on the failure branch only: uses after the
+// branch are on the other path and must not be flagged.
+func putOnErrorPath(fail bool) *buf {
+	b := get()
+	if fail {
+		pool.Put(b)
+		return nil
+	}
+	b.n = 0
+	return b
+}
+
+func putClearedByHelper() {
+	b := get()
+	b.data = append(b.data, 'x')
+	reset(b)
+	pool.Put(b)
+}
+
+func reset(b *buf) {
+	b.data = b.data[:0]
+	b.n = 0
+}
+
+var leaked *buf
+
+func escapeDirect() {
+	leaked = pool.Get().(*buf) // want `escapes to package-level`
+}
+
+func escapeViaWrapper() {
+	b := get()
+	leaked = b // want `escapes to package-level`
+	_ = b
+}
+
+var (
+	_ = goodUse
+	_ = goodDeferredLit
+	_ = useAfterWrapperPut
+	_ = useAfterDirectPut
+	_ = reassigned
+	_ = putOnErrorPath
+	_ = putDirty
+	_ = putClearedByHelper
+	_ = escapeDirect
+	_ = escapeViaWrapper
+)

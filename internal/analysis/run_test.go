@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// flagfunc reports every function whose name starts with "bad".
+var flagfunc = &Analyzer{
+	Name: "flagfunc",
+	Doc:  "test analyzer: flag functions named bad*",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "bad") {
+					pass.Reportf(fd.Pos(), "function %s is bad", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestRunHonorsIgnoreDirectives(t *testing.T) {
+	pkg, err := LoadFixture("testdata/ignore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{flagfunc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAnalyzer := map[string][]string{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], d.Message)
+	}
+	// bad1 (trailing ignore) and bad2 (preceding-line ignore) are
+	// suppressed; bad3's bare ignore is rejected so its finding stays;
+	// bad4's ignore names a different analyzer; bad5 has no ignore.
+	want := []string{"function bad3 is bad", "function bad4 is bad", "function bad5 is bad"}
+	got := byAnalyzer["flagfunc"]
+	if len(got) != len(want) {
+		t.Fatalf("flagfunc diagnostics = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("flagfunc diagnostic %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// The bare ignore must itself be reported under the statlint
+	// pseudo-analyzer, and must not be suppressible.
+	bare := byAnalyzer[IgnoreAnalyzer]
+	if len(bare) != 1 || !strings.Contains(bare[0], "reason is required") {
+		t.Errorf("bare-ignore rejection = %v, want one 'reason is required' diagnostic", bare)
+	}
+}
+
+func TestBuildCallGraph(t *testing.T) {
+	pkg, err := LoadFixture("testdata/callgraph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildCallGraph(pkg)
+	edges := func(caller string) map[string]Edge {
+		out := map[string]Edge{}
+		for _, e := range g.Edges[caller] {
+			out[e.Callee] = e
+		}
+		return out
+	}
+	pathOf := func(name string) string { return pkg.Path + "." + name }
+
+	topEdges := edges(pathOf("top"))
+	if _, ok := topEdges[pathOf("mid")]; !ok {
+		t.Errorf("missing edge top → mid; have %v", topEdges)
+	}
+	ring, ok := topEdges[pathOf("ringer.Ring")]
+	if !ok {
+		t.Fatalf("missing interface edge top → ringer.Ring; have %v", topEdges)
+	}
+	if !ring.Interface {
+		t.Error("ringer.Ring edge not marked as an interface call")
+	}
+	// The literal's call to (*gong).strike is attributed to top, with
+	// the literal recorded on the edge.
+	strike, ok := topEdges[pathOf("gong.strike")]
+	if !ok {
+		t.Fatalf("missing literal-body edge top → gong.strike; have %v", topEdges)
+	}
+	if strike.Lit == nil {
+		t.Error("gong.strike edge does not record its enclosing function literal")
+	}
+	if _, ok := edges(pathOf("mid"))[pathOf("leaf")]; !ok {
+		t.Error("missing edge mid → leaf")
+	}
+}
+
+func TestCallGraphReaches(t *testing.T) {
+	pkg, err := LoadFixture("testdata/callgraph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildCallGraph(pkg)
+	leafKey := pkg.Path + ".leaf"
+	chains := g.Reaches(func(callee string) (string, bool) {
+		if callee == leafKey {
+			return "is the base", true
+		}
+		return "", false
+	})
+	if _, ok := chains[pkg.Path+".mid"]; !ok {
+		t.Error("mid does not reach leaf")
+	}
+	top, ok := chains[pkg.Path+".top"]
+	if !ok {
+		t.Fatal("top does not reach leaf (via mid or the literal's strike)")
+	}
+	if !strings.Contains(top, "→") || !strings.Contains(top, "is the base") {
+		t.Errorf("top's chain %q lacks the rendered path/reason", top)
+	}
+	if _, ok := chains[pkg.Path+".bell.Ring"]; ok {
+		t.Error("bell.Ring spuriously reaches leaf")
+	}
+}
+
+type testFact struct{ Label string }
+
+func (testFact) AFact() {}
+
+type otherFact struct{ N int }
+
+func (otherFact) AFact() {}
+
+func TestFactsStore(t *testing.T) {
+	f := NewFacts()
+	f.Export("a.T.M", testFact{Label: "one"})
+	f.Export("a.T.M", otherFact{N: 7})
+	f.Export("b.F", testFact{Label: "two"})
+
+	got, ok := LookupFact[testFact](f, "a.T.M")
+	if !ok || got.Label != "one" {
+		t.Errorf("LookupFact[testFact] = %+v, %v", got, ok)
+	}
+	other, ok := LookupFact[otherFact](f, "a.T.M")
+	if !ok || other.N != 7 {
+		t.Errorf("LookupFact[otherFact] = %+v, %v", other, ok)
+	}
+	if _, ok := LookupFact[testFact](f, "missing"); ok {
+		t.Error("LookupFact found a fact under an unused key")
+	}
+	all := AllFacts[testFact](f)
+	if len(all) != 2 || all[0].Key != "a.T.M" || all[1].Fact.Label != "two" {
+		t.Errorf("AllFacts[testFact] = %+v", all)
+	}
+}
+
+func TestTopoSortOrdersDependenciesFirst(t *testing.T) {
+	// Load two real repo packages given dependent-first: Run must still
+	// analyze storage before summary so facts flow bottom-up.
+	pkgs, err := Load("../..", "./internal/engine/summary", "./internal/engine/storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram(pkgs)
+	idx := map[string]int{}
+	for i, p := range prog.Packages {
+		idx[p.Path] = i
+	}
+	if idx["repro/internal/engine/storage"] > idx["repro/internal/engine/summary"] {
+		t.Errorf("storage ordered after summary: %v", prog.Packages)
+	}
+}

@@ -1,0 +1,31 @@
+// Package callgraph is the fixture for the call-graph facility test:
+// a small chain of functions, a method, an interface call and a
+// function literal.
+package callgraph
+
+type ringer interface {
+	Ring()
+}
+
+type bell struct{}
+
+func (bell) Ring() {}
+
+type gong struct{}
+
+func (g *gong) strike() { leaf() }
+
+func leaf() {}
+
+func mid() { leaf() }
+
+func top(r ringer) {
+	mid()
+	r.Ring()
+	g := &gong{}
+	fn := func() { g.strike() }
+	fn()
+}
+
+var _ = top
+var _ = bell{}

@@ -1,0 +1,25 @@
+// Package ignore exercises the //statlint:ignore directive: the test
+// analyzer flags every function whose name starts with "bad".
+package ignore
+
+func bad1() {} //statlint:ignore flagfunc trailing suppression with a reason
+
+//statlint:ignore flagfunc full-line suppression with a reason
+func bad2() {}
+
+//statlint:ignore flagfunc
+func bad3() {}
+
+//statlint:ignore otheranalyzer reason that names a different analyzer
+func bad4() {}
+
+func bad5() {}
+
+func good() {}
+
+var _ = bad1
+var _ = bad2
+var _ = bad3
+var _ = bad4
+var _ = bad5
+var _ = good

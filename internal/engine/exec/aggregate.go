@@ -6,7 +6,6 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
-	"sync/atomic"
 
 	"repro/internal/engine/expr"
 	"repro/internal/engine/obs"
@@ -206,8 +205,6 @@ func runAggregate(ctx context.Context, sel *sqlparser.Select, items []sqlparser.
 		st.PartitionRows[p] = ps.Rows
 		span.Rows, span.Bytes = ps.Rows, ps.Bytes
 		span.finish()
-		atomic.AddInt64(&st.RowsScanned, ps.Rows)
-		atomic.AddInt64(&st.BytesRead, ps.Bytes)
 		obs.UDFCalls.Add(accCalls)
 		return serr
 	})

@@ -227,7 +227,9 @@ func (p *PreparedSelect) run(ctx context.Context, args []sqltypes.Value, sink Ro
 	st := &Stats{Workers: 1}
 	finish := beginSelectObs(st)
 	defer finish()
-	sink = countedSink(st, sink)
+	emitted := new(atomic.Int64)
+	defer func() { st.RowsEmitted = emitted.Load() }()
+	sink = countedSink(emitted, sink)
 
 	plan := st.ensureRoot().child("plan")
 	ts, err := p.getTailSet()
@@ -292,8 +294,6 @@ func (p *PreparedSelect) run(ctx context.Context, args []sqltypes.Value, sink Ro
 		st.PartitionRows[part] = ps.Rows
 		span.Rows, span.Bytes = ps.Rows, ps.Bytes
 		span.finish()
-		atomic.AddInt64(&st.RowsScanned, ps.Rows)
-		atomic.AddInt64(&st.BytesRead, ps.Bytes)
 		return serr
 	})
 	st.Scan = scan.finish()

@@ -146,9 +146,13 @@ func runSelect(ctx context.Context, sel *sqlparser.Select, env *Env, sink RowSin
 	st := &Stats{Workers: 1}
 	finish := beginSelectObs(st)
 	defer finish()
-	// Count emitted rows here so aggregate and projection paths (and
-	// their concurrent sink calls) are all covered by one atomic.
-	sink = countedSink(st, sink)
+	// Count emitted rows in a local atomic shared by the aggregate and
+	// projection paths' concurrent sink calls, published to the plain
+	// Stats field after the workers join (and before finish reads it —
+	// deferred last, runs first).
+	emitted := new(atomic.Int64)
+	defer func() { st.RowsEmitted = emitted.Load() }()
+	sink = countedSink(emitted, sink)
 
 	// Table-less SELECT of constants.
 	if len(sel.From) == 0 {
@@ -208,14 +212,17 @@ func beginSelectObs(st *Stats) func() {
 	}
 }
 
-// countedSink wraps sink so every emitted row is counted into st with
-// one atomic, covering concurrent sink calls from partition workers.
-func countedSink(st *Stats, sink RowSink) RowSink {
+// countedSink wraps sink so every emitted row bumps emitted, covering
+// concurrent sink calls from partition workers. The count lives in a
+// dedicated typed atomic rather than a Stats field so the Stats struct
+// stays plainly readable — mixing atomic and plain access to the same
+// field is a race (see the atomichygiene analyzer).
+func countedSink(emitted *atomic.Int64, sink RowSink) RowSink {
 	return func(r sqltypes.Row) error {
 		if err := sink(r); err != nil {
 			return err
 		}
-		atomic.AddInt64(&st.RowsEmitted, 1)
+		emitted.Add(1)
 		return nil
 	}
 }
@@ -503,8 +510,6 @@ func runProjection(ctx context.Context, sel *sqlparser.Select, items []sqlparser
 		st.PartitionRows[p] = ps.Rows
 		span.Rows, span.Bytes = ps.Rows, ps.Bytes
 		span.finish()
-		atomic.AddInt64(&st.RowsScanned, ps.Rows)
-		atomic.AddInt64(&st.BytesRead, ps.Bytes)
 		return serr
 	})
 	st.Scan = scan.finish()
@@ -513,12 +518,16 @@ func runProjection(ctx context.Context, sel *sqlparser.Select, items []sqlparser
 }
 
 // finishScanSpan attaches the per-partition child spans (skipping
-// partitions never started before a cancellation) and records the
-// scan's total volume on the parent span.
+// partitions never started before a cancellation) and totals their
+// volume into the parent span and the scan counters. It runs after the
+// partition workers have joined, so the per-span numbers are stable
+// and the Stats fields can stay plain (no atomics needed).
 func finishScanSpan(scan *Span, partSpans []*Span, st *Stats) {
 	for _, ps := range partSpans {
 		if ps != nil {
 			scan.Children = append(scan.Children, ps)
+			st.RowsScanned += ps.Rows
+			st.BytesRead += ps.Bytes
 		}
 	}
 	scan.sortChildren()

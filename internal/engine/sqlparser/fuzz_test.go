@@ -1,0 +1,84 @@
+package sqlparser
+
+import "testing"
+
+// FuzzParseRoundTrip feeds arbitrary byte soup to the parser. Accepted
+// SELECTs must survive a print → re-parse → print cycle with a fixed
+// point: String() of the re-parsed tree must equal String() of the
+// original tree. A mismatch means the printer emits SQL the parser
+// reads back differently — exactly the bug class that corrupts the
+// plan cache, whose keys are printed statements.
+func FuzzParseRoundTrip(f *testing.F) {
+	f.Add("SELECT 1")
+	f.Add("SELECT a, b FROM t WHERE a > 1 AND b < 'x' GROUP BY a ORDER BY b DESC LIMIT 3")
+	f.Add("SELECT sum(x*y) AS sxy, count(*) FROM points GROUP BY grp HAVING count(*) > 2")
+	f.Add("SELECT CASE WHEN a IS NULL THEN 0 ELSE a END FROM t")
+	f.Add("SELECT * FROM a JOIN b ON a.id = b.id WHERE a.v BETWEEN 1 AND 2 OR b.v IN (1, 2, 3)")
+	f.Add("SELECT CAST(a AS DOUBLE) FROM t WHERE NOT (a = 1)")
+	f.Add("select nlq_str(x1, x2) from xy")
+	f.Add("SELECT -1.5e10, 'it''s', true, null")
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := Parse(sql)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		sel, ok := stmt.(*Select)
+		if !ok {
+			return
+		}
+		printed := sel.String()
+		stmt2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printer emitted SQL the parser rejects\n input: %q\nprinted: %q\n  error: %v", sql, printed, err)
+		}
+		sel2, ok := stmt2.(*Select)
+		if !ok {
+			t.Fatalf("re-parse of printed SELECT produced %T\n input: %q\nprinted: %q", stmt2, sql, printed)
+		}
+		if again := sel2.String(); again != printed {
+			t.Fatalf("print → parse → print is not a fixed point\n input: %q\n first: %q\nsecond: %q", sql, printed, again)
+		}
+	})
+}
+
+// FuzzBindParams checks the prepared-statement substitution invariants
+// on arbitrary accepted statements: CountParams slots can always be
+// bound with that many literals, binding leaves zero remaining slots,
+// and the original tree is untouched (its slot count is stable) — the
+// plan cache shares the unbound tree across executions.
+func FuzzBindParams(f *testing.F) {
+	f.Add("SELECT a FROM t WHERE a = ? AND b > ?")
+	f.Add("INSERT INTO t (a, b) VALUES (?, ?), (3, ?)")
+	f.Add("SELECT * FROM t WHERE a IN (?, ?, ?) LIMIT 1")
+	f.Add("SELECT CASE WHEN a = ? THEN ? ELSE 0 END FROM t")
+	f.Add("SELECT 1")
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := Parse(sql)
+		if err != nil {
+			return
+		}
+		n := CountParams(stmt)
+		if n < 0 {
+			t.Fatalf("CountParams returned %d for %q", n, sql)
+		}
+		vals := make([]Expr, n)
+		for i := range vals {
+			vals[i] = &NumberLit{IsInt: true, Int: int64(i)}
+		}
+		bound, err := BindParams(stmt, vals)
+		if err != nil {
+			// Only SELECT/INSERT support parameters; other statements
+			// must carry slots for binding to fail.
+			if n == 0 {
+				t.Fatalf("BindParams failed on a parameterless statement %q: %v", sql, err)
+			}
+			return
+		}
+		if left := CountParams(bound); left != 0 {
+			t.Fatalf("bound statement still has %d parameter slots\n input: %q", left, sql)
+		}
+		if after := CountParams(stmt); after != n {
+			t.Fatalf("BindParams mutated the shared original: %d slots before, %d after\n input: %q", n, after, sql)
+		}
+	})
+}

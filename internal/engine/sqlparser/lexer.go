@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Position is a source location within the SQL text handed to the
@@ -122,11 +123,23 @@ func lexInto(src string, toks []token) ([]token, error) {
 		}
 		start := l.pos
 		c := l.src[l.pos]
+		r, size := rune(c), 1
+		if c >= utf8.RuneSelf {
+			// Decode as UTF-8, not Latin-1: an invalid byte yields
+			// RuneError (not a letter) and is rejected below, so byte
+			// soup cannot enter the AST only to print as U+FFFD and
+			// re-parse differently.
+			r, size = utf8.DecodeRuneInString(l.src[l.pos:])
+		}
 		switch {
-		case isIdentStart(rune(c)):
-			l.pos++
-			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
-				l.pos++
+		case isIdentStart(r):
+			l.pos += size
+			for l.pos < len(l.src) {
+				r2, s2 := decodeRuneAt(l.src, l.pos)
+				if !isIdentPart(r2) {
+					break
+				}
+				l.pos += s2
 			}
 			word := l.src[start:l.pos]
 			up := strings.ToUpper(word)
@@ -269,3 +282,12 @@ func (l *lexer) lexSymbol() error {
 
 func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
 func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+// decodeRuneAt reads one rune starting at byte i, with a fast path for
+// ASCII (the overwhelmingly common case in SQL text).
+func decodeRuneAt(s string, i int) (rune, int) {
+	if c := s[i]; c < utf8.RuneSelf {
+		return rune(c), 1
+	}
+	return utf8.DecodeRuneInString(s[i:])
+}

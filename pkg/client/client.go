@@ -174,6 +174,7 @@ func (p *Pool) dial(ctx context.Context) (*conn, error) {
 	if f.Type == wire.MsgError {
 		nc.Close()
 		if we, derr := wire.DecodeError(f.Payload); derr == nil {
+			countServerError(we)
 			return nil, we
 		}
 		return nil, errors.New("client: handshake rejected")
@@ -434,6 +435,7 @@ func (c *conn) exchange(ctx context.Context, msgType byte, payload []byte, sink 
 			if stop() {
 				c.broken = true
 			}
+			countServerError(we)
 			return nil, we
 		default:
 			return fail(fmt.Errorf("client: unexpected frame type %#x", f.Type))
