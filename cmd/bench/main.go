@@ -134,6 +134,10 @@ func assertMetrics(ids []string) error {
 		"engine_rows_scanned_total",
 		"engine_rows_inserted_total",
 		"engine_queries_total",
+		// Tail sampling keeps the first healthy trace deterministically,
+		// so any bench run must retain at least one trace with spans.
+		"engine_trace_retained_total",
+		"engine_trace_spans_total",
 	}
 	ranSummary := len(ids) == 0
 	ranPrepared := len(ids) == 0

@@ -343,6 +343,11 @@ func runExplainAnalyze(eng engine, sql string, out io.Writer) error {
 	}
 	fmt.Fprint(out, res.Stats.Root.RenderTree())
 	fmt.Fprintf(out, "-- stats: %s\n", res.Stats)
+	if res.Stats.TraceID != "" {
+		// The stamped trace id: look the statement up in sys.traces /
+		// sys.spans (works remotely — the id rides the stats JSON).
+		fmt.Fprintf(out, "-- trace: %s\n", res.Stats.TraceID)
+	}
 	return nil
 }
 

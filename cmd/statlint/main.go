@@ -3,7 +3,8 @@
 // arguments (default ./...) and exits non-zero if any invariant is
 // violated.
 //
-// Per-package analyzers: udfcontract, ctxscan, valuekind. Whole-program
+// Per-package analyzers: udfcontract, ctxscan, valuekind, logkeys.
+// Whole-program
 // analyzers (facts flow bottom-up over the dependency order, so run
 // them over ./... rather than a single leaf package): lockreent,
 // atomichygiene, poolcheck, metricscontract.
@@ -30,6 +31,7 @@ import (
 	"repro/internal/analysis/atomichygiene"
 	"repro/internal/analysis/ctxscan"
 	"repro/internal/analysis/lockreent"
+	"repro/internal/analysis/logkeys"
 	"repro/internal/analysis/metricscontract"
 	"repro/internal/analysis/poolcheck"
 	"repro/internal/analysis/udfcontract"
@@ -44,6 +46,7 @@ var all = []*analysis.Analyzer{
 	atomichygiene.Analyzer,
 	poolcheck.Analyzer,
 	metricscontract.Analyzer,
+	logkeys.Analyzer,
 }
 
 // jsonDiagnostic is the machine-readable shape of one finding, stable

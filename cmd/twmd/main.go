@@ -7,6 +7,15 @@
 //	twmd -addr :7780 -dir data/ [-partitions 20] [-max-statements 64]
 //	     [-max-waiting 64] [-idle-timeout 5m] [-batch-rows 256]
 //	     [-debug-addr :6060] [-warm-summaries=false]
+//	     [-log-level info] [-log-format json] [-slow-query 250ms]
+//	     [-trace-sample 16]
+//
+// All daemon output is structured logging on stderr (JSON by default,
+// one object per line) through log/slog; the engine's slow-query lines
+// land in the same stream, each carrying its trace_id so a log line
+// joins against sys.traces / /debug/traces. Every log record also
+// feeds an in-memory flight recorder: on SIGQUIT (and on panic) the
+// recent trace and log events are dumped to stderr for post-mortem.
 //
 // On startup (unless -warm-summaries=false) the daemon pre-warms the
 // incremental summary cache for every reopened table that has DOUBLE
@@ -25,6 +34,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,75 +47,147 @@ import (
 	statsudf "repro"
 )
 
+// twmdConfig carries the parsed flags into run.
+type twmdConfig struct {
+	addr          string
+	dir           string
+	partitions    int
+	workers       int
+	maxStatements int
+	maxWaiting    int
+	idleTimeout   time.Duration
+	batchRows     int
+	drainTimeout  time.Duration
+	debugAddr     string
+	warmSummaries bool
+	slowQuery     time.Duration
+	traceSample   int
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7780", "address to serve the wire protocol on")
-	dir := flag.String("dir", "", "database directory (empty = in-memory)")
-	partitions := flag.Int("partitions", 20, "table partitions")
-	workers := flag.Int("workers", 0, "scan worker pool bound (0 = one per partition)")
-	maxStatements := flag.Int("max-statements", 0, "admission control: max concurrently executing statements (0 = default)")
-	maxWaiting := flag.Int("max-waiting", 0, "admission control: max statements queued for a slot (0 = same as max-statements, negative = fail fast)")
-	idleTimeout := flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = default)")
-	batchRows := flag.Int("batch-rows", 0, "rows per streamed result batch (0 = default)")
-	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown: how long to wait for sessions to drain")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/queries and /debug/pprof on this address")
-	warmSummaries := flag.Bool("warm-summaries", true, "pre-warm the summary cache for reopened tables at startup")
+	var cfg twmdConfig
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7780", "address to serve the wire protocol on")
+	flag.StringVar(&cfg.dir, "dir", "", "database directory (empty = in-memory)")
+	flag.IntVar(&cfg.partitions, "partitions", 20, "table partitions")
+	flag.IntVar(&cfg.workers, "workers", 0, "scan worker pool bound (0 = one per partition)")
+	flag.IntVar(&cfg.maxStatements, "max-statements", 0, "admission control: max concurrently executing statements (0 = default)")
+	flag.IntVar(&cfg.maxWaiting, "max-waiting", 0, "admission control: max statements queued for a slot (0 = same as max-statements, negative = fail fast)")
+	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 0, "drop connections idle longer than this (0 = default)")
+	flag.IntVar(&cfg.batchRows, "batch-rows", 0, "rows per streamed result batch (0 = default)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "graceful shutdown: how long to wait for sessions to drain")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /metrics, /debug/queries, /debug/traces and /debug/pprof on this address")
+	flag.BoolVar(&cfg.warmSummaries, "warm-summaries", true, "pre-warm the summary cache for reopened tables at startup")
+	flag.DurationVar(&cfg.slowQuery, "slow-query", 0, "log statements at or over this duration and retain their traces (0 = engine default)")
+	flag.IntVar(&cfg.traceSample, "trace-sample", 0, "tail sampling: retain 1-in-N healthy traces (0 = engine default, 1 = all)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "json", "log line format: json or text")
 	flag.Parse()
 
-	if err := run(*addr, *dir, *partitions, *workers, *maxStatements, *maxWaiting,
-		*idleTimeout, *batchRows, *drainTimeout, *debugAddr, *warmSummaries); err != nil {
+	if err := setupLogging(*logLevel, *logFormat); err != nil {
 		fmt.Fprintln(os.Stderr, "twmd:", err)
+		os.Exit(1)
+	}
+	dumpFlightOnSigquit()
+	defer func() {
+		// A crashing daemon dumps the flight ring — the recent trace and
+		// log events leading up to the panic — before dying.
+		if r := recover(); r != nil {
+			obs.Flight.WriteTo(os.Stderr)
+			panic(r)
+		}
+	}()
+
+	if err := run(cfg); err != nil {
+		slog.Error("fatal", slog.String("error", err.Error()))
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir string, partitions, workers, maxStatements, maxWaiting int,
-	idleTimeout time.Duration, batchRows int, drainTimeout time.Duration, debugAddr string,
-	warmSummaries bool) error {
-	d, err := statsudf.Open(statsudf.Options{Dir: dir, Partitions: partitions, Workers: workers})
+// setupLogging installs the process-wide slog handler: leveled JSON (or
+// text) on stderr, with every record teed into the flight recorder at
+// all levels — the ring sees debug events even when stderr does not.
+func setupLogging(level, format string) error {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var inner slog.Handler
+	switch format {
+	case "json":
+		inner = slog.NewJSONHandler(os.Stderr, opts)
+	case "text":
+		inner = slog.NewTextHandler(os.Stderr, opts)
+	default:
+		return fmt.Errorf("bad -log-format %q: want json or text", format)
+	}
+	slog.SetDefault(slog.New(obs.NewFlightHandler(inner)))
+	return nil
+}
+
+// dumpFlightOnSigquit dumps the flight ring on SIGQUIT without dying,
+// so an operator can snapshot a live daemon's recent events.
+func dumpFlightOnSigquit() {
+	q := make(chan os.Signal, 1)
+	signal.Notify(q, syscall.SIGQUIT)
+	go func() {
+		for range q {
+			obs.Flight.WriteTo(os.Stderr)
+		}
+	}()
+}
+
+func run(cfg twmdConfig) error {
+	d, err := statsudf.Open(statsudf.Options{
+		Dir: cfg.dir, Partitions: cfg.partitions, Workers: cfg.workers,
+		SlowQuery: cfg.slowQuery, TraceSampleN: cfg.traceSample,
+	})
 	if err != nil {
 		return err
 	}
 	defer d.Close()
 
-	if warmSummaries {
+	if cfg.warmSummaries {
 		warmSummaryCache(d)
 	}
 
-	if debugAddr != "" {
-		dbg, err := d.ServeDebug(debugAddr)
+	if cfg.debugAddr != "" {
+		dbg, err := d.ServeDebug(cfg.debugAddr)
 		if err != nil {
 			return err
 		}
 		defer dbg.Close()
-		fmt.Fprintf(os.Stderr, "twmd: debug endpoint on http://%s/metrics\n", dbg.Addr)
+		slog.Info("debug endpoint up", slog.String("addr", dbg.Addr))
 	}
 
 	srv := server.New(d.Engine(), server.Config{
-		Addr:          addr,
-		MaxStatements: maxStatements,
-		MaxWaiting:    maxWaiting,
-		IdleTimeout:   idleTimeout,
-		BatchRows:     batchRows,
+		Addr:          cfg.addr,
+		MaxStatements: cfg.maxStatements,
+		MaxWaiting:    cfg.maxWaiting,
+		IdleTimeout:   cfg.idleTimeout,
+		BatchRows:     cfg.batchRows,
 	})
 	if err := srv.Start(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "twmd: serving wire protocol on %s (%s)\n", srv.Addr(), server.Version)
+	slog.Info("serving wire protocol",
+		slog.String("addr", srv.Addr()),
+		slog.String("server_version", server.Version))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
 	stop() // a second signal kills immediately
 
-	fmt.Fprintln(os.Stderr, "twmd: signal received, draining sessions...")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	slog.Info("signal received, draining sessions")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "twmd: drain incomplete:", err)
+		slog.Warn("drain incomplete", slog.String("error", err.Error()))
 	}
 	fmt.Fprintln(os.Stderr, "twmd: final metrics:")
 	obs.Default.WritePrometheus(os.Stderr)
-	fmt.Fprintln(os.Stderr, "twmd: bye")
+	slog.Info("bye")
 	return nil
 }
 
@@ -117,9 +199,9 @@ func warmSummaryCache(d *statsudf.DB) {
 	eng := d.Engine()
 	for _, name := range eng.TableNames() {
 		if _, _, err := eng.SummaryNLQ(context.Background(), name, nil, core.Triangular); err != nil {
-			fmt.Fprintf(os.Stderr, "twmd: summary warm skipped for %s: %v\n", name, err)
+			slog.Info("summary warm skipped", slog.String("table", name), slog.String("error", err.Error()))
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "twmd: summary cache warmed for %s\n", name)
+		slog.Info("summary cache warmed", slog.String("table", name))
 	}
 }

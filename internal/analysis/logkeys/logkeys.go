@@ -1,0 +1,131 @@
+// Package logkeys pins the structured-logging contract: every
+// attribute key passed to log/slog — the variadic key/value pairs of
+// Debug/Info/Warn/Error (and their Context/Log/With variants) and the
+// key argument of the Attr constructors (slog.String, slog.Int,
+// slog.Group, ...) — must be a compile-time constant string in
+// snake_case.
+//
+// Dynamic keys make log lines un-greppable and explode index
+// cardinality in downstream aggregators; mixed-case or kebab-case keys
+// fracture queries ("traceId" vs "trace_id") across packages. With the
+// keys constant and uniform, a trace_id logged by the engine joins
+// against sys.traces and the client's output by simple string
+// equality.
+package logkeys
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the logkeys analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "logkeys",
+	Doc:  "require slog attribute keys to be compile-time constant snake_case strings",
+	Run:  run,
+}
+
+var keyRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// pairFuncs maps log/slog functions (and identically named Logger
+// methods) taking variadic key/value pairs to the index of the first
+// pair argument. Method receivers are not in CallExpr.Args, so one
+// table serves both forms.
+var pairFuncs = map[string]int{
+	"Debug": 1, "Info": 1, "Warn": 1, "Error": 1,
+	"DebugContext": 2, "InfoContext": 2, "WarnContext": 2, "ErrorContext": 2,
+	"Log":   3,
+	"With":  0,
+	"Group": 1,
+}
+
+// keyFuncs are the Attr constructors whose first argument is a key.
+var keyFuncs = map[string]bool{
+	"String": true, "Int": true, "Int64": true, "Uint64": true,
+	"Float64": true, "Bool": true, "Time": true, "Duration": true,
+	"Any": true, "Group": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok {
+				checkCall(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall validates one call if it resolves into log/slog.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	var obj types.Object
+	if selection := pass.TypesInfo.Selections[sel]; selection != nil {
+		obj = selection.Obj() // method: logger.Info(...)
+	} else {
+		obj = pass.TypesInfo.Uses[sel.Sel] // package func: slog.Info(...)
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "log/slog" {
+		return
+	}
+	name := fn.Name()
+	if keyFuncs[name] && len(call.Args) > 0 {
+		checkKey(pass, call.Args[0], name)
+	}
+	if start, ok := pairFuncs[name]; ok {
+		checkPairs(pass, call, start)
+	}
+}
+
+// checkPairs walks the variadic tail: a slog.Attr consumes one slot,
+// anything else is a key (validated) followed by its value. A spread
+// (`args...`) cannot be checked statically and is skipped.
+func checkPairs(pass *analysis.Pass, call *ast.CallExpr, start int) {
+	if call.Ellipsis.IsValid() {
+		return
+	}
+	for i := start; i < len(call.Args); {
+		if tv, ok := pass.TypesInfo.Types[call.Args[i]]; ok && isSlogAttr(tv.Type) {
+			i++
+			continue
+		}
+		checkKey(pass, call.Args[i], "key/value pair")
+		i += 2
+	}
+}
+
+// checkKey requires expr to be a constant snake_case string.
+func checkKey(pass *analysis.Pass, expr ast.Expr, where string) {
+	tv := pass.TypesInfo.Types[expr]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(expr.Pos(),
+			"slog key in %s must be a compile-time string constant; dynamic keys make logs un-greppable and unbounded in cardinality", where)
+		return
+	}
+	key := constant.StringVal(tv.Value)
+	if !keyRE.MatchString(key) {
+		pass.Reportf(expr.Pos(),
+			"slog key %q must be snake_case (want ^[a-z][a-z0-9]*(_[a-z0-9]+)*$) so lines join across packages", key)
+	}
+}
+
+// isSlogAttr reports whether t is log/slog.Attr.
+func isSlogAttr(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Attr" && obj.Pkg() != nil && obj.Pkg().Path() == "log/slog"
+}

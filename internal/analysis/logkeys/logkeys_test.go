@@ -1,0 +1,31 @@
+package logkeys
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestLogKeys(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/a")
+}
+
+// TestRealLoggingCallers runs the analyzer over every package that
+// emits structured log lines: the engine's slow-query logging, the
+// daemon, and the obs flight handler must all use constant snake_case
+// keys, or their lines stop joining against sys.traces.
+func TestRealLoggingCallers(t *testing.T) {
+	pkgs, err := analysis.Load("../../..",
+		"./internal/engine/db", "./internal/engine/obs", "./cmd/twmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

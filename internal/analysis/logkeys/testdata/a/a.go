@@ -1,0 +1,41 @@
+// Package a exercises logkeys against real log/slog call shapes.
+package a
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+const constKey = "query_ms" // constants and constant expressions are fine
+
+func good(log *slog.Logger, d time.Duration) {
+	slog.Info("served", "trace_id", "abc", "rows", 3)
+	slog.Warn("slow", slog.String("kind", "select"), slog.Duration("elapsed", d))
+	slog.ErrorContext(context.Background(), "failed", "error", "boom")
+	log.Info("ok", constKey, 12.5)
+	log.Log(context.Background(), slog.LevelInfo, "leveled", "attempt_n", 2)
+	log.With("session_id", 7).Debug("scoped")
+	_ = slog.Group("req", "method_name", "GET", slog.Int("status", 200))
+	_ = slog.Any("payload_v2", nil)
+}
+
+func badCase(log *slog.Logger) {
+	slog.Info("served", "traceId", "abc")         // want `snake_case`
+	slog.Warn("slow", slog.String("Kind", "x"))   // want `snake_case`
+	log.Error("failed", "trace-id", "abc")        // want `snake_case`
+	_ = slog.Group("req", "Method", "GET")        // want `snake_case`
+	_ = slog.Int64("rows_", 1)                    // want `snake_case`
+	log.With("2fast", true).Info("scoped")        // want `snake_case`
+	slog.Info("served", "_trace", 1)              // want `snake_case`
+}
+
+func badDynamic(log *slog.Logger, key string) {
+	slog.Info("served", key, "abc")          // want `compile-time string constant`
+	_ = slog.String(key, "v")                // want `compile-time string constant`
+	log.Debug("dyn", "ok_key", 1, key, 2)    // want `compile-time string constant`
+}
+
+func spread(log *slog.Logger, args []any) {
+	log.Info("passthrough", args...) // spread: statically uncheckable, skipped
+}

@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/engine/sqltypes"
 	"repro/internal/engine/storage"
 	"repro/internal/engine/summary"
+	"repro/internal/engine/trace"
 	"repro/internal/engine/udf"
 )
 
@@ -40,6 +42,16 @@ type Options struct {
 	// flagged slow in sys.queries and counted in
 	// engine_slow_queries_total. Zero selects DefaultSlowQuery.
 	SlowQuery time.Duration
+	// TraceSampleN keeps 1-in-N healthy traces in the tail-sampling
+	// trace store (error and slow traces are always kept). Zero selects
+	// trace.DefaultSampleN; 1 keeps every trace.
+	TraceSampleN int
+	// TraceCap bounds each retention class of the trace store. Zero
+	// selects trace.DefaultClassCap.
+	TraceCap int
+	// Logger receives the database's structured log lines (today: the
+	// slow-query log). Nil selects slog.Default at Open time.
+	Logger *slog.Logger
 }
 
 // DB is an embedded database instance.
@@ -75,6 +87,11 @@ type DB struct {
 	// sys. (e.g. the serving layer's sys.sessions).
 	sysMu  sync.RWMutex
 	sysExt map[string]SysTableFunc
+
+	// traces is the instance's tail-sampling trace store; every
+	// finished statement is observed into it from noteQuery.
+	traces *trace.Store
+	logger *slog.Logger
 }
 
 // Open creates a fresh database over an empty (or memory-only)
@@ -87,6 +104,10 @@ func Open(opts Options) *DB {
 	if opts.SlowQuery <= 0 {
 		opts.SlowQuery = DefaultSlowQuery
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	return &DB{
 		opts:   opts,
 		funcs:  expr.NewRegistry(),
@@ -96,6 +117,8 @@ func Open(opts Options) *DB {
 		plans:  newPlanCache(defaultPlanCacheSize),
 		preps:  make(map[int64]*Prepared),
 		sums:   summary.NewCatalog(opts.Workers),
+		traces: trace.NewStore(opts.TraceSampleN, opts.TraceCap),
+		logger: logger,
 	}
 }
 

@@ -33,6 +33,7 @@ func (s *DebugServer) Close() error {
 //
 //	/metrics        the process-wide obs registry in Prometheus text format
 //	/debug/queries  the recent-query ring as JSON, newest first
+//	/debug/traces   the tail-sampled trace store as JSON, newest first
 //	/debug/pprof/   the standard Go profiling handlers
 //
 // Metrics are process-global while the query ring is per-DB, so two
@@ -49,6 +50,12 @@ func (d *DB) ServeDebug(addr string) (*DebugServer, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(debugQueries(d.RecentQueries()))
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(d.traces.Snapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -74,6 +81,7 @@ type debugQuery struct {
 	DurationMS float64         `json:"duration_ms"`
 	Slow       bool            `json:"slow,omitempty"`
 	Error      string          `json:"error,omitempty"`
+	TraceID    string          `json:"trace_id,omitempty"`
 	Stats      json.RawMessage `json:"stats,omitempty"`
 }
 
@@ -87,6 +95,7 @@ func debugQueries(recs []QueryRecord) []debugQuery {
 			DurationMS: float64(r.Duration) / float64(time.Millisecond),
 			Slow:       r.Slow,
 			Error:      r.Err,
+			TraceID:    r.TraceID,
 		}
 		if r.Stats != nil {
 			if b, err := json.Marshal(r.Stats); err == nil {

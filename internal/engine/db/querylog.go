@@ -2,11 +2,13 @@ package db
 
 import (
 	"context"
+	"log/slog"
 	"sync"
 	"time"
 
 	"repro/internal/engine/exec"
 	"repro/internal/engine/obs"
+	"repro/internal/engine/trace"
 )
 
 // Session identifies the network session a statement arrived on. The
@@ -64,6 +66,9 @@ type QueryRecord struct {
 	// Slow marks statements whose duration met the configured
 	// slow-query threshold.
 	Slow bool `json:"slow,omitempty"`
+	// TraceID is the statement's end-to-end trace identity; the key
+	// into sys.traces when the trace was retained.
+	TraceID string `json:"trace_id,omitempty"`
 	// Stats is the executor's account of the statement (nil for DDL
 	// and failed statements).
 	Stats *exec.Stats `json:"stats,omitempty"`
@@ -115,10 +120,12 @@ func (l *queryLog) lastStats() *exec.Stats {
 
 // noteQuery records a finished statement in the ring and updates the
 // process-wide query counters. It is called on every dispatch path —
-// Exec, Run, ExecScript and QueryStream — so INSERT ... SELECT and
-// streamed queries land in sys.queries like everything else. When the
-// statement context carries a network session (WithSession), its id
-// and remote address are recorded too.
+// Exec, Run, ExecScript, QueryStream and prepared execution — so it is
+// also where every statement earns its trace identity: the stats span
+// tree is stamped with trace/span IDs (adopting the caller's
+// SpanContext when the serving layer attached one) and observed into
+// the tail-sampling trace store, and statements over the SlowQuery
+// threshold emit the structured slow-query log line.
 func (d *DB) noteQuery(ctx context.Context, sql string, start time.Time, st *exec.Stats, err error) {
 	dur := time.Since(start)
 	rec := QueryRecord{SQL: sql, Start: start, Duration: dur, Stats: st}
@@ -134,6 +141,31 @@ func (d *DB) noteQuery(ctx context.Context, sql string, start time.Time, st *exe
 	if dur >= d.opts.SlowQuery {
 		rec.Slow = true
 		obs.SlowQueries.Inc()
+	}
+	tid, spans := d.stampTrace(ctx, start, dur, st)
+	rec.TraceID = tid
+	d.traces.Observe(trace.Record{
+		TraceID:   tid,
+		SQL:       sql,
+		SessionID: rec.SessionID,
+		Start:     start,
+		Duration:  dur,
+		Err:       rec.Err,
+		Slow:      rec.Slow,
+		Spans:     spans,
+	})
+	if rec.Slow {
+		var rowsScanned int64
+		if st != nil {
+			rowsScanned = st.RowsScanned
+		}
+		d.logger.LogAttrs(ctx, slog.LevelWarn, "slow query",
+			slog.String("kind", statementKind(sql)),
+			slog.Float64("duration_ms", float64(dur)/float64(time.Millisecond)),
+			slog.Int64("rows_scanned", rowsScanned),
+			slog.String("trace_id", tid),
+			slog.Int64("session_id", rec.SessionID),
+		)
 	}
 	d.qlog.add(rec)
 }

@@ -23,7 +23,7 @@ const sysPrefix = "sys."
 // sys., for shell completion and \d-style listings. Instance-specific
 // registrations (RegisterSysTable) are reported by SysTableNames.
 func SystemTableNames() []string {
-	return []string{"sys.metrics", "sys.partitions", "sys.prepared", "sys.queries", "sys.summaries", "sys.tables"}
+	return []string{"sys.metrics", "sys.partitions", "sys.prepared", "sys.queries", "sys.spans", "sys.summaries", "sys.tables", "sys.traces"}
 }
 
 // SysTableFunc materializes one registered virtual table's content on
@@ -82,6 +82,10 @@ func (d *DB) sysTable(key string) (*storage.Table, error) {
 		return d.sysPartitions()
 	case "sys.summaries":
 		return d.sysSummaries()
+	case "sys.traces":
+		return d.sysTraces()
+	case "sys.spans":
+		return d.sysSpans()
 	case "sys.prepared":
 		cols, rows, err := d.sysPrepared()
 		if err != nil {
@@ -165,6 +169,7 @@ func (d *DB) sysQueries() (*storage.Table, error) {
 		{Name: "error", Type: sqltypes.TypeVarChar},
 		{Name: "session_id", Type: sqltypes.TypeBigInt},
 		{Name: "remote_addr", Type: sqltypes.TypeVarChar},
+		{Name: "trace_id", Type: sqltypes.TypeVarChar},
 	}
 	recs := d.qlog.recent()
 	ms := func(dur time.Duration) sqltypes.Value {
@@ -195,9 +200,73 @@ func (d *DB) sysQueries() (*storage.Table, error) {
 			sqltypes.NewVarChar(r.Err),
 			sqltypes.NewBigInt(r.SessionID),
 			sqltypes.NewVarChar(r.RemoteAddr),
+			sqltypes.NewVarChar(r.TraceID),
 		})
 	}
 	return newSysTable("sys.queries", cols, rows)
+}
+
+// sysTraces exposes the tail-sampling trace store, one row per
+// retained trace, newest first.
+func (d *DB) sysTraces() (*storage.Table, error) {
+	cols := []sqltypes.Column{
+		{Name: "trace_id", Type: sqltypes.TypeVarChar},
+		{Name: "started", Type: sqltypes.TypeVarChar},
+		{Name: "duration_ms", Type: sqltypes.TypeDouble},
+		{Name: "sql_text", Type: sqltypes.TypeVarChar},
+		{Name: "session_id", Type: sqltypes.TypeBigInt},
+		{Name: "class", Type: sqltypes.TypeVarChar},
+		{Name: "slow", Type: sqltypes.TypeBool},
+		{Name: "error", Type: sqltypes.TypeVarChar},
+		{Name: "spans", Type: sqltypes.TypeBigInt},
+	}
+	recs := d.traces.Snapshot()
+	rows := make([]sqltypes.Row, 0, len(recs))
+	for _, r := range recs {
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewVarChar(r.TraceID),
+			sqltypes.NewVarChar(r.Start.Format(time.RFC3339Nano)),
+			sqltypes.NewDouble(float64(r.Duration) / float64(time.Millisecond)),
+			sqltypes.NewVarChar(r.SQL),
+			sqltypes.NewBigInt(r.SessionID),
+			sqltypes.NewVarChar(r.Class),
+			sqltypes.NewBool(r.Slow),
+			sqltypes.NewVarChar(r.Err),
+			sqltypes.NewBigInt(int64(len(r.Spans))),
+		})
+	}
+	return newSysTable("sys.traces", cols, rows)
+}
+
+// sysSpans flattens every retained trace's spans, one row per span;
+// parent_span_id reconstructs the tree.
+func (d *DB) sysSpans() (*storage.Table, error) {
+	cols := []sqltypes.Column{
+		{Name: "trace_id", Type: sqltypes.TypeVarChar},
+		{Name: "span_id", Type: sqltypes.TypeVarChar},
+		{Name: "parent_span_id", Type: sqltypes.TypeVarChar},
+		{Name: "name", Type: sqltypes.TypeVarChar},
+		{Name: "started", Type: sqltypes.TypeVarChar},
+		{Name: "duration_ms", Type: sqltypes.TypeDouble},
+		{Name: "rows_processed", Type: sqltypes.TypeBigInt},
+		{Name: "bytes", Type: sqltypes.TypeBigInt},
+	}
+	var rows []sqltypes.Row
+	for _, r := range d.traces.Snapshot() {
+		for _, sp := range r.Spans {
+			rows = append(rows, sqltypes.Row{
+				sqltypes.NewVarChar(r.TraceID),
+				sqltypes.NewVarChar(sp.SpanID),
+				sqltypes.NewVarChar(sp.ParentID),
+				sqltypes.NewVarChar(sp.Name),
+				sqltypes.NewVarChar(sp.Start.Format(time.RFC3339Nano)),
+				sqltypes.NewDouble(float64(sp.Duration) / float64(time.Millisecond)),
+				sqltypes.NewBigInt(sp.Rows),
+				sqltypes.NewBigInt(sp.Bytes),
+			})
+		}
+	}
+	return newSysTable("sys.spans", cols, rows)
 }
 
 // sysTables summarizes the catalog: partition and row counts and the

@@ -1,0 +1,236 @@
+package db
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine/trace"
+)
+
+// TestLocalStatementProducesTrace is the local half of the acceptance
+// criterion: an in-process query must land in sys.traces with a span
+// tree that includes the exec phase spans, all under one TraceID that
+// sys.queries and the stats JSON also carry.
+func TestLocalStatementProducesTrace(t *testing.T) {
+	d := newTestDB(t, Options{Partitions: 2, TraceSampleN: 1})
+
+	res, err := d.Exec("SELECT sum(v) FROM x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil || res.Stats.TraceID == "" {
+		t.Fatal("result stats carry no trace id")
+	}
+	tid := res.Stats.TraceID
+	if _, err := trace.ParseTraceID(tid); err != nil {
+		t.Fatalf("stats trace id %q does not parse: %v", tid, err)
+	}
+	if res.Stats.Root == nil || res.Stats.Root.ID == "" {
+		t.Fatal("root span was not stamped with a span id")
+	}
+
+	rec, ok := d.Traces().Get(tid)
+	if !ok {
+		t.Fatalf("trace %s not retained", tid)
+	}
+	names := map[string]bool{}
+	for _, sp := range rec.Spans {
+		names[sp.Name] = true
+		if sp.SpanID == "" {
+			t.Errorf("span %q has no id", sp.Name)
+		}
+	}
+	for _, want := range []string{"statement", "plan", "scan", "merge", "finalize"} {
+		if !names[want] {
+			t.Errorf("trace lacks %q span (got %v)", want, names)
+		}
+	}
+	// The statement span is the local root: no parent.
+	for _, sp := range rec.Spans {
+		if sp.Name == "statement" && sp.ParentID != "" {
+			t.Errorf("local statement span has parent %q, want none", sp.ParentID)
+		}
+	}
+
+	// sys.queries carries the same trace id.
+	recs := d.RecentQueries()
+	if recs[0].TraceID != tid {
+		t.Errorf("query ring trace id = %q, want %q", recs[0].TraceID, tid)
+	}
+
+	// sys.traces serves the trace through SQL.
+	rows, err := d.Exec("SELECT trace_id, class, spans FROM sys.traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range rows.Rows {
+		if row[0].Str() == tid {
+			found = true
+			if n := row[2].Int(); n < 5 {
+				t.Errorf("sys.traces reports %d spans, want >= 5", n)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s missing from sys.traces", tid)
+	}
+
+	// sys.spans reconstructs the tree: phase spans parent at the
+	// statement span.
+	spanRows, err := d.Exec("SELECT trace_id, span_id, parent_span_id, name FROM sys.spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stmtID string
+	for _, row := range spanRows.Rows {
+		if row[0].Str() == tid && row[3].Str() == "statement" {
+			stmtID = row[1].Str()
+		}
+	}
+	if stmtID == "" {
+		t.Fatal("statement span missing from sys.spans")
+	}
+	for _, row := range spanRows.Rows {
+		if row[0].Str() == tid && row[3].Str() == "plan" && row[2].Str() != stmtID {
+			t.Errorf("plan span parent = %q, want statement span %q", row[2].Str(), stmtID)
+		}
+	}
+}
+
+// TestServerSpanContextAdopted mimics the serving layer: a statement
+// run under trace.NewContext must adopt the provided TraceID and
+// parent its statement span at the provided SpanID.
+func TestServerSpanContextAdopted(t *testing.T) {
+	d := newTestDB(t, Options{Partitions: 2, TraceSampleN: 1})
+	sc := trace.NewRoot()
+	ctx := trace.NewContext(context.Background(), sc)
+
+	res, err := d.ExecContext(ctx, "SELECT count(*) FROM x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TraceID != sc.TraceID.String() {
+		t.Fatalf("stats trace id = %q, want adopted %q", res.Stats.TraceID, sc.TraceID)
+	}
+	rec, ok := d.Traces().Get(sc.TraceID.String())
+	if !ok {
+		t.Fatal("adopted trace not retained")
+	}
+	for _, sp := range rec.Spans {
+		if sp.Name == "statement" && sp.ParentID != sc.SpanID.String() {
+			t.Errorf("statement span parent = %q, want caller span %q", sp.ParentID, sc.SpanID)
+		}
+	}
+
+	// A second statement under the same context merges into the trace.
+	if _, err := d.ExecContext(ctx, "SELECT count(*) FROM x"); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = d.Traces().Get(sc.TraceID.String())
+	stmts := 0
+	for _, sp := range rec.Spans {
+		if sp.Name == "statement" {
+			stmts++
+		}
+	}
+	if stmts != 2 {
+		t.Fatalf("merged trace has %d statement spans, want 2", stmts)
+	}
+}
+
+// TestErrorStatementRetainedWithSyntheticSpan: failed statements have
+// no executor stats, but their trace must still be retained (error
+// class) with a synthesized statement span.
+func TestErrorStatementRetainedWithSyntheticSpan(t *testing.T) {
+	d := newTestDB(t, Options{Partitions: 2, TraceSampleN: 1 << 30})
+	_, err := d.Exec("SELECT v FROM does_not_exist")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	recs := d.RecentQueries()
+	tid := recs[0].TraceID
+	if tid == "" {
+		t.Fatal("failed statement has no trace id")
+	}
+	rec, ok := d.Traces().Get(tid)
+	if !ok {
+		t.Fatal("error trace was not retained (sampling must not drop errors)")
+	}
+	if rec.Class != trace.ClassError {
+		t.Fatalf("class = %q, want error", rec.Class)
+	}
+	if len(rec.Spans) != 1 || rec.Spans[0].Name != "statement" {
+		t.Fatalf("spans = %+v, want one synthetic statement span", rec.Spans)
+	}
+}
+
+// TestSlowQueryLogLine: statements at or over SlowQuery emit one
+// structured log line carrying kind, duration, rows scanned, trace_id
+// and session_id.
+func TestSlowQueryLogLine(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	d := Open(Options{Partitions: 2, SlowQuery: time.Nanosecond, TraceSampleN: 1, Logger: logger})
+	if _, err := d.Exec("CREATE TABLE x (i INT, v DOUBLE)"); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if _, err := d.Exec("SELECT count(*) FROM x"); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	if line == "" {
+		t.Fatal("no slow-query log line emitted")
+	}
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(line, "\n", 2)[0]), &entry); err != nil {
+		t.Fatalf("slow-query line is not JSON: %v (%q)", err, line)
+	}
+	if entry["msg"] != "slow query" {
+		t.Errorf("msg = %v", entry["msg"])
+	}
+	if entry["kind"] != "select" {
+		t.Errorf("kind = %v, want select", entry["kind"])
+	}
+	tid, _ := entry["trace_id"].(string)
+	if _, err := trace.ParseTraceID(tid); err != nil {
+		t.Errorf("trace_id %q invalid: %v", tid, err)
+	}
+	if _, ok := entry["duration_ms"].(float64); !ok {
+		t.Errorf("duration_ms missing: %v", entry)
+	}
+	if _, ok := entry["rows_scanned"].(float64); !ok {
+		t.Errorf("rows_scanned missing: %v", entry)
+	}
+	if _, ok := entry["session_id"]; !ok {
+		t.Errorf("session_id missing: %v", entry)
+	}
+	// The trace is slow-class, retained regardless of sampling.
+	rec, ok := d.Traces().Get(tid)
+	if !ok {
+		t.Fatal("slow trace not retained")
+	}
+	if rec.Class != trace.ClassSlow {
+		t.Fatalf("class = %q, want slow", rec.Class)
+	}
+}
+
+func TestStatementKind(t *testing.T) {
+	for sql, want := range map[string]string{
+		"SELECT 1":            "select",
+		"  insert into t ...": "insert",
+		"(SELECT 1)":          "select",
+		"":                    "unknown",
+		"CREATE TABLE t":      "create",
+	} {
+		if got := statementKind(sql); got != want {
+			t.Errorf("statementKind(%q) = %q, want %q", sql, got, want)
+		}
+	}
+}

@@ -48,6 +48,12 @@ type Stats struct {
 	// by hand (tests).
 	Root *Span `json:"root,omitempty"`
 
+	// TraceID is the statement's end-to-end trace identity (32 hex
+	// digits), stamped by the db layer when the statement finishes. It
+	// rides the stats JSON over the wire so a remote EXPLAIN ANALYZE
+	// can print the ID that indexes the server's sys.traces.
+	TraceID string `json:"trace_id,omitempty"`
+
 	// hasMerge marks aggregate executions, whose merge/finalize phases
 	// are observed into the latency histograms even when fast.
 	hasMerge bool

@@ -18,8 +18,13 @@ import (
 // tree's totals agree exactly with the Stats fields shells and
 // benchmarks report.
 type Span struct {
-	Name     string    `json:"name"`
-	Start    time.Time `json:"start"`
+	Name string `json:"name"`
+	// ID is the span's trace-layer identity (16 hex digits), assigned
+	// by the db layer when the finished tree is stamped with its
+	// statement's TraceID; empty until then. The executor itself knows
+	// nothing about trace propagation.
+	ID    string    `json:"span_id,omitempty"`
+	Start time.Time `json:"start"`
 	End      time.Time `json:"end"`
 	Rows     int64     `json:"rows,omitempty"`
 	Bytes    int64     `json:"bytes,omitempty"`

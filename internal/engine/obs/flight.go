@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+)
+
+// flightRingSize bounds the crash flight recorder. 512 events is a few
+// seconds of busy-server history — enough to see what led up to a
+// panic without holding meaningful memory.
+const flightRingSize = 512
+
+// FlightEvent is one entry in the crash flight recorder: a recent log
+// line or trace completion, kept in memory so a panic or SIGQUIT dump
+// shows what the process was doing just before.
+type FlightEvent struct {
+	Time time.Time
+	Kind string // "log" or "trace"
+	Msg  string
+}
+
+// FlightRecorder is a fixed-size ring of recent FlightEvents. Adds are
+// cheap (one mutex, no allocation beyond the message) and happen on
+// every log line and retained trace; the ring is only read when
+// something went wrong.
+type FlightRecorder struct {
+	mu  sync.Mutex
+	buf [flightRingSize]FlightEvent
+	pos int
+	n   int
+}
+
+// Flight is the process-wide flight recorder. The slog handler
+// installed by twmd and the trace store both feed it; twmd dumps it on
+// panic and SIGQUIT.
+var Flight = &FlightRecorder{}
+
+// Add records one event.
+func (f *FlightRecorder) Add(kind, msg string) {
+	now := time.Now()
+	f.mu.Lock()
+	f.buf[f.pos] = FlightEvent{Time: now, Kind: kind, Msg: msg}
+	f.pos = (f.pos + 1) % flightRingSize
+	if f.n < flightRingSize {
+		f.n++
+	}
+	f.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (f *FlightRecorder) Events() []FlightEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightEvent, 0, f.n)
+	for i := f.n; i >= 1; i-- {
+		out = append(out, f.buf[(f.pos-i+flightRingSize)%flightRingSize])
+	}
+	return out
+}
+
+// WriteTo dumps the ring human-readably, oldest first — the crash/
+// SIGQUIT output format.
+func (f *FlightRecorder) WriteTo(w io.Writer) (int64, error) {
+	events := f.Events()
+	var total int64
+	n, err := fmt.Fprintf(w, "=== flight recorder: %d recent events ===\n", len(events))
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, ev := range events {
+		n, err := fmt.Fprintf(w, "%s [%s] %s\n", ev.Time.Format(time.RFC3339Nano), ev.Kind, ev.Msg)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	n, err = fmt.Fprintln(w, "=== end flight recorder ===")
+	total += int64(n)
+	return total, err
+}
+
+// flightHandler tees every slog record into the flight recorder before
+// delegating to the wrapped handler. It reports itself enabled at all
+// levels so the ring captures debug-level detail even when the live
+// log level filters it out — the whole point of a flight recorder is
+// having the data you chose not to emit.
+type flightHandler struct {
+	inner slog.Handler
+	attrs []slog.Attr
+}
+
+// NewFlightHandler wraps inner so every record (any level) lands in
+// the process-wide FlightRecorder, then flows to inner if inner's
+// level admits it.
+func NewFlightHandler(inner slog.Handler) slog.Handler {
+	return &flightHandler{inner: inner}
+}
+
+func (h *flightHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *flightHandler) Handle(ctx context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Level.String())
+	b.WriteByte(' ')
+	b.WriteString(r.Message)
+	for _, a := range h.attrs {
+		appendAttr(&b, a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		appendAttr(&b, a)
+		return true
+	})
+	Flight.Add("log", b.String())
+	if h.inner.Enabled(ctx, r.Level) {
+		return h.inner.Handle(ctx, r)
+	}
+	return nil
+}
+
+func appendAttr(b *strings.Builder, a slog.Attr) {
+	b.WriteByte(' ')
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	b.WriteString(a.Value.String())
+}
+
+func (h *flightHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	merged := make([]slog.Attr, 0, len(h.attrs)+len(attrs))
+	merged = append(merged, h.attrs...)
+	merged = append(merged, attrs...)
+	return &flightHandler{inner: h.inner.WithAttrs(attrs), attrs: merged}
+}
+
+func (h *flightHandler) WithGroup(name string) slog.Handler {
+	return &flightHandler{inner: h.inner.WithGroup(name), attrs: h.attrs}
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(tid, errMsg string, slow bool) Record {
+	return Record{
+		TraceID:  tid,
+		SQL:      "SELECT 1",
+		Start:    time.Now(),
+		Duration: time.Millisecond,
+		Err:      errMsg,
+		Slow:     slow,
+		Spans:    []SpanRecord{{SpanID: NewSpanID().String(), Name: "statement", Start: time.Now(), Duration: time.Millisecond}},
+	}
+}
+
+func TestClassification(t *testing.T) {
+	s := NewStore(1, 16) // keep everything
+	errID := NewTraceID().String()
+	slowID := NewTraceID().String()
+	okID := NewTraceID().String()
+	s.Observe(rec(errID, "boom", false))
+	s.Observe(rec(slowID, "", true))
+	s.Observe(rec(okID, "", false))
+
+	for _, tc := range []struct {
+		id, class string
+	}{{errID, ClassError}, {slowID, ClassSlow}, {okID, ClassSampled}} {
+		r, ok := s.Get(tc.id)
+		if !ok {
+			t.Fatalf("trace %s not retained", tc.id)
+		}
+		if r.Class != tc.class {
+			t.Errorf("trace %s class = %q, want %q", tc.id, r.Class, tc.class)
+		}
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	s := NewStore(4, 1024)
+	retained := 0
+	for i := 0; i < 16; i++ {
+		if s.Observe(rec(NewTraceID().String(), "", false)) {
+			retained++
+		}
+	}
+	if retained != 4 {
+		t.Fatalf("retained %d of 16 healthy traces at 1-in-4, want 4", retained)
+	}
+	// The very first healthy trace is always kept.
+	s2 := NewStore(1000, 16)
+	if !s2.Observe(rec(NewTraceID().String(), "", false)) {
+		t.Fatal("first healthy trace was sampled out; sampling must start retained")
+	}
+}
+
+// TestFloodRetainsAllErrorAndSlowTraces is the acceptance check: under
+// a 500-statement flood, every error trace and every slow trace
+// survives tail-sampling even though healthy traffic is sampled and
+// bounded.
+func TestFloodRetainsAllErrorAndSlowTraces(t *testing.T) {
+	s := NewStore(DefaultSampleN, DefaultClassCap)
+	var (
+		mu      sync.Mutex
+		errIDs  []string
+		slowIDs []string
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < 500; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := NewTraceID().String()
+			switch {
+			case i%10 == 3: // 50 error traces
+				s.Observe(rec(id, fmt.Sprintf("error %d", i), false))
+				mu.Lock()
+				errIDs = append(errIDs, id)
+				mu.Unlock()
+			case i%10 == 7: // 50 slow traces
+				s.Observe(rec(id, "", true))
+				mu.Lock()
+				slowIDs = append(slowIDs, id)
+				mu.Unlock()
+			default:
+				s.Observe(rec(id, "", false))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for _, id := range errIDs {
+		r, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("error trace %s was not retained", id)
+		}
+		if r.Class != ClassError {
+			t.Fatalf("error trace %s class = %q", id, r.Class)
+		}
+	}
+	for _, id := range slowIDs {
+		if _, ok := s.Get(id); !ok {
+			t.Fatalf("slow trace %s was not retained", id)
+		}
+	}
+	// Healthy traffic stayed bounded: 400 healthy traces at 1-in-16
+	// can retain at most the sampled-class capacity.
+	sampled := 0
+	for _, r := range s.Snapshot() {
+		if r.Class == ClassSampled {
+			sampled++
+		}
+	}
+	if sampled == 0 || sampled > DefaultClassCap {
+		t.Fatalf("sampled-class retention = %d, want within (0, %d]", sampled, DefaultClassCap)
+	}
+}
+
+func TestMergeAndClassUpgrade(t *testing.T) {
+	s := NewStore(1, 16)
+	id := NewTraceID().String()
+	first := rec(id, "", false)
+	s.Observe(first)
+	second := rec(id, "late failure", false)
+	second.Start = first.Start.Add(time.Millisecond)
+	s.Observe(second)
+
+	r, ok := s.Get(id)
+	if !ok {
+		t.Fatal("merged trace missing")
+	}
+	if r.Class != ClassError {
+		t.Fatalf("merged trace class = %q, want %q (upgrade)", r.Class, ClassError)
+	}
+	if len(r.Spans) != 2 {
+		t.Fatalf("merged trace has %d spans, want 2", len(r.Spans))
+	}
+	if r.Err != "late failure" {
+		t.Fatalf("merged trace error = %q", r.Err)
+	}
+	if r.Duration < time.Millisecond {
+		t.Fatalf("merged duration %v did not extend", r.Duration)
+	}
+}
+
+func TestAttachSpans(t *testing.T) {
+	s := NewStore(1, 16)
+	id := NewTraceID().String()
+	s.Observe(rec(id, "", false))
+	s.Attach(id, 42, SpanRecord{SpanID: NewSpanID().String(), Name: "server", Start: time.Now(), Duration: 2 * time.Millisecond})
+
+	r, ok := s.Get(id)
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	if len(r.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(r.Spans))
+	}
+	if r.SessionID != 42 {
+		t.Fatalf("session id = %d, want 42", r.SessionID)
+	}
+	// Attaching to a dropped trace is a silent no-op.
+	s.Attach(NewTraceID().String(), 1, SpanRecord{SpanID: "x", Name: "server"})
+}
+
+func TestEvictionDropsOldestOfSameClass(t *testing.T) {
+	s := NewStore(1, 4)
+	ids := make([]string, 8)
+	base := time.Now()
+	for i := range ids {
+		ids[i] = NewTraceID().String()
+		r := rec(ids[i], "", false)
+		r.Start = base.Add(time.Duration(i) * time.Millisecond)
+		s.Observe(r)
+	}
+	for _, id := range ids[:4] {
+		if _, ok := s.Get(id); ok {
+			t.Errorf("oldest trace %s still retained after eviction", id)
+		}
+	}
+	for _, id := range ids[4:] {
+		if _, ok := s.Get(id); !ok {
+			t.Errorf("recent trace %s evicted", id)
+		}
+	}
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d records, want 4", len(snap))
+	}
+	if snap[0].TraceID != ids[7] {
+		t.Fatalf("snapshot not newest-first: got %s, want %s", snap[0].TraceID, ids[7])
+	}
+}

@@ -1,0 +1,112 @@
+// Package trace is the engine's trace-context layer: TraceID/SpanID
+// generation, context propagation, and a bounded tail-sampling store
+// of finished traces. It is the shared envelope under every statement,
+// local or remote — the db layer stamps each exec.Stats span tree with
+// IDs from the statement context, the serving layer adopts the
+// client's TraceID off the wire and wraps the execution in a server
+// span, and the client links its roundtrip span to the server-side
+// tree through the TraceID echoed in the Done frame.
+//
+// The package sits below db and exec in the dependency order (it
+// imports only obs and the standard library), so any layer of the
+// statement path can attach or read a SpanContext without cycles.
+package trace
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+)
+
+// TraceID identifies one statement's end-to-end trace: every span the
+// statement produces — client roundtrip, server session, exec phases —
+// carries the same TraceID. 128 bits, rendered as 32 hex digits.
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace. 64 bits, 16 hex digits.
+type SpanID [8]byte
+
+// NewTraceID returns a random trace ID. IDs are random rather than
+// sequential so traces from many processes (the client and every twmd
+// shard) can be merged without coordination.
+func NewTraceID() TraceID {
+	var t TraceID
+	binary.LittleEndian.PutUint64(t[:8], rand.Uint64())
+	binary.LittleEndian.PutUint64(t[8:], rand.Uint64())
+	return t
+}
+
+// NewSpanID returns a random span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	binary.LittleEndian.PutUint64(s[:], rand.Uint64())
+	return s
+}
+
+// IsZero reports an unset trace ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports an unset span ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// ParseTraceID parses the 32-hex-digit form.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 2*len(t) {
+		return t, fmt.Errorf("trace: trace id must be %d hex digits, got %q", 2*len(t), s)
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return TraceID{}, fmt.Errorf("trace: bad trace id %q: %w", s, err)
+	}
+	return t, nil
+}
+
+// ParseSpanID parses the 16-hex-digit form.
+func ParseSpanID(s string) (SpanID, error) {
+	var id SpanID
+	if len(s) != 2*len(id) {
+		return id, fmt.Errorf("trace: span id must be %d hex digits, got %q", 2*len(id), s)
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return SpanID{}, fmt.Errorf("trace: bad span id %q: %w", s, err)
+	}
+	return id, nil
+}
+
+// SpanContext is the propagated trace position: which trace a
+// statement belongs to and which span is its parent. The server puts
+// its session span here so the executor's statement span nests under
+// it; the client puts its roundtrip span here so the server nests
+// under that.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// NewRoot starts a fresh trace with a fresh root span.
+func NewRoot() SpanContext {
+	return SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+}
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying sc; statement execution under
+// it is stamped with sc.TraceID, parented at sc.SpanID.
+func NewContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the SpanContext attached by NewContext (zero
+// and false when the statement has no caller-provided trace).
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok
+}

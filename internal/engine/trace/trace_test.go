@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+func TestIDGenerationAndParse(t *testing.T) {
+	tid := NewTraceID()
+	if tid.IsZero() {
+		t.Fatal("NewTraceID returned zero")
+	}
+	s := tid.String()
+	if len(s) != 32 {
+		t.Fatalf("trace id string length = %d, want 32 (%q)", len(s), s)
+	}
+	back, err := ParseTraceID(s)
+	if err != nil {
+		t.Fatalf("ParseTraceID(%q): %v", s, err)
+	}
+	if back != tid {
+		t.Fatalf("round trip mismatch: %v != %v", back, tid)
+	}
+
+	sid := NewSpanID()
+	if sid.IsZero() {
+		t.Fatal("NewSpanID returned zero")
+	}
+	ss := sid.String()
+	if len(ss) != 16 {
+		t.Fatalf("span id string length = %d, want 16 (%q)", len(ss), ss)
+	}
+	sback, err := ParseSpanID(ss)
+	if err != nil {
+		t.Fatalf("ParseSpanID(%q): %v", ss, err)
+	}
+	if sback != sid {
+		t.Fatalf("round trip mismatch: %v != %v", sback, sid)
+	}
+
+	if a, b := NewTraceID(), NewTraceID(); a == b {
+		t.Fatal("two NewTraceID calls collided")
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	for _, bad := range []string{"", "zz", "0123", "g0000000000000000000000000000000"} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID(%q) succeeded, want error", bad)
+		}
+	}
+	if _, err := ParseSpanID("nothex!!nothex!!"); err == nil {
+		t.Error("ParseSpanID accepted non-hex input")
+	}
+	if _, err := ParseSpanID("00"); err == nil {
+		t.Error("ParseSpanID accepted short input")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if _, ok := FromContext(context.Background()); ok {
+		t.Fatal("empty context reported a SpanContext")
+	}
+	sc := NewRoot()
+	ctx := NewContext(context.Background(), sc)
+	got, ok := FromContext(ctx)
+	if !ok {
+		t.Fatal("FromContext missed the attached SpanContext")
+	}
+	if got != sc {
+		t.Fatalf("FromContext = %+v, want %+v", got, sc)
+	}
+}

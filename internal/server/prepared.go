@@ -118,7 +118,7 @@ func (s *Server) handleClosePrepared(nc net.Conn, wc *wire.Conn, sess *session, 
 	if p := sess.preps.take(h); p != nil {
 		p.Close()
 	}
-	return s.send(nc, wc, wire.MsgDone, wire.EncodeDone(wire.Done{}))
+	return s.send(nc, wc, wire.MsgDone, wire.EncodeDone(wire.Done{}, sess.proto))
 }
 
 // handleExecPrepared executes a handle under admission control,
@@ -127,7 +127,7 @@ func (s *Server) handleClosePrepared(nc net.Conn, wc *wire.Conn, sess *session, 
 // stale again (DDL churn) the client gets the typed stale_plan error
 // and decides.
 func (s *Server) handleExecPrepared(ctx context.Context, nc net.Conn, wc *wire.Conn, sess *session, payload []byte) error {
-	h, args, err := wire.DecodeExecPrepared(payload)
+	h, args, th, err := wire.DecodeExecPreparedTrace(payload)
 	if err != nil {
 		s.sendError(nc, wc, &wire.Error{Code: wire.CodeProtocol, Message: err.Error()})
 		return err
@@ -155,7 +155,10 @@ func (s *Server) handleExecPrepared(ctx context.Context, nc net.Conn, wc *wire.C
 	sess.begin(p.SQL())
 	defer sess.end()
 
-	werr, err := s.runPrepared(ctx, nc, wc, p, args)
+	ctx, tid, finish := s.beginStmtTrace(ctx, sess, th)
+	defer finish()
+
+	werr, err := s.runPrepared(ctx, nc, wc, sess, tid, p, args)
 	if errors.Is(err, db.ErrPlanStale) && werr == nil {
 		// The epoch check fires before any row is produced, so nothing
 		// has been sent yet: safe to re-prepare from the SQL and retry.
@@ -166,7 +169,7 @@ func (s *Server) handleExecPrepared(ctx context.Context, nc net.Conn, wc *wire.C
 		if old := sess.preps.replace(h, np); old != nil {
 			old.Close()
 		}
-		werr, err = s.runPrepared(ctx, nc, wc, np, args)
+		werr, err = s.runPrepared(ctx, nc, wc, sess, tid, np, args)
 	}
 	if err != nil {
 		if werr != nil {
@@ -180,13 +183,13 @@ func (s *Server) handleExecPrepared(ctx context.Context, nc net.Conn, wc *wire.C
 // runPrepared executes one prepared plan and streams its result. The
 // first return is a wire write failure (ends the session); the second
 // is the execution error (reported to the client by the caller).
-func (s *Server) runPrepared(ctx context.Context, nc net.Conn, wc *wire.Conn, p *db.Prepared, args []sqltypes.Value) (werr, err error) {
+func (s *Server) runPrepared(ctx context.Context, nc net.Conn, wc *wire.Conn, sess *session, tid string, p *db.Prepared, args []sqltypes.Value) (werr, err error) {
 	if !p.Streamable() {
 		res, err := p.ExecuteContext(ctx, args...)
 		if err != nil {
 			return nil, err
 		}
-		return s.sendResult(nc, wc, res), nil
+		return s.sendResult(nc, wc, sess, tid, res), nil
 	}
 	var (
 		mu    sync.Mutex
@@ -234,5 +237,5 @@ func (s *Server) runPrepared(ctx context.Context, nc net.Conn, wc *wire.Conn, p 
 	if werr := s.send(nc, wc, wire.MsgSchema, wire.EncodeSchema(schema)); werr != nil {
 		return werr, nil
 	}
-	return s.send(nc, wc, wire.MsgDone, wire.EncodeDone(wire.Done{Rows: rows, StatsJSON: statsJSON(stats)})), nil
+	return s.send(nc, wc, wire.MsgDone, wire.EncodeDone(wire.Done{Rows: rows, StatsJSON: statsJSON(stats), TraceID: tid}, sess.proto)), nil
 }

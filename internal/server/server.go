@@ -30,6 +30,7 @@ import (
 	"repro/internal/engine/sema"
 	"repro/internal/engine/sqlparser"
 	"repro/internal/engine/sqltypes"
+	"repro/internal/engine/trace"
 	"repro/internal/server/wire"
 )
 
@@ -400,17 +401,55 @@ func (s *Server) handshake(nc net.Conn, wc *wire.Conn) (*session, error) {
 		s.sendError(nc, wc, &wire.Error{Code: wire.CodeProtocol, Message: err.Error()})
 		return nil, err
 	}
-	if hello.Version != wire.ProtocolVersion {
-		err := &wire.Error{Code: wire.CodeProtocol, Message: fmt.Sprintf("protocol version %d not supported (server speaks %d)", hello.Version, wire.ProtocolVersion)}
+	if hello.Version < wire.MinProtocolVersion || hello.Version > wire.ProtocolVersion {
+		err := &wire.Error{Code: wire.CodeProtocol, Message: fmt.Sprintf("protocol version %d not supported (server speaks %d through %d)", hello.Version, wire.MinProtocolVersion, wire.ProtocolVersion)}
 		s.sendError(nc, wc, err)
 		return nil, err
 	}
 	sess := s.sessions.add(hello.User, nc.RemoteAddr().String())
-	if err := s.send(nc, wc, wire.MsgWelcome, wire.EncodeWelcome(wire.Welcome{SessionID: sess.id, Server: Version})); err != nil {
+	// The session speaks the client's offered version: a v1 client gets
+	// exact v1 frames (its strict decoder rejects trailing bytes), a v2
+	// client gets trace headers and Done trace IDs.
+	sess.proto = hello.Version
+	if err := s.send(nc, wc, wire.MsgWelcome, wire.EncodeWelcome(wire.Welcome{SessionID: sess.id, Server: Version, Proto: sess.proto})); err != nil {
 		s.sessions.remove(sess.id)
 		return nil, err
 	}
 	return sess, nil
+}
+
+// beginStmtTrace establishes the statement's trace position: it adopts
+// the client's TraceID off the wire header (or starts a fresh trace for
+// v1 clients and header-less frames), wraps ctx so the engine's
+// statement span parents at a new server span, and returns a finish
+// func that attaches that server span — parented at the client's
+// roundtrip span when one was sent — to the trace store. Attach is a
+// no-op when tail sampling dropped the trace.
+func (s *Server) beginStmtTrace(ctx context.Context, sess *session, th *wire.TraceHeader) (context.Context, string, func()) {
+	var tid trace.TraceID
+	var parent trace.SpanID
+	if th != nil {
+		tid, parent = th.TraceID, th.SpanID
+	}
+	if tid.IsZero() {
+		tid = trace.NewTraceID()
+	}
+	serverSpan := trace.NewSpanID()
+	ctx = trace.NewContext(ctx, trace.SpanContext{TraceID: tid, SpanID: serverSpan})
+	start := time.Now()
+	finish := func() {
+		rec := trace.SpanRecord{
+			SpanID:   serverSpan.String(),
+			Name:     "server",
+			Start:    start,
+			Duration: time.Since(start),
+		}
+		if !parent.IsZero() {
+			rec.ParentID = parent.String()
+		}
+		s.db.Traces().Attach(tid.String(), sess.id, rec)
+	}
+	return ctx, tid.String(), finish
 }
 
 // dispatch handles one request frame. A non-nil return ends the
@@ -423,12 +462,12 @@ func (s *Server) dispatch(ctx context.Context, nc net.Conn, wc *wire.Conn, sess 
 		s.send(nc, wc, wire.MsgGoodbye, nil)
 		return errCloseSession
 	case wire.MsgQuery, wire.MsgExec:
-		sql, err := wire.DecodeStatement(f.Payload)
+		sql, th, err := wire.DecodeStatementTrace(f.Payload)
 		if err != nil {
 			s.sendError(nc, wc, &wire.Error{Code: wire.CodeProtocol, Message: err.Error()})
 			return err
 		}
-		return s.runStatement(ctx, nc, wc, sess, sql, f.Type == wire.MsgExec)
+		return s.runStatement(ctx, nc, wc, sess, sql, f.Type == wire.MsgExec, th)
 	case wire.MsgPrepare:
 		return s.handlePrepare(ctx, nc, wc, sess, f.Payload)
 	case wire.MsgExecPrepared:
@@ -448,7 +487,7 @@ func (s *Server) dispatch(ctx context.Context, nc net.Conn, wc *wire.Conn, sess 
 // failure, which ends the session immediately — a dead client's reads
 // may never error (see readLoop), so the writer cannot rely on the
 // reader to notice.
-func (s *Server) runStatement(ctx context.Context, nc net.Conn, wc *wire.Conn, sess *session, sql string, script bool) error {
+func (s *Server) runStatement(ctx context.Context, nc net.Conn, wc *wire.Conn, sess *session, sql string, script bool, th *wire.TraceHeader) error {
 	start := time.Now()
 	defer func() {
 		statementSeconds.Observe(time.Since(start).Seconds())
@@ -468,12 +507,15 @@ func (s *Server) runStatement(ctx context.Context, nc net.Conn, wc *wire.Conn, s
 	sess.begin(sql)
 	defer sess.end()
 
+	ctx, tid, finish := s.beginStmtTrace(ctx, sess, th)
+	defer finish()
+
 	if script {
 		res, err := s.db.ExecScriptContext(ctx, sql)
 		if err != nil {
 			return s.sendError(nc, wc, classify(err))
 		}
-		return s.sendResult(nc, wc, res)
+		return s.sendResult(nc, wc, sess, tid, res)
 	}
 
 	// Single statement: SELECTs without ORDER BY/LIMIT stream straight
@@ -484,13 +526,13 @@ func (s *Server) runStatement(ctx context.Context, nc net.Conn, wc *wire.Conn, s
 		return s.sendError(nc, wc, classify(err))
 	}
 	if sel, ok := stmt.(*sqlparser.Select); ok && len(sel.OrderBy) == 0 && sel.Limit == nil {
-		return s.streamQuery(ctx, nc, wc, sql)
+		return s.streamQuery(ctx, nc, wc, sess, tid, sql)
 	}
 	res, err := s.db.RunContext(ctx, stmt)
 	if err != nil {
 		return s.sendError(nc, wc, classify(err))
 	}
-	return s.sendResult(nc, wc, res)
+	return s.sendResult(nc, wc, sess, tid, res)
 }
 
 // streamQuery runs a streamable SELECT, flushing result batches as
@@ -498,7 +540,7 @@ func (s *Server) runStatement(ctx context.Context, nc net.Conn, wc *wire.Conn, s
 // executor (like the in-process QueryStream) reports the schema when
 // the scan completes, and batches are self-describing. A non-nil
 // return is a wire write failure that ends the session.
-func (s *Server) streamQuery(ctx context.Context, nc net.Conn, wc *wire.Conn, sql string) error {
+func (s *Server) streamQuery(ctx context.Context, nc net.Conn, wc *wire.Conn, sess *session, tid string, sql string) error {
 	var (
 		mu    sync.Mutex
 		batch []sqltypes.Row
@@ -548,13 +590,13 @@ func (s *Server) streamQuery(ctx context.Context, nc net.Conn, wc *wire.Conn, sq
 	if err := s.send(nc, wc, wire.MsgSchema, wire.EncodeSchema(schema)); err != nil {
 		return err
 	}
-	return s.send(nc, wc, wire.MsgDone, wire.EncodeDone(wire.Done{Rows: rows, StatsJSON: statsJSON(stats)}))
+	return s.send(nc, wc, wire.MsgDone, wire.EncodeDone(wire.Done{Rows: rows, StatsJSON: statsJSON(stats), TraceID: tid}, sess.proto))
 }
 
 // sendResult streams a materialized result: Schema (when the statement
 // produced one), row batches, Done. A non-nil return is a wire write
 // failure that ends the session.
-func (s *Server) sendResult(nc net.Conn, wc *wire.Conn, res *exec.Result) error {
+func (s *Server) sendResult(nc net.Conn, wc *wire.Conn, sess *session, tid string, res *exec.Result) error {
 	if res.Schema != nil {
 		if err := s.send(nc, wc, wire.MsgSchema, wire.EncodeSchema(res.Schema)); err != nil {
 			return err
@@ -577,7 +619,8 @@ func (s *Server) sendResult(nc net.Conn, wc *wire.Conn, res *exec.Result) error 
 		Affected:  res.Affected,
 		Rows:      int64(len(res.Rows)),
 		StatsJSON: statsJSON(res.Stats),
-	}))
+		TraceID:   tid,
+	}, sess.proto))
 }
 
 // send writes one frame under the configured write deadline.

@@ -16,6 +16,10 @@ type session struct {
 	user       string
 	remoteAddr string
 	started    time.Time
+	// proto is the handshake-negotiated protocol version; trace
+	// headers and Done trace IDs flow only on proto >= 2 sessions.
+	// Written once during the handshake, before any statement runs.
+	proto uint32
 
 	mu         sync.Mutex
 	statements int64     // statements completed
@@ -93,6 +97,7 @@ func (r *sessionRegistry) sysSessions() ([]sqltypes.Column, []sqltypes.Row, erro
 		{Name: "statements", Type: sqltypes.TypeBigInt},
 		{Name: "current_sql", Type: sqltypes.TypeVarChar},
 		{Name: "statement_ms", Type: sqltypes.TypeDouble},
+		{Name: "proto", Type: sqltypes.TypeBigInt},
 	}
 	sessions := r.snapshot()
 	rows := make([]sqltypes.Row, 0, len(sessions))
@@ -112,6 +117,7 @@ func (r *sessionRegistry) sysSessions() ([]sqltypes.Column, []sqltypes.Row, erro
 			sqltypes.NewBigInt(statements),
 			sqltypes.NewVarChar(current),
 			sqltypes.NewDouble(runningMS),
+			sqltypes.NewBigInt(int64(s.proto)),
 		})
 	}
 	return cols, rows, nil

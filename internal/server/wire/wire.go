@@ -30,9 +30,27 @@ import (
 	"repro/internal/engine/sqltypes"
 )
 
-// ProtocolVersion is bumped on incompatible frame or payload changes;
-// the server rejects Hello frames with a different major version.
-const ProtocolVersion = 1
+// Protocol versions. The handshake negotiates: the client offers the
+// highest version it speaks in Hello, the server replies with
+// min(offer, own max) in Welcome, and both sides hold to the
+// negotiated version for the session. Version 2 added the optional
+// trace header on Query/Exec/ExecPrepared payloads and the TraceID
+// echoed in Done; every v2 payload extension is trailing bytes a v1
+// peer never sees, because encoders gate them on the negotiated
+// version.
+const (
+	// ProtocolV1 is the original protocol: no trace context.
+	ProtocolV1 = 1
+	// ProtocolV2 adds trace-context propagation (trace header on
+	// statement frames, TraceID in Done, negotiated version in Welcome).
+	ProtocolV2 = 2
+	// ProtocolVersion is the highest version this build speaks — what a
+	// client offers in Hello.
+	ProtocolVersion = ProtocolV2
+	// MinProtocolVersion is the lowest version the server still
+	// accepts; older Hellos get the typed protocol error.
+	MinProtocolVersion = ProtocolV1
+)
 
 // Magic opens every Hello payload, so a server can fail fast when an
 // HTTP client or a stray port scan connects.
@@ -307,15 +325,24 @@ func DecodeHello(p []byte) (Hello, error) {
 type Welcome struct {
 	SessionID int64
 	Server    string
+	// Proto is the negotiated protocol version. Encoded as trailing
+	// bytes only when >= 2, so a v1 client (whose decoder rejects
+	// trailing bytes) sees the exact v1 payload; absent means 1.
+	Proto uint32
 }
 
 // EncodeWelcome builds a MsgWelcome payload.
 func EncodeWelcome(w Welcome) []byte {
 	b := AppendUint64(nil, uint64(w.SessionID))
-	return AppendString(b, w.Server)
+	b = AppendString(b, w.Server)
+	if w.Proto >= ProtocolV2 {
+		b = binary.LittleEndian.AppendUint32(b, w.Proto)
+	}
+	return b
 }
 
-// DecodeWelcome parses a MsgWelcome payload.
+// DecodeWelcome parses a MsgWelcome payload; a missing trailing
+// version means the server negotiated (or only speaks) protocol 1.
 func DecodeWelcome(p []byte) (Welcome, error) {
 	r := &reader{b: p}
 	id, err := r.uint64()
@@ -326,13 +353,26 @@ func DecodeWelcome(p []byte) (Welcome, error) {
 	if err != nil {
 		return Welcome{}, err
 	}
-	return Welcome{SessionID: int64(id), Server: srv}, r.done()
+	w := Welcome{SessionID: int64(id), Server: srv, Proto: ProtocolV1}
+	if r.off < len(r.b) {
+		if w.Proto, err = r.uint32(); err != nil {
+			return Welcome{}, err
+		}
+		if w.Proto < ProtocolV2 {
+			return Welcome{}, fmt.Errorf("wire: implausible negotiated version %d in extended welcome", w.Proto)
+		}
+	}
+	return w, r.done()
 }
 
-// EncodeStatement builds a MsgQuery/MsgExec payload: just the SQL.
+// EncodeStatement builds a MsgQuery/MsgExec payload: just the SQL
+// (the protocol-1 form, and the protocol-2 form when the client has no
+// trace context).
 func EncodeStatement(sql string) []byte { return AppendString(nil, sql) }
 
-// DecodeStatement parses a MsgQuery/MsgExec payload.
+// DecodeStatement parses a MsgQuery/MsgExec payload, rejecting a
+// trailing trace header (the strict v1 form; servers use
+// DecodeStatementTrace).
 func DecodeStatement(p []byte) (string, error) {
 	r := &reader{b: p}
 	sql, err := r.string()
@@ -340,6 +380,87 @@ func DecodeStatement(p []byte) (string, error) {
 		return "", err
 	}
 	return sql, r.done()
+}
+
+// TraceHeader is the optional trace context a protocol-2 client
+// appends to Query/Exec/ExecPrepared payloads: the statement's
+// TraceID and the client-side span the server's session span should
+// parent under. The server adopts the TraceID so the client and
+// server halves of the trace share one identity.
+type TraceHeader struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+}
+
+// traceFlagHasTrace marks a well-formed trace header; the remaining
+// flag bits are reserved (ignored on decode) for future extensions.
+const traceFlagHasTrace byte = 0x01
+
+// traceHeaderLen is the encoded size: flags byte + trace id + span id.
+const traceHeaderLen = 1 + 16 + 8
+
+// appendTraceHeader appends th's fixed-size encoding.
+func appendTraceHeader(b []byte, th *TraceHeader) []byte {
+	b = append(b, traceFlagHasTrace)
+	b = append(b, th.TraceID[:]...)
+	return append(b, th.SpanID[:]...)
+}
+
+// decodeTraceHeader consumes an optional trailing trace header: nil
+// when the payload is already exhausted (a v1 peer, or a v2 client
+// without trace context).
+func decodeTraceHeader(r *reader) (*TraceHeader, error) {
+	if r.off >= len(r.b) {
+		return nil, nil
+	}
+	if rest := len(r.b) - r.off; rest != traceHeaderLen {
+		return nil, fmt.Errorf("wire: trace header is %d bytes, want %d", rest, traceHeaderLen)
+	}
+	flags, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if flags&traceFlagHasTrace == 0 {
+		return nil, fmt.Errorf("wire: bad trace header flags %#x", flags)
+	}
+	var th TraceHeader
+	tb, err := r.take(len(th.TraceID))
+	if err != nil {
+		return nil, err
+	}
+	copy(th.TraceID[:], tb)
+	sb, err := r.take(len(th.SpanID))
+	if err != nil {
+		return nil, err
+	}
+	copy(th.SpanID[:], sb)
+	return &th, nil
+}
+
+// EncodeStatementTrace builds a MsgQuery/MsgExec payload carrying a
+// trace header. Only protocol-2 sessions may send it: a v1 server's
+// strict decoder rejects the trailing bytes.
+func EncodeStatementTrace(sql string, th *TraceHeader) []byte {
+	b := AppendString(nil, sql)
+	if th != nil {
+		b = appendTraceHeader(b, th)
+	}
+	return b
+}
+
+// DecodeStatementTrace parses a MsgQuery/MsgExec payload with an
+// optional trailing trace header (nil when absent).
+func DecodeStatementTrace(p []byte) (string, *TraceHeader, error) {
+	r := &reader{b: p}
+	sql, err := r.string()
+	if err != nil {
+		return "", nil, err
+	}
+	th, err := decodeTraceHeader(r)
+	if err != nil {
+		return "", nil, err
+	}
+	return sql, th, r.done()
 }
 
 // EncodeSchema builds a MsgSchema payload: column count, then
@@ -537,16 +658,28 @@ type Done struct {
 	// StatsJSON is the executor's exec.Stats marshaled as JSON, empty
 	// for statements without a scan.
 	StatsJSON string
+	// TraceID is the statement's trace identity as the server adopted
+	// or assigned it (32 hex digits), echoed so the client can link its
+	// roundtrip span to the server-side trace. Protocol >= 2 only;
+	// empty on v1 sessions.
+	TraceID string
 }
 
-// EncodeDone builds a MsgDone payload.
-func EncodeDone(d Done) []byte {
+// EncodeDone builds a MsgDone payload for a session negotiated at
+// proto. The TraceID rides as trailing bytes gated on proto >= 2 — a
+// v1 client's strict decoder must see the exact v1 payload.
+func EncodeDone(d Done, proto uint32) []byte {
 	b := AppendUint64(nil, uint64(d.Affected))
 	b = AppendUint64(b, uint64(d.Rows))
-	return AppendString(b, d.StatsJSON)
+	b = AppendString(b, d.StatsJSON)
+	if proto >= ProtocolV2 && d.TraceID != "" {
+		b = AppendString(b, d.TraceID)
+	}
+	return b
 }
 
-// DecodeDone parses a MsgDone payload.
+// DecodeDone parses a MsgDone payload; the trailing TraceID is
+// optional (absent from v1 servers and untraced statements).
 func DecodeDone(p []byte) (Done, error) {
 	r := &reader{b: p}
 	affected, err := r.uint64()
@@ -561,7 +694,13 @@ func DecodeDone(p []byte) (Done, error) {
 	if err != nil {
 		return Done{}, err
 	}
-	return Done{Affected: int64(affected), Rows: int64(rows), StatsJSON: stats}, r.done()
+	d := Done{Affected: int64(affected), Rows: int64(rows), StatsJSON: stats}
+	if r.off < len(r.b) {
+		if d.TraceID, err = r.string(); err != nil {
+			return Done{}, err
+		}
+	}
+	return d, r.done()
 }
 
 // EncodePrepare builds a MsgPrepare payload: just the SQL.
@@ -614,32 +753,64 @@ func EncodeExecPrepared(handle int64, args []sqltypes.Value) ([]byte, error) {
 	return b, nil
 }
 
-// DecodeExecPrepared parses a MsgExecPrepared payload.
+// EncodeExecPreparedTrace is EncodeExecPrepared plus a trailing trace
+// header (protocol >= 2 only).
+func EncodeExecPreparedTrace(handle int64, args []sqltypes.Value, th *TraceHeader) ([]byte, error) {
+	b, err := EncodeExecPrepared(handle, args)
+	if err != nil {
+		return nil, err
+	}
+	if th != nil {
+		b = appendTraceHeader(b, th)
+	}
+	return b, nil
+}
+
+// DecodeExecPrepared parses a MsgExecPrepared payload (strict v1 form:
+// a trailing trace header is an error; servers use
+// DecodeExecPreparedTrace).
 func DecodeExecPrepared(p []byte) (int64, []sqltypes.Value, error) {
-	r := &reader{b: p}
-	h, err := r.uint64()
+	h, args, th, err := DecodeExecPreparedTrace(p)
 	if err != nil {
 		return 0, nil, err
 	}
+	if th != nil {
+		return 0, nil, fmt.Errorf("wire: %d trailing payload bytes", traceHeaderLen)
+	}
+	return h, args, nil
+}
+
+// DecodeExecPreparedTrace parses a MsgExecPrepared payload with an
+// optional trailing trace header (nil when absent).
+func DecodeExecPreparedTrace(p []byte) (int64, []sqltypes.Value, *TraceHeader, error) {
+	r := &reader{b: p}
+	h, err := r.uint64()
+	if err != nil {
+		return 0, nil, nil, err
+	}
 	n, err := r.uint32()
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	// Every value costs at least its 1-byte tag; reject forged counts
 	// before the slice allocation trusts n.
 	if uint64(n) > uint64(len(p)-r.off) {
-		return 0, nil, fmt.Errorf("wire: implausible argument count %d in %d payload bytes", n, len(p)-r.off)
+		return 0, nil, nil, fmt.Errorf("wire: implausible argument count %d in %d payload bytes", n, len(p)-r.off)
 	}
 	args := make([]sqltypes.Value, n)
 	for i := range args {
 		if args[i], err = decodeValue(r); err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 	}
-	if err := r.done(); err != nil {
-		return 0, nil, err
+	th, err := decodeTraceHeader(r)
+	if err != nil {
+		return 0, nil, nil, err
 	}
-	return int64(h), args, nil
+	if err := r.done(); err != nil {
+		return 0, nil, nil, err
+	}
+	return int64(h), args, th, nil
 }
 
 // EncodeClosePrepared builds a MsgClosePrepared payload.

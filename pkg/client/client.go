@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/engine/sqltypes"
+	"repro/internal/engine/trace"
 	"repro/internal/server/wire"
 )
 
@@ -103,6 +104,10 @@ type Rows struct {
 	// StatsJSON is the server-side executor statistics for the
 	// statement, JSON-encoded ("" when the statement did not scan).
 	StatsJSON string
+	// TraceID identifies the statement's server-side trace ("" on a
+	// protocol-1 session). Look it up in the server's sys.traces /
+	// sys.spans to see the full span tree this roundtrip produced.
+	TraceID string
 
 	// prepared carries a MsgPrepared acknowledgement when the exchange
 	// was a PREPARE rather than a statement.
@@ -140,6 +145,7 @@ type conn struct {
 	nc       net.Conn
 	wc       *wire.Conn
 	session  int64
+	proto    uint32 // negotiated protocol version
 	idleFrom time.Time
 	// prepared maps SQL text to the server-side handle this connection
 	// holds for it. Handles are session-scoped: a fresh connection (and
@@ -153,8 +159,21 @@ type conn struct {
 	broken bool
 }
 
-// dial establishes and handshakes one connection.
+// dial establishes and handshakes one connection. It offers the
+// newest protocol the client speaks; an old server that rejects the
+// offer gets one redial speaking protocol 1 (no trace headers, v1
+// frames throughout).
 func (p *Pool) dial(ctx context.Context) (*conn, error) {
+	c, err := p.dialVersion(ctx, wire.ProtocolVersion)
+	var we *wire.Error
+	if err != nil && errors.As(err, &we) && we.Code == wire.CodeProtocol && strings.Contains(we.Message, "protocol version") {
+		downgradesTotal.Inc()
+		return p.dialVersion(ctx, wire.ProtocolV1)
+	}
+	return c, err
+}
+
+func (p *Pool) dialVersion(ctx context.Context, version uint32) (*conn, error) {
 	d := net.Dialer{Timeout: p.cfg.DialTimeout}
 	nc, err := d.DialContext(ctx, "tcp", p.cfg.Addr)
 	if err != nil {
@@ -162,7 +181,7 @@ func (p *Pool) dial(ctx context.Context) (*conn, error) {
 	}
 	nc.SetDeadline(time.Now().Add(p.cfg.DialTimeout))
 	wc := wire.NewConn(nc)
-	if err := wc.Send(wire.MsgHello, wire.EncodeHello(wire.Hello{Version: wire.ProtocolVersion, User: p.cfg.User})); err != nil {
+	if err := wc.Send(wire.MsgHello, wire.EncodeHello(wire.Hello{Version: version, User: p.cfg.User})); err != nil {
 		nc.Close()
 		return nil, err
 	}
@@ -189,7 +208,27 @@ func (p *Pool) dial(ctx context.Context) (*conn, error) {
 		return nil, err
 	}
 	nc.SetDeadline(time.Time{})
-	return &conn{nc: nc, wc: wc, session: w.SessionID, prepared: make(map[string]wire.PreparedInfo)}, nil
+	proto := w.Proto
+	if proto > version {
+		proto = version // never speak newer than we offered
+	}
+	return &conn{nc: nc, wc: wc, session: w.SessionID, proto: proto, prepared: make(map[string]wire.PreparedInfo)}, nil
+}
+
+// traceHeader builds the statement's wire trace context on a
+// protocol-2 session: the TraceID (adopted from ctx when the caller
+// already carries one) plus a fresh roundtrip span ID for the server's
+// session span to parent under. Nil on v1 sessions — a v1 server's
+// strict decoder rejects trailing bytes.
+func (c *conn) traceHeader(ctx context.Context) *wire.TraceHeader {
+	if c.proto < wire.ProtocolV2 {
+		return nil
+	}
+	sc, ok := trace.FromContext(ctx)
+	if !ok || sc.TraceID.IsZero() {
+		sc.TraceID = trace.NewTraceID()
+	}
+	return &wire.TraceHeader{TraceID: sc.TraceID, SpanID: trace.NewSpanID()}
 }
 
 // get checks a connection out of the pool, dialing when the pool has
@@ -348,7 +387,7 @@ func watchCtx(ctx context.Context, nc net.Conn) (stop func() bool) {
 
 // roundTrip sends one statement and collects the full response.
 func (c *conn) roundTrip(ctx context.Context, msgType byte, sql string, sink func(sqltypes.Row) error) (*Rows, error) {
-	return c.exchange(ctx, msgType, wire.EncodeStatement(sql), sink)
+	return c.exchange(ctx, msgType, wire.EncodeStatementTrace(sql, c.traceHeader(ctx)), sink)
 }
 
 // exchange sends one request frame and collects the full response.
@@ -412,7 +451,7 @@ func (c *conn) exchange(ctx context.Context, msgType byte, payload []byte, sink 
 			if err != nil {
 				return fail(err)
 			}
-			out.Affected, out.StatsJSON = d.Affected, d.StatsJSON
+			out.Affected, out.StatsJSON, out.TraceID = d.Affected, d.StatsJSON, d.TraceID
 			if stop() {
 				c.broken = true
 			}

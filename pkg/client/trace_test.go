@@ -1,0 +1,100 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/server/wire"
+)
+
+// startV1Server runs a minimal fake server that only speaks protocol 1:
+// it rejects any newer Hello with the typed protocol error (like a
+// pre-tracing twmd build) and strictly decodes statement payloads, so a
+// client that leaks a trace header onto the session fails loudly.
+func startV1Server(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go serveV1Conn(nc)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func serveV1Conn(nc net.Conn) {
+	defer nc.Close()
+	wc := wire.NewConn(nc)
+	f, err := wc.Recv()
+	if err != nil || f.Type != wire.MsgHello {
+		return
+	}
+	hello, err := wire.DecodeHello(f.Payload)
+	if err != nil {
+		return
+	}
+	if hello.Version != wire.ProtocolV1 {
+		wc.Send(wire.MsgError, wire.EncodeError(&wire.Error{
+			Code:    wire.CodeProtocol,
+			Message: fmt.Sprintf("protocol version %d not supported (server speaks 1)", hello.Version),
+		}))
+		return
+	}
+	wc.Send(wire.MsgWelcome, wire.EncodeWelcome(wire.Welcome{SessionID: 1, Server: "old/1", Proto: wire.ProtocolV1}))
+	for {
+		f, err := wc.Recv()
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case wire.MsgQuery, wire.MsgExec:
+			// Strict v1 decode: a trace header here is a protocol error,
+			// exactly as an old server would treat the trailing bytes.
+			if _, err := wire.DecodeStatement(f.Payload); err != nil {
+				wc.Send(wire.MsgError, wire.EncodeError(&wire.Error{Code: wire.CodeProtocol, Message: err.Error()}))
+				return
+			}
+			wc.Send(wire.MsgDone, wire.EncodeDone(wire.Done{Rows: 0}, wire.ProtocolV1))
+		case wire.MsgPing:
+			wc.Send(wire.MsgPong, nil)
+		case wire.MsgClose:
+			wc.Send(wire.MsgGoodbye, nil)
+			return
+		default:
+			return
+		}
+	}
+}
+
+// TestNewClientOldServerDowngrade: a current client dialing a v1-only
+// server must redial at protocol 1 and run statements without trace
+// headers — the fake server's strict decoder proves none leak.
+func TestNewClientOldServerDowngrade(t *testing.T) {
+	addr := startV1Server(t)
+	p, err := Open(Config{Addr: addr, User: "compat", PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ { // second statement reuses the pooled v1 conn
+		rows, err := p.Query(ctx, "SELECT 1 FROM T")
+		if err != nil {
+			t.Fatalf("query %d over downgraded session: %v", i, err)
+		}
+		if rows.TraceID != "" {
+			t.Fatalf("v1 session returned trace id %q", rows.TraceID)
+		}
+	}
+}

@@ -3,8 +3,11 @@
 #
 # Starts twmd, drives a scripted session through sqlsh -connect
 # (create a table, load rows, run the paper's summary UDF, store a
-# model, score with the scalar UDF, inspect sys.sessions), then shuts
-# the daemon down with SIGTERM and requires a clean exit.
+# model, score with the scalar UDF, inspect sys.sessions), checks that
+# one statement's trace ID lines up across the client's EXPLAIN
+# ANALYZE output, sys.traces/sys.spans, and the daemon's structured
+# log, then shuts the daemon down with SIGTERM and requires a clean
+# exit.
 set -euo pipefail
 
 ADDR="${TWMD_ADDR:-127.0.0.1:7791}"
@@ -14,7 +17,9 @@ trap 'kill "$TWMD_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
 go build -o /tmp/smoke-twmd ./cmd/twmd
 go build -o /tmp/smoke-sqlsh ./cmd/sqlsh
 
-/tmp/smoke-twmd -addr "$ADDR" -max-statements 8 2>"$LOG" &
+# -slow-query 1us marks every statement slow (retained + logged with
+# its trace_id); -trace-sample 1 retains healthy traces too.
+/tmp/smoke-twmd -addr "$ADDR" -max-statements 8 -slow-query 1us -trace-sample 1 2>"$LOG" &
 TWMD_PID=$!
 
 # Wait for the listener.
@@ -72,8 +77,24 @@ METRICS="$(sql -c "SELECT name, value FROM sys.metrics" | grep plan_cache)"
 echo "$METRICS"
 echo "$METRICS" | grep -q "engine_plan_cache_hits"
 
+echo "== one trace id across client, sys.traces and the daemon log =="
+EXPLAIN="$(sql -c "EXPLAIN ANALYZE SELECT X1, X2 FROM X")"
+echo "$EXPLAIN"
+TID="$(echo "$EXPLAIN" | sed -n 's/^-- trace: //p')"
+test -n "$TID" # EXPLAIN ANALYZE must print the stamped trace id
+TRACES="$(sql -c "SELECT trace_id, class FROM sys.traces")"
+echo "$TRACES" | grep -q "$TID"
+SPANS="$(sql -c "SELECT trace_id, name FROM sys.spans")"
+echo "$SPANS" | grep "$TID" | grep -q "server" # server span joined the tree
+grep -q "\"trace_id\":\"$TID\"" "$LOG"          # slow-query log line carries it
+
+echo "== trace counters moved =="
+TRACE_METRICS="$(sql -c "SELECT name, value FROM sys.metrics" | grep engine_trace)"
+echo "$TRACE_METRICS"
+echo "$TRACE_METRICS" | grep -q "engine_trace_retained_total"
+
 echo "== graceful shutdown =="
 kill -TERM "$TWMD_PID"
 wait "$TWMD_PID"
-grep -q "twmd: bye" "$LOG"
+grep -q '"msg":"bye"' "$LOG"
 echo "server smoke: ok"

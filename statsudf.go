@@ -122,6 +122,13 @@ type Options struct {
 	// flagged slow in sys.queries; zero selects the engine default
 	// (250ms).
 	SlowQuery time.Duration
+	// TraceSampleN keeps 1-in-N healthy traces in sys.traces (error
+	// and slow traces are always kept); zero selects the engine
+	// default (16), 1 keeps everything.
+	TraceSampleN int
+	// TraceCap bounds retained traces per class (error/slow/sampled);
+	// zero selects the engine default (128).
+	TraceCap int
 }
 
 // DB is an embedded analytic database with the paper's UDFs installed.
@@ -133,7 +140,10 @@ type DB struct {
 // (nlq_list, nlq_str, nlq_block) and the scoring scalar UDFs
 // (linearregscore, fascore, kdistance, clusterscore).
 func Open(opts Options) (*DB, error) {
-	eng, err := db.OpenDir(db.Options{Dir: opts.Dir, Partitions: opts.Partitions, Workers: opts.Workers, SlowQuery: opts.SlowQuery})
+	eng, err := db.OpenDir(db.Options{
+		Dir: opts.Dir, Partitions: opts.Partitions, Workers: opts.Workers,
+		SlowQuery: opts.SlowQuery, TraceSampleN: opts.TraceSampleN, TraceCap: opts.TraceCap,
+	})
 	if err != nil {
 		return nil, err
 	}
