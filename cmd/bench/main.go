@@ -44,7 +44,7 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "fraction of the paper's row counts (1 = full size)")
 	partitions := flag.Int("partitions", 20, "engine parallelism (the paper's Teradata had 20 threads)")
 	runs := flag.Int("runs", 1, "repetitions averaged per measurement (the paper used 5)")
-	exp := flag.String("exp", "", "comma-separated experiment ids (t1..t6, f1..f6, a1..a6); empty runs all")
+	exp := flag.String("exp", "", "comma-separated experiment ids (t1..t6, f1..f6, a1..a7); empty runs all")
 	odbcMbps := flag.Float64("odbc-mbps", 100, "modeled ODBC LAN bandwidth in megabits/s")
 	odbcRow := flag.Int("odbc-row-overhead", 512, "modeled per-row ODBC framing overhead in bytes")
 	timescale := flag.Float64("odbc-timescale", 0, "fraction of modeled ODBC delay actually slept (0 = report only)")
@@ -141,12 +141,16 @@ func assertMetrics(ids []string) error {
 	}
 	ranSummary := len(ids) == 0
 	ranPrepared := len(ids) == 0
+	ranCluster := len(ids) == 0
 	for _, id := range ids {
 		if id == "a5" {
 			ranSummary = true
 		}
 		if id == "a6" {
 			ranPrepared = true
+		}
+		if id == "a7" {
+			ranCluster = true
 		}
 	}
 	if ranSummary {
@@ -157,6 +161,17 @@ func assertMetrics(ids []string) error {
 	}
 	if ranPrepared {
 		want = append(want, "engine_plan_cache_hits")
+	}
+	if ranCluster {
+		// The scale-out ablation must actually have fanned statements
+		// out, merged shard partials, and exercised the dead-shard
+		// path; zeros mean the coordinator quietly ran everything
+		// locally.
+		want = append(want,
+			"engine_cluster_fanouts_total",
+			"engine_cluster_partials_merged_total",
+			"engine_cluster_shard_errors_total",
+		)
 	}
 	for _, name := range want {
 		if vals[name] <= 0 {

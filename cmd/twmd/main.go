@@ -10,6 +10,17 @@
 //	     [-log-level info] [-log-format json] [-slow-query 250ms]
 //	     [-trace-sample 16]
 //
+// With -coordinator the daemon serves the same wire protocol but owns
+// no rows: statements are planned as push-down subqueries against the
+// shard fleet named by -shards (comma-separated addresses of plain
+// twmd processes, in shard-id order) and their partial results are
+// merged locally. sys.shards on the coordinator shows fleet health;
+// -shard-id stamps a shard's own log lines with its position so a
+// fleet's interleaved stderr is attributable.
+//
+//	twmd -coordinator -shards 127.0.0.1:7781,127.0.0.1:7782 -addr :7780
+//	twmd -shard-id 0 -addr :7781 & twmd -shard-id 1 -addr :7782 &
+//
 // All daemon output is structured logging on stderr (JSON by default,
 // one object per line) through log/slog; the engine's slow-query lines
 // land in the same stream, each carrying its trace_id so a log line
@@ -37,9 +48,11 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine/obs"
 	"repro/internal/server"
@@ -62,6 +75,10 @@ type twmdConfig struct {
 	warmSummaries bool
 	slowQuery     time.Duration
 	traceSample   int
+
+	coordinator bool
+	shards      string
+	shardID     int
 }
 
 func main() {
@@ -79,6 +96,9 @@ func main() {
 	flag.BoolVar(&cfg.warmSummaries, "warm-summaries", true, "pre-warm the summary cache for reopened tables at startup")
 	flag.DurationVar(&cfg.slowQuery, "slow-query", 0, "log statements at or over this duration and retain their traces (0 = engine default)")
 	flag.IntVar(&cfg.traceSample, "trace-sample", 0, "tail sampling: retain 1-in-N healthy traces (0 = engine default, 1 = all)")
+	flag.BoolVar(&cfg.coordinator, "coordinator", false, "serve as a cluster coordinator over the shard fleet in -shards instead of storing rows locally")
+	flag.StringVar(&cfg.shards, "shards", "", "comma-separated shard addresses, in shard-id order (requires -coordinator)")
+	flag.IntVar(&cfg.shardID, "shard-id", -1, "this shard's position in the coordinator's -shards list; stamps log lines (-1 = standalone)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	logFormat := flag.String("log-format", "json", "log line format: json or text")
 	flag.Parse()
@@ -86,6 +106,9 @@ func main() {
 	if err := setupLogging(*logLevel, *logFormat); err != nil {
 		fmt.Fprintln(os.Stderr, "twmd:", err)
 		os.Exit(1)
+	}
+	if cfg.shardID >= 0 {
+		slog.SetDefault(slog.Default().With(slog.Int("shard_id", cfg.shardID)))
 	}
 	dumpFlightOnSigquit()
 	defer func() {
@@ -138,6 +161,12 @@ func dumpFlightOnSigquit() {
 }
 
 func run(cfg twmdConfig) error {
+	if cfg.coordinator {
+		return runCoordinator(cfg)
+	}
+	if cfg.shards != "" {
+		return fmt.Errorf("-shards requires -coordinator")
+	}
 	d, err := statsudf.Open(statsudf.Options{
 		Dir: cfg.dir, Partitions: cfg.partitions, Workers: cfg.workers,
 		SlowQuery: cfg.slowQuery, TraceSampleN: cfg.traceSample,
@@ -178,6 +207,79 @@ func run(cfg twmdConfig) error {
 	defer stop()
 	<-ctx.Done()
 	stop() // a second signal kills immediately
+
+	slog.Info("signal received, draining sessions")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		slog.Warn("drain incomplete", slog.String("error", err.Error()))
+	}
+	fmt.Fprintln(os.Stderr, "twmd: final metrics:")
+	obs.Default.WritePrometheus(os.Stderr)
+	slog.Info("bye")
+	return nil
+}
+
+// runCoordinator serves the wire protocol with the cluster
+// coordinator as the engine: a rowless local instance holds the
+// catalog mirror, UDF registries, sys.* views and the coordinator's
+// own query/trace observability, while every data-bearing statement
+// fans out to the -shards fleet.
+func runCoordinator(cfg twmdConfig) error {
+	if cfg.shards == "" {
+		return fmt.Errorf("-coordinator requires -shards")
+	}
+	if cfg.dir != "" {
+		return fmt.Errorf("-coordinator stores no rows; drop -dir (shards own the data directories)")
+	}
+	local, err := statsudf.Open(statsudf.Options{
+		Workers: cfg.workers, SlowQuery: cfg.slowQuery, TraceSampleN: cfg.traceSample,
+	})
+	if err != nil {
+		return err
+	}
+	defer local.Close()
+
+	coord, err := cluster.New(local.Engine(), cluster.Config{
+		Shards:     strings.Split(cfg.shards, ","),
+		Partitions: cfg.partitions,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	slog.Info("coordinating shard fleet",
+		slog.Int("shards", coord.Shards()),
+		slog.Int("partitions", cfg.partitions))
+
+	if cfg.debugAddr != "" {
+		dbg, err := local.ServeDebug(cfg.debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		slog.Info("debug endpoint up", slog.String("addr", dbg.Addr))
+	}
+
+	srv := server.New(coord, server.Config{
+		Addr:          cfg.addr,
+		MaxStatements: cfg.maxStatements,
+		MaxWaiting:    cfg.maxWaiting,
+		IdleTimeout:   cfg.idleTimeout,
+		BatchRows:     cfg.batchRows,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	slog.Info("serving wire protocol",
+		slog.String("addr", srv.Addr()),
+		slog.String("server_version", server.Version),
+		slog.Bool("coordinator", true))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
 
 	slog.Info("signal received, draining sessions")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)

@@ -36,10 +36,14 @@ const (
 	CodeA = "a"
 	CodeB = "b"
 	CodeC = "c"
+	// CodeShardUnavailable mirrors the wire code the cluster layer
+	// added: growing the constant set must break every non-exhaustive
+	// switch below, exactly how real client switches learn of it.
+	CodeShardUnavailable = "shard_unavailable"
 )
 
 func classifyMissing(e *Error) string {
-	switch e.Code { // want `does not handle: CodeC`
+	switch e.Code { // want `does not handle: CodeC, CodeShardUnavailable`
 	case CodeA:
 		return "a"
 	case CodeB:
@@ -54,12 +58,14 @@ func classifyAll(e Error) string {
 		return "ab"
 	case "c": // literal value counts
 		return "c"
+	case CodeShardUnavailable:
+		return "shard"
 	}
 	return ""
 }
 
 func classifyDefaulted(e *Error) string {
-	switch e.Code { // want `does not handle: CodeB, CodeC`
+	switch e.Code { // want `does not handle: CodeB, CodeC, CodeShardUnavailable`
 	case CodeA:
 		return "a"
 	default:

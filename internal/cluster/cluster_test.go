@@ -1,0 +1,441 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	statsudf "repro"
+	"repro/internal/core"
+	"repro/internal/engine/db"
+	"repro/internal/engine/exec"
+	"repro/internal/engine/sqlparser"
+	"repro/internal/server"
+	"repro/internal/server/wire"
+	"repro/pkg/client"
+)
+
+// testCluster is one coordinator over an in-process shard fleet, plus
+// a single-node reference engine fed the same statements — the oracle
+// every distributed answer is compared against.
+type testCluster struct {
+	coord    *Coordinator
+	srvs     []*server.Server
+	shardDBs []*db.DB
+	addrs    []string
+	ref      *db.DB
+}
+
+func newTestCluster(t *testing.T, nShards, parts int) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	for i := 0; i < nShards; i++ {
+		sd, err := statsudf.Open(statsudf.Options{Partitions: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sd.Close() })
+		srv := server.New(sd.Engine(), server.Config{Addr: "127.0.0.1:0"})
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		tc.srvs = append(tc.srvs, srv)
+		tc.shardDBs = append(tc.shardDBs, sd.Engine())
+		tc.addrs = append(tc.addrs, srv.Addr())
+	}
+	local, err := statsudf.Open(statsudf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { local.Close() })
+	coord, err := New(local.Engine(), Config{
+		Shards: tc.addrs, Partitions: parts, PoolSize: 2,
+		ProbeInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	tc.coord = coord
+
+	refDB, err := statsudf.Open(statsudf.Options{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { refDB.Close() })
+	tc.ref = refDB.Engine()
+	return tc
+}
+
+// execBoth runs the same script through the coordinator and the
+// single-node reference.
+func (tc *testCluster) execBoth(t *testing.T, sql string) {
+	t.Helper()
+	if _, err := tc.coord.ExecScriptContext(context.Background(), sql); err != nil {
+		t.Fatalf("coordinator: %s: %v", sql, err)
+	}
+	if _, err := tc.ref.ExecScriptContext(context.Background(), sql); err != nil {
+		t.Fatalf("reference: %s: %v", sql, err)
+	}
+}
+
+// queryBoth runs one SELECT on both engines and returns the two
+// results.
+func (tc *testCluster) queryBoth(t *testing.T, sql string) (got, want *exec.Result) {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = tc.coord.RunContext(context.Background(), stmt)
+	if err != nil {
+		t.Fatalf("coordinator: %s: %v", sql, err)
+	}
+	stmt2, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = tc.ref.RunContext(context.Background(), stmt2)
+	if err != nil {
+		t.Fatalf("reference: %s: %v", sql, err)
+	}
+	return got, want
+}
+
+// requireIdentical asserts the two results are byte-identical: same
+// column names and the same rendered value in every cell.
+func requireIdentical(t *testing.T, sql string, got, want *exec.Result) {
+	t.Helper()
+	if g, w := strings.Join(got.Schema.Names(), ","), strings.Join(want.Schema.Names(), ","); g != w {
+		t.Fatalf("%s: schema %q, want %q", sql, g, w)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows, want %d", sql, len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		for j := range got.Rows[i] {
+			g, w := got.Rows[i][j].String(), want.Rows[i][j].String()
+			if g != w {
+				t.Fatalf("%s: row %d col %d = %s, want %s", sql, i, j, g, w)
+			}
+		}
+	}
+}
+
+// loadIntTable creates and loads a 3-column DOUBLE table with
+// integer-valued data on both engines. Integer values make every
+// partial-sum exact, so distributed answers must be byte-identical,
+// not merely close.
+func loadIntTable(t *testing.T, tc *testCluster, name string, rows int) {
+	t.Helper()
+	tc.execBoth(t, fmt.Sprintf("CREATE TABLE %s (a DOUBLE, b DOUBLE, y DOUBLE)", name))
+	var b strings.Builder
+	fmt.Fprintf(&b, "INSERT INTO %s VALUES ", name)
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, %d, %d)", i, 2*i+1, 3*i-5)
+	}
+	tc.execBoth(t, b.String())
+}
+
+func TestPushdownAggregatesByteIdentical(t *testing.T) {
+	tc := newTestCluster(t, 2, 8)
+	loadIntTable(t, tc, "z", 97)
+
+	for _, sql := range []string{
+		"SELECT count(*), sum(a), min(a), max(b), avg(b) FROM z",
+		"SELECT count(*) AS n, sum(y) AS sy FROM z WHERE a >= 10",
+		"SELECT nlq_list(3, 'triangular', a, b, y) FROM z",
+		"SELECT nlq_list(2, 'full', a, y) FROM z WHERE b < 100",
+		"SELECT min(y), max(y), avg(a) FROM z WHERE a < 0", // empty input: NULL partials
+	} {
+		got, want := tc.queryBoth(t, sql)
+		requireIdentical(t, sql, got, want)
+		if got.Stats == nil || got.Stats.Root == nil {
+			t.Fatalf("%s: coordinator result carries no span tree", sql)
+		}
+	}
+	if pushdownStatements.Value() == 0 {
+		t.Fatal("no statement took the push-down path")
+	}
+}
+
+func TestRowsBalancedAcrossShards(t *testing.T) {
+	tc := newTestCluster(t, 2, 8)
+	loadIntTable(t, tc, "z", 96)
+	var total int64
+	for i, sd := range tc.shardDBs {
+		tab, err := sd.Table("z")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := tab.NumRows()
+		total += n
+		// 96 rows over 8 partitions in 2 equal ranges: exactly half each.
+		if n != 48 {
+			t.Errorf("shard %d holds %d rows, want 48", i, n)
+		}
+	}
+	if total != 96 {
+		t.Fatalf("fleet holds %d rows, want 96", total)
+	}
+}
+
+func TestGatherPathJoinsGroupByOrderBy(t *testing.T) {
+	tc := newTestCluster(t, 3, 9)
+	loadIntTable(t, tc, "z", 60)
+	tc.execBoth(t, "CREATE TABLE g (a DOUBLE, w DOUBLE)")
+	var b strings.Builder
+	b.WriteString("INSERT INTO g VALUES ")
+	for i := 0; i < 60; i += 3 {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, %d)", i, i*i)
+	}
+	tc.execBoth(t, b.String())
+
+	for _, sql := range []string{
+		"SELECT a, b FROM z ORDER BY a DESC LIMIT 5",
+		"SELECT z.a, z.y, g.w FROM z, g WHERE z.a = g.a ORDER BY z.a",
+		"SELECT y, count(*) AS n FROM z GROUP BY y ORDER BY y LIMIT 7",
+		"SELECT sum(z.y * g.w) FROM z, g WHERE z.a = g.a",
+	} {
+		got, want := tc.queryBoth(t, sql)
+		requireIdentical(t, sql, got, want)
+	}
+	if gatherRows.Value() == 0 {
+		t.Fatal("no statement took the gather path")
+	}
+}
+
+func TestInsertSelectScoringMatchesSingleNode(t *testing.T) {
+	tc := newTestCluster(t, 2, 8)
+	loadIntTable(t, tc, "z", 50)
+	tc.execBoth(t, "CREATE TABLE scored (a DOUBLE, s DOUBLE)")
+	tc.execBoth(t, "INSERT INTO scored SELECT a, 2*a + b - y FROM z")
+	got, want := tc.queryBoth(t, "SELECT count(*), sum(s), min(s), max(s) FROM scored")
+	requireIdentical(t, "scored aggregate", got, want)
+	got, want = tc.queryBoth(t, "SELECT a, s FROM scored ORDER BY a")
+	requireIdentical(t, "scored rows", got, want)
+}
+
+// TestMergedModelMatchesSingleNodeRandomized is the distributed-merge
+// property test: across randomized shard counts, partition counts, row
+// counts and data, the coordinator-merged n/L/Q and the linear model
+// solved from it must match the single-node computation within 1e-9.
+func TestMergedModelMatchesSingleNodeRandomized(t *testing.T) {
+	const tol = 1e-9
+	for _, cfg := range []struct {
+		shards, parts, seed int
+	}{
+		{1, 3, 101}, {2, 5, 202}, {3, 7, 303}, {4, 8, 404},
+	} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("shards=%d parts=%d", cfg.shards, cfg.parts), func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(int64(cfg.seed)))
+			tc := newTestCluster(t, cfg.shards, cfg.parts)
+			tc.execBoth(t, "CREATE TABLE m (x1 DOUBLE, x2 DOUBLE, y DOUBLE)")
+			nRows := 50 + rnd.Intn(150)
+			var b strings.Builder
+			b.WriteString("INSERT INTO m VALUES ")
+			for i := 0; i < nRows; i++ {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				x1, x2 := rnd.NormFloat64()*3, rnd.Float64()*10-5
+				y := 2.5*x1 - 1.25*x2 + 4 + rnd.NormFloat64()*0.5
+				fmt.Fprintf(&b, "(%s, %s, %s)",
+					strconv.FormatFloat(x1, 'g', -1, 64),
+					strconv.FormatFloat(x2, 'g', -1, 64),
+					strconv.FormatFloat(y, 'g', -1, 64))
+			}
+			tc.execBoth(t, b.String())
+
+			ctx := context.Background()
+			got, _, err := tc.coord.SummaryNLQ(ctx, "m", nil, core.Triangular)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := tc.ref.SummaryNLQ(ctx, "m", nil, core.Triangular)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.N != want.N || got.D != want.D {
+				t.Fatalf("merged n=%v d=%d, want n=%v d=%d", got.N, got.D, want.N, want.D)
+			}
+			requireClose(t, "L", got.L, want.L, tol)
+			requireClose(t, "Q", got.Q, want.Q, tol)
+			requireClose(t, "Min", got.Min, want.Min, 0)
+			requireClose(t, "Max", got.Max, want.Max, 0)
+
+			gm, err := core.BuildLinReg(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wm, err := core.BuildLinReg(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireClose(t, "Beta", gm.Beta, wm.Beta, tol)
+		})
+	}
+}
+
+func requireClose(t *testing.T, what string, got, want []float64, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if d := math.Abs(got[i] - want[i]); d > tol || (tol == 0 && got[i] != want[i]) {
+			t.Fatalf("%s[%d] = %v, want %v (|Δ|=%g > %g)", what, i, got[i], want[i], d, tol)
+		}
+	}
+}
+
+// TestCoordinatorOverTheWire serves the coordinator itself through the
+// wire protocol and drives it with a pooled client: DDL, loads,
+// push-down builds, the Summary frame, and the auto-prepare decline
+// fallback all cross the network twice (client → coordinator → shards).
+func TestCoordinatorOverTheWire(t *testing.T) {
+	tc := newTestCluster(t, 2, 8)
+	loadIntTable(t, tc, "z", 40)
+
+	srv := server.New(tc.coord, server.Config{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	pool, err := client.Open(client.Config{Addr: srv.Addr(), User: "e2e", PoolSize: 2, AutoPrepareAfter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Close() })
+
+	ctx := context.Background()
+	// Repeats cross the auto-prepare threshold; the coordinator
+	// declines PREPARE and the pool must fall back transparently.
+	for i := 0; i < 4; i++ {
+		rows, err := pool.Query(ctx, "SELECT count(*), sum(a) FROM z")
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if got := rows.Rows[0][0].String(); got != "40" {
+			t.Fatalf("query %d: count = %s, want 40", i, got)
+		}
+	}
+
+	// The protocol-3 Summary frame against the coordinator merges
+	// shard caches; against the reference it reads one cache.
+	got, _, err := pool.Summary(ctx, "z", nil, core.Triangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := tc.ref.SummaryNLQ(ctx, "z", nil, core.Triangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pack() != want.Pack() {
+		t.Fatalf("wire-merged summary %q != single-node %q", got.Pack(), want.Pack())
+	}
+
+	// sys.shards is served by the coordinator's local instance.
+	rows, err := pool.Query(ctx, "SELECT shard_id, state FROM sys.shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Rows) != 2 {
+		t.Fatalf("sys.shards: %d rows, want 2", len(rows.Rows))
+	}
+	for _, r := range rows.Rows {
+		if r[1].Str() != "up" {
+			t.Fatalf("shard %s state %q, want up", r[0].String(), r[1].Str())
+		}
+	}
+}
+
+func TestShardFailureTypedErrorMarkdownAndRevival(t *testing.T) {
+	tc := newTestCluster(t, 2, 4)
+	loadIntTable(t, tc, "z", 30)
+	ctx := context.Background()
+
+	// Keep shard 1's engine; kill its listener.
+	downEngine := tc.shardDBs[1]
+	tc.srvs[1].Close()
+
+	// Every attempt fails with the typed error — never a hang, never an
+	// untyped transport error.
+	for i := 0; i < markDownAfter+1; i++ {
+		_, err := tc.coord.ExecScriptContext(ctx, "SELECT count(*) FROM z")
+		if err == nil {
+			t.Fatalf("attempt %d: statement succeeded with a dead shard", i)
+		}
+		var we *wire.Error
+		if !errors.As(err, &we) || we.Code != wire.CodeShardUnavailable {
+			t.Fatalf("attempt %d: error %v, want code %s", i, err, wire.CodeShardUnavailable)
+		}
+	}
+
+	// The failure streak crossed the threshold: sys.shards shows the
+	// mark-down.
+	stmt, _ := sqlparser.Parse("SELECT state FROM sys.shards ORDER BY shard_id")
+	res, err := tc.coord.RunContext(ctx, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[1][0].Str(); got != "down" {
+		t.Fatalf("shard 1 state %q, want down", got)
+	}
+	if got := res.Rows[0][0].Str(); got != "up" {
+		t.Fatalf("shard 0 state %q, want up (sibling cancellation must not count against health)", got)
+	}
+
+	// Marked down ⇒ fail fast with the same typed error.
+	if _, err := tc.coord.ExecScriptContext(ctx, "SELECT sum(a) FROM z"); err == nil {
+		t.Fatal("marked-down shard did not fail the statement")
+	}
+
+	// Revive the shard on its old address; the prober must re-admit it
+	// and statements must heal without coordinator restart.
+	srv2 := server.New(downEngine, server.Config{Addr: tc.addrs[1]})
+	if err := srv2.Start(); err != nil {
+		t.Fatalf("revive shard listener: %v", err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := tc.coord.ExecScriptContext(ctx, "SELECT count(*) FROM z"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shard never revived")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	got, want := tc.queryBoth(t, "SELECT count(*), sum(y) FROM z")
+	requireIdentical(t, "post-revival aggregate", got, want)
+}
+
+func TestCoordinatorRejectsViewsAndSysWrites(t *testing.T) {
+	tc := newTestCluster(t, 2, 4)
+	ctx := context.Background()
+	if _, err := tc.coord.ExecScriptContext(ctx, "CREATE VIEW v AS SELECT 1"); err == nil {
+		t.Fatal("CREATE VIEW accepted in coordinator mode")
+	}
+	if _, err := tc.coord.ExecScriptContext(ctx, "INSERT INTO sys.shards VALUES (1)"); err == nil {
+		t.Fatal("INSERT into sys.* accepted")
+	}
+	if _, err := tc.coord.PrepareContext(ctx, "SELECT 1"); err == nil {
+		t.Fatal("PREPARE accepted in coordinator mode")
+	}
+}

@@ -1,0 +1,21 @@
+package cluster
+
+import "repro/internal/engine/obs"
+
+// Coordinator instruments, on the process-wide registry so a
+// coordinator's sys.metrics (and /metrics endpoint) reports its
+// fan-out behavior next to the engine and client counters.
+var (
+	fanouts = obs.Default.Counter("engine_cluster_fanouts_total",
+		"Statements fanned out by the coordinator to the shard fleet.")
+	partialsMerged = obs.Default.Counter("engine_cluster_partials_merged_total",
+		"Per-shard partial results merged on the coordinator.")
+	shardErrors = obs.Default.Counter("engine_cluster_shard_errors_total",
+		"Shard calls failed with a transport error (statement saw shard_unavailable).")
+	shardsDown = obs.Default.Gauge("engine_cluster_shards_down",
+		"Shards currently marked down by the coordinator health tracker.")
+	gatherRows = obs.Default.Counter("engine_cluster_gather_rows_total",
+		"Rows pulled to the coordinator by general-path (non-push-down) statements.")
+	pushdownStatements = obs.Default.Counter("engine_cluster_pushdown_statements_total",
+		"Statements served entirely by push-down partial aggregation or row concatenation.")
+)

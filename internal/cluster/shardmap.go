@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/engine/sqltypes"
+	"repro/pkg/client"
+)
+
+// markDownAfter is how many consecutive transport failures a shard
+// sustains before the map marks it down. Marked-down shards fail fast
+// with the typed shard_unavailable error — no dial, no retry storm —
+// until the background prober's ping succeeds again.
+const markDownAfter = 3
+
+// shardInfo is one node's row in the map: its address, the contiguous
+// range of logical partitions it owns, and its health accounting.
+type shardInfo struct {
+	ID   int
+	Addr string
+	// FirstPart/LastPart delimit the shard's partition range
+	// [FirstPart, LastPart] in the cluster-wide logical partition
+	// space; rows round-robin over that space, so equal ranges mean
+	// equal row counts, the paper's AMP balance.
+	FirstPart int
+	LastPart  int
+
+	Down        bool
+	ConsecFails int
+	LastErr     string
+	DownSince   time.Time
+}
+
+// ShardMap is the coordinator's cluster membership catalog: the shard
+// fleet, the partition-range assignment, and per-shard health driven
+// by transport errors. All mutable state lives behind mu; pools are
+// internally synchronized and never replaced after New.
+//
+//statlint:guards mu
+type ShardMap struct {
+	parts int // cluster-wide logical partition count
+
+	mu     sync.RWMutex
+	shards []shardInfo
+
+	pools []*client.Pool // index-aligned with shards; immutable
+}
+
+// newShardMap builds the map over the given addresses, assigning each
+// shard an equal contiguous partition range out of parts logical
+// partitions (parts is rounded up to a multiple of len(addrs)).
+func newShardMap(addrs []string, parts int, mkPool func(addr string) (*client.Pool, error)) (*ShardMap, error) {
+	n := len(addrs)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no shards given")
+	}
+	if parts < n {
+		parts = n
+	}
+	if rem := parts % n; rem != 0 {
+		parts += n - rem
+	}
+	m := &ShardMap{parts: parts}
+	per := parts / n
+	for i, addr := range addrs {
+		pool, err := mkPool(addr)
+		if err != nil {
+			for _, p := range m.pools {
+				p.Close()
+			}
+			return nil, err
+		}
+		m.pools = append(m.pools, pool)
+		m.shards = append(m.shards, shardInfo{
+			ID:        i,
+			Addr:      addr,
+			FirstPart: i * per,
+			LastPart:  (i+1)*per - 1,
+		})
+	}
+	return m, nil
+}
+
+// close releases every shard pool.
+func (m *ShardMap) close() {
+	for _, p := range m.pools {
+		p.Close()
+	}
+}
+
+// len is the shard count.
+func (m *ShardMap) len() int { return len(m.pools) }
+
+// partitions is the cluster-wide logical partition count.
+func (m *ShardMap) partitions() int { return m.parts }
+
+// owner maps a logical partition to the shard owning its range.
+func (m *ShardMap) owner(part int) int {
+	per := m.parts / len(m.pools)
+	return part / per
+}
+
+// pool returns shard i's connection pool.
+func (m *ShardMap) pool(i int) *client.Pool { return m.pools[i] }
+
+// addr returns shard i's address.
+func (m *ShardMap) addr(i int) string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.shards[i].Addr
+}
+
+// available reports whether shard i is currently serving (not marked
+// down).
+func (m *ShardMap) available(i int) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return !m.shards[i].Down
+}
+
+// noteFailure records one transport failure against shard i, marking
+// it down at the threshold. It reports whether the shard is now down.
+func (m *ShardMap) noteFailure(i int, err error) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &m.shards[i]
+	s.ConsecFails++
+	s.LastErr = err.Error()
+	if !s.Down && s.ConsecFails >= markDownAfter {
+		s.Down = true
+		s.DownSince = time.Now()
+		shardsDown.Inc()
+	}
+	return s.Down
+}
+
+// noteSuccess clears shard i's failure streak, reviving it if it was
+// marked down.
+func (m *ShardMap) noteSuccess(i int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &m.shards[i]
+	if s.Down {
+		s.Down = false
+		s.DownSince = time.Time{}
+		shardsDown.Dec()
+	}
+	s.ConsecFails = 0
+	s.LastErr = ""
+}
+
+// snapshot copies the shard rows for sys.shards.
+func (m *ShardMap) snapshot() []shardInfo {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]shardInfo, len(m.shards))
+	copy(out, m.shards)
+	return out
+}
+
+// downShards lists the ids currently marked down (the prober's work
+// list).
+func (m *ShardMap) downShards() []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []int
+	for i := range m.shards {
+		if m.shards[i].Down {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// probe pings every down shard once, reviving those that answer.
+func (m *ShardMap) probe(ctx context.Context, timeout time.Duration) {
+	for _, i := range m.downShards() {
+		pctx, cancel := context.WithTimeout(ctx, timeout)
+		err := m.pools[i].Ping(pctx)
+		cancel()
+		if err == nil {
+			m.noteSuccess(i)
+		}
+	}
+}
+
+// sysShards materializes the sys.shards virtual table: one row per
+// shard with its range, health state and failure accounting.
+func (m *ShardMap) sysShards() (cols []sqltypes.Column, rows []sqltypes.Row, err error) {
+	cols = []sqltypes.Column{
+		{Name: "shard_id", Type: sqltypes.TypeBigInt},
+		{Name: "addr", Type: sqltypes.TypeVarChar},
+		{Name: "first_partition", Type: sqltypes.TypeBigInt},
+		{Name: "last_partition", Type: sqltypes.TypeBigInt},
+		{Name: "state", Type: sqltypes.TypeVarChar},
+		{Name: "consecutive_failures", Type: sqltypes.TypeBigInt},
+		{Name: "last_error", Type: sqltypes.TypeVarChar},
+		{Name: "down_since", Type: sqltypes.TypeVarChar},
+	}
+	for _, s := range m.snapshot() {
+		state := "up"
+		downSince := ""
+		if s.Down {
+			state = "down"
+			downSince = s.DownSince.Format(time.RFC3339Nano)
+		}
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewBigInt(int64(s.ID)),
+			sqltypes.NewVarChar(s.Addr),
+			sqltypes.NewBigInt(int64(s.FirstPart)),
+			sqltypes.NewBigInt(int64(s.LastPart)),
+			sqltypes.NewVarChar(state),
+			sqltypes.NewBigInt(int64(s.ConsecFails)),
+			sqltypes.NewVarChar(s.LastErr),
+			sqltypes.NewVarChar(downSince),
+		})
+	}
+	return cols, rows, nil
+}

@@ -118,6 +118,17 @@ func (l *queryLog) lastStats() *exec.Stats {
 	return nil
 }
 
+// ObserveStatement records an externally executed statement in this
+// instance's query ring, trace store and counters, exactly as the
+// in-process dispatch paths do. The cluster coordinator runs
+// statements through shard fan-out rather than this DB's executor, yet
+// its sys.queries/sys.traces views live here — this is how its
+// fan-out statements (with their hand-built coordinator→shard span
+// trees in st.Root) earn the same observability as local ones.
+func (d *DB) ObserveStatement(ctx context.Context, sql string, start time.Time, st *exec.Stats, err error) {
+	d.noteQuery(ctx, sql, start, st, err)
+}
+
 // noteQuery records a finished statement in the ring and updates the
 // process-wide query counters. It is called on every dispatch path —
 // Exec, Run, ExecScript, QueryStream and prepared execution — so it is

@@ -32,7 +32,7 @@ type groupState struct {
 // scan volumes are recorded in st; every per-partition state is local
 // to its worker goroutine until the single-threaded merge.
 func runAggregate(ctx context.Context, sel *sqlparser.Select, items []sqlparser.SelectItem, b *binding, env *Env, sink RowSink, st *Stats) (_ *sqltypes.Schema, err error) {
-	// Scan-phase panics are contained per partition by runParallel; this
+	// Scan-phase panics are contained per partition by RunParallel; this
 	// guard covers the merge and finalize phases, which run UDF code
 	// (Merge, Finalize) on the coordinating goroutine.
 	defer func() {
@@ -88,7 +88,7 @@ func runAggregate(ctx context.Context, sel *sqlparser.Select, items []sqlparser.
 
 	scanSpan := st.Root.child("scan")
 	partSpans := make([]*Span, nparts)
-	err = runParallel(ctx, st.Workers, nparts, func(ctx context.Context, p int) error {
+	err = RunParallel(ctx, st.Workers, nparts, func(ctx context.Context, p int) error {
 		span := newSpan(fmt.Sprintf("scan[p%d]", p))
 		partSpans[p] = span
 		// Everything below — evaluators, group states, errors — is

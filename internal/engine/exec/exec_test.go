@@ -210,7 +210,7 @@ func TestBindingResolution(t *testing.T) {
 
 func TestRunParallelErrorPropagation(t *testing.T) {
 	sentinel := errors.New("boom")
-	err := runParallel(context.Background(), 0, 8, func(_ context.Context, p int) error {
+	err := RunParallel(context.Background(), 0, 8, func(_ context.Context, p int) error {
 		if p == 5 {
 			return sentinel
 		}
@@ -219,7 +219,7 @@ func TestRunParallelErrorPropagation(t *testing.T) {
 	if err != sentinel {
 		t.Fatalf("err = %v", err)
 	}
-	if err := runParallel(context.Background(), 0, 1, func(context.Context, int) error { return nil }); err != nil {
+	if err := RunParallel(context.Background(), 0, 1, func(context.Context, int) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 }

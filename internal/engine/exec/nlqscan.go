@@ -21,7 +21,7 @@ func ComputeTableNLQ(ctx context.Context, t *storage.Table, cols []int, mt core.
 	n := t.Partitions()
 	partials = make([]*core.NLQ, n)
 	counts := make([]int64, n)
-	err = runParallel(ctx, workers, n, func(ctx context.Context, p int) error {
+	err = RunParallel(ctx, workers, n, func(ctx context.Context, p int) error {
 		s, err := core.NewNLQ(len(cols), mt)
 		if err != nil {
 			return err

@@ -8,7 +8,7 @@ import (
 	"sync/atomic"
 )
 
-// runParallel executes fn(ctx, p) for every p in [0, n), running at
+// RunParallel executes fn(ctx, p) for every p in [0, n), running at
 // most workers goroutines at once (workers <= 0 means one goroutine
 // per partition, the paper's thread-per-AMP model). It is the
 // executor's parallel scan core and makes three guarantees the bare
@@ -22,7 +22,7 @@ import (
 //     the process.
 //   - Each worker keeps its error local until the final merge; nothing
 //     shared is written without synchronization.
-func runParallel(ctx context.Context, workers, n int, fn func(ctx context.Context, p int) error) error {
+func RunParallel(ctx context.Context, workers, n int, fn func(ctx context.Context, p int) error) error {
 	if n <= 0 {
 		return nil
 	}

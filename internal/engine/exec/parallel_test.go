@@ -14,7 +14,7 @@ import (
 )
 
 func TestRunParallelPanicRecovered(t *testing.T) {
-	err := runParallel(context.Background(), 0, 4, func(ctx context.Context, p int) error {
+	err := RunParallel(context.Background(), 0, 4, func(ctx context.Context, p int) error {
 		if p == 2 {
 			panic("udf went boom")
 		}
@@ -25,7 +25,7 @@ func TestRunParallelPanicRecovered(t *testing.T) {
 		t.Fatalf("panic not converted to error: %v", err)
 	}
 	// Single-partition fast path takes a different code path.
-	err = runParallel(context.Background(), 1, 1, func(ctx context.Context, p int) error {
+	err = RunParallel(context.Background(), 1, 1, func(ctx context.Context, p int) error {
 		panic("solo boom")
 	})
 	if err == nil || !strings.Contains(err.Error(), "panic in partition 0") {
@@ -36,7 +36,7 @@ func TestRunParallelPanicRecovered(t *testing.T) {
 func TestRunParallelWorkerBound(t *testing.T) {
 	const workers, n = 3, 24
 	var cur, peak, ran atomic.Int64
-	err := runParallel(context.Background(), workers, n, func(ctx context.Context, p int) error {
+	err := RunParallel(context.Background(), workers, n, func(ctx context.Context, p int) error {
 		c := cur.Add(1)
 		for {
 			old := peak.Load()
@@ -63,7 +63,7 @@ func TestRunParallelFirstErrorCancelsSiblings(t *testing.T) {
 	const workers, n = 4, 8
 	sentinel := errors.New("partition exploded")
 	var started atomic.Int64
-	err := runParallel(context.Background(), workers, n, func(ctx context.Context, p int) error {
+	err := RunParallel(context.Background(), workers, n, func(ctx context.Context, p int) error {
 		started.Add(1)
 		if p == 0 {
 			// Let the sibling workers claim their partitions first so the
@@ -88,7 +88,7 @@ func TestRunParallelOutsideCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	var ran atomic.Int64
-	err := runParallel(ctx, 2, 8, func(ctx context.Context, p int) error {
+	err := RunParallel(ctx, 2, 8, func(ctx context.Context, p int) error {
 		ran.Add(1)
 		<-ctx.Done()
 		return ctx.Err()

@@ -253,7 +253,7 @@ func (p *PreparedSelect) run(ctx context.Context, args []sqltypes.Value, sink Ro
 
 	scan := st.Root.child("scan")
 	partSpans := make([]*Span, nparts)
-	err = runParallel(ctx, st.Workers, nparts, func(ctx context.Context, part int) error {
+	err = RunParallel(ctx, st.Workers, nparts, func(ctx context.Context, part int) error {
 		span := newSpan(fmt.Sprintf("scan[p%d]", part))
 		partSpans[part] = span
 		set, serr := p.getScanSet()

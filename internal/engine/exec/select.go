@@ -459,7 +459,7 @@ func runProjection(ctx context.Context, sel *sqlparser.Select, items []sqlparser
 
 	scan := st.Root.child("scan")
 	partSpans := make([]*Span, nparts)
-	err = runParallel(ctx, st.Workers, nparts, func(ctx context.Context, p int) error {
+	err = RunParallel(ctx, st.Workers, nparts, func(ctx context.Context, p int) error {
 		span := newSpan(fmt.Sprintf("scan[p%d]", p))
 		partSpans[p] = span
 		// Per-partition compiled evaluators (evaluators carry buffers).

@@ -1,0 +1,293 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine/db"
+	"repro/internal/engine/exec"
+	"repro/internal/engine/sqlparser"
+	"repro/internal/nlqudf"
+	"repro/internal/score"
+	"repro/internal/server"
+	"repro/internal/server/wire"
+)
+
+// runClusterScale (a7) pits the paper's scale-up answer — one engine,
+// many partitions — against scale-out: the same workload sharded over
+// 2 and 4 twmd nodes behind a cluster coordinator. Each arm loads the
+// identical row set, then builds n,L,Q cold (every shard scans its
+// slice) and warm (every shard answers from its summary cache and the
+// coordinator only re-merges the partials). The interesting ratio is
+// cold-build time, where scan parallelism across processes should pay;
+// the warm build measures the floor the coordinator's merge adds.
+func runClusterScale(cfg Config) ([]*Table, error) {
+	const dims = 8
+	n := cfg.rows(100)
+	t := &Table{
+		ID:    "a7",
+		Title: fmt.Sprintf("Distributed scale-out: n,L,Q build over shard fleets vs one process (n=%d, d=%d)", n, dims),
+		Header: []string{
+			"topology", "load s", "cold n,L,Q s", "warm n,L,Q s", "cold speedup",
+		},
+		Note: "cold scans every partition; warm is served from the shards' summary caches with only the coordinator's partial merge on top.",
+	}
+
+	stmts, err := clusterWorkload(n, dims, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scale-up baseline: one in-memory engine with the full partition
+	// budget, the configuration every other experiment measures.
+	base, err := runClusterArm(cfg, n, stmts, func() (clusterEngine, func() error, error) {
+		d := db.Open(db.Options{Partitions: cfg.Partitions})
+		if err := nlqudf.Register(d); err != nil {
+			return nil, nil, err
+		}
+		return d, d.Close, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, base.row(fmt.Sprintf("1 process (%d partitions)", cfg.Partitions), base))
+
+	for _, shards := range []int{2, 4} {
+		arm, err := runClusterArm(cfg, n, stmts, func() (clusterEngine, func() error, error) {
+			return openCluster(cfg, shards)
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, arm.row(fmt.Sprintf("%d shards + coordinator", shards), base))
+	}
+
+	// Partial-failure leg: a dead shard must surface as a typed
+	// shard_unavailable, not a hang — and the attempt moves
+	// engine_cluster_shard_errors_total, which CI's -check-metrics
+	// asserts on.
+	if err := clusterKillOneShard(cfg); err != nil {
+		return nil, err
+	}
+	t.Note += " A shard was killed after the measurements and the next build failed fast with shard_unavailable."
+	return []*Table{t}, nil
+}
+
+// clusterEngine is the slice of the engine surface the a7 arms need:
+// both *db.DB (scale-up) and *cluster.Coordinator (scale-out) run
+// parsed statements and answer summary requests.
+type clusterEngine interface {
+	RunContext(ctx context.Context, stmt sqlparser.Statement) (*exec.Result, error)
+	SummaryNLQ(ctx context.Context, table string, cols []string, mt core.MatrixType) (*core.NLQ, bool, error)
+}
+
+// clusterArmResult carries one topology's measurements.
+type clusterArmResult struct {
+	load time.Duration
+	cold time.Duration
+	warm Timing
+}
+
+// row renders the arm against the scale-up baseline.
+func (a clusterArmResult) row(name string, base clusterArmResult) []string {
+	speed := "1.00x"
+	if a.cold > 0 && base.cold > 0 {
+		speed = fmt.Sprintf("%.2fx", base.cold.Seconds()/a.cold.Seconds())
+	}
+	return []string{name, secs(a.load), secs(a.cold), secs(a.warm), speed}
+}
+
+// runClusterArm opens one topology, loads the workload through it,
+// and measures the cold and warm n,L,Q builds.
+func runClusterArm(cfg Config, n int, stmts []sqlparser.Statement, open func() (clusterEngine, func() error, error)) (clusterArmResult, error) {
+	var a clusterArmResult
+	eng, closeEng, err := open()
+	if err != nil {
+		return a, err
+	}
+	defer closeEng()
+
+	start := time.Now()
+	for _, stmt := range stmts {
+		if err := cfg.ctx().Err(); err != nil {
+			return a, err
+		}
+		if _, err := eng.RunContext(cfg.ctx(), stmt); err != nil {
+			return a, err
+		}
+	}
+	a.load = time.Since(start)
+
+	start = time.Now()
+	if _, _, err := eng.SummaryNLQ(cfg.ctx(), "CX", nil, core.Triangular); err != nil {
+		return a, err
+	}
+	a.cold = time.Since(start)
+
+	a.warm, err = timeIt(cfg, func() error {
+		s, hit, err := eng.SummaryNLQ(cfg.ctx(), "CX", nil, core.Triangular)
+		if err != nil {
+			return err
+		}
+		if !hit {
+			return fmt.Errorf("a7: warm n,L,Q build missed the summary cache")
+		}
+		if s.N != float64(n) {
+			return fmt.Errorf("a7: summary n=%g, want %d", s.N, n)
+		}
+		return nil
+	})
+	return a, err
+}
+
+// openCluster boots `shards` in-process twmd shard nodes (each owning
+// an equal slice of the partition budget) plus a coordinator over
+// them, and returns the coordinator with a teardown that drains the
+// whole fleet.
+func openCluster(cfg Config, shards int) (clusterEngine, func() error, error) {
+	per := cfg.Partitions / shards
+	if per < 1 {
+		per = 1
+	}
+	var closers []func() error
+	teardown := func() error {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+		return nil
+	}
+	addrs := make([]string, 0, shards)
+	for i := 0; i < shards; i++ {
+		sd := db.Open(db.Options{Partitions: per})
+		if err := nlqudf.Register(sd); err != nil {
+			teardown()
+			return nil, nil, err
+		}
+		if err := score.Register(sd); err != nil {
+			teardown()
+			return nil, nil, err
+		}
+		srv := server.New(sd, server.Config{Addr: "127.0.0.1:0"})
+		if err := srv.Start(); err != nil {
+			teardown()
+			return nil, nil, err
+		}
+		closers = append(closers, srv.Close)
+		addrs = append(addrs, srv.Addr())
+	}
+	local := db.Open(db.Options{})
+	if err := nlqudf.Register(local); err != nil {
+		teardown()
+		return nil, nil, err
+	}
+	coord, err := cluster.New(local, cluster.Config{Shards: addrs, Partitions: cfg.Partitions, User: "bench-a7", PoolSize: 2})
+	if err != nil {
+		teardown()
+		return nil, nil, err
+	}
+	closers = append(closers, coord.Close)
+	return coord, teardown, nil
+}
+
+// clusterKillOneShard boots the smallest fleet, loads a sliver, kills
+// one shard, and demands the next build fail fast with the typed
+// cluster error.
+func clusterKillOneShard(cfg Config) error {
+	stmts, err := clusterWorkload(40, 2, cfg.Seed+1)
+	if err != nil {
+		return err
+	}
+	sd := db.Open(db.Options{Partitions: 1})
+	if err := nlqudf.Register(sd); err != nil {
+		return err
+	}
+	sd2 := db.Open(db.Options{Partitions: 1})
+	if err := nlqudf.Register(sd2); err != nil {
+		return err
+	}
+	srv := server.New(sd, server.Config{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer srv.Close()
+	srv2 := server.New(sd2, server.Config{Addr: "127.0.0.1:0"})
+	if err := srv2.Start(); err != nil {
+		return err
+	}
+	local := db.Open(db.Options{})
+	if err := nlqudf.Register(local); err != nil {
+		return err
+	}
+	coord, err := cluster.New(local, cluster.Config{Shards: []string{srv.Addr(), srv2.Addr()}, User: "bench-a7", PoolSize: 1})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	for _, stmt := range stmts {
+		if _, err := coord.RunContext(cfg.ctx(), stmt); err != nil {
+			return err
+		}
+	}
+	srv2.Close() // the fleet loses a shard mid-service
+	_, _, err = coord.SummaryNLQ(cfg.ctx(), "CX", nil, core.Triangular)
+	if err == nil {
+		return fmt.Errorf("a7: n,L,Q build over a dead shard succeeded")
+	}
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Code != wire.CodeShardUnavailable {
+		return fmt.Errorf("a7: dead-shard build failed untyped: %w", err)
+	}
+	return nil
+}
+
+// clusterWorkload renders the deterministic CX load as parsed
+// statements: one CREATE TABLE followed by batched literal INSERTs,
+// the exact text every arm (local or coordinator) executes.
+func clusterWorkload(n, dims int, seed int64) ([]sqlparser.Statement, error) {
+	const batch = 200
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([]string, dims)
+	for j := range cols {
+		cols[j] = "x" + itoa(j+1)
+	}
+	var texts []string
+	texts = append(texts, "CREATE TABLE CX ("+strings.Join(cols, " DOUBLE, ")+" DOUBLE)")
+	for at := 0; at < n; at += batch {
+		m := batch
+		if at+m > n {
+			m = n - at
+		}
+		var b strings.Builder
+		b.WriteString("INSERT INTO CX (" + strings.Join(cols, ", ") + ") VALUES ")
+		for r := 0; r < m; r++ {
+			if r > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteByte('(')
+			for j := 0; j < dims; j++ {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(strconv.FormatFloat(float64(rng.Intn(2000))/8, 'g', -1, 64))
+			}
+			b.WriteByte(')')
+		}
+		texts = append(texts, b.String())
+	}
+	stmts := make([]sqlparser.Statement, 0, len(texts))
+	for _, sql := range texts {
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			return nil, fmt.Errorf("a7 workload: %w", err)
+		}
+		stmts = append(stmts, stmt)
+	}
+	return stmts, nil
+}

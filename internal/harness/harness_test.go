@@ -222,6 +222,27 @@ func TestAblations(t *testing.T) {
 	}
 }
 
+func TestClusterScale(t *testing.T) {
+	tabs, err := runClusterScale(tiny().withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tabs[0], 3) // 1 process, 2 shards, 4 shards
+	for _, r := range tabs[0].Rows {
+		for _, c := range r[1:4] {
+			if v := parseCell(t, c); v < 0 {
+				t.Fatalf("negative time %q", c)
+			}
+		}
+		if !strings.HasSuffix(r[4], "x") {
+			t.Fatalf("speedup cell %q", r[4])
+		}
+	}
+	if !strings.Contains(tabs[0].Note, "shard_unavailable") {
+		t.Fatalf("partial-failure leg missing from note: %q", tabs[0].Note)
+	}
+}
+
 func TestRunAllSingleAndPrint(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tiny()

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine/db"
 	"repro/internal/engine/exec"
 	"repro/internal/engine/sema"
@@ -45,6 +46,31 @@ const (
 
 // Version is the server banner sent in the Welcome frame.
 const Version = "twmd/1 (statsudf engine)"
+
+// Engine is the statement surface the server fronts. The embedded
+// *db.DB satisfies it directly; the cluster coordinator implements it
+// over a shard fleet, which is how one twmd binary serves both roles
+// with the same session, admission and tracing machinery.
+type Engine interface {
+	// RegisterSysTable installs an instance-specific sys.* virtual
+	// table (the server registers sys.sessions at Start).
+	RegisterSysTable(name string, fn db.SysTableFunc) error
+	// ExecScriptContext runs a semicolon-separated script.
+	ExecScriptContext(ctx context.Context, sql string) (*exec.Result, error)
+	// RunContext runs one parsed statement.
+	RunContext(ctx context.Context, stmt sqlparser.Statement) (*exec.Result, error)
+	// QueryStreamContext streams a SELECT's rows through sink.
+	QueryStreamContext(ctx context.Context, sql string, sink exec.RowSink) (*sqltypes.Schema, *exec.Stats, error)
+	// PrepareContext plans one statement for repeated execution. An
+	// engine that cannot prepare (the coordinator) returns a typed
+	// *wire.Error; pooled clients fall back to plain queries.
+	PrepareContext(ctx context.Context, sql string) (*db.Prepared, error)
+	// SummaryNLQ serves the n/L/Q summary read path (cache-first) for
+	// the protocol-3 push-down Summary frame.
+	SummaryNLQ(ctx context.Context, table string, cols []string, mt core.MatrixType) (*core.NLQ, bool, error)
+	// Traces is the trace store session/server spans attach to.
+	Traces() *trace.Store
+}
 
 // Config tunes a Server.
 type Config struct {
@@ -94,9 +120,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is a wire-protocol front end over one embedded database.
+// Server is a wire-protocol front end over one engine (an embedded
+// database or a cluster coordinator).
 type Server struct {
-	db  *db.DB
+	db  Engine
 	cfg Config
 
 	adm      *admission
@@ -114,7 +141,7 @@ type Server struct {
 }
 
 // New builds a server over d. Call Start to begin listening.
-func New(d *db.DB, cfg Config) *Server {
+func New(d Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
@@ -474,6 +501,8 @@ func (s *Server) dispatch(ctx context.Context, nc net.Conn, wc *wire.Conn, sess 
 		return s.handleExecPrepared(ctx, nc, wc, sess, f.Payload)
 	case wire.MsgClosePrepared:
 		return s.handleClosePrepared(nc, wc, sess, f.Payload)
+	case wire.MsgSummary:
+		return s.handleSummary(ctx, nc, wc, sess, f.Payload)
 	default:
 		err := &wire.Error{Code: wire.CodeProtocol, Message: fmt.Sprintf("unexpected frame type %#x", f.Type)}
 		s.sendError(nc, wc, err)
@@ -621,6 +650,50 @@ func (s *Server) sendResult(nc net.Conn, wc *wire.Conn, sess *session, tid strin
 		StatsJSON: statsJSON(res.Stats),
 		TraceID:   tid,
 	}, sess.proto))
+}
+
+// handleSummary serves the protocol-3 push-down summary request: the
+// engine's cache-first n/L/Q read path over the wire. This is what a
+// coordinator sends each shard for a model build — the shard does its
+// one local scan (or a zero-scan cache hit) and ships back a packed
+// partial the size of a d×d matrix, never the rows.
+func (s *Server) handleSummary(ctx context.Context, nc net.Conn, wc *wire.Conn, sess *session, payload []byte) error {
+	if sess.proto < wire.ProtocolV3 {
+		err := &wire.Error{Code: wire.CodeProtocol, Message: fmt.Sprintf("Summary frames need protocol >= %d (session negotiated %d)", wire.ProtocolV3, sess.proto)}
+		s.sendError(nc, wc, err)
+		return err
+	}
+	req, err := wire.DecodeSummary(payload)
+	if err != nil {
+		s.sendError(nc, wc, &wire.Error{Code: wire.CodeProtocol, Message: err.Error()})
+		return err
+	}
+	mt := core.MatrixType(req.Matrix)
+	if mt != core.Diagonal && mt != core.Triangular && mt != core.Full {
+		s.sendError(nc, wc, &wire.Error{Code: wire.CodeProtocol, Message: fmt.Sprintf("bad matrix type %d", req.Matrix)})
+		return nil
+	}
+	if s.draining.Load() {
+		return s.sendError(nc, wc, &wire.Error{Code: wire.CodeShutdown, Message: "server shutting down"})
+	}
+	if err := s.adm.acquire(ctx); err != nil {
+		return s.sendError(nc, wc, classify(err))
+	}
+	defer s.adm.release()
+	statementsInflight.Inc()
+	defer statementsInflight.Dec()
+	sess.begin("SUMMARY " + req.Table)
+	defer sess.end()
+
+	nlq, hit, err := s.db.SummaryNLQ(ctx, req.Table, req.Columns, mt)
+	if err != nil {
+		return s.sendError(nc, wc, classify(err))
+	}
+	res := wire.SummaryResult{Hit: hit}
+	if nlq != nil && nlq.N > 0 {
+		res.Packed = nlq.Pack()
+	}
+	return s.send(nc, wc, wire.MsgSummaryResult, wire.EncodeSummaryResult(res))
 }
 
 // send writes one frame under the configured write deadline.

@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummaryRoundTrip(t *testing.T) {
+	cases := []Summary{
+		{Table: "points", Columns: []string{"x1", "x2", "y"}, Matrix: 1},
+		{Table: "t", Matrix: 0},
+		{Table: strings.Repeat("n", 300), Columns: []string{""}, Matrix: 2},
+	}
+	for _, want := range cases {
+		got, err := DecodeSummary(EncodeSummary(want))
+		if err != nil {
+			t.Fatalf("DecodeSummary(%+v): %v", want, err)
+		}
+		if got.Table != want.Table || got.Matrix != want.Matrix || len(got.Columns) != len(want.Columns) {
+			t.Fatalf("round-trip %+v != %+v", got, want)
+		}
+		for i := range want.Columns {
+			if got.Columns[i] != want.Columns[i] {
+				t.Fatalf("column %d: %q != %q", i, got.Columns[i], want.Columns[i])
+			}
+		}
+	}
+}
+
+func TestSummaryResultRoundTrip(t *testing.T) {
+	for _, want := range []SummaryResult{
+		{Hit: true, Packed: "2;1;3;1 2;1 2 3 4;0 0;1 1"},
+		{Hit: false, Packed: ""},
+	} {
+		got, err := DecodeSummaryResult(EncodeSummaryResult(want))
+		if err != nil {
+			t.Fatalf("DecodeSummaryResult(%+v): %v", want, err)
+		}
+		if got.Hit != want.Hit || got.Packed != want.Packed {
+			t.Fatalf("round-trip %+v != %+v", got, want)
+		}
+	}
+}
+
+func TestSummaryDecodeRejectsForgedFrames(t *testing.T) {
+	// A forged column count far beyond the payload must error, not
+	// allocate.
+	p := EncodeSummary(Summary{Table: "t", Columns: []string{"a"}, Matrix: 0})
+	// Overwrite the u32 column count (it sits right after the table
+	// string and matrix byte): locate it as the 4 bytes before the
+	// first column string.
+	forged := append([]byte(nil), p...)
+	forged[len(forged)-4-1-4] = 0xFF
+	forged[len(forged)-4-1-3] = 0xFF
+	if _, err := DecodeSummary(forged); err == nil {
+		t.Error("DecodeSummary accepted a forged column count")
+	}
+	if _, err := DecodeSummary(append(p, 0x01)); err == nil {
+		t.Error("DecodeSummary accepted trailing bytes")
+	}
+	if _, err := DecodeSummaryResult([]byte{2}); err == nil {
+		t.Error("DecodeSummaryResult accepted hit byte 2")
+	}
+}
+
+// FuzzDecodeSummaryFrames throws arbitrary bytes at the protocol-3
+// summary decoders: error or succeed, never panic, and successful
+// decodes must re-encode to an equivalent frame.
+func FuzzDecodeSummaryFrames(f *testing.F) {
+	f.Add(EncodeSummary(Summary{Table: "points", Columns: []string{"x1", "y"}, Matrix: 2}))
+	f.Add(EncodeSummaryResult(SummaryResult{Hit: true, Packed: "1;0;2;3;9;3;3"}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if s, err := DecodeSummary(data); err == nil {
+			back, err := DecodeSummary(EncodeSummary(s))
+			if err != nil {
+				t.Fatalf("decoded summary failed to re-decode: %v", err)
+			}
+			if back.Table != s.Table || len(back.Columns) != len(s.Columns) {
+				t.Fatalf("summary re-encode mismatch: %+v != %+v", back, s)
+			}
+		}
+		if r, err := DecodeSummaryResult(data); err == nil {
+			back, err := DecodeSummaryResult(EncodeSummaryResult(r))
+			if err != nil {
+				t.Fatalf("decoded summary result failed to re-decode: %v", err)
+			}
+			if back != r {
+				t.Fatalf("summary result re-encode mismatch: %+v != %+v", back, r)
+			}
+		}
+	})
+}

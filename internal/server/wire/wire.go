@@ -44,9 +44,16 @@ const (
 	// ProtocolV2 adds trace-context propagation (trace header on
 	// statement frames, TraceID in Done, negotiated version in Welcome).
 	ProtocolV2 = 2
+	// ProtocolV3 adds the cluster push-down vocabulary: the Summary
+	// request/result pair (a shard serves its local n/L/Q summary-cache
+	// read path over the wire) and the shard_unavailable error code a
+	// coordinator raises when a shard is marked down. Like v2, every
+	// addition is either a new frame type (unknown types already fail
+	// loudly) or a new error code string, so v1/v2 peers are unaffected.
+	ProtocolV3 = 3
 	// ProtocolVersion is the highest version this build speaks — what a
 	// client offers in Hello.
-	ProtocolVersion = ProtocolV2
+	ProtocolVersion = ProtocolV3
 	// MinProtocolVersion is the lowest version the server still
 	// accepts; older Hellos get the typed protocol error.
 	MinProtocolVersion = ProtocolV1
@@ -73,6 +80,7 @@ const (
 	MsgPrepare       byte = 0x06 // plan one statement; MsgPrepared returns a handle
 	MsgExecPrepared  byte = 0x07 // handle + args; rows stream back like MsgQuery
 	MsgClosePrepared byte = 0x08 // release a prepared handle
+	MsgSummary       byte = 0x09 // n/L/Q summary request (protocol >= 3)
 
 	MsgWelcome  byte = 0x81 // session id, server version
 	MsgSchema   byte = 0x82 // result schema (precedes batches)
@@ -82,6 +90,7 @@ const (
 	MsgPong     byte = 0x86 // ping reply
 	MsgGoodbye  byte = 0x87 // close acknowledgement
 	MsgPrepared byte = 0x88 // prepare reply: handle + parameter count
+	MsgSummaryResult byte = 0x89 // summary reply: cache hit flag + packed NLQ (protocol >= 3)
 )
 
 // Error codes carried by MsgError frames. The code survives the wire
@@ -108,6 +117,12 @@ const (
 	// PREPARE) or the handle is unknown to this session. The statement
 	// did not run; the client should re-prepare and retry.
 	CodeStalePlan = "stale_plan"
+	// CodeShardUnavailable reports that a coordinator could not reach
+	// (or has marked down) the shard owning part of the statement's
+	// data. The statement observed at most a prefix of the cluster; the
+	// client should surface the failure rather than retry blindly —
+	// the coordinator's prober re-admits the shard when it recovers.
+	CodeShardUnavailable = "shard_unavailable"
 	// CodeInternal is any other execution error.
 	CodeInternal = "internal"
 )
@@ -849,4 +864,100 @@ func DecodeError(p []byte) (*Error, error) {
 		return nil, err
 	}
 	return &Error{Code: code, Message: msg}, nil
+}
+
+// Summary is the protocol-3 push-down request a coordinator sends a
+// shard: compute (or serve from the shard's incremental summary cache)
+// the n/L/Q sufficient statistics over the named columns of one local
+// table. The reply is a SummaryResult whose packed NLQ merges
+// additively with the other shards' partials — the 4-phase aggregate
+// protocol's merge step, run across processes instead of goroutines.
+type Summary struct {
+	Table string
+	// Columns are the dimension columns; empty means every DOUBLE
+	// column in schema order (the shard resolves the default, so all
+	// shards of one table resolve identically).
+	Columns []string
+	// Matrix is the core.MatrixType ordinal (diagonal/triangular/full).
+	Matrix byte
+}
+
+// EncodeSummary builds a MsgSummary payload.
+func EncodeSummary(s Summary) []byte {
+	b := AppendString(nil, s.Table)
+	b = append(b, s.Matrix)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Columns)))
+	for _, c := range s.Columns {
+		b = AppendString(b, c)
+	}
+	return b
+}
+
+// DecodeSummary parses a MsgSummary payload.
+func DecodeSummary(p []byte) (Summary, error) {
+	r := &reader{b: p}
+	var s Summary
+	var err error
+	if s.Table, err = r.string(); err != nil {
+		return Summary{}, err
+	}
+	if s.Matrix, err = r.byte(); err != nil {
+		return Summary{}, err
+	}
+	n, err := r.uint32()
+	if err != nil {
+		return Summary{}, err
+	}
+	// Every column costs at least its 4-byte length prefix; reject
+	// forged counts before the slice allocation trusts n.
+	if uint64(n)*4 > uint64(len(p)-r.off) {
+		return Summary{}, fmt.Errorf("wire: implausible column count %d in %d payload bytes", n, len(p)-r.off)
+	}
+	if n > 0 {
+		s.Columns = make([]string, n)
+		for i := range s.Columns {
+			if s.Columns[i], err = r.string(); err != nil {
+				return Summary{}, err
+			}
+		}
+	}
+	return s, r.done()
+}
+
+// SummaryResult is the shard's MsgSummaryResult reply.
+type SummaryResult struct {
+	// Hit reports whether the shard's summary cache served the request
+	// without a scan (the coordinator aggregates this into its own
+	// cold/warm accounting).
+	Hit bool
+	// Packed is the core.NLQ Pack() encoding of the shard-local
+	// partial; empty when the shard's slice of the table has no rows.
+	Packed string
+}
+
+// EncodeSummaryResult builds a MsgSummaryResult payload.
+func EncodeSummaryResult(sr SummaryResult) []byte {
+	var hit byte
+	if sr.Hit {
+		hit = 1
+	}
+	b := append([]byte(nil), hit)
+	return AppendString(b, sr.Packed)
+}
+
+// DecodeSummaryResult parses a MsgSummaryResult payload.
+func DecodeSummaryResult(p []byte) (SummaryResult, error) {
+	r := &reader{b: p}
+	hit, err := r.byte()
+	if err != nil {
+		return SummaryResult{}, err
+	}
+	if hit > 1 {
+		return SummaryResult{}, fmt.Errorf("wire: bad summary hit flag %d", hit)
+	}
+	packed, err := r.string()
+	if err != nil {
+		return SummaryResult{}, err
+	}
+	return SummaryResult{Hit: hit == 1, Packed: packed}, r.done()
 }

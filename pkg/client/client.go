@@ -14,11 +14,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine/sqltypes"
 	"repro/internal/engine/trace"
 	"repro/internal/server/wire"
@@ -112,6 +114,9 @@ type Rows struct {
 	// prepared carries a MsgPrepared acknowledgement when the exchange
 	// was a PREPARE rather than a statement.
 	prepared *wire.PreparedInfo
+	// summary carries a MsgSummaryResult reply when the exchange was a
+	// protocol-3 Summary request.
+	summary *wire.SummaryResult
 }
 
 // Pool is a bounded pool of wire-protocol connections. Safe for
@@ -466,6 +471,16 @@ func (c *conn) exchange(ctx context.Context, msgType byte, payload []byte, sink 
 				c.broken = true
 			}
 			return out, nil
+		case wire.MsgSummaryResult:
+			sr, err := wire.DecodeSummaryResult(f.Payload)
+			if err != nil {
+				return fail(err)
+			}
+			out.summary = &sr
+			if stop() {
+				c.broken = true
+			}
+			return out, nil
 		case wire.MsgError:
 			we, derr := wire.DecodeError(f.Payload)
 			if derr != nil {
@@ -542,10 +557,8 @@ func (p *Pool) withRetry(ctx context.Context, idempotent bool, run func(c *conn)
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			retriesTotal.Inc()
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
-				return nil, ctx.Err()
+			if err := retrySleep(ctx, backoff); err != nil {
+				return nil, err
 			}
 			backoff *= 2
 		}
@@ -568,6 +581,34 @@ func (p *Pool) withRetry(ctx context.Context, idempotent bool, run func(c *conn)
 		lastErr = err
 	}
 	return nil, lastErr
+}
+
+// retrySleep waits out one backoff period before a retry, honoring
+// ctx's cancellation and deadline mid-sleep. The actual sleep is
+// jittered uniformly over [backoff/2, backoff): when a coordinator
+// fans one statement out to many shards and a shard bounces, the
+// sub-pools' retries would otherwise wake in lockstep and hammer the
+// recovering server with a synchronized connection storm.
+func retrySleep(ctx context.Context, backoff time.Duration) error {
+	d := backoff
+	if half := backoff / 2; half > 0 {
+		d = half + time.Duration(rand.Int63n(int64(half)))
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if remain := time.Until(dl); remain <= 0 {
+			return ctx.Err()
+		} else if d > remain {
+			d = remain // wake with the deadline, not after it
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // QueryStream runs one statement, delivering rows to sink as batches
@@ -614,6 +655,37 @@ func (p *Pool) Exec(ctx context.Context, sql string) (*Rows, error) {
 		return nil, err
 	}
 	return rows, nil
+}
+
+// Summary requests the server's n/L/Q sufficient statistics for one
+// table over the protocol-3 push-down frame: the cache-first read path
+// a model build uses in-process, served over the wire. hit reports
+// whether the server's summary cache avoided a scan; a nil NLQ with a
+// nil error means the table has no qualifying rows. The request is
+// idempotent and retried like a SELECT. Servers negotiated below
+// protocol 3 cannot serve it.
+func (p *Pool) Summary(ctx context.Context, table string, columns []string, mt core.MatrixType) (*core.NLQ, bool, error) {
+	req := wire.EncodeSummary(wire.Summary{Table: table, Columns: columns, Matrix: byte(mt)})
+	rows, err := p.withRetry(ctx, true, func(c *conn) (*Rows, error) {
+		if c.proto < wire.ProtocolV3 {
+			return nil, &wire.Error{Code: wire.CodeProtocol, Message: fmt.Sprintf("server negotiated protocol %d; Summary needs >= %d", c.proto, wire.ProtocolV3)}
+		}
+		return c.exchange(ctx, wire.MsgSummary, req, nil)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if rows.summary == nil {
+		return nil, false, errors.New("client: server sent no summary result")
+	}
+	if rows.summary.Packed == "" {
+		return nil, rows.summary.Hit, nil
+	}
+	nlq, err := core.Unpack(rows.summary.Packed)
+	if err != nil {
+		return nil, false, fmt.Errorf("client: bad summary payload: %w", err)
+	}
+	return nlq, rows.summary.Hit, nil
 }
 
 // Ping checks out a connection (dialing if needed) and round-trips a

@@ -43,6 +43,8 @@ var (
 		"Statements failed on a malformed or unexpected frame.")
 	serverErrStalePlan = obs.Default.Counter("engine_client_server_errors_stale_plan_total",
 		"Prepared executions rejected because the plan went stale.")
+	serverErrShardUnavailable = obs.Default.Counter("engine_client_server_errors_shard_unavailable_total",
+		"Statements failed because a coordinator could not reach a shard.")
 	serverErrInternal = obs.Default.Counter("engine_client_server_errors_internal_total",
 		"Statements failed by an internal server error.")
 	serverErrUnknown = obs.Default.Counter("engine_client_server_errors_unknown_total",
@@ -70,6 +72,8 @@ func countServerError(we *wire.Error) {
 		serverErrProtocol.Inc()
 	case wire.CodeStalePlan:
 		serverErrStalePlan.Inc()
+	case wire.CodeShardUnavailable:
+		serverErrShardUnavailable.Inc()
 	case wire.CodeInternal:
 		serverErrInternal.Inc()
 	default:

@@ -1,0 +1,107 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRetrySleepJitterRange pins the jitter window: each backoff sleep
+// lands in [backoff/2, backoff), never the full nominal period every
+// time — a coordinator's shard sub-pools must not wake in lockstep
+// against a recovering server.
+func TestRetrySleepJitterRange(t *testing.T) {
+	const backoff = 60 * time.Millisecond
+	for i := 0; i < 8; i++ {
+		start := time.Now()
+		if err := retrySleep(context.Background(), backoff); err != nil {
+			t.Fatalf("retrySleep: %v", err)
+		}
+		el := time.Since(start)
+		// Lower bound minus scheduler slack; generous upper bound for
+		// loaded CI runners.
+		if el < backoff/2-5*time.Millisecond {
+			t.Errorf("sleep %d woke after %v, before the %v jitter floor", i, el, backoff/2)
+		}
+		if el > backoff+250*time.Millisecond {
+			t.Errorf("sleep %d took %v, way past the %v nominal backoff", i, el, backoff)
+		}
+	}
+}
+
+// TestRetrySleepHonorsDeadline caps the sleep at the context deadline:
+// a statement with 50ms left must not sit out a 5s backoff.
+func TestRetrySleepHonorsDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_ = retrySleep(ctx, 5*time.Second)
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("retrySleep held a 50ms-deadline context for %v", el)
+	}
+
+	// An already-expired deadline returns immediately with the context
+	// error, without arming a timer at all.
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	start = time.Now()
+	if err := retrySleep(expired, time.Second); err == nil {
+		t.Fatal("retrySleep returned nil on an expired context")
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("expired-context retrySleep took %v", el)
+	}
+}
+
+// TestRetrySleepCancelMidSleep unblocks on cancellation, not timer
+// expiry.
+func TestRetrySleepCancelMidSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := retrySleep(ctx, 5*time.Second); err == nil {
+		t.Fatal("cancelled retrySleep returned nil")
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("cancelled retrySleep took %v", el)
+	}
+}
+
+// TestRetryDeadlineAgainstBouncedServer is the end-to-end regression:
+// the pooled connection dies with the server, the automatic SELECT
+// retry kicks in, and the statement's deadline bounds the whole retry
+// dance — backoff sleeps included — instead of the nominal backoff
+// schedule (2s + 4s + ...) running past it.
+func TestRetryDeadlineAgainstBouncedServer(t *testing.T) {
+	srv := startServerAt(t, "127.0.0.1:0")
+	p, err := Open(Config{
+		Addr: srv.Addr(), User: "deadline", PoolSize: 1,
+		RetryBackoff:     2 * time.Second,
+		RetryAttempts:    4,
+		HealthCheckAfter: -1, // hand out the dead conn as-is
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if _, err := p.Query(context.Background(), "SELECT i FROM T"); err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	srv.Close() // bounce down; nothing comes back up
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = p.Query(ctx, "SELECT i FROM T")
+	el := time.Since(start)
+	if err == nil {
+		t.Fatal("query against a dead server succeeded")
+	}
+	if el > 1500*time.Millisecond {
+		t.Fatalf("deadline-bounded retry took %v; the 2s backoff was not capped", el)
+	}
+}

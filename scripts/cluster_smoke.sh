@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — CI smoke test for the distributed coordinator.
+#
+# Starts two twmd shard nodes and one twmd -coordinator over them,
+# drives the paper's workload through the coordinator with sqlsh
+# (create a table, scatter rows, merged aggregates, the n,L,Q summary
+# UDF, model storage and scoring), checks the merged results are
+# byte-identical to a single twmd node given the same statements,
+# inspects sys.shards, then kills one shard and requires the next
+# statement to fail fast with the typed shard_unavailable error and
+# sys.shards to show the node down. Finally SIGTERMs the coordinator
+# and requires a clean drain.
+set -euo pipefail
+
+COORD="${TWMD_COORD_ADDR:-127.0.0.1:7795}"
+SHARD0="${TWMD_SHARD0_ADDR:-127.0.0.1:7796}"
+SHARD1="${TWMD_SHARD1_ADDR:-127.0.0.1:7797}"
+SINGLE="${TWMD_SINGLE_ADDR:-127.0.0.1:7798}"
+CLOG="$(mktemp)" S0LOG="$(mktemp)" S1LOG="$(mktemp)" SGLOG="$(mktemp)"
+trap 'kill "$COORD_PID" "$S0_PID" "$S1_PID" "$SG_PID" 2>/dev/null || true; rm -f "$CLOG" "$S0LOG" "$S1LOG" "$SGLOG"' EXIT
+
+go build -o /tmp/smoke-twmd ./cmd/twmd
+go build -o /tmp/smoke-sqlsh ./cmd/sqlsh
+
+/tmp/smoke-twmd -shard-id 0 -addr "$SHARD0" 2>"$S0LOG" &
+S0_PID=$!
+/tmp/smoke-twmd -shard-id 1 -addr "$SHARD1" 2>"$S1LOG" &
+S1_PID=$!
+/tmp/smoke-twmd -coordinator -shards "$SHARD0,$SHARD1" -addr "$COORD" 2>"$CLOG" &
+COORD_PID=$!
+/tmp/smoke-twmd -addr "$SINGLE" 2>"$SGLOG" &
+SG_PID=$!
+
+wait_up() {
+  for _ in $(seq 1 50); do
+    if /tmp/smoke-sqlsh -connect "$1" -c "SELECT 1 + 1" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "daemon on $1 never came up" >&2
+  return 1
+}
+wait_up "$SHARD0"; wait_up "$SHARD1"; wait_up "$COORD"; wait_up "$SINGLE"
+
+csql() { /tmp/smoke-sqlsh -connect "$COORD" -user ci "$@"; }
+ssql() { /tmp/smoke-sqlsh -connect "$SINGLE" -user ci "$@"; }
+
+# The same statement stream goes to the coordinator and the reference
+# single node; every readback below must match byte for byte.
+both() {
+  csql -c "$1" >/dev/null
+  ssql -c "$1" >/dev/null
+}
+
+echo "== create + scatter rows across the fleet =="
+both "CREATE TABLE X (i BIGINT, X1 DOUBLE, X2 DOUBLE, Y DOUBLE)"
+VALS="(1, 1.0, 2.0, 5.0)"
+for i in $(seq 2 24); do
+  VALS="$VALS, ($i, $i.0, $((i % 7)).5, $((2 * i)).0)"
+done
+both "INSERT INTO X VALUES $VALS"
+
+echo "== both shards hold a slice of the table =="
+S0N="$(/tmp/smoke-sqlsh -connect "$SHARD0" -c "SELECT count(i) FROM X" | grep -oE '^[0-9]+$')"
+S1N="$(/tmp/smoke-sqlsh -connect "$SHARD1" -c "SELECT count(i) FROM X" | grep -oE '^[0-9]+$')"
+echo "shard0 rows: $S0N, shard1 rows: $S1N"
+test "$S0N" -gt 0 && test "$S1N" -gt 0
+test "$((S0N + S1N))" -eq 24
+
+echo "== merged aggregates are byte-identical to one node =="
+AGGSQL="SELECT count(i), sum(X1), min(X2), max(Y), avg(X1) FROM X"
+DIST="$(csql -c "$AGGSQL")"
+LOCAL="$(ssql -c "$AGGSQL")"
+echo "$DIST"
+test "$DIST" = "$LOCAL"
+
+echo "== merged n,L,Q summary UDF is byte-identical to one node =="
+NLQSQL="SELECT nlq_list(2, 'triang', X1, X2) FROM X"
+DIST="$(csql -c "$NLQSQL")"
+LOCAL="$(ssql -c "$NLQSQL")"
+echo "$DIST"
+test "$DIST" = "$LOCAL"
+echo "$DIST" | grep -q "2;triang;24" # d=2, triangular layout, n=24
+
+echo "== gather path: GROUP BY and ORDER BY through the coordinator =="
+GRPSQL="SELECT X2, count(i) FROM X GROUP BY X2 ORDER BY X2"
+DIST="$(csql -c "$GRPSQL")"
+LOCAL="$(ssql -c "$GRPSQL")"
+test "$DIST" = "$LOCAL"
+
+echo "== store a model + score through the coordinator =="
+both "CREATE TABLE BETA (b0 DOUBLE, b1 DOUBLE, b2 DOUBLE)"
+both "INSERT INTO BETA VALUES (1.0, 1.0, 1.0)"
+SCORESQL="SELECT X.i, linearregscore(X.X1, X.X2, b0, b1, b2) AS yhat FROM X CROSS JOIN BETA ORDER BY i"
+DIST="$(csql -c "$SCORESQL")"
+LOCAL="$(ssql -c "$SCORESQL")"
+test "$DIST" = "$LOCAL"
+echo "$DIST" | grep -q "^1 | 4$" # row i=1: 1 + 1.0 + 2.0
+
+echo "== INSERT ... SELECT fans scored rows back to the owning shards =="
+both "CREATE TABLE YHAT (i BIGINT, yhat DOUBLE)"
+both "INSERT INTO YHAT (i, yhat) SELECT X.i, linearregscore(X.X1, X.X2, b0, b1, b2) FROM X CROSS JOIN BETA"
+DIST="$(csql -c "SELECT count(i), min(yhat), max(yhat) FROM YHAT")"
+LOCAL="$(ssql -c "SELECT count(i), min(yhat), max(yhat) FROM YHAT")"
+test "$DIST" = "$LOCAL"
+
+echo "== sys.shards shows the fleet up =="
+SHARDS="$(csql -c "SELECT shard_id, addr, state FROM sys.shards")"
+echo "$SHARDS"
+test "$(echo "$SHARDS" | grep -c " | up$")" -eq 2
+
+echo "== killing a shard yields a typed error, not a hang =="
+kill -KILL "$S1_PID"
+wait "$S1_PID" 2>/dev/null || true
+ERR="$(csql -c "SELECT count(i) FROM X" 2>&1 || true)"
+echo "$ERR"
+echo "$ERR" | grep -q "shard_unavailable"
+# Repeats push the shard over the mark-down threshold; then the map
+# reports it down.
+for _ in 1 2 3 4; do csql -c "SELECT count(i) FROM X" >/dev/null 2>&1 || true; done
+SHARDS="$(csql -c "SELECT shard_id, state FROM sys.shards")"
+echo "$SHARDS"
+echo "$SHARDS" | grep -q "^1 | down$"
+echo "$SHARDS" | grep -q "^0 | up$"
+
+echo "== coordinator still serves its catalog and health views =="
+csql -c "SELECT name FROM sys.tables" | grep -q "x"
+
+echo "== graceful shutdown =="
+kill -TERM "$COORD_PID"
+wait "$COORD_PID"
+grep -q '"msg":"bye"' "$CLOG"
+kill -TERM "$S0_PID"
+wait "$S0_PID"
+grep -q '"msg":"bye"' "$S0LOG"
+echo "cluster smoke: ok"
