@@ -44,7 +44,7 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "fraction of the paper's row counts (1 = full size)")
 	partitions := flag.Int("partitions", 20, "engine parallelism (the paper's Teradata had 20 threads)")
 	runs := flag.Int("runs", 1, "repetitions averaged per measurement (the paper used 5)")
-	exp := flag.String("exp", "", "comma-separated experiment ids (t1..t6, f1..f6, a1..a7); empty runs all")
+	exp := flag.String("exp", "", "comma-separated experiment ids (t1..t6, f1..f6, a1..a8); empty runs all")
 	odbcMbps := flag.Float64("odbc-mbps", 100, "modeled ODBC LAN bandwidth in megabits/s")
 	odbcRow := flag.Int("odbc-row-overhead", 512, "modeled per-row ODBC framing overhead in bytes")
 	timescale := flag.Float64("odbc-timescale", 0, "fraction of modeled ODBC delay actually slept (0 = report only)")
@@ -142,6 +142,7 @@ func assertMetrics(ids []string) error {
 	ranSummary := len(ids) == 0
 	ranPrepared := len(ids) == 0
 	ranCluster := len(ids) == 0
+	ranColumnar := len(ids) == 0
 	for _, id := range ids {
 		if id == "a5" {
 			ranSummary = true
@@ -151,6 +152,9 @@ func assertMetrics(ids []string) error {
 		}
 		if id == "a7" {
 			ranCluster = true
+		}
+		if id == "a8" {
+			ranColumnar = true
 		}
 	}
 	if ranSummary {
@@ -171,6 +175,18 @@ func assertMetrics(ids []string) error {
 			"engine_cluster_fanouts_total",
 			"engine_cluster_partials_merged_total",
 			"engine_cluster_shard_errors_total",
+		)
+	}
+	if ranColumnar {
+		// The row-vs-columnar ablation must actually have taken the
+		// block path (segments scanned, vector programs run) and
+		// exercised at least one row-path fallback: zeros mean the
+		// flag silently degraded to row-at-a-time everywhere, or that
+		// unsupported shapes are no longer detected.
+		want = append(want,
+			"engine_columnar_blocks_scanned_total",
+			"engine_columnar_vector_ops_total",
+			"engine_columnar_fallbacks_total",
 		)
 	}
 	for _, name := range want {

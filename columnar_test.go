@@ -1,0 +1,243 @@
+package statsudf
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// openModePair opens two databases over identical options except for
+// the columnar flag; disk layouts get separate directories.
+func openModePair(t *testing.T, disk bool, parts int) (row, col *DB) {
+	t.Helper()
+	mk := func(columnar bool) *DB {
+		opts := Options{Partitions: parts, Columnar: columnar}
+		if disk {
+			opts.Dir = t.TempDir()
+		}
+		d, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		return d
+	}
+	return mk(false), mk(true)
+}
+
+// execBothModes applies the same statement to both databases so their
+// row logs are identical.
+func execBothModes(t *testing.T, row, col *DB, sql string) {
+	t.Helper()
+	if _, err := row.Exec(sql); err != nil {
+		t.Fatalf("row db %q: %v", sql, err)
+	}
+	if _, err := col.Exec(sql); err != nil {
+		t.Fatalf("columnar db %q: %v", sql, err)
+	}
+}
+
+// loadNullMixture creates table name(x1..xD DOUBLE) in both databases
+// with the given fraction of NULL cells, identically seeded.
+func loadNullMixture(t *testing.T, row, col *DB, name string, n, d int, nullFrac float64, seed int64) {
+	t.Helper()
+	cols := make([]string, d)
+	for i := range cols {
+		cols[i] = DimColumns(d)[i] + " DOUBLE"
+	}
+	execBothModes(t, row, col, "CREATE TABLE "+name+" ("+strings.Join(cols, ", ")+")")
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.Reset()
+		b.WriteString("INSERT INTO " + name + " VALUES (")
+		for j := 0; j < d; j++ {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			if rng.Float64() < nullFrac {
+				b.WriteString("NULL")
+			} else {
+				b.WriteString(ftoa(rng.NormFloat64()*10 + float64(j)))
+			}
+		}
+		b.WriteString(")")
+		execBothModes(t, row, col, b.String())
+	}
+}
+
+func bitsEqual(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func requireNLQBitIdentical(t *testing.T, what string, row, col *NLQ) {
+	t.Helper()
+	if row.D != col.D || !bitsEqual(row.N, col.N) {
+		t.Fatalf("%s: n/d differ: d=%d n=%v vs d=%d n=%v", what, row.D, row.N, col.D, col.N)
+	}
+	for i := range row.L {
+		if !bitsEqual(row.L[i], col.L[i]) || !bitsEqual(row.Min[i], col.Min[i]) || !bitsEqual(row.Max[i], col.Max[i]) {
+			t.Fatalf("%s: L/Min/Max[%d] differ: %v/%v/%v vs %v/%v/%v",
+				what, i, row.L[i], row.Min[i], row.Max[i], col.L[i], col.Min[i], col.Max[i])
+		}
+	}
+	for i := range row.Q {
+		if !bitsEqual(row.Q[i], col.Q[i]) {
+			t.Fatalf("%s: Q[%d] = %v vs %v", what, i, row.Q[i], col.Q[i])
+		}
+	}
+}
+
+func requireCloseSlice(t *testing.T, what string, a, b []float64, tol float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			t.Fatalf("%s[%d]: %v vs %v", what, i, a[i], b[i])
+		}
+	}
+}
+
+// The columnar flag must be invisible in every result: cached
+// summaries bit-for-bit, and the model builders that consume them
+// within 1e-9 — across layouts, NULL densities and partition counts.
+func TestColumnarModesAgreeRandomized(t *testing.T) {
+	const tol = 1e-9
+	cases := []struct {
+		name     string
+		disk     bool
+		parts    int
+		nullFrac float64
+		seed     int64
+	}{
+		{"mem_p1_dense", false, 1, 0, 101},
+		{"mem_p4_sparse", false, 4, 0.3, 202},
+		{"disk_p3_mixed", true, 3, 0.1, 303},
+		{"disk_p5_very_sparse", true, 5, 0.6, 404},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rowDB, colDB := openModePair(t, tc.disk, tc.parts)
+			loadNullMixture(t, rowDB, colDB, "p", 240, 4, tc.nullFrac, tc.seed)
+
+			// Cached summaries rebuild through ComputeTableNLQ — the row
+			// path on one database, block kernels on the other — and the
+			// merged matrices must be byte-identical.
+			for _, mt := range []MatrixType{Diagonal, Triangular, Full} {
+				opts := SummaryOptions{Method: ViaCache, Matrix: mt}
+				rs, err := rowDB.Summary("p", DimColumns(4), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cs, err := colDB.Summary("p", DimColumns(4), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireNLQBitIdentical(t, "p/"+mt.String(), rs, cs)
+			}
+
+			// A clean regression workload for the model builders, seeded
+			// identically in both databases.
+			cfg := MixtureConfig{N: 300, D: 3, K: 2, Seed: tc.seed + 7}
+			beta := []float64{2, -1, 0.5}
+			if err := rowDB.GenerateRegression("m", cfg, 4, beta, 1.5); err != nil {
+				t.Fatal(err)
+			}
+			if err := colDB.GenerateRegression("m", cfg, 4, beta, 1.5); err != nil {
+				t.Fatal(err)
+			}
+			dims := DimColumns(3)
+
+			rc, err := rowDB.Correlation("m", dims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cc, err := colDB.Correlation("m", dims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < rc.D; i++ {
+				for j := 0; j < rc.D; j++ {
+					if math.Abs(rc.At(i, j)-cc.At(i, j)) > tol {
+						t.Fatalf("rho[%d,%d]: %v vs %v", i, j, rc.At(i, j), cc.At(i, j))
+					}
+				}
+			}
+
+			rl, err := rowDB.LinearRegression("m", dims, "Y")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl, err := colDB.LinearRegression("m", dims, "Y")
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireCloseSlice(t, "beta", rl.Beta, cl.Beta, tol)
+
+			rp, err := rowDB.PCA("m", dims, 2, CorrelationBasis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp, err := colDB.PCA("m", dims, 2, CorrelationBasis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireCloseSlice(t, "eigen", rp.Eigen, cp.Eigen, tol)
+
+			rk, err := rowDB.KMeans("m", dims, 2, KMeansOptions{Seed: 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ck, err := colDB.KMeans("m", dims, 2, KMeansOptions{Seed: 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(rk.SSE-ck.SSE) > tol {
+				t.Fatalf("kmeans SSE: %v vs %v", rk.SSE, ck.SSE)
+			}
+			for k := range rk.C {
+				requireCloseSlice(t, "centroid", rk.C[k], ck.C[k], tol)
+			}
+		})
+	}
+}
+
+// The summary catalog's stamps — covered_rows, n, state — must come
+// out identical under both flags even when NULL-heavy rows are
+// skip-counted block-wise (the block path counts masked rows toward
+// seen exactly like the row path's pre-skip increment).
+func TestColumnarSummaryStampsMatch(t *testing.T) {
+	rowDB, colDB := openModePair(t, true, 3)
+	loadNullMixture(t, rowDB, colDB, "h", 180, 3, 0.5, 77)
+
+	opts := SummaryOptions{Method: ViaCache, Matrix: Triangular}
+	if _, err := rowDB.Summary("h", DimColumns(3), opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := colDB.Summary("h", DimColumns(3), opts); err != nil {
+		t.Fatal(err)
+	}
+
+	const q = `SELECT table_name, columns, matrix_type, state, n, covered_rows
+	           FROM sys.summaries ORDER BY 1, 2, 3`
+	rr, err := rowDB.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := colDB.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Rows) != len(cr.Rows) || len(rr.Rows) == 0 {
+		t.Fatalf("sys.summaries: %d rows vs %d", len(rr.Rows), len(cr.Rows))
+	}
+	for i := range rr.Rows {
+		for c := range rr.Rows[i] {
+			if rr.Rows[i][c].String() != cr.Rows[i][c].String() {
+				t.Fatalf("stamp row %d col %d: %q vs %q",
+					i, c, rr.Rows[i][c].String(), cr.Rows[i][c].String())
+			}
+		}
+	}
+}

@@ -34,9 +34,17 @@ type testCluster struct {
 
 func newTestCluster(t *testing.T, nShards, parts int) *testCluster {
 	t.Helper()
+	return newTestClusterColumnar(t, nShards, parts, false)
+}
+
+// newTestClusterColumnar optionally flips the shards onto the columnar
+// scan path while the single-node reference stays row-wise, so every
+// byte-identity assertion doubles as a cross-mode equivalence check.
+func newTestClusterColumnar(t *testing.T, nShards, parts int, columnar bool) *testCluster {
+	t.Helper()
 	tc := &testCluster{}
 	for i := 0; i < nShards; i++ {
-		sd, err := statsudf.Open(statsudf.Options{Partitions: 4})
+		sd, err := statsudf.Open(statsudf.Options{Partitions: 4, Columnar: columnar})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -148,24 +156,31 @@ func loadIntTable(t *testing.T, tc *testCluster, name string, rows int) {
 }
 
 func TestPushdownAggregatesByteIdentical(t *testing.T) {
-	tc := newTestCluster(t, 2, 8)
-	loadIntTable(t, tc, "z", 97)
+	for _, columnar := range []bool{false, true} {
+		t.Run(fmt.Sprintf("columnar=%v", columnar), func(t *testing.T) {
+			tc := newTestClusterColumnar(t, 2, 8, columnar)
+			loadIntTable(t, tc, "z", 97)
 
-	for _, sql := range []string{
-		"SELECT count(*), sum(a), min(a), max(b), avg(b) FROM z",
-		"SELECT count(*) AS n, sum(y) AS sy FROM z WHERE a >= 10",
-		"SELECT nlq_list(3, 'triangular', a, b, y) FROM z",
-		"SELECT nlq_list(2, 'full', a, y) FROM z WHERE b < 100",
-		"SELECT min(y), max(y), avg(a) FROM z WHERE a < 0", // empty input: NULL partials
-	} {
-		got, want := tc.queryBoth(t, sql)
-		requireIdentical(t, sql, got, want)
-		if got.Stats == nil || got.Stats.Root == nil {
-			t.Fatalf("%s: coordinator result carries no span tree", sql)
-		}
-	}
-	if pushdownStatements.Value() == 0 {
-		t.Fatal("no statement took the push-down path")
+			for _, sql := range []string{
+				"SELECT count(*), sum(a), min(a), max(b), avg(b) FROM z",
+				"SELECT count(*) AS n, sum(y) AS sy FROM z WHERE a >= 10",
+				"SELECT nlq_list(3, 'triangular', a, b, y) FROM z",
+				"SELECT nlq_list(2, 'full', a, y) FROM z WHERE b < 100",
+				"SELECT min(y), max(y), avg(a) FROM z WHERE a < 0", // empty input: NULL partials
+				// Plain scans fan out row sets from the shards; columnar
+				// shards serve them from vector programs.
+				"SELECT a, b + y FROM z WHERE a < 40 ORDER BY 1",
+			} {
+				got, want := tc.queryBoth(t, sql)
+				requireIdentical(t, sql, got, want)
+				if got.Stats == nil || got.Stats.Root == nil {
+					t.Fatalf("%s: coordinator result carries no span tree", sql)
+				}
+			}
+			if pushdownStatements.Value() == 0 {
+				t.Fatal("no statement took the push-down path")
+			}
+		})
 	}
 }
 
@@ -237,13 +252,17 @@ func TestMergedModelMatchesSingleNodeRandomized(t *testing.T) {
 	const tol = 1e-9
 	for _, cfg := range []struct {
 		shards, parts, seed int
+		columnar            bool
 	}{
-		{1, 3, 101}, {2, 5, 202}, {3, 7, 303}, {4, 8, 404},
+		{1, 3, 101, false}, {2, 5, 202, false}, {3, 7, 303, false}, {4, 8, 404, false},
+		// Columnar shards against the row-wise reference: shard-local
+		// block kernels must merge to the same model.
+		{2, 5, 505, true}, {3, 7, 606, true},
 	} {
 		cfg := cfg
-		t.Run(fmt.Sprintf("shards=%d parts=%d", cfg.shards, cfg.parts), func(t *testing.T) {
+		t.Run(fmt.Sprintf("shards=%d parts=%d columnar=%v", cfg.shards, cfg.parts, cfg.columnar), func(t *testing.T) {
 			rnd := rand.New(rand.NewSource(int64(cfg.seed)))
-			tc := newTestCluster(t, cfg.shards, cfg.parts)
+			tc := newTestClusterColumnar(t, cfg.shards, cfg.parts, cfg.columnar)
 			tc.execBoth(t, "CREATE TABLE m (x1 DOUBLE, x2 DOUBLE, y DOUBLE)")
 			nRows := 50 + rnd.Intn(150)
 			var b strings.Builder

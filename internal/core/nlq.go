@@ -155,6 +155,140 @@ func (s *NLQ) Update(x []float64) error {
 	return nil
 }
 
+// UpdateBlock folds a column-wise batch of points into the summaries:
+// cols[a][r] is row r's value for dimension a, and valid[r] gates the
+// row (rows with a NULL or non-numeric value in any dimension arrive
+// masked out, exactly the rows the row-at-a-time scan skips).
+//
+// The kernel loops column-major — one accumulator slot at a time over
+// the whole block — which is both the cache-friendly layout for the
+// d(d+1)/2 quadratic products and *bit-identical* to calling Update
+// once per valid row in order: float addition is applied to each slot
+// in the same row order either way, so partials computed block-wise
+// merge byte-for-byte with partials computed row-wise. The cluster
+// coordinator's push-down algebra relies on this.
+func (s *NLQ) UpdateBlock(cols [][]float64, valid []bool) error {
+	if len(cols) != s.D {
+		return fmt.Errorf("core: block has %d dimensions, want %d", len(cols), s.D)
+	}
+	rows := len(valid)
+	for a, col := range cols {
+		if len(col) != rows {
+			return fmt.Errorf("core: block column %d has %d rows, want %d", a, len(col), rows)
+		}
+	}
+	n := 0
+	for _, ok := range valid {
+		if ok {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	s.N += float64(n)
+	// Dense blocks (no masked row) drop the per-element validity test:
+	// the accumulation visits the same rows in the same order either
+	// way, so the sums stay bit-identical — the branch-free loops just
+	// let the compiler keep the dot products in registers.
+	dense := n == rows
+	for a, col := range cols {
+		col = col[:rows]
+		la, mn, mx := s.L[a], s.Min[a], s.Max[a]
+		if dense {
+			for _, v := range col {
+				la += v
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+		} else {
+			for r, ok := range valid {
+				if !ok {
+					continue
+				}
+				v := col[r]
+				la += v
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+		}
+		s.L[a], s.Min[a], s.Max[a] = la, mn, mx
+	}
+	dot := func(ca, cb []float64, q float64) float64 {
+		ca, cb = ca[:rows], cb[:rows]
+		if dense {
+			for r, v := range ca {
+				q += v * cb[r]
+			}
+			return q
+		}
+		for r, ok := range valid {
+			if ok {
+				q += ca[r] * cb[r]
+			}
+		}
+		return q
+	}
+	// dot4 runs four slot accumulations through one pass over the rows.
+	// The chains are independent, so the CPU overlaps their add
+	// latencies — but each slot's own additions still happen in row
+	// order, keeping every sum bit-identical to the sequential path.
+	dot4 := func(ca []float64, cb [][]float64, b int, row []float64) {
+		c0, c1, c2, c3 := cb[b][:rows], cb[b+1][:rows], cb[b+2][:rows], cb[b+3][:rows]
+		q0, q1, q2, q3 := row[b], row[b+1], row[b+2], row[b+3]
+		for r, v := range ca[:rows] {
+			q0 += v * c0[r]
+			q1 += v * c1[r]
+			q2 += v * c2[r]
+			q3 += v * c3[r]
+		}
+		row[b], row[b+1], row[b+2], row[b+3] = q0, q1, q2, q3
+	}
+	switch s.Type {
+	case Diagonal:
+		for a, col := range cols {
+			s.Q[a*s.D+a] = dot(col, col, s.Q[a*s.D+a])
+		}
+	case Triangular:
+		for a := 0; a < s.D; a++ {
+			ca := cols[a]
+			row := s.Q[a*s.D:]
+			b := 0
+			if dense {
+				for ; b+4 <= a+1; b += 4 {
+					dot4(ca, cols, b, row)
+				}
+			}
+			for ; b <= a; b++ {
+				row[b] = dot(ca, cols[b], row[b])
+			}
+		}
+	case Full:
+		for a := 0; a < s.D; a++ {
+			ca := cols[a]
+			row := s.Q[a*s.D:]
+			b := 0
+			if dense {
+				for ; b+4 <= s.D; b += 4 {
+					dot4(ca, cols, b, row)
+				}
+			}
+			for ; b < s.D; b++ {
+				row[b] = dot(ca, cols[b], row[b])
+			}
+		}
+	}
+	return nil
+}
+
 // Remove subtracts a previously added point — the decremental update
 // that makes n, L, Q maintainable over sliding windows and incremental
 // model refresh (the paper's future-work direction of keeping

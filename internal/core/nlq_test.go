@@ -255,3 +255,122 @@ func TestComputeNLQFromSource(t *testing.T) {
 		t.Fatal("ragged source must fail")
 	}
 }
+
+// TestUpdateBlockBitIdentical: the block kernel must produce *bit
+// identical* state to row-at-a-time Update over the valid rows — the
+// property that makes columnar partials merge byte-for-byte with
+// row-path partials in the coordinator's push-down algebra.
+func TestUpdateBlockBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, mt := range []MatrixType{Diagonal, Triangular, Full} {
+		for trial := 0; trial < 20; trial++ {
+			d := 1 + rng.Intn(6)
+			rows := rng.Intn(300)
+			cols := make([][]float64, d)
+			for a := range cols {
+				cols[a] = make([]float64, rows)
+				for r := range cols[a] {
+					cols[a][r] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+				}
+			}
+			valid := make([]bool, rows)
+			for r := range valid {
+				valid[r] = rng.Float64() > 0.3
+			}
+			blk := MustNLQ(d, mt)
+			if err := blk.UpdateBlock(cols, valid); err != nil {
+				t.Fatal(err)
+			}
+			seq := MustNLQ(d, mt)
+			x := make([]float64, d)
+			for r := 0; r < rows; r++ {
+				if !valid[r] {
+					continue
+				}
+				for a := range x {
+					x[a] = cols[a][r]
+				}
+				if err := seq.Update(x); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if math.Float64bits(blk.N) != math.Float64bits(seq.N) {
+				t.Fatalf("%v d=%d: N %v != %v", mt, d, blk.N, seq.N)
+			}
+			for i := range blk.L {
+				if math.Float64bits(blk.L[i]) != math.Float64bits(seq.L[i]) {
+					t.Fatalf("%v d=%d: L[%d] %v != %v", mt, d, i, blk.L[i], seq.L[i])
+				}
+				if math.Float64bits(blk.Min[i]) != math.Float64bits(seq.Min[i]) ||
+					math.Float64bits(blk.Max[i]) != math.Float64bits(seq.Max[i]) {
+					t.Fatalf("%v d=%d: min/max dim %d diverge", mt, d, i)
+				}
+			}
+			for i := range blk.Q {
+				if math.Float64bits(blk.Q[i]) != math.Float64bits(seq.Q[i]) {
+					t.Fatalf("%v d=%d: Q[%d] %v != %v", mt, d, i, blk.Q[i], seq.Q[i])
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateBlockSplitInvariance: feeding one big block or many small
+// ones (the storage layer's chunking) accumulates identically.
+func TestUpdateBlockSplitInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const d, rows = 4, 257
+	cols := make([][]float64, d)
+	for a := range cols {
+		cols[a] = make([]float64, rows)
+		for r := range cols[a] {
+			cols[a][r] = rng.NormFloat64()
+		}
+	}
+	valid := make([]bool, rows)
+	for r := range valid {
+		valid[r] = rng.Float64() > 0.1
+	}
+	one := MustNLQ(d, Triangular)
+	if err := one.UpdateBlock(cols, valid); err != nil {
+		t.Fatal(err)
+	}
+	many := MustNLQ(d, Triangular)
+	for off := 0; off < rows; off += 64 {
+		end := off + 64
+		if end > rows {
+			end = rows
+		}
+		sub := make([][]float64, d)
+		for a := range sub {
+			sub[a] = cols[a][off:end]
+		}
+		if err := many.UpdateBlock(sub, valid[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range one.Q {
+		if math.Float64bits(one.Q[i]) != math.Float64bits(many.Q[i]) {
+			t.Fatalf("Q[%d] diverges across block splits", i)
+		}
+	}
+	if one.N != many.N {
+		t.Fatalf("N %v != %v", one.N, many.N)
+	}
+}
+
+func TestUpdateBlockValidation(t *testing.T) {
+	s := MustNLQ(2, Full)
+	if err := s.UpdateBlock([][]float64{{1}}, []bool{true}); err == nil {
+		t.Fatal("dimension mismatch must be rejected")
+	}
+	if err := s.UpdateBlock([][]float64{{1}, {2, 3}}, []bool{true}); err == nil {
+		t.Fatal("ragged columns must be rejected")
+	}
+	if err := s.UpdateBlock([][]float64{{}, {}}, nil); err != nil {
+		t.Fatalf("empty block: %v", err)
+	}
+	if s.N != 0 {
+		t.Fatal("empty block must not touch N")
+	}
+}

@@ -38,6 +38,12 @@ type Options struct {
 	// Workers bounds the executor's scan worker pool independently of
 	// the partition count; <= 0 runs one worker per partition.
 	Workers int
+	// Columnar opts eligible scans into the block-at-a-time execution
+	// path: n/L/Q summary rebuilds and simple projections run over
+	// column segments with vector kernels, falling back to the row
+	// path wherever that is not provably equivalent. Results (model
+	// coefficients included) are identical in both modes.
+	Columnar bool
 	// SlowQuery is the duration at or above which a statement is
 	// flagged slow in sys.queries and counted in
 	// engine_slow_queries_total. Zero selects DefaultSlowQuery.
@@ -116,7 +122,7 @@ func Open(opts Options) *DB {
 		views:  make(map[string]*sqlparser.Select),
 		plans:  newPlanCache(defaultPlanCacheSize),
 		preps:  make(map[int64]*Prepared),
-		sums:   summary.NewCatalog(opts.Workers),
+		sums:   summary.NewCatalog(opts.Workers, opts.Columnar),
 		traces: trace.NewStore(opts.TraceSampleN, opts.TraceCap),
 		logger: logger,
 	}
@@ -236,7 +242,7 @@ func (d *DB) DropTable(name string) error {
 func (d *DB) Epoch() int64 { return d.epoch.Load() }
 
 func (d *DB) env() *exec.Env {
-	return &exec.Env{Catalog: d, Funcs: d.funcs, Aggs: d.aggs, Workers: d.opts.Workers}
+	return &exec.Env{Catalog: d, Funcs: d.funcs, Aggs: d.aggs, Workers: d.opts.Workers, Columnar: d.opts.Columnar}
 }
 
 // LastStats returns the execution statistics of the most recent

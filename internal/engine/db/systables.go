@@ -23,7 +23,7 @@ const sysPrefix = "sys."
 // sys., for shell completion and \d-style listings. Instance-specific
 // registrations (RegisterSysTable) are reported by SysTableNames.
 func SystemTableNames() []string {
-	return []string{"sys.metrics", "sys.partitions", "sys.prepared", "sys.queries", "sys.spans", "sys.summaries", "sys.tables", "sys.traces"}
+	return []string{"sys.metrics", "sys.partitions", "sys.prepared", "sys.queries", "sys.segments", "sys.spans", "sys.summaries", "sys.tables", "sys.traces"}
 }
 
 // SysTableFunc materializes one registered virtual table's content on
@@ -80,6 +80,8 @@ func (d *DB) sysTable(key string) (*storage.Table, error) {
 		return d.sysTables()
 	case "sys.partitions":
 		return d.sysPartitions()
+	case "sys.segments":
+		return d.sysSegments()
 	case "sys.summaries":
 		return d.sysSummaries()
 	case "sys.traces":
@@ -328,10 +330,38 @@ func (d *DB) sysSummaries() (*storage.Table, error) {
 			sqltypes.NewBigInt(inf.Misses),
 			sqltypes.NewBigInt(inf.IncRows),
 			sqltypes.NewBigInt(inf.Rebuilds),
-			sqltypes.NewDouble(float64(inf.LastRebuild)/float64(time.Millisecond)),
+			sqltypes.NewDouble(float64(inf.LastRebuild) / float64(time.Millisecond)),
 		})
 	}
 	return newSysTable("sys.summaries", cols, rows)
+}
+
+// sysSegments reports the columnar segment cache, one row per on-disk
+// partition: how many rows the sibling .seg file covers (-1 while
+// invalidated, pending a lazy rebuild) and its size. In-memory tables
+// synthesize blocks from resident rows and report no segments.
+func (d *DB) sysSegments() (*storage.Table, error) {
+	cols := []sqltypes.Column{
+		{Name: "table_name", Type: sqltypes.TypeVarChar},
+		{Name: "partition", Type: sqltypes.TypeBigInt},
+		{Name: "seg_rows", Type: sqltypes.TypeBigInt},
+		{Name: "seg_bytes", Type: sqltypes.TypeBigInt},
+		{Name: "fresh", Type: sqltypes.TypeBool},
+	}
+	var rows []sqltypes.Row
+	for _, t := range d.userTables() {
+		counts := t.PartitionRowCounts()
+		for _, si := range t.Segments() {
+			rows = append(rows, sqltypes.Row{
+				sqltypes.NewVarChar(t.Name()),
+				sqltypes.NewBigInt(int64(si.Partition)),
+				sqltypes.NewBigInt(si.Rows),
+				sqltypes.NewBigInt(si.Bytes),
+				sqltypes.NewBool(si.Rows >= 0 && si.Rows == counts[si.Partition]),
+			})
+		}
+	}
+	return newSysTable("sys.segments", cols, rows)
 }
 
 // sysPartitions breaks each user table down to per-partition row

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/engine/obs"
 	"repro/internal/engine/sqltypes"
 	"repro/internal/engine/storage"
 )
@@ -17,14 +18,47 @@ import (
 // treatment of incomplete points; seen reports the total rows scanned
 // including skipped ones — the count the summary cache stamps entries
 // with, since it must match the table's row count exactly.
-func ComputeTableNLQ(ctx context.Context, t *storage.Table, cols []int, mt core.MatrixType, workers int) (partials []*core.NLQ, seen int64, err error) {
+//
+// With columnar set, eligible scans (all selected columns numeric by
+// schema type) run block-wise over column segments via UpdateBlock.
+// The per-slot accumulation order is identical to the row path's, so
+// the partials are byte-for-byte the same in both modes — including
+// seen, which counts NULL-masked block rows exactly like the row
+// path's pre-skip increment. Ineligible scans and stale-segment
+// partitions fall back to the row path (counted as fallbacks).
+func ComputeTableNLQ(ctx context.Context, t *storage.Table, cols []int, mt core.MatrixType, workers int, columnar bool) (partials []*core.NLQ, seen int64, err error) {
 	n := t.Partitions()
 	partials = make([]*core.NLQ, n)
 	counts := make([]int64, n)
+	if columnar {
+		if nlqBlocksEligible(t, cols) {
+			// Best-effort: a failed rebuild leaves stale partitions that
+			// fall back below; true row-log corruption fails the row scan.
+			_ = t.EnsureSegments()
+		} else {
+			columnar = false
+			obs.ColumnarFallbacks.Inc()
+		}
+	}
 	err = RunParallel(ctx, workers, n, func(ctx context.Context, p int) error {
 		s, err := core.NewNLQ(len(cols), mt)
 		if err != nil {
 			return err
+		}
+		if columnar {
+			ran, err := computeNLQBlocks(ctx, t, p, cols, s, &counts[p])
+			if err != nil {
+				return err
+			}
+			if ran {
+				partials[p] = s
+				return nil
+			}
+			// Stale segment: nothing was delivered or accumulated, but
+			// reset defensively and rerun the partition row-wise.
+			obs.ColumnarFallbacks.Inc()
+			s.Reset()
+			counts[p] = 0
 		}
 		x := make([]float64, len(cols))
 		err = t.ScanPartition(ctx, p, func(r sqltypes.Row) error {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/engine/expr"
+	"repro/internal/engine/obs"
 	"repro/internal/engine/sqlparser"
 	"repro/internal/engine/sqltypes"
 )
@@ -38,6 +39,7 @@ type PreparedSelect struct {
 	items  []sqlparser.SelectItem
 	schema *sqltypes.Schema
 	tail   *tailPlan
+	vp     *vecProjection // non-nil when columnar mode planned a block scan
 
 	scanPool sync.Pool // *scanEvalSet
 	tailPool sync.Pool // *tailEvalSet
@@ -108,6 +110,19 @@ func PrepareSelect(sel *sqlparser.Select, env *Env) (*PreparedSelect, error) {
 		}
 	}
 	p.schema = &sqltypes.Schema{Columns: cols}
+
+	// Columnar mode: a parameter-free single-table projection whose
+	// items and residual WHERE compile to vector programs executes
+	// block-wise on every EXECUTE. Rejected shapes count one fallback
+	// at prepare time (not per execution) and keep the pooled scalar
+	// path below.
+	if env.Columnar && p.numParams == 0 && len(b.tables) == 1 {
+		if vp, verr := planVecProjection(items, p.tail.residual, b); verr == nil {
+			p.vp = vp
+		} else {
+			obs.ColumnarFallbacks.Inc()
+		}
+	}
 
 	// Compile one set of each kind eagerly so compile errors surface at
 	// prepare time, then seed the pools with them.
@@ -232,6 +247,24 @@ func (p *PreparedSelect) run(ctx context.Context, args []sqltypes.Value, sink Ro
 	sink = countedSink(emitted, sink)
 
 	plan := st.ensureRoot().child("plan")
+	if p.vp != nil {
+		// Block path: single table, no tail scan to stage.
+		first := p.b.tables[0].table
+		nparts := first.Partitions()
+		st.Partitions = nparts
+		st.Workers = scanWorkers(p.env, nparts)
+		st.PartitionRows = make([]int64, nparts)
+		st.Plan = plan.finish()
+		err := p.vp.run(ctx, p.env, sink, st)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		var rows []sqltypes.Row
+		if col != nil {
+			rows = col.rows
+		}
+		return p.schema, rows, st, nil
+	}
 	ts, err := p.getTailSet()
 	if err != nil {
 		return nil, nil, nil, err

@@ -22,6 +22,10 @@ type Env struct {
 	// Workers bounds the scan worker pool independently of the
 	// partition count; <= 0 runs one goroutine per partition.
 	Workers int
+	// Columnar opts eligible scans into the block-at-a-time execution
+	// path (column segments + vector programs). Ineligible statements
+	// fall back to the row path with identical results.
+	Columnar bool
 }
 
 // Select runs a SELECT and materializes the result, applying ORDER BY
@@ -456,6 +460,16 @@ func runProjection(ctx context.Context, sel *sqlparser.Select, items []sqlparser
 	st.Workers = scanWorkers(env, nparts)
 	st.PartitionRows = make([]int64, nparts)
 	st.Plan = plan.finish()
+
+	// Columnar mode: a single-table projection whose items and WHERE all
+	// compile to vector programs runs block-wise; any other shape counts
+	// a fallback and takes the row path below.
+	if env.Columnar && len(b.tables) == 1 {
+		if vp, verr := planVecProjection(items, residual, b); verr == nil {
+			return schema, vp.run(ctx, env, sink, st)
+		}
+		obs.ColumnarFallbacks.Inc()
+	}
 
 	scan := st.Root.child("scan")
 	partSpans := make([]*Span, nparts)

@@ -1,11 +1,31 @@
 package expr
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/engine/obs"
 	"repro/internal/engine/sqltypes"
 )
+
+// ErrDivisionByZero is the typed error every divide-by-zero raises —
+// integer and float, / and %, scalar tree walker and vector program
+// alike — so callers can classify it without string matching.
+var ErrDivisionByZero = errors.New("expr: division by zero")
+
+// floatMod is the one float remainder implementation shared by the
+// scalar and vector evaluators: IEEE remainder with the sign of the
+// dividend (math.Mod), with a zero divisor raising the typed error.
+// The previous a - b*float64(int64(a/b)) formulation hit undefined
+// int64 conversion when a/b overflowed the int64 range (and on the
+// Inf quotient of b == 0), silently producing garbage.
+func floatMod(a, b float64) (float64, error) {
+	if b == 0 {
+		return 0, ErrDivisionByZero
+	}
+	return math.Mod(a, b), nil
+}
 
 // constEval yields a constant.
 type constEval struct{ v sqltypes.Value }
@@ -186,12 +206,12 @@ func evalArith(op binOp, l, r sqltypes.Value) (sqltypes.Value, error) {
 			return sqltypes.NewBigInt(a * b), nil
 		case opDiv:
 			if b == 0 {
-				return sqltypes.Null, fmt.Errorf("expr: division by zero")
+				return sqltypes.Null, ErrDivisionByZero
 			}
 			return sqltypes.NewBigInt(a / b), nil
 		case opMod:
 			if b == 0 {
-				return sqltypes.Null, fmt.Errorf("expr: division by zero")
+				return sqltypes.Null, ErrDivisionByZero
 			}
 			return sqltypes.NewBigInt(a % b), nil
 		}
@@ -210,18 +230,15 @@ func evalArith(op binOp, l, r sqltypes.Value) (sqltypes.Value, error) {
 		return sqltypes.NewDouble(a * b), nil
 	case opDiv:
 		if b == 0 {
-			return sqltypes.Null, fmt.Errorf("expr: division by zero")
+			return sqltypes.Null, ErrDivisionByZero
 		}
 		return sqltypes.NewDouble(a / b), nil
 	case opMod:
-		if b == 0 {
-			return sqltypes.Null, fmt.Errorf("expr: division by zero")
+		m, err := floatMod(a, b)
+		if err != nil {
+			return sqltypes.Null, err
 		}
-		ai, bi := int64(a), int64(b)
-		if float64(ai) == a && float64(bi) == b {
-			return sqltypes.NewBigInt(ai % bi), nil
-		}
-		return sqltypes.NewDouble(a - b*float64(int64(a/b))), nil
+		return sqltypes.NewDouble(m), nil
 	}
 	return sqltypes.Null, fmt.Errorf("expr: bad arithmetic op %d", op)
 }

@@ -1,6 +1,7 @@
 package expr
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -100,10 +101,47 @@ func TestIntegerTyping(t *testing.T) {
 }
 
 func TestDivisionByZero(t *testing.T) {
-	for _, src := range []string{"1 / 0", "1.5 / 0", "7 % 0"} {
-		if _, err := evalStr(t, src, nil); err == nil {
+	for _, src := range []string{"1 / 0", "1.5 / 0", "7 % 0", "7.5 % 0", "7.5 % 0.0", "1e300 % 0"} {
+		_, err := evalStr(t, src, nil)
+		if err == nil {
 			t.Errorf("%q must error", src)
+			continue
 		}
+		if !errors.Is(err, ErrDivisionByZero) {
+			t.Errorf("%q: error %v is not ErrDivisionByZero", src, err)
+		}
+	}
+}
+
+func TestModSemantics(t *testing.T) {
+	// Float % must behave like math.Mod: sign of the dividend, exact
+	// for huge quotients (the old int64-truncation formulation produced
+	// garbage once a/b left the int64 range).
+	cases := map[string]float64{
+		"7.5 % 2":     1.5,
+		"-7.5 % 2":    -1.5,
+		"7.5 % -2":    1.5,
+		"-7.5 % -2":   -1.5,
+		"-7 % 3":      -1, // BIGINT path: Go's % semantics
+		"1e300 % 3.0": math.Mod(1e300, 3),
+		"1e19 % 1e18": math.Mod(1e19, 1e18), // quotient exceeds int64
+		"2.5 % 0.5":   0,
+		"10.0 % 3":    1, // integral float operands stay DOUBLE
+	}
+	for src, want := range cases {
+		v := mustEval(t, src, nil)
+		got, ok := v.Float()
+		if !ok || got != want {
+			t.Errorf("%q = %v, want %g", src, v, want)
+		}
+	}
+	// Typing: any DOUBLE operand makes % DOUBLE, matching sema's
+	// inference (the old evaluator returned BIGINT for integral floats).
+	if v := mustEval(t, "10.0 % 3", nil); v.Type() != sqltypes.TypeDouble {
+		t.Errorf("10.0 %% 3 should be DOUBLE, got %v", v.Type())
+	}
+	if v := mustEval(t, "10 % 3", nil); v.Type() != sqltypes.TypeBigInt {
+		t.Errorf("10 %% 3 should stay BIGINT, got %v", v.Type())
 	}
 }
 

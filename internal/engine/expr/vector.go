@@ -1,0 +1,541 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/engine/sqlparser"
+)
+
+// The vector program is the columnar counterpart of the Evaluator tree:
+// instead of walking the tree once per row, a compiled program walks it
+// once per *block*, each node producing a whole column of results. Only
+// the shapes the batch path can execute exactly like the row path are
+// compilable — DOUBLE column references, numeric literals, arithmetic,
+// comparisons, three-valued AND/OR/NOT and IS [NOT] NULL. Everything
+// else (functions, CASE, IN, BETWEEN, CAST, VARCHAR/BIGINT columns,
+// parameters) fails compilation with errVectorUnsupported and the
+// caller falls back to the tree walker, so vectorization is always an
+// optimization, never a semantics change.
+//
+// Numeric results are (vals []float64, valid []bool) pairs; boolean
+// results are Kleene truth vectors ([]int8: 0 false, 1 true, 2 NULL).
+// Every node evaluates under an *active-lane mask*: AND/OR evaluate
+// their right operand only on lanes the row path would reach (left not
+// already deciding), and projections evaluate only on lanes the WHERE
+// kept — so a division by zero in a lane the row path never evaluates
+// cannot raise a spurious error. Division by zero on an active lane
+// raises the same typed ErrDivisionByZero the scalar evaluator does.
+
+// errVectorUnsupported is returned by CompileVector for expression
+// shapes the vector program cannot execute; callers fall back to the
+// scalar path.
+var errVectorUnsupported = fmt.Errorf("expr: expression not vectorizable")
+
+// IsVectorUnsupported classifies CompileVector failures that simply
+// mean "use the row path" (as opposed to genuine compile errors such as
+// unresolvable columns).
+func IsVectorUnsupported(err error) bool { return err == errVectorUnsupported }
+
+// Kleene truth values, as produced by EvalBool truth vectors.
+const (
+	TruthFalse int8 = 0
+	TruthTrue  int8 = 1
+	TruthNull  int8 = 2
+
+	vFalse = TruthFalse
+	vTrue  = TruthTrue
+	vNull  = TruthNull
+)
+
+// vecCtx is the per-block evaluation context shared by a program's
+// nodes: the input columns (indexed by slot) and the live row count.
+type vecCtx struct {
+	rows  int
+	cols  [][]float64
+	valid [][]bool
+	ops   int64 // lanes processed, reported to the vector-ops counter
+}
+
+type numNode interface {
+	evalNum(c *vecCtx, mask []bool) (vals []float64, valid []bool, err error)
+}
+
+type boolNode interface {
+	evalBool(c *vecCtx, mask []bool) (truth []int8, err error)
+}
+
+// VectorProgram is a compiled batch expression. A program is stateful
+// (nodes reuse output buffers across blocks) and therefore not safe for
+// concurrent use — compile one per partition worker, exactly like
+// scalar Evaluators.
+type VectorProgram struct {
+	num  numNode  // set when the expression is numeric-typed
+	bool boolNode // set when the expression is boolean-typed
+	cols []int    // referenced flat ordinals, in first-reference order
+	ctx  vecCtx
+	mask []bool
+}
+
+// IsBool reports whether the program produces a truth vector (a
+// predicate) rather than a numeric column.
+func (p *VectorProgram) IsBool() bool { return p.bool != nil }
+
+// Cols returns the flat column ordinals the program reads, in slot
+// order: the caller supplies exactly these columns to EvalNum/EvalBool.
+func (p *VectorProgram) Cols() []int { return p.cols }
+
+// begin primes the shared context for one block.
+func (p *VectorProgram) begin(cols [][]float64, valid [][]bool, rows int, mask []bool) []bool {
+	p.ctx.rows = rows
+	p.ctx.cols = cols
+	p.ctx.valid = valid
+	p.ctx.ops += int64(rows)
+	if mask == nil {
+		if cap(p.mask) < rows {
+			p.mask = make([]bool, rows)
+		}
+		mask = p.mask[:rows]
+		for i := range mask {
+			mask[i] = true
+		}
+	}
+	return mask
+}
+
+// Ops drains the count of lanes the program has processed since the
+// last call; callers feed it to the vector-ops counter.
+func (p *VectorProgram) Ops() int64 {
+	n := p.ctx.ops
+	p.ctx.ops = 0
+	return n
+}
+
+// EvalNum evaluates a numeric program over one block. cols/valid are
+// indexed by Cols() slot; mask (nil = all lanes) gates which lanes are
+// computed — unmasked lanes hold unspecified values. The returned
+// slices are owned by the program and valid until the next call.
+func (p *VectorProgram) EvalNum(cols [][]float64, valid [][]bool, rows int, mask []bool) ([]float64, []bool, error) {
+	if p.num == nil {
+		return nil, nil, fmt.Errorf("expr: vector program is boolean-typed")
+	}
+	mask = p.begin(cols, valid, rows, mask)
+	return p.num.evalNum(&p.ctx, mask)
+}
+
+// EvalBool evaluates a predicate program over one block; see EvalNum.
+func (p *VectorProgram) EvalBool(cols [][]float64, valid [][]bool, rows int, mask []bool) ([]int8, error) {
+	if p.bool == nil {
+		return nil, fmt.Errorf("expr: vector program is numeric-typed")
+	}
+	mask = p.begin(cols, valid, rows, mask)
+	return p.bool.evalBool(&p.ctx, mask)
+}
+
+// CompileVector compiles e into a vector program. resolve maps column
+// references to flat ordinals (same contract as Compile); vectorizable
+// reports whether a flat ordinal is a DOUBLE column the block scan can
+// supply. Unsupported shapes return errVectorUnsupported.
+func CompileVector(e sqlparser.Expr, resolve Resolver, vectorizable func(ordinal int) bool) (*VectorProgram, error) {
+	vc := &vecCompiler{resolve: resolve, vectorizable: vectorizable, slots: map[int]int{}}
+	p := &VectorProgram{}
+	num, bol, err := vc.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	p.num, p.bool = num, bol
+	p.cols = vc.cols
+	return p, nil
+}
+
+type vecCompiler struct {
+	resolve      Resolver
+	vectorizable func(int) bool
+	cols         []int
+	slots        map[int]int // flat ordinal -> slot
+}
+
+// compile returns exactly one of (numNode, boolNode).
+func (vc *vecCompiler) compile(e sqlparser.Expr) (numNode, boolNode, error) {
+	switch e := e.(type) {
+	case *sqlparser.NumberLit:
+		v := e.Float
+		if e.IsInt {
+			v = float64(e.Int)
+		}
+		return &vecConst{v: v}, nil, nil
+	case *sqlparser.ColumnRef:
+		if vc.resolve == nil {
+			return nil, nil, errVectorUnsupported
+		}
+		idx, err := vc.resolve(e.Table, e.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !vc.vectorizable(idx) {
+			return nil, nil, errVectorUnsupported
+		}
+		slot, ok := vc.slots[idx]
+		if !ok {
+			slot = len(vc.cols)
+			vc.slots[idx] = slot
+			vc.cols = append(vc.cols, idx)
+		}
+		return vecCol{slot: slot}, nil, nil
+	case *sqlparser.UnaryExpr:
+		num, bol, err := vc.compile(e.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch e.Op {
+		case "-":
+			if num == nil {
+				return nil, nil, errVectorUnsupported
+			}
+			return &vecNeg{x: num}, nil, nil
+		case "NOT":
+			if bol == nil {
+				return nil, nil, errVectorUnsupported
+			}
+			return nil, &vecNot{x: bol}, nil
+		}
+		return nil, nil, errVectorUnsupported
+	case *sqlparser.BinaryExpr:
+		op, ok := binOps[e.Op]
+		if !ok {
+			return nil, nil, errVectorUnsupported
+		}
+		if op == opConcat {
+			return nil, nil, errVectorUnsupported
+		}
+		ln, lb, err := vc.compile(e.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		rn, rb, err := vc.compile(e.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch op {
+		case opAdd, opSub, opMul, opDiv, opMod:
+			if ln == nil || rn == nil {
+				return nil, nil, errVectorUnsupported
+			}
+			return &vecArith{op: op, l: ln, r: rn}, nil, nil
+		case opEq, opNe, opLt, opLe, opGt, opGe:
+			if ln == nil || rn == nil {
+				return nil, nil, errVectorUnsupported
+			}
+			return nil, &vecCmp{op: op, l: ln, r: rn}, nil
+		case opAnd, opOr:
+			if lb == nil || rb == nil {
+				return nil, nil, errVectorUnsupported
+			}
+			return nil, &vecLogic{and: op == opAnd, l: lb, r: rb}, nil
+		}
+		return nil, nil, errVectorUnsupported
+	case *sqlparser.IsNullExpr:
+		num, _, err := vc.compile(e.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if num == nil {
+			return nil, nil, errVectorUnsupported
+		}
+		return nil, &vecIsNull{x: num, negate: e.Negate}, nil
+	default:
+		return nil, nil, errVectorUnsupported
+	}
+}
+
+// ---- nodes ---------------------------------------------------------
+
+// vecConst broadcasts a literal.
+type vecConst struct {
+	v     float64
+	vals  []float64
+	valid []bool
+}
+
+func (n *vecConst) evalNum(c *vecCtx, mask []bool) ([]float64, []bool, error) {
+	if cap(n.vals) < c.rows {
+		n.vals = make([]float64, c.rows)
+		n.valid = make([]bool, c.rows)
+	}
+	vals, valid := n.vals[:c.rows], n.valid[:c.rows]
+	for i := range vals {
+		vals[i] = n.v
+		valid[i] = true
+	}
+	c.ops += int64(c.rows)
+	return vals, valid, nil
+}
+
+// vecCol reads an input column in place (no copy).
+type vecCol struct{ slot int }
+
+func (n vecCol) evalNum(c *vecCtx, mask []bool) ([]float64, []bool, error) {
+	return c.cols[n.slot], c.valid[n.slot], nil
+}
+
+type vecNeg struct {
+	x     numNode
+	vals  []float64
+	valid []bool
+}
+
+func (n *vecNeg) evalNum(c *vecCtx, mask []bool) ([]float64, []bool, error) {
+	xv, xok, err := n.x.evalNum(c, mask)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cap(n.vals) < c.rows {
+		n.vals = make([]float64, c.rows)
+		n.valid = make([]bool, c.rows)
+	}
+	vals, valid := n.vals[:c.rows], n.valid[:c.rows]
+	for r := range vals {
+		if !mask[r] {
+			valid[r] = false
+			continue
+		}
+		valid[r] = xok[r]
+		vals[r] = -xv[r]
+	}
+	c.ops += int64(c.rows)
+	return vals, valid, nil
+}
+
+type vecArith struct {
+	op    binOp
+	l, r  numNode
+	vals  []float64
+	valid []bool
+}
+
+func (n *vecArith) evalNum(c *vecCtx, mask []bool) ([]float64, []bool, error) {
+	lv, lok, err := n.l.evalNum(c, mask)
+	if err != nil {
+		return nil, nil, err
+	}
+	rv, rok, err := n.r.evalNum(c, mask)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cap(n.vals) < c.rows {
+		n.vals = make([]float64, c.rows)
+		n.valid = make([]bool, c.rows)
+	}
+	vals, valid := n.vals[:c.rows], n.valid[:c.rows]
+	c.ops += int64(c.rows)
+	for r := range vals {
+		if !mask[r] || !lok[r] || !rok[r] {
+			valid[r] = false
+			continue
+		}
+		a, b := lv[r], rv[r]
+		switch n.op {
+		case opAdd:
+			vals[r] = a + b
+		case opSub:
+			vals[r] = a - b
+		case opMul:
+			vals[r] = a * b
+		case opDiv:
+			if b == 0 {
+				return nil, nil, ErrDivisionByZero
+			}
+			vals[r] = a / b
+		case opMod:
+			// Shared semantics with the scalar evaluator: math.Mod with a
+			// typed error on zero divisors (see floatMod).
+			m, err := floatMod(a, b)
+			if err != nil {
+				return nil, nil, err
+			}
+			vals[r] = m
+		}
+		valid[r] = true
+	}
+	return vals, valid, nil
+}
+
+type vecCmp struct {
+	op    binOp
+	l, r  numNode
+	truth []int8
+}
+
+func (n *vecCmp) evalBool(c *vecCtx, mask []bool) ([]int8, error) {
+	lv, lok, err := n.l.evalNum(c, mask)
+	if err != nil {
+		return nil, err
+	}
+	rv, rok, err := n.r.evalNum(c, mask)
+	if err != nil {
+		return nil, err
+	}
+	if cap(n.truth) < c.rows {
+		n.truth = make([]int8, c.rows)
+	}
+	truth := n.truth[:c.rows]
+	c.ops += int64(c.rows)
+	for r := range truth {
+		if !mask[r] {
+			continue
+		}
+		if !lok[r] || !rok[r] {
+			truth[r] = vNull
+			continue
+		}
+		// Mirror sqltypes.Compare's float ordering exactly (NaN compares
+		// equal to everything there, via the double-negative default).
+		cmp := 0
+		switch {
+		case lv[r] < rv[r]:
+			cmp = -1
+		case lv[r] > rv[r]:
+			cmp = 1
+		}
+		var b bool
+		switch n.op {
+		case opEq:
+			b = cmp == 0
+		case opNe:
+			b = cmp != 0
+		case opLt:
+			b = cmp < 0
+		case opLe:
+			b = cmp <= 0
+		case opGt:
+			b = cmp > 0
+		default:
+			b = cmp >= 0
+		}
+		if b {
+			truth[r] = vTrue
+		} else {
+			truth[r] = vFalse
+		}
+	}
+	return truth, nil
+}
+
+type vecLogic struct {
+	and   bool
+	l, r  boolNode
+	truth []int8
+	rmask []bool
+}
+
+func (n *vecLogic) evalBool(c *vecCtx, mask []bool) ([]int8, error) {
+	lt, err := n.l.evalBool(c, mask)
+	if err != nil {
+		return nil, err
+	}
+	if cap(n.truth) < c.rows {
+		n.truth = make([]int8, c.rows)
+		n.rmask = make([]bool, c.rows)
+	}
+	truth, rmask := n.truth[:c.rows], n.rmask[:c.rows]
+	// Short-circuit-aware masking: the right operand is evaluated only
+	// on lanes the row path would evaluate it — where the left side did
+	// not already decide. A division by zero hiding behind `x <> 0 AND
+	// 1/x > 2` therefore cannot fire on the x = 0 lanes.
+	short := vFalse
+	if !n.and {
+		short = vTrue
+	}
+	need := false
+	for r := range rmask {
+		on := mask[r] && lt[r] != short
+		rmask[r] = on
+		need = need || on
+	}
+	var rt []int8
+	if need {
+		rt, err = n.r.evalBool(c, rmask)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.ops += int64(c.rows)
+	for r := range truth {
+		if !mask[r] {
+			continue
+		}
+		if lt[r] == short {
+			truth[r] = short
+			continue
+		}
+		rv := rt[r]
+		switch {
+		case rv == short:
+			truth[r] = short
+		case lt[r] == vNull || rv == vNull:
+			truth[r] = vNull
+		default:
+			truth[r] = 1 - short // the non-deciding definite value
+		}
+	}
+	return truth, nil
+}
+
+type vecNot struct {
+	x     boolNode
+	truth []int8
+}
+
+func (n *vecNot) evalBool(c *vecCtx, mask []bool) ([]int8, error) {
+	xt, err := n.x.evalBool(c, mask)
+	if err != nil {
+		return nil, err
+	}
+	if cap(n.truth) < c.rows {
+		n.truth = make([]int8, c.rows)
+	}
+	truth := n.truth[:c.rows]
+	c.ops += int64(c.rows)
+	for r := range truth {
+		if !mask[r] {
+			continue
+		}
+		switch xt[r] {
+		case vNull:
+			truth[r] = vNull
+		case vTrue:
+			truth[r] = vFalse
+		default:
+			truth[r] = vTrue
+		}
+	}
+	return truth, nil
+}
+
+type vecIsNull struct {
+	x      numNode
+	negate bool
+	truth  []int8
+}
+
+func (n *vecIsNull) evalBool(c *vecCtx, mask []bool) ([]int8, error) {
+	_, xok, err := n.x.evalNum(c, mask)
+	if err != nil {
+		return nil, err
+	}
+	if cap(n.truth) < c.rows {
+		n.truth = make([]int8, c.rows)
+	}
+	truth := n.truth[:c.rows]
+	c.ops += int64(c.rows)
+	for r := range truth {
+		if !mask[r] {
+			continue
+		}
+		if !xok[r] != n.negate {
+			truth[r] = vTrue
+		} else {
+			truth[r] = vFalse
+		}
+	}
+	return truth, nil
+}

@@ -1,0 +1,336 @@
+package expr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/engine/sqlparser"
+	"repro/internal/engine/sqltypes"
+)
+
+// compileBoth compiles src as both a scalar evaluator and a vector
+// program over three DOUBLE columns a, b, c (and a non-vectorizable
+// varchar column s at ordinal 3).
+func compileBoth(t *testing.T, src string) (Evaluator, *VectorProgram) {
+	t.Helper()
+	ast, err := sqlparser.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	ev, err := Compile(ast, vecTestResolve, NewRegistry())
+	if err != nil {
+		t.Fatalf("scalar compile %q: %v", src, err)
+	}
+	p, err := CompileVector(ast, vecTestResolve, func(ord int) bool { return ord < 3 })
+	if err != nil {
+		t.Fatalf("vector compile %q: %v", src, err)
+	}
+	return ev, p
+}
+
+func vecTestResolve(table, col string) (int, error) {
+	switch strings.ToLower(col) {
+	case "a":
+		return 0, nil
+	case "b":
+		return 1, nil
+	case "c":
+		return 2, nil
+	case "s":
+		return 3, nil
+	}
+	return 0, fmt.Errorf("no column %q", col)
+}
+
+// testBlock is a random block over columns a, b, c with NULL lanes and
+// occasional equal/zero/NaN values to exercise comparison edges.
+type testBlock struct {
+	rows  int
+	cols  [][]float64
+	valid [][]bool
+}
+
+func randBlock(rng *rand.Rand, rows int) *testBlock {
+	b := &testBlock{rows: rows, cols: make([][]float64, 3), valid: make([][]bool, 3)}
+	for c := range b.cols {
+		b.cols[c] = make([]float64, rows)
+		b.valid[c] = make([]bool, rows)
+		for r := 0; r < rows; r++ {
+			b.valid[c][r] = rng.Float64() < 0.8
+			switch {
+			case rng.Float64() < 0.05:
+				b.cols[c][r] = 0
+			case rng.Float64() < 0.02:
+				b.cols[c][r] = math.NaN()
+			default:
+				b.cols[c][r] = rng.Float64()*100 - 50
+			}
+		}
+	}
+	// Force some equal lanes so = / <> see both outcomes.
+	for r := 0; r < rows; r++ {
+		if rng.Float64() < 0.15 {
+			b.cols[1][r] = b.cols[0][r]
+		}
+	}
+	return b
+}
+
+// scalarRow materializes lane r as the row the tree walker sees.
+func (b *testBlock) scalarRow(r int) sqltypes.Row {
+	row := make(sqltypes.Row, 3)
+	for c := 0; c < 3; c++ {
+		if b.valid[c][r] {
+			row[c] = sqltypes.NewDouble(b.cols[c][r])
+		} else {
+			row[c] = sqltypes.Null
+		}
+	}
+	return row
+}
+
+// slice projects the block onto a program's column slots.
+func (b *testBlock) slice(p *VectorProgram) (cols [][]float64, valid [][]bool) {
+	for _, ord := range p.Cols() {
+		cols = append(cols, b.cols[ord])
+		valid = append(valid, b.valid[ord])
+	}
+	return cols, valid
+}
+
+func checkNumAgainstScalar(t *testing.T, src string, ev Evaluator, p *VectorProgram, b *testBlock) {
+	t.Helper()
+	cols, valid := b.slice(p)
+	vals, ok, verr := p.EvalNum(cols, valid, b.rows, nil)
+	for r := 0; r < b.rows; r++ {
+		sv, serr := ev.Eval(b.scalarRow(r))
+		if serr != nil {
+			if verr == nil || !errors.Is(verr, serr) && !errors.Is(serr, ErrDivisionByZero) {
+				t.Fatalf("%q lane %d: scalar err %v, vector err %v", src, r, serr, verr)
+			}
+			return // scalar path aborts here; vector aborted for the block
+		}
+		if verr != nil {
+			t.Fatalf("%q: vector err %v, scalar clean", src, verr)
+		}
+		if sv.IsNull() != !ok[r] {
+			t.Fatalf("%q lane %d: scalar null=%v, vector valid=%v", src, r, sv.IsNull(), ok[r])
+		}
+		if !sv.IsNull() {
+			sf, _ := sv.Float()
+			if math.Float64bits(sf) != math.Float64bits(vals[r]) {
+				t.Fatalf("%q lane %d: scalar %v, vector %v", src, r, sf, vals[r])
+			}
+		}
+	}
+	if n := p.Ops(); b.rows > 0 && n <= 0 {
+		t.Fatalf("%q: vector ops counter did not advance", src)
+	}
+}
+
+func checkBoolAgainstScalar(t *testing.T, src string, ev Evaluator, p *VectorProgram, b *testBlock) {
+	t.Helper()
+	cols, valid := b.slice(p)
+	truth, verr := p.EvalBool(cols, valid, b.rows, nil)
+	for r := 0; r < b.rows; r++ {
+		sv, serr := ev.Eval(b.scalarRow(r))
+		if serr != nil {
+			if verr == nil {
+				t.Fatalf("%q lane %d: scalar err %v, vector clean", src, r, serr)
+			}
+			return
+		}
+		if verr != nil {
+			t.Fatalf("%q: vector err %v, scalar clean", src, verr)
+		}
+		want := vFalse
+		switch {
+		case sv.IsNull():
+			want = vNull
+		case sv.Bool():
+			want = vTrue
+		}
+		if truth[r] != want {
+			t.Fatalf("%q lane %d: scalar %v, vector %v (row %v)", src, r, want, truth[r], b.scalarRow(r))
+		}
+	}
+}
+
+func TestVectorMatchesScalarRandomized(t *testing.T) {
+	numeric := []string{
+		"a",
+		"-a",
+		"a + b",
+		"a - b",
+		"a * b + 2",
+		"a / 2.5",
+		"a % 3.5",
+		"(a + b) * (a - b)",
+		"-(a * b) + c",
+		"2.0 * a + 10.0 / 4.0",
+	}
+	boolean := []string{
+		"a > b",
+		"a = b",
+		"a <> b",
+		"a < b",
+		"a <= b OR b IS NULL",
+		"a >= b",
+		"NOT (a < 0)",
+		"a IS NOT NULL AND b > 1",
+		"a > 0 AND a < 100",
+		"a + 1 > b * 2",
+		"c IS NULL",
+		"a > 0 OR b > 0",
+		"a > 0 OR c > 0",
+		"NOT (a > b OR c IS NULL)",
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		b := randBlock(rng, rng.Intn(200))
+		for _, src := range numeric {
+			ev, p := compileBoth(t, src)
+			if p.IsBool() {
+				t.Fatalf("%q compiled as boolean", src)
+			}
+			checkNumAgainstScalar(t, src, ev, p, b)
+		}
+		for _, src := range boolean {
+			ev, p := compileBoth(t, src)
+			if !p.IsBool() {
+				t.Fatalf("%q compiled as numeric", src)
+			}
+			checkBoolAgainstScalar(t, src, ev, p, b)
+		}
+	}
+}
+
+func TestVectorDivisionByZero(t *testing.T) {
+	mkBlock := func(a []float64, valid []bool) *testBlock {
+		b := &testBlock{rows: len(a), cols: make([][]float64, 3), valid: make([][]bool, 3)}
+		for c := range b.cols {
+			b.cols[c] = make([]float64, len(a))
+			b.valid[c] = make([]bool, len(a))
+		}
+		copy(b.cols[0], a)
+		copy(b.valid[0], valid)
+		return b
+	}
+
+	for _, src := range []string{"10.0 / a", "7.5 % a"} {
+		ev, p := compileBoth(t, src)
+		// A valid zero lane raises the typed error, same as the scalar path.
+		b := mkBlock([]float64{1, 0, 3}, []bool{true, true, true})
+		cols, valid := b.slice(p)
+		if _, _, err := p.EvalNum(cols, valid, b.rows, nil); !errors.Is(err, ErrDivisionByZero) {
+			t.Fatalf("%q: err = %v, want ErrDivisionByZero", src, err)
+		}
+		if _, err := ev.Eval(b.scalarRow(1)); !errors.Is(err, ErrDivisionByZero) {
+			t.Fatalf("%q scalar: err = %v, want ErrDivisionByZero", src, err)
+		}
+		// A NULL zero lane does not: the row path returns NULL before the
+		// arithmetic ever runs.
+		b = mkBlock([]float64{1, 0, 3}, []bool{true, false, true})
+		cols, valid = b.slice(p)
+		if _, _, err := p.EvalNum(cols, valid, b.rows, nil); err != nil {
+			t.Fatalf("%q with NULL zero lane: %v", src, err)
+		}
+		// Neither does a masked-out zero lane.
+		b = mkBlock([]float64{1, 0, 3}, []bool{true, true, true})
+		cols, valid = b.slice(p)
+		if _, _, err := p.EvalNum(cols, valid, b.rows, []bool{true, false, true}); err != nil {
+			t.Fatalf("%q with masked zero lane: %v", src, err)
+		}
+	}
+
+	// Short-circuit masking: the guard keeps the division off the zero
+	// lanes, exactly like the scalar evaluator's AND short-circuit.
+	ev, p := compileBoth(t, "a <> 0 AND 10.0 / a > 2")
+	b := mkBlock([]float64{4, 0, 100, 0}, []bool{true, true, true, true})
+	cols, valid := b.slice(p)
+	truth, err := p.EvalBool(cols, valid, b.rows, nil)
+	if err != nil {
+		t.Fatalf("guarded division errored: %v", err)
+	}
+	want := []int8{vTrue, vFalse, vFalse, vFalse}
+	for r := range want {
+		if truth[r] != want[r] {
+			t.Fatalf("lane %d: truth %v, want %v", r, truth[r], want[r])
+		}
+		sv, serr := ev.Eval(b.scalarRow(r))
+		if serr != nil {
+			t.Fatalf("scalar lane %d errored: %v", r, serr)
+		}
+		got := vFalse
+		if sv.IsNull() {
+			got = vNull
+		} else if sv.Bool() {
+			got = vTrue
+		}
+		if got != truth[r] {
+			t.Fatalf("lane %d: scalar %v, vector %v", r, got, truth[r])
+		}
+	}
+}
+
+func TestVectorUnsupportedShapes(t *testing.T) {
+	unsupported := []string{
+		"power(a, 2)",                       // function call
+		"CASE WHEN a > 0 THEN 1 ELSE 0 END", // CASE
+		"a IN (1, 2)",                       // IN list
+		"a BETWEEN 1 AND 2",                 // BETWEEN
+		"s || 'x'",                          // string concat
+		"'lit'",                             // string literal
+		"s",                                 // non-vectorizable column
+		"NOT a",                             // NOT over a numeric operand
+		"-(a > b)",                          // negation of a boolean
+		"(a > b) + 1",                       // arithmetic over a boolean
+		"a AND b",                           // logic over numeric operands
+		"a > s",                             // comparison with a varchar column
+		"(a > b) IS NULL",                   // IS NULL over a boolean
+	}
+	for _, src := range unsupported {
+		ast, err := sqlparser.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		_, err = CompileVector(ast, vecTestResolve, func(ord int) bool { return ord < 3 })
+		if err == nil {
+			t.Fatalf("%q: vector compile succeeded, want unsupported", src)
+		}
+		if !IsVectorUnsupported(err) {
+			t.Fatalf("%q: err = %v, want vector-unsupported", src, err)
+		}
+	}
+	// A genuinely bad reference is a real error, not a fallback signal.
+	ast, err := sqlparser.ParseExpr("nosuch + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = CompileVector(ast, vecTestResolve, func(int) bool { return true })
+	if err == nil || IsVectorUnsupported(err) {
+		t.Fatalf("unresolved column: err = %v, want a resolve error", err)
+	}
+}
+
+func TestVectorColsDeduped(t *testing.T) {
+	ast, err := sqlparser.ParseExpr("b + a * b - a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := CompileVector(ast, vecTestResolve, func(int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := p.Cols()
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 0 {
+		t.Fatalf("Cols() = %v, want [1 0]", cols)
+	}
+	if n := p.Ops(); n != 0 {
+		t.Fatalf("fresh program reports %d ops", n)
+	}
+}

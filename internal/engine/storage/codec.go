@@ -11,12 +11,33 @@ package storage
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 
 	"repro/internal/engine/sqltypes"
 )
+
+// ErrCorrupt is the typed error every decode-path failure wraps — a
+// truncated row, a bad value tag, an implausible varchar length, a
+// segment chunk that fails its header checks, or a partition file whose
+// decoded row count disagrees with the table's accounting. Callers
+// classify with errors.Is instead of string matching.
+var ErrCorrupt = errors.New("storage: corrupt data")
+
+// maxVarCharLen caps a single decoded VARCHAR payload. A corrupt or
+// forged u32 length prefix would otherwise drive an allocation of up to
+// 4 GiB before the short read is even noticed; nothing the engine
+// writes approaches this.
+const maxVarCharLen = 1 << 26 // 64 MiB
+
+// corruptf builds an ErrCorrupt-wrapped error. Extra %w verbs in format
+// keep any underlying I/O error inspectable too.
+func corruptf(format string, args ...any) error {
+	args = append(args, ErrCorrupt)
+	return fmt.Errorf(format+": %w", args...)
+}
 
 // Row codec: every value is a 1-byte type tag followed by its payload.
 // DOUBLE and BIGINT are 8 bytes little-endian; VARCHAR is a u32 length
@@ -44,6 +65,9 @@ func encodeRow(buf []byte, row sqltypes.Row) ([]byte, error) {
 			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Int()))
 		case sqltypes.TypeVarChar:
 			s := v.Str()
+			if len(s) > maxVarCharLen {
+				return nil, fmt.Errorf("storage: varchar of %d bytes exceeds the %d-byte codec limit", len(s), maxVarCharLen)
+			}
 			buf = append(buf, tagVarChar)
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
 			buf = append(buf, s...)
@@ -80,7 +104,7 @@ func (rr *rowReader) next(dst sqltypes.Row) (sqltypes.Row, error) {
 			if err == io.EOF && i == 0 {
 				return nil, io.EOF
 			}
-			return nil, fmt.Errorf("storage: truncated row: %w", err)
+			return nil, corruptf("storage: row truncated after %d of %d values: %w", i, rr.arity, err)
 		}
 		rr.bytes++
 		switch tag {
@@ -88,29 +112,32 @@ func (rr *rowReader) next(dst sqltypes.Row) (sqltypes.Row, error) {
 			dst[i] = sqltypes.Null
 		case tagDouble:
 			if _, err := io.ReadFull(rr.r, rr.buf[:8]); err != nil {
-				return nil, fmt.Errorf("storage: truncated double: %w", err)
+				return nil, corruptf("storage: truncated double: %w", err)
 			}
 			rr.bytes += 8
 			dst[i] = sqltypes.NewDouble(math.Float64frombits(binary.LittleEndian.Uint64(rr.buf[:8])))
 		case tagBigInt:
 			if _, err := io.ReadFull(rr.r, rr.buf[:8]); err != nil {
-				return nil, fmt.Errorf("storage: truncated bigint: %w", err)
+				return nil, corruptf("storage: truncated bigint: %w", err)
 			}
 			rr.bytes += 8
 			dst[i] = sqltypes.NewBigInt(int64(binary.LittleEndian.Uint64(rr.buf[:8])))
 		case tagVarChar:
 			if _, err := io.ReadFull(rr.r, rr.buf[:4]); err != nil {
-				return nil, fmt.Errorf("storage: truncated varchar length: %w", err)
+				return nil, corruptf("storage: truncated varchar length: %w", err)
 			}
 			n := binary.LittleEndian.Uint32(rr.buf[:4])
+			if n > maxVarCharLen {
+				return nil, corruptf("storage: varchar length %d exceeds the %d-byte codec limit", n, maxVarCharLen)
+			}
 			s := make([]byte, n)
 			if _, err := io.ReadFull(rr.r, s); err != nil {
-				return nil, fmt.Errorf("storage: truncated varchar: %w", err)
+				return nil, corruptf("storage: truncated varchar: %w", err)
 			}
 			rr.bytes += 4 + int64(n)
 			dst[i] = sqltypes.NewVarChar(string(s))
 		default:
-			return nil, fmt.Errorf("storage: bad value tag %d", tag)
+			return nil, corruptf("storage: bad value tag %d", tag)
 		}
 	}
 	return dst, nil

@@ -52,6 +52,11 @@ type partition struct {
 	path string         // on-disk file, when dir != ""
 	mem  []sqltypes.Row // in-memory rows otherwise
 	rows int64
+	// segRows is how many rows the partition's columnar segment file
+	// covers: equal to rows when the segment is usable, segInvalid (-1)
+	// when it must be rebuilt from the row log (see segment.go). The
+	// segment is a derived cache, never a source of truth.
+	segRows int64
 	// corrupt records why this partition's file can no longer be
 	// trusted (a failed rollback truncate left torn bytes); scans of a
 	// corrupt partition fail loudly instead of decoding garbage.
@@ -79,6 +84,9 @@ func NewTable(name string, schema *sqltypes.Schema, dir string, partitions int) 
 				return nil, fmt.Errorf("storage: %w", err)
 			}
 			t.parts[i].path = path
+			// A stale segment from an earlier table of the same name must
+			// not shadow the fresh (empty) row log.
+			_ = os.Remove(t.segPathLocked(i))
 		}
 	}
 	return t, nil
@@ -105,15 +113,45 @@ func OpenTable(name string, schema *sqltypes.Schema, dir string, partitions int)
 		}
 		t.parts[i].path = path
 	}
+	// Count rows by reading the files directly rather than through
+	// ScanPartition: the scan path cross-checks decoded row counts
+	// against per-partition accounting, which is exactly what attach is
+	// still rebuilding here.
 	for p := range t.parts {
-		var count int64
-		if err := t.ScanPartition(context.Background(), p, func(sqltypes.Row) error { count++; return nil }); err != nil {
+		count, err := countFileRows(t.parts[p].path, schema.Len())
+		if err != nil {
 			return nil, fmt.Errorf("storage: attaching table %q: %w", name, err)
 		}
 		t.parts[p].rows = count
+		// A segment left behind by the previous process is unverified
+		// until EnsureSegments walks (and adopts) or rebuilds it.
+		t.parts[p].segRows = segInvalid
 		t.rows.Add(count)
 	}
 	return t, nil
+}
+
+// countFileRows decodes an entire row-log file, returning how many rows
+// it holds; any decode failure surfaces as ErrCorrupt.
+func countFileRows(path string, arity int) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	rr := newRowReader(f, arity)
+	var row sqltypes.Row
+	var count int64
+	for {
+		row, err = rr.next(row)
+		if err == io.EOF {
+			return count, nil
+		}
+		if err != nil {
+			return count, err
+		}
+		count++
+	}
 }
 
 // Name returns the table name.
@@ -241,6 +279,10 @@ func (t *Table) Insert(rows ...sqltypes.Row) error {
 		}
 		done = append(done, undo{p: p, size: st.Size(), rows: prevRows})
 	}
+	// All row-log appends landed; mirror the groups into the columnar
+	// segments (best-effort — a failure invalidates that partition's
+	// segment, never the insert).
+	t.appendSegLocked(groups)
 	t.publishLocked(int64(len(checked)), groups)
 	return nil
 }
@@ -267,6 +309,8 @@ func (t *Table) publishLocked(added int64, groups [][]sqltypes.Row) {
 // the epoch is bumped, observers are invalidated, and every later scan
 // of the partition returns the recorded corruption error.
 func (t *Table) truncateLocked(p int, size int64) error {
+	// Any rollback leaves the segment behind the row log; rebuild lazily.
+	t.invalidateSegLocked(p)
 	err := os.Truncate(t.parts[p].path, size)
 	if flt := t.fault; err == nil && flt.matches(p) && flt.TruncateFail {
 		err = flt.err()
@@ -282,6 +326,7 @@ func (t *Table) truncateLocked(p int, size int64) error {
 // markCorruptLocked records that a partition's on-disk state can no
 // longer be trusted and invalidates every observer.
 func (t *Table) markCorruptLocked(p int, err error) {
+	t.invalidateSegLocked(p)
 	t.parts[p].corrupt = err
 	t.epoch.Add(1)
 	t.notifyInvalidateLocked()
@@ -329,6 +374,15 @@ type BulkLoader struct {
 	next      int64
 	loaded    int64
 	one       [1]sqltypes.Row // scratch for per-row observer notification
+
+	// Columnar mirror: loaded rows are buffered per partition and
+	// flushed to the segment files in full chunks. Segment writes are
+	// best-effort; a failure marks that partition's segment for lazy
+	// rebuild and never fails the load.
+	segW       []*bufio.Writer
+	segClosers []io.Closer
+	segPend    [][]sqltypes.Row
+	segScratch []byte
 }
 
 // NewBulkLoader opens a loader. The caller must Close it; rows become
@@ -356,6 +410,23 @@ func (t *Table) NewBulkLoader() (*BulkLoader, error) {
 		}
 	}
 	t.mu.Lock() // held until Close; bulk load is exclusive
+	if t.dir != "" {
+		bl.segW = make([]*bufio.Writer, len(t.parts))
+		bl.segClosers = make([]io.Closer, len(t.parts))
+		bl.segPend = make([][]sqltypes.Row, len(t.parts))
+		for i := range t.parts {
+			if t.parts[i].segRows == segInvalid {
+				continue // already needs a rebuild; don't mirror
+			}
+			f, err := os.OpenFile(t.segPathLocked(i), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.invalidateSegLocked(i)
+				continue
+			}
+			bl.segW[i] = bufio.NewWriterSize(f, 1<<18)
+			bl.segClosers[i] = f
+		}
+	}
 	bl.next = t.rows.Load()
 	return bl, nil
 }
@@ -388,8 +459,33 @@ func (bl *BulkLoader) Add(row sqltypes.Row) error {
 		return fmt.Errorf("storage: %w", err)
 	}
 	bl.added[p]++
+	if bl.segW[p] != nil {
+		bl.segPend[p] = append(bl.segPend[p], r)
+		if len(bl.segPend[p]) == segChunkRows {
+			bl.flushSegPend(p)
+		}
+	}
 	bl.notify(p, r)
 	return nil
+}
+
+// flushSegPend writes partition p's pending rows as one segment chunk;
+// a failure stops mirroring that partition and marks its segment for
+// lazy rebuild.
+//
+//statlint:locked Table.mu
+func (bl *BulkLoader) flushSegPend(p int) {
+	if len(bl.segPend[p]) == 0 {
+		return
+	}
+	var err error
+	bl.segScratch, err = appendSegChunks(bl.segW[p], bl.t.schema, bl.segPend[p], bl.segScratch)
+	bl.segPend[p] = bl.segPend[p][:0]
+	if err != nil {
+		bl.t.invalidateSegLocked(p)
+		bl.segClosers[p].Close()
+		bl.segW[p], bl.segClosers[p] = nil, nil
+	}
 }
 
 // notify streams one loaded row to the table's observers.
@@ -435,7 +531,7 @@ func (bl *BulkLoader) Close() error {
 			err = fmt.Errorf("storage: %w", cerr)
 		}
 		if err != nil {
-			_ = t.truncateLocked(i, bl.origSizes[i]) // drop torn rows; marks corrupt on failure
+			_ = t.truncateLocked(i, bl.origSizes[i]) // drop torn rows; invalidates the segment too
 			if first == nil {
 				first = err
 			}
@@ -444,6 +540,27 @@ func (bl *BulkLoader) Close() error {
 		t.parts[i].rows += bl.added[i]
 		t.rows.Add(bl.added[i])
 		obs.RowsInserted.Add(bl.added[i])
+	}
+	// Settle the segment mirrors: flush the partial tail chunk and the
+	// buffered writer; only partitions whose row log published and whose
+	// segment writes all succeeded advance segRows.
+	for i := range bl.segW {
+		if bl.segW[i] == nil {
+			continue
+		}
+		bl.flushSegPend(i)
+		if bl.segW[i] == nil { // tail-chunk flush failed and closed the writer
+			continue
+		}
+		err := bl.segW[i].Flush()
+		if cerr := bl.segClosers[i].Close(); err == nil {
+			err = cerr
+		}
+		if err != nil || t.parts[i].segRows == segInvalid {
+			t.invalidateSegLocked(i)
+			continue
+		}
+		t.parts[i].segRows += bl.added[i]
 	}
 	t.epoch.Add(1)
 	if first != nil {
@@ -461,6 +578,11 @@ func (bl *BulkLoader) abort() {
 	for i := range bl.closers {
 		if bl.closers[i] != nil {
 			bl.closers[i].Close()
+		}
+	}
+	for i := range bl.segClosers {
+		if bl.segClosers[i] != nil {
+			bl.segClosers[i].Close()
 		}
 	}
 }
@@ -550,15 +672,26 @@ func (t *Table) ScanPartitionStats(ctx context.Context, p int, fn func(sqltypes.
 	defer f.Close()
 	rr := newRowReader(f, t.schema.Len())
 	var row sqltypes.Row
+	var decoded int64
 	for {
 		row, err = rr.next(row)
 		st.Bytes = rr.bytes
 		if err == io.EOF {
+			// A file truncated exactly at a row boundary decodes cleanly
+			// but short — without this cross-check against the partition
+			// accounting the scan would silently drop the tail rows.
+			// (Extra rows are equally untrustworthy: a torn append that
+			// never rolled back.)
+			if want := t.parts[p].rows; decoded != want {
+				return st, corruptf("storage: table %q partition %d decoded %d rows but accounting says %d",
+					t.name, p, decoded, want)
+			}
 			return st, nil
 		}
 		if err != nil {
 			return st, err
 		}
+		decoded++
 		if err := deliver(row); err != nil {
 			return st, err
 		}
@@ -604,6 +737,11 @@ func (t *Table) Truncate() error {
 				}
 				continue
 			}
+			if err := os.Remove(t.segPathLocked(i)); err != nil && !os.IsNotExist(err) {
+				t.parts[i].segRows = segInvalid
+			} else {
+				t.parts[i].segRows = 0
+			}
 		}
 		removed += t.parts[i].rows
 		t.parts[i].mem = nil
@@ -633,6 +771,8 @@ func (t *Table) Drop() error {
 		if err := os.Remove(t.parts[i].path); err != nil && !os.IsNotExist(err) && first == nil {
 			first = fmt.Errorf("storage: %w", err)
 		}
+		_ = os.Remove(t.segPathLocked(i))
+		t.parts[i].segRows = segInvalid
 	}
 	return first
 }

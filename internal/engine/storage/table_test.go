@@ -1,8 +1,11 @@
 package storage
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"testing"
 
@@ -312,5 +315,116 @@ func TestCorruptFileDetected(t *testing.T) {
 	err = tab.Scan(func(sqltypes.Row) error { return nil })
 	if err == nil || !strings.Contains(err.Error(), "bad value tag") {
 		t.Fatalf("corruption not detected: %v", err)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad-tag error %v is not ErrCorrupt", err)
+	}
+}
+
+// TestShortCountDetected is the regression for the silent short-count
+// bug: a row-log file truncated exactly at a row boundary used to decode
+// cleanly with fewer rows than the partition accounting, and the scan
+// reported success on the shortened data.
+func TestShortCountDetected(t *testing.T) {
+	dir := t.TempDir()
+	tab, err := NewTable("x", testSchema(), dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(row(1, 1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	boundary, err := tab.SizeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(row(2, 2, "b")); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file back to the end of row 1 — a clean row boundary, so
+	// decoding alone cannot notice anything wrong.
+	if err := os.Truncate(tab.parts[0].path, boundary); err != nil {
+		t.Fatal(err)
+	}
+	err = tab.Scan(func(sqltypes.Row) error { return nil })
+	if err == nil {
+		t.Fatal("truncated-at-boundary file scanned as if complete")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short-count error %v is not ErrCorrupt", err)
+	}
+	// Mid-row truncation is also typed.
+	if err := os.Truncate(tab.parts[0].path, boundary-3); err != nil {
+		t.Fatal(err)
+	}
+	err = tab.Scan(func(sqltypes.Row) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-row truncation error %v is not ErrCorrupt", err)
+	}
+}
+
+// TestVarCharLengthCap: a corrupt length prefix must fail typed and
+// fast, not allocate gigabytes and then hit a short read.
+func TestVarCharLengthCap(t *testing.T) {
+	dir := t.TempDir()
+	tab, err := NewTable("x", testSchema(), dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(row(1, 1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	// Append a row whose varchar claims ~4 GiB: bigint, double, then the
+	// poisoned length.
+	f, err := os.OpenFile(tab.parts[0].path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	buf = append(buf, tagBigInt)
+	buf = binary.LittleEndian.AppendUint64(buf, 2)
+	buf = append(buf, tagDouble)
+	buf = binary.LittleEndian.AppendUint64(buf, 0)
+	buf = append(buf, tagVarChar)
+	buf = binary.LittleEndian.AppendUint32(buf, 0xFFFF_FFF0)
+	if _, err := f.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	err = tab.Scan(func(sqltypes.Row) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "codec limit") {
+		t.Fatalf("forged varchar length not rejected: %v", err)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("length-cap error %v is not ErrCorrupt", err)
+	}
+	// The encoder refuses to produce such a row in the first place.
+	huge := sqltypes.Row{sqltypes.NewBigInt(1), sqltypes.NewDouble(1), sqltypes.NewVarChar(string(make([]byte, maxVarCharLen+1)))}
+	if _, err := encodeRow(nil, huge); err == nil {
+		t.Fatal("encodeRow accepted an over-limit varchar")
+	}
+}
+
+// TestOpenTableRejectsTruncatedFile: attach must fail loudly on a file
+// that is torn mid-row rather than attaching with a short count.
+func TestOpenTableRejectsTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	t1, err := NewTable("x", testSchema(), dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Insert(row(1, 1, "abc"), row(2, 2, "def")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(t1.parts[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(t1.parts[0].path, st.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenTable("x", testSchema(), dir, 1)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("attach to torn file: err = %v, want ErrCorrupt", err)
 	}
 }

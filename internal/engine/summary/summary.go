@@ -40,16 +40,20 @@ import (
 
 // Catalog holds the summary entries of one database instance.
 type Catalog struct {
-	workers int // parallel rebuild width; <= 0 means one goroutine per partition
+	workers  int  // parallel rebuild width; <= 0 means one goroutine per partition
+	columnar bool // rebuild scans use block kernels where eligible
 
 	mu      sync.Mutex
 	entries map[string]*entry
 }
 
 // NewCatalog creates an empty catalog whose rebuild scans use the
-// given worker count.
-func NewCatalog(workers int) *Catalog {
-	return &Catalog{workers: workers, entries: make(map[string]*entry)}
+// given worker count. With columnar set, rebuild scans run block-wise
+// over column segments where eligible; because the block kernels are
+// bit-identical to the row path, cached summaries (and their validity
+// stamps) are the same either way.
+func NewCatalog(workers int, columnar bool) *Catalog {
+	return &Catalog{workers: workers, columnar: columnar, entries: make(map[string]*entry)}
 }
 
 // entry is one maintained summary. Lock order is always table lock →
@@ -158,7 +162,7 @@ func (c *Catalog) NLQ(ctx context.Context, t *storage.Table, cols []string, mt c
 	}
 	e.misses.Add(1)
 	obs.SummaryMisses.Inc()
-	s, err = e.rebuild(ctx, c.workers)
+	s, err = e.rebuild(ctx, c.workers, c.columnar)
 	if err != nil {
 		return nil, false, err
 	}
@@ -264,7 +268,7 @@ func (e *entry) cached() *core.NLQ {
 // epoch check and retried a bounded number of times; if the table
 // never sits still, the last scan's result is served without being
 // installed — exactly the legacy one-scan behavior.
-func (e *entry) rebuild(ctx context.Context, workers int) (*core.NLQ, error) {
+func (e *entry) rebuild(ctx context.Context, workers int, columnar bool) (*core.NLQ, error) {
 	e.buildMu.Lock()
 	defer e.buildMu.Unlock()
 	// Another reader may have rebuilt while we queued on buildMu.
@@ -275,7 +279,7 @@ func (e *entry) rebuild(ctx context.Context, workers int) (*core.NLQ, error) {
 	var result *core.NLQ
 	for attempt := 0; attempt < 4; attempt++ {
 		e0 := e.table.Epoch()
-		partials, seen, err := exec.ComputeTableNLQ(ctx, e.table, e.cols, e.mt, workers)
+		partials, seen, err := exec.ComputeTableNLQ(ctx, e.table, e.cols, e.mt, workers, columnar)
 		if err != nil {
 			return nil, err
 		}

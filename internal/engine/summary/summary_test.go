@@ -94,7 +94,7 @@ func TestMergeEquivalenceConcurrentInserts(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			cat := NewCatalog(0)
+			cat := NewCatalog(0, false)
 			ctx := context.Background()
 			// Warm the entry on the empty table so every insert is folded
 			// incrementally.
@@ -173,7 +173,7 @@ func TestBulkLoadMaintainsSummary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cat := NewCatalog(0)
+	cat := NewCatalog(0, false)
 	ctx := context.Background()
 	if _, _, err := cat.NLQ(ctx, tab, testCols, core.Triangular); err != nil {
 		t.Fatal(err)
@@ -215,7 +215,7 @@ func TestCleanRollbackKeepsEntryFresh(t *testing.T) {
 	if err := tab.Insert(testRow(1, 1, 2, 3), testRow(2, 4, 5, 6)); err != nil {
 		t.Fatal(err)
 	}
-	cat := NewCatalog(0)
+	cat := NewCatalog(0, false)
 	ctx := context.Background()
 	before, _, err := cat.NLQ(ctx, tab, testCols, core.Triangular)
 	if err != nil {
@@ -249,7 +249,7 @@ func TestRollbackCorruptionInvalidates(t *testing.T) {
 	if err := tab.Insert(testRow(1, 1, 2, 3), testRow(2, 4, 5, 6)); err != nil {
 		t.Fatal(err)
 	}
-	cat := NewCatalog(0)
+	cat := NewCatalog(0, false)
 	ctx := context.Background()
 	if _, _, err := cat.NLQ(ctx, tab, testCols, core.Triangular); err != nil {
 		t.Fatal(err)
@@ -280,7 +280,7 @@ func TestTruncateInvalidates(t *testing.T) {
 	if err := tab.Insert(testRow(1, 1, 2, 3)); err != nil {
 		t.Fatal(err)
 	}
-	cat := NewCatalog(0)
+	cat := NewCatalog(0, false)
 	ctx := context.Background()
 	if s, _, err := cat.NLQ(ctx, tab, testCols, core.Triangular); err != nil || s.N != 1 {
 		t.Fatalf("warm summary: n=%v err=%v", s.N, err)
@@ -306,7 +306,7 @@ func TestColumnValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cat := NewCatalog(0)
+	cat := NewCatalog(0, false)
 	ctx := context.Background()
 	if _, _, err := cat.NLQ(ctx, tab, []string{"nope"}, core.Triangular); err == nil {
 		t.Fatal("unknown column accepted")
@@ -335,7 +335,7 @@ func TestDropTableUnregisters(t *testing.T) {
 	if err := tab.Insert(testRow(1, 1, 2, 3)); err != nil {
 		t.Fatal(err)
 	}
-	cat := NewCatalog(0)
+	cat := NewCatalog(0, false)
 	ctx := context.Background()
 	if _, _, err := cat.NLQ(ctx, tab, testCols, core.Triangular); err != nil {
 		t.Fatal(err)

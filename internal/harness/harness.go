@@ -159,6 +159,7 @@ func All() []Experiment {
 		{"a5", "Ablation: incremental summary cache: cold scan vs warm cache vs incremental model builds", runSummaryCache},
 		{"a6", "High-QPS point scoring over the wire: ad-hoc SQL vs plan cache vs PREPARE/EXECUTE", runPreparedQPS},
 		{"a7", "Distributed scale-out: sharded n,L,Q builds through the cluster coordinator vs one process", runClusterScale},
+		{"a8", "Ablation: row vs columnar scan path: cold n,L,Q builds and vectorized filter scans", runColumnarScan},
 	}
 }
 
@@ -239,6 +240,12 @@ func writeJSON(cfg Config, e Experiment, tables []*Table, elapsed time.Duration)
 // newDB opens an on-disk database with the paper's parallelism and the
 // UDFs installed; the caller must call the returned cleanup.
 func newDB(cfg Config) (*db.DB, func(), error) {
+	return newDBMode(cfg, false)
+}
+
+// newDBMode is newDB with the scan mode explicit; the a8 ablation
+// opens one engine per mode over identical data.
+func newDBMode(cfg Config, columnar bool) (*db.DB, func(), error) {
 	dir := cfg.Dir
 	cleanup := func() {}
 	if dir == "" {
@@ -249,7 +256,7 @@ func newDB(cfg Config) (*db.DB, func(), error) {
 		dir = tmp
 		cleanup = func() { os.RemoveAll(tmp) }
 	}
-	d := db.Open(db.Options{Dir: dir, Partitions: cfg.Partitions})
+	d := db.Open(db.Options{Dir: dir, Partitions: cfg.Partitions, Columnar: columnar})
 	if err := nlqudf.Register(d); err != nil {
 		cleanup()
 		return nil, nil, err
